@@ -1,0 +1,55 @@
+//! Criterion benchmarks for Algorithm 1: the O(KN) water-filling pass vs.
+//! the O(N^K) exhaustive reference, across kernel counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::SimRng;
+use warped_slicer::{brute_force, water_fill, KernelCurve, ResourceVec};
+
+fn curves(k: usize, n: usize, seed: u64) -> Vec<KernelCurve> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    (0..k)
+        .map(|_| {
+            let mut perf = Vec::with_capacity(n);
+            let mut acc = 0.0;
+            for _ in 0..n {
+                acc += rng.unit_f64();
+                perf.push(acc * (0.5 + rng.unit_f64()));
+            }
+            KernelCurve {
+                perf,
+                cta_cost: ResourceVec {
+                    regs: 2048 + rng.range_u64(4096),
+                    shmem: rng.range_u64(4096),
+                    threads: 64 + 32 * rng.range_u64(8),
+                    ctas: 1,
+                },
+            }
+        })
+        .collect()
+}
+
+fn cap() -> ResourceVec {
+    ResourceVec {
+        regs: 32768,
+        shmem: 48 * 1024,
+        threads: 1536,
+        ctas: 8,
+    }
+}
+
+fn bench_waterfill(c: &mut Criterion) {
+    let mut g = c.benchmark_group("waterfill");
+    for k in [2usize, 3, 4] {
+        let ks = curves(k, 8, k as u64);
+        g.bench_with_input(BenchmarkId::new("algorithm1", k), &ks, |b, ks| {
+            b.iter(|| water_fill(std::hint::black_box(ks), cap()));
+        });
+        g.bench_with_input(BenchmarkId::new("brute_force", k), &ks, |b, ks| {
+            b.iter(|| brute_force(std::hint::black_box(ks), cap()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_waterfill);
+criterion_main!(benches);

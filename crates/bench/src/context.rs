@@ -1,0 +1,93 @@
+//! Shared experiment state: run configuration plus memoized isolation runs
+//! (every figure normalizes against the same per-benchmark targets, so the
+//! isolation runs are computed once and reused).
+
+use std::collections::HashMap;
+
+use warped_slicer::{run_corun, run_isolation, CorunResult, IsolationResult, PolicyKind, RunConfig, WarpedSlicerConfig};
+use ws_workloads::Benchmark;
+
+/// Shared state for the experiment harness.
+#[derive(Debug)]
+pub struct ExperimentContext {
+    /// The run configuration every experiment uses (unless it explicitly
+    /// overrides, e.g. the large-configuration study).
+    pub cfg: RunConfig,
+    iso: HashMap<String, IsolationResult>,
+}
+
+impl ExperimentContext {
+    /// Creates a context with the default configuration and the given
+    /// isolation cycle budget.
+    #[must_use]
+    pub fn new(isolation_cycles: u64) -> Self {
+        Self::with_config(RunConfig {
+            isolation_cycles,
+            ..RunConfig::default()
+        })
+    }
+
+    /// Creates a context with an explicit configuration.
+    #[must_use]
+    pub fn with_config(cfg: RunConfig) -> Self {
+        Self {
+            cfg,
+            iso: HashMap::new(),
+        }
+    }
+
+    /// The Warped-Slicer policy with profile phases scaled to this
+    /// context's budget.
+    #[must_use]
+    pub fn dynamic_policy(&self) -> PolicyKind {
+        PolicyKind::WarpedSlicer(WarpedSlicerConfig::scaled_for(self.cfg.isolation_cycles))
+    }
+
+    /// The isolation run for `bench`, memoized.
+    pub fn isolation(&mut self, bench: &Benchmark) -> IsolationResult {
+        if let Some(r) = self.iso.get(bench.abbrev) {
+            return r.clone();
+        }
+        let r = run_isolation(&bench.desc, &self.cfg);
+        self.iso.insert(bench.abbrev.to_string(), r.clone());
+        r
+    }
+
+    /// Equal-work instruction targets for a multiprogrammed workload.
+    pub fn targets(&mut self, benches: &[&Benchmark]) -> Vec<u64> {
+        benches.iter().map(|b| self.isolation(b).target_insts).collect()
+    }
+
+    /// Runs `benches` concurrently under `policy` with equal-work targets.
+    pub fn corun(&mut self, benches: &[&Benchmark], policy: &PolicyKind) -> CorunResult {
+        let targets = self.targets(benches);
+        let descs: Vec<&gpu_sim::KernelDesc> = benches.iter().map(|b| &b.desc).collect();
+        run_corun(&descs, &targets, policy, &self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ws_workloads::by_abbrev;
+
+    #[test]
+    fn isolation_runs_are_memoized() {
+        let mut ctx = ExperimentContext::new(5_000);
+        let img = by_abbrev("IMG").unwrap();
+        let a = ctx.isolation(&img);
+        let b = ctx.isolation(&img);
+        assert_eq!(a.target_insts, b.target_insts);
+        assert_eq!(ctx.iso.len(), 1);
+    }
+
+    #[test]
+    fn corun_uses_cached_targets() {
+        let mut ctx = ExperimentContext::new(5_000);
+        let img = by_abbrev("IMG").unwrap();
+        let mm = by_abbrev("MM").unwrap();
+        let r = ctx.corun(&[&img, &mm], &PolicyKind::Even);
+        assert_eq!(r.targets, ctx.targets(&[&img, &mm]));
+        assert_eq!(ctx.iso.len(), 2);
+    }
+}

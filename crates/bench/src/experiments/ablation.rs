@@ -1,0 +1,147 @@
+//! Ablations beyond the paper's own sensitivity studies (DESIGN.md §5):
+//! the bandwidth-interference scaling factor on/off, the spatial-fallback
+//! threshold sweep, and the phase monitor on/off.
+
+use warped_slicer::{
+    run_with_cta_cap, water_fill, KernelCurve, PolicyKind, ResourceVec, WarpedSlicerConfig,
+};
+use ws_workloads::Pair;
+
+use crate::context::ExperimentContext;
+use crate::report::{f2, gmean, Table};
+
+/// One ablation variant and its geomean normalized IPC.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Variant label.
+    pub label: String,
+    /// Geomean combined IPC over the pairs, normalized to the default
+    /// Warped-Slicer configuration.
+    pub ipc_vs_default: f64,
+}
+
+/// A fixed-quota policy derived from *offline* isolation CTA sweeps plus
+/// Algorithm 1 — the upper bound on what the online profiler's curves
+/// could achieve (no sampling noise, no co-run interference, but also no
+/// runtime adaptivity and an offline cost the paper's design avoids).
+pub fn offline_curve_policy(ctx: &ExperimentContext, pair: &Pair) -> PolicyKind {
+    let window = (ctx.cfg.isolation_cycles / 8).max(2_000);
+    let curve = |b: &ws_workloads::Benchmark| -> KernelCurve {
+        let max = b.desc.max_ctas_per_sm(&ctx.cfg.gpu.sm).max(1);
+        KernelCurve {
+            perf: (1..=max)
+                .map(|n| run_with_cta_cap(&b.desc, n, window, &ctx.cfg))
+                .collect(),
+            cta_cost: ResourceVec::cta_cost(&b.desc),
+        }
+    };
+    let kernels = [curve(&pair.a), curve(&pair.b)];
+    let cap = ResourceVec::sm_capacity(&ctx.cfg.gpu.sm);
+    match water_fill(&kernels, cap) {
+        Some(p) => PolicyKind::Quota(p.ctas),
+        None => PolicyKind::Spatial,
+    }
+}
+
+/// Runs the ablation battery over `pairs`.
+pub fn compute(ctx: &mut ExperimentContext, pairs: &[Pair]) -> Vec<AblationRow> {
+    let base_cfg = WarpedSlicerConfig::scaled_for(ctx.cfg.isolation_cycles);
+    let variants: Vec<(String, WarpedSlicerConfig)> = vec![
+        ("default".into(), base_cfg.clone()),
+        (
+            "no bandwidth scaling (Eq.3 off)".into(),
+            WarpedSlicerConfig {
+                enable_scaling: false,
+                ..base_cfg.clone()
+            },
+        ),
+        (
+            "no phase monitor".into(),
+            WarpedSlicerConfig {
+                enable_phase_monitor: false,
+                ..base_cfg.clone()
+            },
+        ),
+        (
+            "loss threshold 10%".into(),
+            WarpedSlicerConfig {
+                loss_threshold: Some(0.10),
+                ..base_cfg.clone()
+            },
+        ),
+        (
+            "loss threshold 30%".into(),
+            WarpedSlicerConfig {
+                loss_threshold: Some(0.30),
+                ..base_cfg.clone()
+            },
+        ),
+        (
+            "loss threshold 100% (never fall back)".into(),
+            WarpedSlicerConfig {
+                loss_threshold: Some(1.0),
+                ..base_cfg
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    let mut baseline: Option<f64> = None;
+    for (label, cfg) in variants {
+        let mut ipcs = Vec::new();
+        for p in pairs {
+            let r = ctx.corun(&[&p.a, &p.b], &PolicyKind::WarpedSlicer(cfg.clone()));
+            ipcs.push(r.combined_ipc);
+        }
+        let g = gmean(&ipcs);
+        let base = *baseline.get_or_insert(g);
+        rows.push(AblationRow {
+            label,
+            ipc_vs_default: g / base,
+        });
+    }
+    // Offline-curve quotas: how much is lost to *online* profiling noise?
+    {
+        let mut ipcs = Vec::new();
+        for p in pairs {
+            let policy = offline_curve_policy(ctx, p);
+            let r = ctx.corun(&[&p.a, &p.b], &policy);
+            ipcs.push(r.combined_ipc);
+        }
+        let g = gmean(&ipcs);
+        let base = baseline.unwrap_or(g);
+        rows.push(AblationRow {
+            label: "offline curves + water-fill (no profiling phase)".into(),
+            ipc_vs_default: g / base,
+        });
+    }
+    rows
+}
+
+/// Renders the ablation table.
+#[must_use]
+pub fn render(rows: &[AblationRow]) -> String {
+    let mut t = Table::new(vec!["Variant", "IPC vs default"]);
+    for r in rows {
+        t.row(vec![r.label.clone(), f2(r.ipc_vs_default)]);
+    }
+    format!("Ablations: Warped-Slicer design choices\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fig10::subset_pairs;
+
+    #[test]
+    fn ablations_run_and_default_is_unity() {
+        let mut ctx = ExperimentContext::new(10_000);
+        let pairs = vec![subset_pairs().remove(1)];
+        let rows = compute(&mut ctx, &pairs);
+        assert_eq!(rows.len(), 7);
+        assert!((rows[0].ipc_vs_default - 1.0).abs() < 1e-12);
+        for r in &rows {
+            assert!(r.ipc_vs_default > 0.5, "{}: {}", r.label, r.ipc_vs_default);
+        }
+        assert!(render(&rows).contains("Eq.3"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Sec. V-G: power and energy. The paper reports Warped-Slicer increasing
+//! average dynamic power by ~3 % (higher utilization) while cutting total
+//! energy by ~16 % (much shorter execution).
+
+use warped_slicer::EnergyModel;
+
+use crate::experiments::fig6::Fig6Data;
+use crate::report::{f2, gmean, Table};
+
+/// Energy/power ratios of one policy versus Left-Over.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyRatios {
+    /// Dynamic-power ratio (> 1 means higher average power).
+    pub dynamic_power: f64,
+    /// Total-energy ratio (< 1 means energy saved).
+    pub total_energy: f64,
+}
+
+/// Selects one policy's run out of a [`crate::experiments::fig6::PairResult`].
+type RunSelector = Box<dyn Fn(&crate::experiments::fig6::PairResult) -> &warped_slicer::CorunResult>;
+
+/// Computes energy ratios for Spatial/Even/Dynamic from the Fig. 6 runs.
+#[must_use]
+pub fn compute(data: &Fig6Data) -> Vec<(&'static str, EnergyRatios)> {
+    let model = EnergyModel::default();
+    let policies: [(&'static str, RunSelector); 3] = [
+        ("Spatial", Box::new(|p| &p.spatial)),
+        ("Even", Box::new(|p| &p.even)),
+        ("Dynamic", Box::new(|p| &p.dynamic)),
+    ];
+    policies
+        .into_iter()
+        .map(|(name, get)| {
+            let mut power = Vec::new();
+            let mut energy = Vec::new();
+            for p in &data.pairs {
+                let base = model.evaluate(&p.left_over.stats);
+                let r = model.evaluate(&get(p).stats);
+                power.push(r.dynamic_power_w / base.dynamic_power_w.max(1e-12));
+                energy.push(r.total_mj() / base.total_mj().max(1e-12));
+            }
+            (
+                name,
+                EnergyRatios {
+                    dynamic_power: gmean(&power),
+                    total_energy: gmean(&energy),
+                },
+            )
+        })
+        .collect()
+}
+
+/// Renders the Sec. V-G comparison.
+#[must_use]
+pub fn render(rows: &[(&'static str, EnergyRatios)]) -> String {
+    let mut t = Table::new(vec!["Policy", "DynPower vs LO", "TotalEnergy vs LO"]);
+    for (name, r) in rows {
+        t.row(vec![(*name).to_string(), f2(r.dynamic_power), f2(r.total_energy)]);
+    }
+    format!(
+        "Sec. V-G: power and energy vs. Left-Over (paper: Dynamic +3.1% power, -16% energy)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExperimentContext;
+    use crate::experiments::fig6;
+    use ws_workloads::{by_abbrev, Pair, PairCategory};
+
+    #[test]
+    fn dynamic_saves_energy_by_finishing_early() {
+        let mut ctx = ExperimentContext::new(10_000);
+        let pair = Pair {
+            a: by_abbrev("IMG").unwrap(),
+            b: by_abbrev("BLK").unwrap(),
+            category: PairCategory::ComputeMemory,
+        };
+        let data = Fig6Data {
+            pairs: vec![fig6::run_pair(&mut ctx, &pair, false)],
+        };
+        let rows = compute(&data);
+        let dynamic = rows.iter().find(|(n, _)| *n == "Dynamic").unwrap().1;
+        // Higher utilization, less leakage time.
+        assert!(
+            dynamic.total_energy < 1.05,
+            "energy ratio {}",
+            dynamic.total_energy
+        );
+        assert!(render(&rows).contains("DynPower"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Fig. 1: fraction of scheduler-cycles during which warps cannot issue,
+//! broken down by reason, per benchmark (isolation runs).
+
+use gpu_sim::StallBreakdown;
+use ws_workloads::{extended_suite, Benchmark};
+
+use crate::context::ExperimentContext;
+use crate::report::{pct, Table};
+
+/// One benchmark's stall breakdown as fractions of scheduler-cycles.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The benchmark.
+    pub bench: Benchmark,
+    /// Long-memory-latency fraction.
+    pub mem: f64,
+    /// Short-RAW fraction.
+    pub raw: f64,
+    /// Execute-stage-resource fraction.
+    pub exec: f64,
+    /// I-buffer-empty fraction.
+    pub ibuffer: f64,
+    /// Barrier-wait fraction (our substrate models `__syncthreads`; the
+    /// paper's figure folds this into the other categories).
+    pub barrier: f64,
+}
+
+impl Row {
+    fn from(bench: Benchmark, stalls: &StallBreakdown, sched_cycles: u64) -> Self {
+        let d = sched_cycles.max(1) as f64;
+        Self {
+            bench,
+            mem: stalls.mem as f64 / d,
+            raw: stalls.raw as f64 / d,
+            exec: stalls.exec as f64 / d,
+            ibuffer: stalls.ibuffer as f64 / d,
+            barrier: stalls.barrier as f64 / d,
+        }
+    }
+
+    /// Total non-idle stall fraction.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.mem + self.raw + self.exec + self.ibuffer + self.barrier
+    }
+}
+
+/// Measures the breakdown for every suite benchmark.
+pub fn compute(ctx: &mut ExperimentContext) -> Vec<Row> {
+    extended_suite()
+        .into_iter()
+        .map(|bench| {
+            let iso = ctx.isolation(&bench);
+            Row::from(bench, &iso.stats.stalls, iso.stats.sched_cycles)
+        })
+        .collect()
+}
+
+/// Renders the figure data, with an AVG row as in the paper.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec![
+        "App",
+        "LongMemLatency",
+        "ShortRAW",
+        "ExecResource",
+        "IbufferEmpty",
+        "Barrier",
+        "Total",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.bench.abbrev.to_string(),
+            pct(r.mem),
+            pct(r.raw),
+            pct(r.exec),
+            pct(r.ibuffer),
+            pct(r.barrier),
+            pct(r.total()),
+        ]);
+    }
+    let n = rows.len().max(1) as f64;
+    t.row(vec![
+        "AVG".to_string(),
+        pct(rows.iter().map(|r| r.mem).sum::<f64>() / n),
+        pct(rows.iter().map(|r| r.raw).sum::<f64>() / n),
+        pct(rows.iter().map(|r| r.exec).sum::<f64>() / n),
+        pct(rows.iter().map(|r| r.ibuffer).sum::<f64>() / n),
+        pct(rows.iter().map(|r| r.barrier).sum::<f64>() / n),
+        pct(rows.iter().map(Row::total).sum::<f64>() / n),
+    ]);
+    format!(
+        "Fig. 1: stall-cycle breakdown (fraction of scheduler-cycles)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_matches_paper_shapes() {
+        let mut ctx = ExperimentContext::new(8_000);
+        let rows = compute(&mut ctx);
+        let get = |a: &str| rows.iter().find(|r| r.bench.abbrev == a).unwrap();
+        // BFS waits on memory; DXT waits on instruction fetch (paper Sec. II-C).
+        let bfs = get("BFS");
+        assert!(bfs.mem > bfs.raw && bfs.mem > bfs.ibuffer, "{bfs:?}");
+        let dxt = get("DXT");
+        assert!(dxt.ibuffer > dxt.mem, "{dxt:?}");
+        // IMG is compute bound: RAW dominates memory.
+        let img = get("IMG");
+        assert!(img.raw > img.mem, "{img:?}");
+        assert!(render(&rows).contains("AVG"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Fig. 10: sensitivity studies — (a) profiling length and partitioning-
+//! algorithm delay, (b) warp schedulers (gto vs. round-robin).
+
+use gpu_sim::SchedulerKind;
+use warped_slicer::{PolicyKind, ProfileTiming, RunConfig, WarpedSlicerConfig};
+use ws_workloads::{by_abbrev, Pair, PairCategory};
+
+use crate::context::ExperimentContext;
+use crate::report::{f2, gmean, Table};
+
+/// A representative subset of pairs (one per category) used for the
+/// sensitivity sweeps; the paper sweeps all 30, which the `--full` flag
+/// also allows.
+#[must_use]
+pub fn subset_pairs() -> Vec<Pair> {
+    vec![
+        Pair {
+            a: by_abbrev("IMG").expect("suite"),
+            b: by_abbrev("NN").expect("suite"),
+            category: PairCategory::ComputeCache,
+        },
+        Pair {
+            a: by_abbrev("MM").expect("suite"),
+            b: by_abbrev("BLK").expect("suite"),
+            category: PairCategory::ComputeMemory,
+        },
+        Pair {
+            a: by_abbrev("HOT").expect("suite"),
+            b: by_abbrev("LBM").expect("suite"),
+            category: PairCategory::ComputeMemory,
+        },
+        Pair {
+            a: by_abbrev("MM").expect("suite"),
+            b: by_abbrev("IMG").expect("suite"),
+            category: PairCategory::ComputeCompute,
+        },
+    ]
+}
+
+fn dynamic_with(timing: ProfileTiming) -> PolicyKind {
+    PolicyKind::WarpedSlicer(WarpedSlicerConfig {
+        timing,
+        ..WarpedSlicerConfig::default()
+    })
+}
+
+/// Geomean combined IPC of the Warped-Slicer with `timing` over `pairs`,
+/// normalized to the default timing.
+pub fn sweep_timing(
+    ctx: &mut ExperimentContext,
+    pairs: &[Pair],
+    timings: &[(String, ProfileTiming)],
+) -> Vec<(String, f64)> {
+    let mut results = Vec::new();
+    let mut baseline: Option<f64> = None;
+    for (label, timing) in timings {
+        let mut ipcs = Vec::new();
+        for p in pairs {
+            let r = ctx.corun(&[&p.a, &p.b], &dynamic_with(*timing));
+            ipcs.push(r.combined_ipc);
+        }
+        let g = gmean(&ipcs);
+        let base = *baseline.get_or_insert(g);
+        results.push((label.clone(), g / base));
+    }
+    results
+}
+
+/// Fig. 10a: sampling-length and algorithm-delay sensitivity. Lengths and
+/// delays are scaled to the run budget in the same proportion as the
+/// paper's 5 K/10 K/1 K..10 K out of 2 M.
+pub fn compute_timing(ctx: &mut ExperimentContext, pairs: &[Pair]) -> Vec<(String, f64)> {
+    let base = WarpedSlicerConfig::scaled_for(ctx.cfg.isolation_cycles).timing;
+    let timings = vec![
+        (format!("sample {}", base.sample), base),
+        (
+            format!("sample {}", base.sample * 2),
+            ProfileTiming {
+                sample: base.sample * 2,
+                ..base
+            },
+        ),
+        (
+            format!("sample {}", base.sample * 4),
+            ProfileTiming {
+                sample: base.sample * 4,
+                ..base
+            },
+        ),
+        (
+            format!("delay {}", base.sample / 2),
+            ProfileTiming {
+                algorithm_delay: base.sample / 2,
+                ..base
+            },
+        ),
+        (
+            format!("delay {}", base.sample * 2),
+            ProfileTiming {
+                algorithm_delay: base.sample * 2,
+                ..base
+            },
+        ),
+        (
+            format!("delay {}", base.sample * 4),
+            ProfileTiming {
+                algorithm_delay: base.sample * 4,
+                ..base
+            },
+        ),
+    ];
+    sweep_timing(ctx, pairs, &timings)
+}
+
+/// Fig. 10b: policy comparison under each warp scheduler.
+pub fn compute_schedulers(
+    isolation_cycles: u64,
+    pairs: &[Pair],
+) -> Vec<(String, f64, f64, f64)> {
+    let mut out = Vec::new();
+    for sched in [SchedulerKind::GreedyThenOldest, SchedulerKind::RoundRobin] {
+        let mut ctx = ExperimentContext::with_config(RunConfig {
+            isolation_cycles,
+            scheduler: sched,
+            ..RunConfig::default()
+        });
+        let mut sp = Vec::new();
+        let mut ev = Vec::new();
+        let mut dy = Vec::new();
+        for p in pairs {
+            let benches = [&p.a, &p.b];
+            let lo = ctx.corun(&benches, &PolicyKind::LeftOver).combined_ipc;
+            sp.push(ctx.corun(&benches, &PolicyKind::Spatial).combined_ipc / lo);
+            ev.push(ctx.corun(&benches, &PolicyKind::Even).combined_ipc / lo);
+            dy.push(ctx.corun(&benches, &ctx.dynamic_policy()).combined_ipc / lo);
+        }
+        out.push((sched.to_string(), gmean(&sp), gmean(&ev), gmean(&dy)));
+    }
+    out
+}
+
+/// Renders Fig. 10a.
+#[must_use]
+pub fn render_timing(rows: &[(String, f64)]) -> String {
+    let mut t = Table::new(vec!["Profiling variant (cycles)", "Normalized IPC"]);
+    for (label, ipc) in rows {
+        t.row(vec![label.clone(), f2(*ipc)]);
+    }
+    format!(
+        "Fig. 10a: sensitivity to profiling length and algorithm delay\n{}",
+        t.render()
+    )
+}
+
+/// Renders Fig. 10b.
+#[must_use]
+pub fn render_schedulers(rows: &[(String, f64, f64, f64)]) -> String {
+    let mut t = Table::new(vec!["Scheduler", "Spatial", "Even", "Dynamic"]);
+    for (name, s, e, d) in rows {
+        t.row(vec![name.clone(), f2(*s), f2(*e), f2(*d)]);
+    }
+    format!("Fig. 10b: sensitivity to warp schedulers\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_sensitivity_is_small() {
+        let mut ctx = ExperimentContext::new(12_000);
+        let pairs = vec![subset_pairs().remove(0)];
+        let rows = compute_timing(&mut ctx, &pairs);
+        assert_eq!(rows.len(), 6);
+        for (label, ipc) in &rows {
+            // The paper reports <= ~2% IPC variation; allow slack for the
+            // reduced budget.
+            assert!((0.85..=1.15).contains(ipc), "{label}: {ipc}");
+        }
+    }
+
+    #[test]
+    fn both_schedulers_preserve_dynamic_wins() {
+        let pairs = vec![subset_pairs().remove(0)];
+        let rows = compute_schedulers(10_000, &pairs);
+        assert_eq!(rows.len(), 2);
+        for (name, _s, _e, d) in &rows {
+            assert!(*d > 0.9, "{name}: dynamic {d}");
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Fig. 2: storage-allocation strategies and fragmentation.
+//!
+//! The paper's Fig. 2 is an illustration; here it is made *executable*: we
+//! replay the scenario (kernel A's CTAs need half the shared memory of
+//! kernel B's) against the real [`gpu_sim::LinearAllocator`] under each
+//! strategy and report what each strategy can do with the space kernel A
+//! frees when it terminates.
+
+use gpu_sim::{LinearAllocator, Region};
+
+use crate::report::Table;
+
+/// Outcome of one allocation strategy in the Fig. 2 scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyOutcome {
+    /// Strategy name.
+    pub name: &'static str,
+    /// Free space after kernel A's CTAs finish (bytes).
+    pub free_after_a: u32,
+    /// Largest contiguous free extent at that point.
+    pub largest_free: u32,
+    /// Whether a new CTA of kernel B can be admitted under the strategy's
+    /// rules.
+    pub new_b_fits: bool,
+    /// Explanation for the table.
+    pub note: &'static str,
+}
+
+const TOTAL: u32 = 48 * 1024;
+const A: u32 = 8 * 1024; // kernel A CTA shared-memory footprint
+const B: u32 = 16 * 1024; // kernel B CTA footprint (2x A, as in Fig. 2)
+
+/// FCFS interleaving (Fig. 2a): A and B CTAs alternate; all A CTAs finish;
+/// the freed space is fragmented into A-sized holes no B CTA can use.
+#[must_use]
+pub fn fcfs() -> StrategyOutcome {
+    let mut alloc = LinearAllocator::new(TOTAL);
+    let mut a_blocks = Vec::new();
+    while let Some(r) = alloc.alloc(A) {
+        a_blocks.push(r);
+        if alloc.alloc(B).is_none() {
+            break;
+        }
+    }
+    for r in a_blocks {
+        alloc.free(r);
+    }
+    StrategyOutcome {
+        name: "FCFS",
+        free_after_a: alloc.capacity() - alloc.used(),
+        largest_free: alloc.largest_free(),
+        new_b_fits: alloc.alloc(B).is_some(),
+        note: "freed A space fragmented into A-sized holes",
+    }
+}
+
+/// Left-Over (Fig. 2b): kernel A packs first, B gets the remainder; when
+/// all of A finishes, its space is one contiguous extent.
+#[must_use]
+pub fn left_over() -> StrategyOutcome {
+    let mut alloc = LinearAllocator::new(TOTAL);
+    let mut a_blocks = Vec::new();
+    for _ in 0..4 {
+        a_blocks.push(alloc.alloc(A).expect("A fits"));
+    }
+    while alloc.alloc(B).is_some() {}
+    for r in a_blocks {
+        alloc.free(r);
+    }
+    StrategyOutcome {
+        name: "Left-Over",
+        free_after_a: alloc.capacity() - alloc.used(),
+        largest_free: alloc.largest_free(),
+        new_b_fits: alloc.alloc(B).is_some(),
+        note: "B only waits for *adjacent* A departures",
+    }
+}
+
+/// Even partitioning (Fig. 2c): each kernel confined to half the space;
+/// A's departures free A's half, but B cannot use it by policy.
+#[must_use]
+pub fn even() -> StrategyOutcome {
+    let mut alloc = LinearAllocator::new(TOTAL);
+    let half_a = Region {
+        start: 0,
+        len: TOTAL / 2,
+    };
+    let half_b = Region {
+        start: TOTAL / 2,
+        len: TOTAL / 2,
+    };
+    let mut a_blocks = Vec::new();
+    while let Some(r) = alloc.alloc_in_window(A, half_a) {
+        a_blocks.push(r);
+    }
+    while alloc.alloc_in_window(B, half_b).is_some() {}
+    for r in a_blocks {
+        alloc.free(r);
+    }
+    let new_b = alloc.largest_free_in_window(half_b) >= B;
+    StrategyOutcome {
+        name: "Even",
+        free_after_a: alloc.capacity() - alloc.used(),
+        largest_free: alloc.largest_free(),
+        new_b_fits: new_b,
+        note: "A's half reusable only by A (policy confinement)",
+    }
+}
+
+/// Warped-Slicer (Fig. 2d): regions sized to quotas (here 2 A-CTAs and 2
+/// B-CTAs). Within B's region departures leave exactly B-sized holes, so a
+/// replacement CTA always fits — no cross-kernel fragmentation ever.
+#[must_use]
+pub fn warped_slicer() -> StrategyOutcome {
+    let mut alloc = LinearAllocator::new(TOTAL);
+    let a_region = Region {
+        start: 0,
+        len: 2 * A,
+    };
+    let b_region = Region {
+        start: 2 * A,
+        len: TOTAL - 2 * A,
+    };
+    let mut a_blocks = Vec::new();
+    while let Some(r) = alloc.alloc_in_window(A, a_region) {
+        a_blocks.push(r);
+    }
+    let mut b_blocks = Vec::new();
+    while let Some(r) = alloc.alloc_in_window(B, b_region) {
+        b_blocks.push(r);
+    }
+    for r in a_blocks {
+        alloc.free(r);
+    }
+    // One B CTA finishes: its replacement must fit exactly.
+    alloc.free(b_blocks[0]);
+    let new_b = alloc
+        .alloc_in_window(B, b_region)
+        .is_some();
+    StrategyOutcome {
+        name: "Warped-Slicer",
+        free_after_a: alloc.capacity() - alloc.used() - B, // before the re-alloc above
+        largest_free: alloc.largest_free(),
+        new_b_fits: new_b,
+        note: "quota regions: replacements always fit their region",
+    }
+}
+
+/// Runs all four strategies.
+#[must_use]
+pub fn compute() -> Vec<StrategyOutcome> {
+    vec![fcfs(), left_over(), even(), warped_slicer()]
+}
+
+/// Renders the scenario outcomes.
+#[must_use]
+pub fn render(outcomes: &[StrategyOutcome]) -> String {
+    let mut t = Table::new(vec![
+        "Strategy",
+        "FreeAfterA(KB)",
+        "LargestFree(KB)",
+        "NewB_CTAFits",
+        "Note",
+    ]);
+    for o in outcomes {
+        t.row(vec![
+            o.name.to_string(),
+            format!("{}", o.free_after_a / 1024),
+            format!("{}", o.largest_free / 1024),
+            if o.new_b_fits { "yes" } else { "NO" }.to_string(),
+            o.note.to_string(),
+        ]);
+    }
+    format!(
+        "Fig. 2: shared-memory allocation strategies (A = {}KB/CTA, B = {}KB/CTA, {}KB total)\n{}",
+        A / 1024,
+        B / 1024,
+        TOTAL / 1024,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fcfs_fragments_the_freed_space() {
+        let o = fcfs();
+        // Plenty of total free space, but every hole is A-sized.
+        assert!(o.free_after_a >= B, "{o:?}");
+        assert_eq!(o.largest_free, A, "{o:?}");
+        assert!(!o.new_b_fits, "{o:?}");
+    }
+
+    #[test]
+    fn left_over_reclaims_contiguously() {
+        let o = left_over();
+        assert!(o.largest_free >= 4 * A, "{o:?}");
+        assert!(o.new_b_fits, "{o:?}");
+    }
+
+    #[test]
+    fn even_confines_b_to_its_half() {
+        let o = even();
+        // A's half is completely free, yet B cannot be admitted.
+        assert!(o.largest_free >= TOTAL / 2 - A, "{o:?}");
+        assert!(!o.new_b_fits, "{o:?}");
+    }
+
+    #[test]
+    fn warped_slicer_replacements_always_fit() {
+        let o = warped_slicer();
+        assert!(o.new_b_fits, "{o:?}");
+    }
+
+    #[test]
+    fn render_shows_all_strategies() {
+        let s = render(&compute());
+        for name in ["FCFS", "Left-Over", "Even", "Warped-Slicer"] {
+            assert!(s.contains(name));
+        }
+    }
+}

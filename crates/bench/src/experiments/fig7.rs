@@ -1,0 +1,180 @@
+//! Fig. 7: (a) resource utilization of Warped-Slicer normalized to Even,
+//! (b) L1/L2 miss rates per policy and workload category, (c) stall-cycle
+//! breakdown per policy.
+
+use ws_workloads::PairCategory;
+
+use crate::experiments::fig6::Fig6Data;
+use crate::report::{f2, pct, Table};
+
+/// Fig. 7a: average utilization ratios (Dynamic / Even) across pairs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UtilizationRatios {
+    /// ALU busy-fraction ratio.
+    pub alu: f64,
+    /// SFU ratio.
+    pub sfu: f64,
+    /// LSU ratio.
+    pub ldst: f64,
+    /// Register-occupancy ratio.
+    pub reg: f64,
+    /// Shared-memory-occupancy ratio.
+    pub shm: f64,
+}
+
+/// Computes Fig. 7a from the Fig. 6 runs.
+#[must_use]
+pub fn utilization_ratios(data: &Fig6Data) -> UtilizationRatios {
+    let mut acc = UtilizationRatios::default();
+    let mut n = 0.0;
+    for p in &data.pairs {
+        let d = &p.dynamic.stats.util;
+        let e = &p.even.stats.util;
+        let ratio = |a: f64, b: f64| if b > 1e-9 { a / b } else { 1.0 };
+        acc.alu += ratio(d.alu, e.alu);
+        acc.sfu += ratio(d.sfu, e.sfu);
+        acc.ldst += ratio(d.lsu, e.lsu);
+        acc.reg += ratio(d.reg, e.reg);
+        acc.shm += ratio(d.shmem, e.shmem);
+        n += 1.0;
+    }
+    if n > 0.0 {
+        acc.alu /= n;
+        acc.sfu /= n;
+        acc.ldst /= n;
+        acc.reg /= n;
+        acc.shm /= n;
+    }
+    acc
+}
+
+/// Renders Fig. 7a.
+#[must_use]
+pub fn render_utilization(r: &UtilizationRatios) -> String {
+    let mut t = Table::new(vec!["ALU", "SFU", "LDST", "REG", "SHM"]);
+    t.row(vec![f2(r.alu), f2(r.sfu), f2(r.ldst), f2(r.reg), f2(r.shm)]);
+    format!(
+        "Fig. 7a: Warped-Slicer resource utilization normalized to Even\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 7b: cache miss rates per policy, split into Compute+Cache and
+/// Compute+Non-Cache categories as in the paper.
+#[must_use]
+pub fn render_cache(data: &Fig6Data) -> String {
+    let mut out = String::from("Fig. 7b: cache miss rates by policy\n");
+    for (name, cats) in [
+        ("Compute + Cache", vec![PairCategory::ComputeCache]),
+        (
+            "Compute + Non-Cache",
+            vec![PairCategory::ComputeMemory, PairCategory::ComputeCompute],
+        ),
+    ] {
+        let mut t = Table::new(vec!["Policy", "L1D miss", "L2 miss"]);
+        for (policy, get) in [
+            ("Left-Over", 0usize),
+            ("Spatial", 1),
+            ("Even", 2),
+            ("Dynamic", 3),
+        ] {
+            let mut l1a = 0u64;
+            let mut l1m = 0u64;
+            let mut l2a = 0u64;
+            let mut l2m = 0u64;
+            for p in data.pairs.iter().filter(|p| cats.contains(&p.pair.category)) {
+                let s = match get {
+                    0 => &p.left_over.stats,
+                    1 => &p.spatial.stats,
+                    2 => &p.even.stats,
+                    _ => &p.dynamic.stats,
+                };
+                l1a += s.cache.l1_accesses;
+                l1m += s.cache.l1_misses;
+                l2a += s.cache.l2_accesses;
+                l2m += s.cache.l2_misses;
+            }
+            t.row(vec![
+                policy.to_string(),
+                pct(l1m as f64 / l1a.max(1) as f64),
+                pct(l2m as f64 / l2a.max(1) as f64),
+            ]);
+        }
+        out.push_str(&format!("\n({name})\n{}", t.render()));
+    }
+    out
+}
+
+/// Fig. 7c: stall-cycle fractions per policy, averaged over all pairs.
+#[must_use]
+pub fn render_stalls(data: &Fig6Data) -> String {
+    let mut t = Table::new(vec!["Policy", "MEM", "RAW", "EXE", "IBUFFER", "Total"]);
+    for (policy, get) in [
+        ("Left-Over", 0usize),
+        ("Spatial", 1),
+        ("Even", 2),
+        ("Dynamic", 3),
+    ] {
+        let mut mem = 0.0;
+        let mut raw = 0.0;
+        let mut exe = 0.0;
+        let mut ib = 0.0;
+        let mut n = 0.0;
+        for p in &data.pairs {
+            let s = match get {
+                0 => &p.left_over.stats,
+                1 => &p.spatial.stats,
+                2 => &p.even.stats,
+                _ => &p.dynamic.stats,
+            };
+            let d = s.sched_cycles.max(1) as f64;
+            mem += s.stalls.mem as f64 / d;
+            raw += s.stalls.raw as f64 / d;
+            exe += s.stalls.exec as f64 / d;
+            ib += s.stalls.ibuffer as f64 / d;
+            n += 1.0;
+        }
+        t.row(vec![
+            policy.to_string(),
+            pct(mem / n),
+            pct(raw / n),
+            pct(exe / n),
+            pct(ib / n),
+            pct((mem + raw + exe + ib) / n),
+        ]);
+    }
+    format!(
+        "Fig. 7c: stall-cycle breakdown by policy (fraction of scheduler-cycles, mean over pairs)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExperimentContext;
+    use crate::experiments::fig6;
+    use ws_workloads::{by_abbrev, Pair};
+
+    fn tiny_data() -> Fig6Data {
+        let mut ctx = ExperimentContext::new(10_000);
+        let pair = Pair {
+            a: by_abbrev("MM").unwrap(),
+            b: by_abbrev("MVP").unwrap(),
+            category: PairCategory::ComputeCache,
+        };
+        Fig6Data {
+            pairs: vec![fig6::run_pair(&mut ctx, &pair, false)],
+        }
+    }
+
+    #[test]
+    fn fig7_renders_from_fig6_runs() {
+        let data = tiny_data();
+        let u = utilization_ratios(&data);
+        assert!(u.alu > 0.2 && u.alu < 5.0, "{u:?}");
+        assert!(render_utilization(&u).contains("LDST"));
+        assert!(render_cache(&data).contains("L1D miss"));
+        assert!(render_stalls(&data).contains("IBUFFER"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Fig. 9: fairness (minimum speedup) and average normalized turnaround
+//! time for two- and three-kernel workloads, normalized to Left-Over.
+
+use warped_slicer::{antt, fairness};
+
+use crate::experiments::fig6::Fig6Data;
+use crate::experiments::fig8::TripleResult;
+use crate::report::{f2, gmean, Table};
+
+/// Aggregated fairness metrics for one policy.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyFairness {
+    /// Geometric-mean fairness (min speedup) normalized to Left-Over.
+    pub fairness_vs_leftover: f64,
+    /// Mean ANTT (raw; lower is better).
+    pub antt: f64,
+}
+
+/// Selects one policy's run out of a pair result.
+type PairSelector = Box<dyn Fn(&crate::experiments::fig6::PairResult) -> &warped_slicer::CorunResult>;
+/// Selects one policy's run out of a triple result.
+type TripleSelector = Box<dyn Fn(&TripleResult) -> &warped_slicer::CorunResult>;
+
+/// Computes Fig. 9 aggregates for 2-kernel workloads from the Fig. 6 runs.
+#[must_use]
+pub fn two_kernel(data: &Fig6Data, isolation_cycles: u64) -> Vec<(&'static str, PolicyFairness)> {
+    let policies: [(&'static str, PairSelector); 3] = [
+        ("Spatial", Box::new(|p| &p.spatial)),
+        ("Even", Box::new(|p| &p.even)),
+        ("Dynamic", Box::new(|p| &p.dynamic)),
+    ];
+    policies
+        .into_iter()
+        .map(|(name, get)| {
+            let mut ratios = Vec::new();
+            let mut antts = Vec::new();
+            for p in &data.pairs {
+                let base = fairness(&p.left_over, isolation_cycles).max(1e-12);
+                let f = fairness(get(p), isolation_cycles);
+                ratios.push(f / base);
+                antts.push(antt(get(p), isolation_cycles));
+            }
+            (
+                name,
+                PolicyFairness {
+                    fairness_vs_leftover: gmean(&ratios),
+                    antt: antts.iter().sum::<f64>() / antts.len().max(1) as f64,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Computes Fig. 9 aggregates for 3-kernel workloads from the Fig. 8 runs.
+#[must_use]
+pub fn three_kernel(
+    data: &[TripleResult],
+    isolation_cycles: u64,
+) -> Vec<(&'static str, PolicyFairness)> {
+    let policies: [(&'static str, TripleSelector); 3] = [
+        ("Spatial", Box::new(|t| &t.spatial)),
+        ("Even", Box::new(|t| &t.even)),
+        ("Dynamic", Box::new(|t| &t.dynamic)),
+    ];
+    policies
+        .into_iter()
+        .map(|(name, get)| {
+            let mut ratios = Vec::new();
+            let mut antts = Vec::new();
+            for t in data {
+                let base = fairness(&t.left_over, isolation_cycles).max(1e-12);
+                ratios.push(fairness(get(t), isolation_cycles) / base);
+                antts.push(antt(get(t), isolation_cycles));
+            }
+            (
+                name,
+                PolicyFairness {
+                    fairness_vs_leftover: gmean(&ratios),
+                    antt: antts.iter().sum::<f64>() / antts.len().max(1) as f64,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Renders both panels of Fig. 9.
+#[must_use]
+pub fn render(
+    two: &[(&'static str, PolicyFairness)],
+    three: &[(&'static str, PolicyFairness)],
+) -> String {
+    let mut t = Table::new(vec![
+        "Policy",
+        "Fairness 2K",
+        "ANTT 2K",
+        "Fairness 3K",
+        "ANTT 3K",
+    ]);
+    for (name, f2k) in two {
+        let f3k = three.iter().find(|(n, _)| n == name).map(|(_, f)| f);
+        t.row(vec![
+            (*name).to_string(),
+            f2(f2k.fairness_vs_leftover),
+            f2(f2k.antt),
+            f3k.map_or("-".to_string(), |f| f2(f.fairness_vs_leftover)),
+            f3k.map_or("-".to_string(), |f| f2(f.antt)),
+        ]);
+    }
+    format!(
+        "Fig. 9: fairness (min speedup, normalized to Left-Over) and ANTT\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExperimentContext;
+    use crate::experiments::fig6;
+    use ws_workloads::{by_abbrev, Pair, PairCategory};
+
+    #[test]
+    fn fairness_aggregates_compute() {
+        let mut ctx = ExperimentContext::new(10_000);
+        let pair = Pair {
+            a: by_abbrev("IMG").unwrap(),
+            b: by_abbrev("BLK").unwrap(),
+            category: PairCategory::ComputeMemory,
+        };
+        let data = Fig6Data {
+            pairs: vec![fig6::run_pair(&mut ctx, &pair, false)],
+        };
+        let two = two_kernel(&data, ctx.cfg.isolation_cycles);
+        assert_eq!(two.len(), 3);
+        for (name, f) in &two {
+            assert!(
+                f.fairness_vs_leftover > 0.5,
+                "{name}: {}",
+                f.fairness_vs_leftover
+            );
+            assert!(f.antt >= 1.0, "{name} ANTT {}", f.antt);
+        }
+        let s = render(&two, &[]);
+        assert!(s.contains("Fairness 2K"));
+    }
+}

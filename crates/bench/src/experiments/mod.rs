@@ -1,0 +1,22 @@
+//! One module per paper artifact (table or figure), plus ablations.
+//!
+//! Every module exposes a `compute`-style function returning plain data and
+//! a `render` function producing the printable table, so the CLI binary,
+//! the Criterion benches, and tests all share the same entry points.
+
+pub mod ablation;
+pub mod energy;
+pub mod fig1;
+pub mod fig10;
+pub mod fig2;
+pub mod fig3;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod large_config;
+pub mod overhead;
+pub mod table1;
+pub mod table2;
+pub mod table3;

@@ -1,0 +1,78 @@
+//! Table I: the baseline configuration.
+
+use gpu_sim::GpuConfig;
+
+use crate::report::Table;
+
+/// Renders Table I from the live configuration structure (so the printout
+/// can never drift from what the simulator actually uses).
+#[must_use]
+pub fn render(cfg: &GpuConfig) -> String {
+    let mut t = Table::new(vec!["Parameter", "Value"]);
+    t.row(vec![
+        "Compute Units".to_string(),
+        format!(
+            "{}, {}MHz, SIMT Width = {}x{}",
+            cfg.num_sms, cfg.core_clock_mhz, cfg.sm.simt_width, cfg.sm.num_schedulers
+        ),
+    ]);
+    t.row(vec![
+        "Resources / Core".to_string(),
+        format!(
+            "max {} Threads, {} Registers, max {} CTAs, {}KB Shared Memory",
+            cfg.sm.max_threads,
+            cfg.sm.max_registers,
+            cfg.sm.max_ctas,
+            cfg.sm.shared_mem_bytes / 1024
+        ),
+    ]);
+    t.row(vec![
+        "Warp Schedulers".to_string(),
+        format!("{} per SM, default gto", cfg.sm.num_schedulers),
+    ]);
+    t.row(vec![
+        "L1 Data Cache".to_string(),
+        format!(
+            "{}KB {}-way {}MSHR",
+            cfg.l1.size_bytes / 1024,
+            cfg.l1.assoc,
+            cfg.l1.mshr_entries
+        ),
+    ]);
+    t.row(vec![
+        "L2 Cache".to_string(),
+        format!(
+            "{}KB/Memory Channel, {}-way",
+            cfg.l2.size_bytes_per_channel / 1024,
+            cfg.l2.assoc
+        ),
+    ]);
+    t.row(vec![
+        "Memory Model".to_string(),
+        format!("{} MCs, FR-FCFS, {}MHz", cfg.mem.num_channels, cfg.mem.dram_clock_mhz),
+    ]);
+    let tm = &cfg.mem.timing;
+    t.row(vec![
+        "GDDR5 Timing".to_string(),
+        format!(
+            "tCL={}, tRP={}, tRC={}, tRAS={}, tRCD={}, tRRD={}",
+            tm.t_cl, tm.t_rp, tm.t_rc, tm.t_ras, tm.t_rcd, tm.t_rrd
+        ),
+    ]);
+    format!("Table I: Baseline configuration\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_table_i_values() {
+        let s = render(&GpuConfig::isca_baseline());
+        assert!(s.contains("16, 1400MHz"));
+        assert!(s.contains("max 1536 Threads"));
+        assert!(s.contains("16KB 4-way 64MSHR"));
+        assert!(s.contains("128KB/Memory Channel"));
+        assert!(s.contains("tCL=12"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Table II: per-benchmark resource utilization, functional-unit usage,
+//! L2 MPKI, and type classification, measured from isolation runs and
+//! printed beside the paper's values.
+
+use warped_slicer::WarpedSlicerConfig;
+use ws_workloads::{suite, Benchmark, WorkloadClass};
+
+use crate::context::ExperimentContext;
+use crate::report::{pct, Table};
+
+/// One measured Table II row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The benchmark.
+    pub bench: Benchmark,
+    /// Warp instructions executed in the isolation budget.
+    pub insts: u64,
+    /// Measured register occupancy (fraction).
+    pub reg: f64,
+    /// Measured shared-memory occupancy (fraction).
+    pub shm: f64,
+    /// Measured ALU utilization.
+    pub alu: f64,
+    /// Measured SFU utilization.
+    pub sfu: f64,
+    /// Measured LSU utilization.
+    pub ls: f64,
+    /// Measured L2 MPKI.
+    pub l2_mpki: f64,
+    /// Class implied by the measured MPKI and benchmark metadata.
+    pub measured_class: WorkloadClass,
+    /// Profiling overhead: (warm-up + sample) cycles over the isolation
+    /// budget (the paper's `Profile%` column analog).
+    pub profile_pct: f64,
+}
+
+/// The measured-MPKI threshold separating memory-intensive benchmarks; the
+/// paper uses 30 on its workloads, we use the midpoint of the same gap in
+/// our measured distribution.
+#[must_use]
+pub fn classify(bench: &Benchmark, l2_mpki: f64) -> WorkloadClass {
+    if bench.class == WorkloadClass::Cache {
+        // Cache sensitivity is a scaling property (Fig. 3a), not an MPKI
+        // threshold; it is carried by the suite metadata.
+        WorkloadClass::Cache
+    } else if l2_mpki >= 30.0 {
+        WorkloadClass::Memory
+    } else {
+        WorkloadClass::Compute
+    }
+}
+
+/// Measures every suite benchmark.
+pub fn compute(ctx: &mut ExperimentContext) -> Vec<Row> {
+    let ws = WarpedSlicerConfig::scaled_for(ctx.cfg.isolation_cycles);
+    let profile_cycles = ws.timing.warmup + ws.timing.sample;
+    suite()
+        .into_iter()
+        .map(|bench| {
+            let iso = ctx.isolation(&bench);
+            let s = &iso.stats;
+            Row {
+                insts: s.insts,
+                reg: s.util.reg,
+                shm: s.util.shmem,
+                alu: s.util.alu,
+                sfu: s.util.sfu,
+                ls: s.util.lsu,
+                l2_mpki: s.l2_mpki_per_kernel[0],
+                measured_class: classify(&bench, s.l2_mpki_per_kernel[0]),
+                profile_pct: profile_cycles as f64 / ctx.cfg.isolation_cycles as f64,
+                bench,
+            }
+        })
+        .collect()
+}
+
+/// Renders the measured-vs-paper table.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec![
+        "App", "Inst", "Reg", "(paper)", "Shm", "(paper)", "ALU", "(paper)", "SFU", "(paper)",
+        "LS", "(paper)", "MPKI", "(paper)", "Type", "Profile%",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.bench.abbrev.to_string(),
+            format!("{:.1}M", r.insts as f64 / 1e6),
+            pct(r.reg),
+            pct(r.bench.paper.reg),
+            pct(r.shm),
+            pct(r.bench.paper.shm),
+            pct(r.alu),
+            pct(r.bench.paper.alu),
+            pct(r.sfu),
+            pct(r.bench.paper.sfu),
+            pct(r.ls),
+            pct(r.bench.paper.ls),
+            format!("{:.1}", r.l2_mpki),
+            format!("{:.1}", r.bench.paper.l2_mpki),
+            r.measured_class.to_string(),
+            pct(r.profile_pct),
+        ]);
+    }
+    format!(
+        "Table II: benchmark characterization (measured vs. paper)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_rows_have_sane_shapes() {
+        let mut ctx = ExperimentContext::new(6_000);
+        let rows = compute(&mut ctx);
+        assert_eq!(rows.len(), 10);
+        for r in &rows {
+            assert!(r.insts > 0, "{} ran", r.bench.abbrev);
+            assert!((0.0..=1.0).contains(&r.reg));
+            assert!((0.0..=1.0).contains(&r.alu));
+        }
+        let s = render(&rows);
+        assert!(s.contains("BLK"));
+        assert!(s.contains("Profile%"));
+    }
+
+    #[test]
+    fn classify_uses_threshold_and_metadata() {
+        let nn = ws_workloads::by_abbrev("NN").unwrap();
+        assert_eq!(classify(&nn, 500.0), WorkloadClass::Cache);
+        let blk = ws_workloads::by_abbrev("BLK").unwrap();
+        assert_eq!(classify(&blk, 100.0), WorkloadClass::Memory);
+        assert_eq!(classify(&blk, 5.0), WorkloadClass::Compute);
+    }
+}

@@ -1,0 +1,81 @@
+//! Table III: the CTA partitions chosen by Warped-Slicer (Dyn) versus the
+//! Even policy's effective allocation, for every pair.
+
+use gpu_sim::GpuConfig;
+use ws_workloads::Benchmark;
+
+use crate::experiments::fig6::Fig6Data;
+use crate::report::Table;
+
+/// The CTA count the Even policy's `1/K` windows can actually hold for one
+/// kernel (its "effective" quota — the numbers in the paper's Even column).
+#[must_use]
+pub fn even_effective_ctas(bench: &Benchmark, cfg: &GpuConfig, k: u32) -> u32 {
+    let d = &bench.desc;
+    let by_slots = (cfg.sm.max_ctas / k).max(1);
+    let by_threads = (cfg.sm.max_threads / k) / d.threads_per_cta.max(1);
+    let by_regs = (cfg.sm.max_registers / k)
+        .checked_div(d.regs_per_cta())
+        .unwrap_or(by_slots);
+    let by_shm = (cfg.sm.shared_mem_bytes / k)
+        .checked_div(d.shmem_per_cta)
+        .unwrap_or(by_slots);
+    by_slots.min(by_threads).min(by_regs).min(by_shm)
+}
+
+/// Renders Table III from the Fig. 6 runs' recorded decisions.
+#[must_use]
+pub fn render(data: &Fig6Data, cfg: &GpuConfig) -> String {
+    let mut t = Table::new(vec!["Workload", "Dyn", "Even", "Predicted perf"]);
+    for p in &data.pairs {
+        let dyn_cell = match &p.dynamic.decision {
+            Some(d) if d.spatial_fallback => "spatial".to_string(),
+            Some(d) => {
+                let q = d.quotas.as_ref().expect("quotas when not spatial");
+                format!("({},{})", q[0], q[1])
+            }
+            None => "-".to_string(),
+        };
+        let even_cell = format!(
+            "({},{})",
+            even_effective_ctas(&p.pair.a, cfg, 2),
+            even_effective_ctas(&p.pair.b, cfg, 2)
+        );
+        let pred = match &p.dynamic.decision {
+            Some(d) if !d.predicted_perf.is_empty() => format!(
+                "{:.2}/{:.2}",
+                d.predicted_perf[0], d.predicted_perf[1]
+            ),
+            _ => "-".to_string(),
+        };
+        t.row(vec![p.pair.label(), dyn_cell, even_cell, pred]);
+    }
+    format!(
+        "Table III: resource partitioning, Warped-Slicer (Dyn) vs Even\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ws_workloads::by_abbrev;
+
+    #[test]
+    fn even_effective_matches_half_resources() {
+        let cfg = GpuConfig::isca_baseline();
+        // BFS: 512-thread CTAs; half an SM holds 768 threads -> 1 CTA.
+        assert_eq!(even_effective_ctas(&by_abbrev("BFS").unwrap(), &cfg, 2), 1);
+        // IMG: 64 threads x 28 regs: half slots (4) bind.
+        assert_eq!(even_effective_ctas(&by_abbrev("IMG").unwrap(), &cfg, 2), 4);
+        // HOT: half threads 768/256 = 3.
+        assert_eq!(even_effective_ctas(&by_abbrev("HOT").unwrap(), &cfg, 2), 3);
+    }
+
+    #[test]
+    fn three_way_split_shrinks_quotas() {
+        let cfg = GpuConfig::isca_baseline();
+        let img = by_abbrev("IMG").unwrap();
+        assert!(even_effective_ctas(&img, &cfg, 3) <= even_effective_ctas(&img, &cfg, 2));
+    }
+}

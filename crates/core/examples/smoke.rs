@@ -1,0 +1,43 @@
+//! Scratch: policy ordering smoke test on a few representative pairs.
+use warped_slicer::{run_corun, run_isolation, PolicyKind, RunConfig, WarpedSlicerConfig};
+use ws_workloads::by_abbrev;
+
+fn main() {
+    let cfg = RunConfig {
+        isolation_cycles: 150_000,
+        ..RunConfig::default()
+    };
+    for (a, b) in [("IMG", "NN"), ("MM", "BLK"), ("DXT", "BFS"), ("HOT", "LBM"), ("MM", "MVP"), ("DXT", "IMG")] {
+        let ba = by_abbrev(a).unwrap().desc;
+        let bb = by_abbrev(b).unwrap().desc;
+        let ta = run_isolation(&ba, &cfg).target_insts;
+        let tb = run_isolation(&bb, &cfg).target_insts;
+        print!("{a}_{b}: ");
+        let mut lo_ipc = 0.0;
+        for p in [
+            PolicyKind::LeftOver,
+            PolicyKind::Spatial,
+            PolicyKind::Even,
+            PolicyKind::WarpedSlicer(WarpedSlicerConfig::scaled_for(cfg.isolation_cycles)),
+        ] {
+            let r = run_corun(&[&ba, &bb], &[ta, tb], &p, &cfg);
+            if matches!(p, PolicyKind::LeftOver) {
+                lo_ipc = r.combined_ipc;
+            }
+            print!(
+                "{}={:.2}{} ",
+                r.policy,
+                r.combined_ipc / lo_ipc,
+                if r.timed_out { "(TIMEOUT)" } else { "" }
+            );
+            if let Some(d) = &r.decision {
+                if let Some(q) = &d.quotas {
+                    print!("q{q:?} ");
+                } else if d.spatial_fallback {
+                    print!("(spatial-fb) ");
+                }
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,13 @@
+use std::time::Instant;
+use warped_slicer::{run_isolation, RunConfig};
+use ws_workloads::by_abbrev;
+
+fn main() {
+    let cfg = RunConfig { isolation_cycles: 100_000, ..RunConfig::default() };
+    for b in ["IMG", "BLK", "BFS"] {
+        let t = Instant::now();
+        let r = run_isolation(&by_abbrev(b).unwrap().desc, &cfg);
+        let dt = t.elapsed().as_secs_f64();
+        println!("{b}: {:.0} cycles/s (ipc {:.2})", 100_000.0 / dt, r.ipc);
+    }
+}

@@ -1,0 +1,168 @@
+//! Event-based power and energy model (Sec. V-G substitute).
+//!
+//! The paper evaluates power with GPUWattch/McPAT. We replace those RTL/
+//! circuit models with an event-energy model over the simulator's activity
+//! counters: each issued instruction, functional-unit cycle, cache access,
+//! and DRAM transaction carries a fixed energy, plus constant leakage.
+//! The per-event energies are calibrated so a fully utilized 16-SM GPU
+//! lands near the dynamic/leakage figures the paper itself reports for its
+//! GPUWattch extraction (37.7 W dynamic, 34.6 W leakage for 16 SMs,
+//! Sec. V-I), which is sufficient for the *relative* power/energy claims of
+//! Sec. V-G.
+
+use crate::runner::AggregateStats;
+
+/// Per-event energies (picojoules) and static power (watts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// Front-end energy per issued warp instruction (fetch/decode/issue +
+    /// register-file access).
+    pub issue_pj: f64,
+    /// Energy per ALU-pipeline busy cycle.
+    pub alu_cycle_pj: f64,
+    /// Energy per SFU-pipeline busy cycle.
+    pub sfu_cycle_pj: f64,
+    /// Energy per LSU-pipeline busy cycle.
+    pub lsu_cycle_pj: f64,
+    /// Energy per L1 access.
+    pub l1_access_pj: f64,
+    /// Energy per L2 access.
+    pub l2_access_pj: f64,
+    /// Energy per 128-byte DRAM transaction.
+    pub dram_access_pj: f64,
+    /// Leakage power for the whole GPU, in watts.
+    pub leakage_w: f64,
+    /// Core clock in MHz (converts cycles to seconds).
+    pub clock_mhz: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            issue_pj: 220.0,
+            alu_cycle_pj: 320.0,
+            sfu_cycle_pj: 480.0,
+            lsu_cycle_pj: 260.0,
+            l1_access_pj: 140.0,
+            l2_access_pj: 360.0,
+            dram_access_pj: 4_000.0,
+            leakage_w: 34.6,
+            clock_mhz: 1400.0,
+        }
+    }
+}
+
+/// Energy/power breakdown of one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Dynamic energy in millijoules.
+    pub dynamic_mj: f64,
+    /// Leakage energy in millijoules.
+    pub leakage_mj: f64,
+    /// Average dynamic power in watts.
+    pub dynamic_power_w: f64,
+    /// Run wall-clock in milliseconds.
+    pub time_ms: f64,
+}
+
+impl EnergyReport {
+    /// Total (dynamic + leakage) energy in millijoules.
+    #[must_use]
+    pub fn total_mj(&self) -> f64 {
+        self.dynamic_mj + self.leakage_mj
+    }
+}
+
+impl EnergyModel {
+    /// Evaluates the model over a run's activity counters.
+    #[must_use]
+    pub fn evaluate(&self, stats: &AggregateStats) -> EnergyReport {
+        // Reconstruct unit busy cycles from the utilization fractions.
+        let unit_cycles = stats.sched_cycles as f64;
+        let dynamic_pj = stats.insts as f64 * self.issue_pj
+            + stats.util.alu * unit_cycles * self.alu_cycle_pj
+            + stats.util.sfu * unit_cycles * self.sfu_cycle_pj
+            + stats.util.lsu * unit_cycles * self.lsu_cycle_pj
+            + stats.cache.l1_accesses as f64 * self.l1_access_pj
+            + stats.cache.l2_accesses as f64 * self.l2_access_pj
+            + stats.dram_transactions as f64 * self.dram_access_pj;
+        let time_s = stats.cycles as f64 / (self.clock_mhz * 1e6);
+        let dynamic_j = dynamic_pj * 1e-12;
+        EnergyReport {
+            dynamic_mj: dynamic_j * 1e3,
+            leakage_mj: self.leakage_w * time_s * 1e3,
+            dynamic_power_w: if time_s > 0.0 { dynamic_j / time_s } else { 0.0 },
+            time_ms: time_s * 1e3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{CacheStats, UtilizationStats};
+
+    fn busy_stats(cycles: u64) -> AggregateStats {
+        AggregateStats {
+            cycles,
+            sched_cycles: cycles * 32,
+            insts: cycles * 28, // ~28 IPC GPU-wide
+            util: UtilizationStats {
+                alu: 0.6,
+                sfu: 0.2,
+                lsu: 0.4,
+                reg: 0.8,
+                shmem: 0.3,
+                threads: 0.9,
+            },
+            cache: CacheStats {
+                l1_accesses: cycles * 4,
+                l1_misses: cycles,
+                l2_accesses: cycles * 2,
+                l2_misses: cycles / 2,
+            },
+            dram_transactions: cycles / 2,
+            ..AggregateStats::default()
+        }
+    }
+
+    #[test]
+    fn busy_gpu_lands_near_paper_power() {
+        let report = EnergyModel::default().evaluate(&busy_stats(1_000_000));
+        assert!(
+            (20.0..60.0).contains(&report.dynamic_power_w),
+            "dynamic power {} W should be near the paper's 37.7 W",
+            report.dynamic_power_w
+        );
+    }
+
+    #[test]
+    fn shorter_run_saves_leakage_energy() {
+        let m = EnergyModel::default();
+        let fast = m.evaluate(&busy_stats(500_000));
+        let slow = m.evaluate(&busy_stats(1_000_000));
+        assert!(fast.leakage_mj < slow.leakage_mj);
+        assert!(fast.total_mj() < slow.total_mj());
+    }
+
+    #[test]
+    fn energy_scales_with_activity() {
+        let m = EnergyModel::default();
+        let mut idle = busy_stats(1_000_000);
+        idle.insts = 0;
+        idle.util = UtilizationStats::default();
+        idle.cache = CacheStats::default();
+        idle.dram_transactions = 0;
+        let idle_r = m.evaluate(&idle);
+        let busy_r = m.evaluate(&busy_stats(1_000_000));
+        assert!(idle_r.dynamic_mj < busy_r.dynamic_mj / 100.0);
+        assert!((idle_r.leakage_mj - busy_r.leakage_mj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cycles_reports_zero_power() {
+        let r = EnergyModel::default().evaluate(&AggregateStats::default());
+        assert_eq!(r.dynamic_power_w, 0.0);
+        assert_eq!(r.time_ms, 0.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! # warped-slicer
+//!
+//! A from-scratch implementation of **Warped-Slicer** (Xu, Jeon, Kim, Ro,
+//! Annavaram — ISCA 2016): efficient intra-SM slicing through dynamic
+//! resource partitioning for GPU multiprogramming.
+//!
+//! The crate provides, on top of the [`gpu_sim`] substrate:
+//!
+//! * [`waterfill`] — the `O(KN)` discrete water-filling partitioning
+//!   algorithm (Algorithm 1) plus an exhaustive reference implementation;
+//! * [`scaling`] — the bandwidth-interference IPC correction (Eq. 2-4);
+//! * [`profiler`] — the parallel-SM online profiling strategy (Fig. 4);
+//! * [`phase`] — sustained-IPC-change detection (Sec. IV-B);
+//! * [`policy`] — CTA-dispatch controllers for Left-Over, FCFS, Even,
+//!   Spatial, fixed-quota, and the dynamic Warped-Slicer;
+//! * [`runner`] — the equal-work experiment methodology (Sec. V-A);
+//! * [`metrics`] — combined IPC, fairness (minimum speedup), ANTT;
+//! * [`energy`] — an event-based power/energy model (Sec. V-G);
+//! * [`oracle`] — exhaustive best-partition search (the figures' Oracle).
+//!
+//! ## Example: partition two kernels with Algorithm 1
+//!
+//! ```
+//! use warped_slicer::resources::ResourceVec;
+//! use warped_slicer::waterfill::{water_fill, KernelCurve};
+//!
+//! let cap = ResourceVec { regs: 32768, shmem: 48 * 1024, threads: 1536, ctas: 8 };
+//! let compute = KernelCurve {
+//!     perf: vec![0.25, 0.5, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0],
+//!     cta_cost: ResourceVec { regs: 4096, shmem: 0, threads: 128, ctas: 1 },
+//! };
+//! let cache_sensitive = KernelCurve {
+//!     perf: vec![0.8, 1.0, 0.7, 0.6, 0.5, 0.45, 0.4, 0.35],
+//!     cta_cost: ResourceVec { regs: 3072, shmem: 0, threads: 192, ctas: 1 },
+//! };
+//! let partition = water_fill(&[compute, cache_sensitive], cap).expect("feasible");
+//! assert_eq!(partition.ctas, vec![4, 2]); // compute scales, cache peaks at 2
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod energy;
+pub mod metrics;
+pub mod oracle;
+pub mod phase;
+pub mod policy;
+pub mod profiler;
+pub mod resources;
+pub mod runner;
+pub mod scaling;
+pub mod waterfill;
+
+pub use energy::{EnergyModel, EnergyReport};
+pub use metrics::{antt, fairness, speedups, system_throughput};
+pub use oracle::{feasible_quotas, run_oracle, OracleResult};
+pub use phase::PhaseMonitor;
+pub use policy::{
+    make_controller, Controller, Decision, EvenController, FcfsController, LeftOverController,
+    PolicyKind, QuotaController, SpatialController, WarpedSlicerConfig, WarpedSlicerController,
+};
+pub use profiler::{build_curves, ProfilePlan, ProfileSample, ProfileTiming, SmAssignment};
+pub use resources::ResourceVec;
+pub use runner::{
+    collect_stats, run_corun, run_isolation, run_with_cta_cap, AggregateStats, CacheStats,
+    CorunResult, IsolationResult, RunConfig, UtilizationStats,
+};
+pub use scaling::{psi, scale_ipc};
+pub use waterfill::{brute_force, water_fill, KernelCurve, Partition};

@@ -1,0 +1,107 @@
+//! Multiprogramming metrics (Sec. V-A and V-F).
+//!
+//! * **Combined IPC** — the sum of all kernels' instruction counts divided
+//!   by the time until all kernels finish; figures normalize this to the
+//!   Left-Over policy's value.
+//! * **Fairness** — the *minimum speedup* across kernels, where a kernel's
+//!   speedup is its isolated execution time over its multiprogrammed
+//!   finish time (Fig. 9a).
+//! * **ANTT** — average normalized turnaround time, the mean of the
+//!   per-kernel slowdowns (Fig. 9b; lower is better).
+
+use crate::runner::CorunResult;
+
+/// Per-kernel speedups: `isolated_cycles / finish_cycle`.
+///
+/// Kernels that timed out get a speedup computed against the run's total
+/// cycles (a conservative lower bound).
+#[must_use]
+pub fn speedups(result: &CorunResult, isolated_cycles: u64) -> Vec<f64> {
+    result
+        .finish_cycle
+        .iter()
+        .map(|f| isolated_cycles as f64 / f.unwrap_or(result.total_cycles).max(1) as f64)
+        .collect()
+}
+
+/// Fairness: the minimum per-kernel speedup (Fig. 9a; higher is better).
+///
+/// A policy that finishes one kernel on time but doubles the other's
+/// turnaround scores 0.5 — the starved kernel defines fairness.
+#[must_use]
+pub fn fairness(result: &CorunResult, isolated_cycles: u64) -> f64 {
+    speedups(result, isolated_cycles)
+        .into_iter()
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Average normalized turnaround time: mean of `finish / isolated`
+/// (Fig. 9b; lower is better, 1.0 = no slowdown).
+#[must_use]
+pub fn antt(result: &CorunResult, isolated_cycles: u64) -> f64 {
+    let slowdowns: Vec<f64> = result
+        .finish_cycle
+        .iter()
+        .map(|f| f.unwrap_or(result.total_cycles).max(1) as f64 / isolated_cycles as f64)
+        .collect();
+    slowdowns.iter().sum::<f64>() / slowdowns.len() as f64
+}
+
+/// System throughput: the sum of per-kernel speedups (a.k.a. weighted
+/// speedup).
+#[must_use]
+pub fn system_throughput(result: &CorunResult, isolated_cycles: u64) -> f64 {
+    speedups(result, isolated_cycles).iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::AggregateStats;
+
+    fn result(finish: Vec<Option<u64>>, total: u64) -> CorunResult {
+        CorunResult {
+            label: "T".into(),
+            policy: "test".into(),
+            targets: vec![100; finish.len()],
+            finish_cycle: finish,
+            total_cycles: total,
+            combined_ipc: 0.0,
+            timed_out: false,
+            stats: AggregateStats::default(),
+            decision: None,
+        }
+    }
+
+    #[test]
+    fn speedups_divide_isolated_by_finish() {
+        let r = result(vec![Some(200), Some(400)], 400);
+        assert_eq!(speedups(&r, 200), vec![1.0, 0.5]);
+    }
+
+    #[test]
+    fn fairness_is_the_minimum() {
+        let r = result(vec![Some(200), Some(400), Some(250)], 400);
+        assert!((fairness(&r, 200) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn antt_is_mean_slowdown() {
+        let r = result(vec![Some(200), Some(400)], 400);
+        // Slowdowns 1.0 and 2.0 -> ANTT 1.5.
+        assert!((antt(&r, 200) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stp_sums_speedups() {
+        let r = result(vec![Some(200), Some(400)], 400);
+        assert!((system_throughput(&r, 200) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timed_out_kernels_use_total_cycles() {
+        let r = result(vec![Some(100), None], 1000);
+        assert_eq!(speedups(&r, 100), vec![1.0, 0.1]);
+        assert!((antt(&r, 100) - 5.5).abs() < 1e-12);
+    }
+}

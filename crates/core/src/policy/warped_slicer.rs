@@ -1,0 +1,571 @@
+//! The Warped-Slicer dynamic intra-SM slicing controller (Sec. IV).
+//!
+//! Lifecycle: *profile* (each SM holds a different CTA count of one kernel;
+//! Fig. 4) → *sample* (5 K-cycle IPC / `φ_mem` measurement per SM) →
+//! *decide* (bandwidth-scaled curves into the water-filling partitioner;
+//! fall back to spatial multitasking when the predicted loss exceeds
+//! `1/K × 120 %`) → *run* (fixed CTA quotas per SM, Fig. 2d/2e), with an
+//! optional phase monitor that re-triggers sampling on sustained IPC shifts.
+
+use gpu_sim::{Gpu, KernelDesc};
+
+use crate::phase::PhaseMonitor;
+use crate::policy::{
+    blocked_window, quota_windows, sweep_launch, ChangeTracker, Controller, Decision,
+    SpatialController,
+};
+use crate::profiler::{build_curves, BandwidthSample, ProfilePlan, ProfileSample, ProfileTiming};
+use crate::resources::ResourceVec;
+use crate::waterfill::{water_fill, KernelCurve};
+
+/// Tunables for the Warped-Slicer controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarpedSlicerConfig {
+    /// Warm-up / sample / decision-delay cycle counts.
+    pub timing: ProfileTiming,
+    /// Per-kernel performance-loss threshold above which the controller
+    /// falls back to spatial multitasking. `None` selects the paper's
+    /// `1/K × 120 %`.
+    pub loss_threshold: Option<f64>,
+    /// Apply the Eq. 3 bandwidth-interference scaling factor (ablation
+    /// hook; the paper always scales).
+    pub enable_scaling: bool,
+    /// Monitor per-kernel IPC after the decision and re-profile on
+    /// sustained change (Sec. IV-B).
+    pub enable_phase_monitor: bool,
+    /// Phase-monitor window length in cycles.
+    pub phase_window: u64,
+    /// Windows to wait after a decision before arming the phase monitor,
+    /// so the drain of over-quota profile CTAs (Fig. 2e) is not mistaken
+    /// for a program phase change.
+    pub phase_settle_windows: u32,
+}
+
+impl Default for WarpedSlicerConfig {
+    fn default() -> Self {
+        Self {
+            timing: ProfileTiming::default(),
+            loss_threshold: None,
+            enable_scaling: true,
+            enable_phase_monitor: true,
+            phase_window: 5_000,
+            phase_settle_windows: 4,
+        }
+    }
+}
+
+impl WarpedSlicerConfig {
+    /// Profile timing proportional to the experiment's cycle budget.
+    ///
+    /// The paper profiles for 20 K + 5 K cycles out of 2 M-cycle runs
+    /// (~1 % overhead). When an experiment scales the run budget down, the
+    /// profile phases scale with it (capped at the paper's values) so the
+    /// relative overhead matches the paper's.
+    #[must_use]
+    pub fn scaled_for(isolation_cycles: u64) -> Self {
+        Self {
+            timing: ProfileTiming {
+                warmup: (isolation_cycles / 15).clamp(1_000, 20_000),
+                sample: (isolation_cycles / 40).clamp(500, 5_000),
+                algorithm_delay: 0,
+            },
+            ..Self::default()
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Init,
+    Warmup { until: u64 },
+    Sampling { until: u64 },
+    Deciding { until: u64 },
+    Run,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SmSnap {
+    insts: u64,
+    mem_stalls: u64,
+    cycles: u64,
+    dram_transactions: u64,
+}
+
+/// The dynamic Warped-Slicer CTA-dispatch controller.
+#[derive(Debug)]
+pub struct WarpedSlicerController {
+    cfg: WarpedSlicerConfig,
+    phase: Phase,
+    tracker: ChangeTracker,
+    plan: Option<ProfilePlan>,
+    snapshots: Vec<SmSnap>,
+    decision: Option<Decision>,
+    spatial_mode: bool,
+    released: bool,
+    monitors: Vec<PhaseMonitor>,
+    last_kernel_insts: Vec<u64>,
+    last_phase_check: u64,
+    phase_armed_at: u64,
+    dram_busy_snap: u64,
+    reprofiles: u32,
+    last_samples: Vec<ProfileSample>,
+    known_kernels: usize,
+}
+
+impl WarpedSlicerController {
+    /// Creates the controller.
+    #[must_use]
+    pub fn new(cfg: WarpedSlicerConfig) -> Self {
+        Self {
+            cfg,
+            phase: Phase::Init,
+            tracker: ChangeTracker::default(),
+            plan: None,
+            snapshots: Vec::new(),
+            decision: None,
+            spatial_mode: false,
+            released: false,
+            monitors: Vec::new(),
+            last_kernel_insts: Vec::new(),
+            last_phase_check: 0,
+            phase_armed_at: 0,
+            dram_busy_snap: 0,
+            reprofiles: 0,
+            last_samples: Vec::new(),
+            known_kernels: 0,
+        }
+    }
+
+    /// The raw per-SM samples behind the most recent decision (for
+    /// diagnostics and the experiment harness).
+    #[must_use]
+    pub fn last_samples(&self) -> &[ProfileSample] {
+        &self.last_samples
+    }
+
+    /// How many times the phase monitor forced a re-profile.
+    #[must_use]
+    pub fn reprofile_count(&self) -> u32 {
+        self.reprofiles
+    }
+
+    fn max_ctas(gpu: &Gpu) -> Vec<u32> {
+        gpu.kernel_ids()
+            .iter()
+            .map(|&k| gpu.kernel_desc(k).max_ctas_per_sm(&gpu.config().sm).max(1))
+            .collect()
+    }
+
+    fn enter_profile(&mut self, gpu: &mut Gpu) {
+        let now = gpu.cycle();
+        let max = Self::max_ctas(gpu);
+        let plan = ProfilePlan::build(gpu.num_sms(), &max);
+        let ids = gpu.kernel_ids();
+        for a in &plan.assignments {
+            for &k in &ids {
+                let w = if k.0 == a.kernel {
+                    let cfg = gpu.config();
+                    gpu_sim::PartitionWindow {
+                        regs: gpu_sim::Region::whole(cfg.sm.max_registers),
+                        shmem: gpu_sim::Region::whole(cfg.sm.shared_mem_bytes),
+                        max_ctas: a.quota,
+                        max_threads: cfg.sm.max_threads,
+                    }
+                } else {
+                    blocked_window()
+                };
+                gpu.set_window(a.sm, k, Some(w));
+            }
+        }
+        self.plan = Some(plan);
+        self.phase = Phase::Warmup {
+            until: now + self.cfg.timing.warmup,
+        };
+        self.tracker.invalidate();
+    }
+
+    fn take_snapshots(&mut self, gpu: &Gpu) {
+        let plan = self.plan.as_ref().expect("snapshot requires a plan");
+        self.snapshots = plan
+            .assignments
+            .iter()
+            .map(|a| {
+                let st = gpu.sm(a.sm).stats();
+                SmSnap {
+                    insts: st.kernel(a.kernel).insts_issued,
+                    mem_stalls: st.stalls.mem,
+                    cycles: st.cycles,
+                    dram_transactions: gpu.mem_stats().dram_by_sm(a.sm),
+                }
+            })
+            .collect();
+        self.dram_busy_snap = gpu.mem().dram_busy_cycles();
+    }
+
+    fn decide(&mut self, gpu: &mut Gpu) {
+        let now = gpu.cycle();
+        let plan = self.plan.as_ref().expect("decision requires a plan");
+        let num_sched = gpu.config().sm.num_schedulers;
+        let sample_cycles = self.cfg.timing.sample.max(1);
+        let num_channels = gpu.mem().num_channels() as u64;
+        let dram_busy = (gpu.mem().dram_busy_cycles() - self.dram_busy_snap) as f64
+            / (sample_cycles * num_channels) as f64;
+        // Per-SM fair share of DRAM transaction capacity over the window.
+        let burst = (f64::from(gpu.config().mem.timing.t_burst)
+            * gpu.config().core_per_dram_clock())
+        .max(1.0);
+        let fair = (num_channels * sample_cycles) as f64 / burst / gpu.num_sms() as f64;
+        let samples: Vec<ProfileSample> = plan
+            .assignments
+            .iter()
+            .zip(&self.snapshots)
+            .map(|(a, snap)| {
+                let st = gpu.sm(a.sm).stats();
+                let d_cycles = (st.cycles - snap.cycles).max(1);
+                let d_insts = st.kernel(a.kernel).insts_issued - snap.insts;
+                let d_mem = st.stalls.mem - snap.mem_stalls;
+                let d_dram = gpu.mem_stats().dram_by_sm(a.sm) - snap.dram_transactions;
+                ProfileSample {
+                    kernel: a.kernel,
+                    ctas: a.quota,
+                    ipc_sampled: d_insts as f64 / d_cycles as f64,
+                    phi_mem: if self.cfg.enable_scaling {
+                        d_mem as f64 / (d_cycles * u64::from(num_sched)) as f64
+                    } else {
+                        0.0
+                    },
+                    bandwidth: self.cfg.enable_scaling.then_some(BandwidthSample {
+                        sm_transactions: d_dram,
+                        fair_transactions: fair,
+                        dram_busy: dram_busy.clamp(0.0, 1.0),
+                    }),
+                }
+            })
+            .collect();
+
+        self.last_samples = samples.clone();
+        let max = Self::max_ctas(gpu);
+        let curves = build_curves(&samples, &max);
+        let measured_curves = curves.clone();
+        let ids = gpu.kernel_ids();
+        let kernels: Vec<KernelCurve> = ids
+            .iter()
+            .zip(curves)
+            .map(|(&k, perf)| KernelCurve {
+                perf,
+                cta_cost: ResourceVec::cta_cost(gpu.kernel_desc(k)),
+            })
+            .collect();
+        let capacity = ResourceVec::sm_capacity(&gpu.config().sm);
+        let threshold = self
+            .cfg
+            .loss_threshold
+            .unwrap_or(1.2 / ids.len() as f64);
+
+        let partition = water_fill(&kernels, capacity);
+        let (quotas, predicted, spatial) = match partition {
+            Some(p) if p.losses().iter().all(|&l| l <= threshold) => {
+                (Some(p.ctas.clone()), p.perf, false)
+            }
+            Some(p) => (None, p.perf, true),
+            None => (None, Vec::new(), true),
+        };
+        self.decision = Some(Decision {
+            quotas: quotas.clone(),
+            spatial_fallback: spatial,
+            predicted_perf: predicted,
+            decided_at: now,
+            measured_curves,
+        });
+        if self.cfg.timing.algorithm_delay > 0 {
+            self.phase = Phase::Deciding {
+                until: now + self.cfg.timing.algorithm_delay,
+            };
+        } else {
+            self.apply_decision(gpu);
+        }
+    }
+
+    fn apply_decision(&mut self, gpu: &mut Gpu) {
+        let ids = gpu.kernel_ids();
+        // Clear the profiling windows.
+        for sm in 0..gpu.num_sms() {
+            for &k in &ids {
+                gpu.set_window(sm, k, None);
+            }
+        }
+        let decision = self.decision.as_ref().expect("apply requires a decision");
+        if let Some(quotas) = decision.quotas.clone() {
+            let cfg = gpu.config().clone();
+            let descs: Vec<KernelDesc> = ids.iter().map(|&k| gpu.kernel_desc(k).clone()).collect();
+            let refs: Vec<&KernelDesc> = descs.iter().collect();
+            let windows = quota_windows(&cfg, &refs, &quotas);
+            for sm in 0..gpu.num_sms() {
+                for (&k, w) in ids.iter().zip(&windows) {
+                    gpu.set_window(sm, k, Some(*w));
+                }
+            }
+            self.spatial_mode = false;
+        } else {
+            self.spatial_mode = true;
+        }
+        self.phase = Phase::Run;
+        self.last_phase_check = gpu.cycle();
+        self.phase_armed_at = gpu.cycle()
+            + u64::from(self.cfg.phase_settle_windows) * self.cfg.phase_window;
+        self.last_kernel_insts = ids.iter().map(|&k| gpu.kernel_insts(k)).collect();
+        self.monitors = ids
+            .iter()
+            .map(|_| PhaseMonitor::paper_default())
+            .collect();
+        self.tracker.invalidate();
+    }
+
+    fn run_phase_monitor(&mut self, gpu: &mut Gpu) {
+        let now = gpu.cycle();
+        if now - self.last_phase_check < self.cfg.phase_window {
+            return;
+        }
+        if now < self.phase_armed_at {
+            // Settling: track instruction counts but do not feed monitors.
+            self.last_phase_check = now;
+            let ids = gpu.kernel_ids();
+            for (i, &k) in ids.iter().enumerate() {
+                self.last_kernel_insts[i] = gpu.kernel_insts(k);
+            }
+            return;
+        }
+        let window = (now - self.last_phase_check) as f64;
+        self.last_phase_check = now;
+        let ids = gpu.kernel_ids();
+        let mut trigger = false;
+        for (i, &k) in ids.iter().enumerate() {
+            let insts = gpu.kernel_insts(k);
+            let ipc = (insts - self.last_kernel_insts[i]) as f64 / window;
+            self.last_kernel_insts[i] = insts;
+            if gpu.kernel_meta(k).halted {
+                continue;
+            }
+            if self.monitors[i].observe(ipc) {
+                trigger = true;
+            }
+        }
+        if trigger {
+            self.reprofiles += 1;
+            self.enter_profile(gpu);
+        }
+    }
+}
+
+impl Controller for WarpedSlicerController {
+    fn on_cycle(&mut self, gpu: &mut Gpu) {
+        let now = gpu.cycle();
+        // A kernel arriving mid-run (Fig. 2e: "re-partitioning for the
+        // third kernel") launches a fresh profiling phase over the new
+        // kernel set; resident CTAs of the old set drain naturally.
+        let nk = gpu.num_kernels();
+        if self.known_kernels != nk {
+            let first = self.known_kernels == 0;
+            self.known_kernels = nk;
+            if !first && !self.released {
+                self.reprofiles += 1;
+                self.enter_profile(gpu);
+            }
+        }
+        match self.phase {
+            Phase::Init => self.enter_profile(gpu),
+            Phase::Warmup { until } if now >= until => {
+                self.take_snapshots(gpu);
+                self.phase = Phase::Sampling {
+                    until: now + self.cfg.timing.sample,
+                };
+            }
+            Phase::Sampling { until } if now >= until => self.decide(gpu),
+            Phase::Deciding { until } if now >= until => self.apply_decision(gpu),
+            Phase::Run if self.cfg.enable_phase_monitor && !self.released => {
+                self.run_phase_monitor(gpu);
+            }
+            _ => {}
+        }
+
+        // Endgame: once any kernel halts, survivors get everything.
+        if !self.released && gpu.halted_kernels() > 0 {
+            self.released = true;
+            self.spatial_mode = false;
+            let ids = gpu.kernel_ids();
+            for sm in 0..gpu.num_sms() {
+                for &k in &ids {
+                    gpu.set_window(sm, k, None);
+                }
+            }
+            self.phase = Phase::Run;
+            self.tracker.invalidate();
+        }
+
+        if self.tracker.changed(gpu) {
+            let ids = gpu.kernel_ids();
+            let n = gpu.num_sms();
+            let k = ids.len();
+            let spatial = self.spatial_mode && !self.released;
+            sweep_launch(gpu, &ids, |sm, kid| {
+                if spatial {
+                    SpatialController::owner_of(sm, n, k) == kid.0
+                } else {
+                    true
+                }
+            });
+        }
+    }
+
+    fn decision(&self) -> Option<&Decision> {
+        self.decision.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{GpuConfig, SchedulerKind};
+    use ws_workloads::by_abbrev;
+
+    fn fast_cfg() -> WarpedSlicerConfig {
+        WarpedSlicerConfig {
+            timing: ProfileTiming {
+                warmup: 2_000,
+                sample: 2_000,
+                algorithm_delay: 0,
+            },
+            ..WarpedSlicerConfig::default()
+        }
+    }
+
+    fn run_pair(a: &str, b: &str, cycles: u64, cfg: WarpedSlicerConfig) -> (Gpu, WarpedSlicerController) {
+        let mut gpu = Gpu::new(GpuConfig::isca_baseline(), SchedulerKind::GreedyThenOldest);
+        gpu.add_kernel(by_abbrev(a).unwrap().desc);
+        gpu.add_kernel(by_abbrev(b).unwrap().desc);
+        let mut c = WarpedSlicerController::new(cfg);
+        for _ in 0..cycles {
+            c.on_cycle(&mut gpu);
+            gpu.tick();
+        }
+        (gpu, c)
+    }
+
+    #[test]
+    fn profiling_assigns_ramped_cta_counts() {
+        let (gpu, c) = run_pair("IMG", "NN", 1_500, fast_cfg());
+        assert!(matches!(c.phase, Phase::Warmup { .. }));
+        // During profiling, SM 0 holds 1 CTA of IMG, SM 7 holds 8.
+        assert_eq!(gpu.sm(0).kernel_ctas(0), 1);
+        assert_eq!(gpu.sm(7).kernel_ctas(0), 8);
+        assert_eq!(gpu.sm(0).kernel_ctas(1), 0, "exclusive profiling SMs");
+        assert_eq!(gpu.sm(8).kernel_ctas(1), 1);
+        assert_eq!(gpu.sm(15).kernel_ctas(1), 8);
+    }
+
+    #[test]
+    fn decision_is_made_and_applied() {
+        // Long enough for the profile-phase CTAs (which may exceed the new
+        // quotas; Fig. 2e drains them naturally) to retire.
+        let (gpu, c) = run_pair("IMG", "NN", 40_000, fast_cfg());
+        let d = c.decision().expect("decision after sampling");
+        assert!(!d.spatial_fallback, "IMG+NN should co-locate");
+        let quotas = d.quotas.as_ref().unwrap();
+        assert_eq!(quotas.len(), 2);
+        // The paper's Fig. 3b intuition: IMG (saturating compute) gets more
+        // CTAs than cache-sensitive NN's thrash point would allow it.
+        assert!(quotas[0] >= 3, "IMG quota: {quotas:?}");
+        assert!(quotas[1] <= 5, "NN quota: {quotas:?}");
+        // Quotas enforced once the profile-phase residents have drained.
+        for sm in gpu.sms() {
+            assert!(sm.kernel_ctas(0) <= quotas[0]);
+            assert!(sm.kernel_ctas(1) <= quotas[1]);
+        }
+    }
+
+    #[test]
+    fn tight_threshold_forces_spatial_fallback() {
+        let cfg = WarpedSlicerConfig {
+            loss_threshold: Some(0.001),
+            ..fast_cfg()
+        };
+        let (gpu, c) = run_pair("LBM", "BLK", 12_000, cfg);
+        let d = c.decision().expect("decision");
+        assert!(d.spatial_fallback, "near-zero loss tolerance must fall back");
+        assert!(d.quotas.is_none());
+        // Spatial mode: each kernel on its own SM group (new launches).
+        let left_has_k1 = (0..8).any(|s| gpu.sm(s).kernel_ctas(1) > 0);
+        assert!(!left_has_k1, "kernel 1 must not launch on kernel 0's SMs");
+    }
+
+    #[test]
+    fn algorithm_delay_defers_application() {
+        let cfg = WarpedSlicerConfig {
+            timing: ProfileTiming {
+                warmup: 1_000,
+                sample: 1_000,
+                algorithm_delay: 5_000,
+            },
+            ..fast_cfg()
+        };
+        let (_, c) = run_pair("IMG", "NN", 3_000, cfg.clone());
+        assert!(matches!(c.phase, Phase::Deciding { .. }));
+        let (_, c) = run_pair("IMG", "NN", 9_000, cfg);
+        assert!(matches!(c.phase, Phase::Run));
+    }
+
+    #[test]
+    fn halt_releases_partitions() {
+        let (mut gpu, mut c) = run_pair("IMG", "NN", 12_000, fast_cfg());
+        gpu.halt_kernel(gpu_sim::KernelId(1));
+        for _ in 0..5_000 {
+            c.on_cycle(&mut gpu);
+            gpu.tick();
+        }
+        assert!(
+            gpu.sms().any(|sm| sm.kernel_ctas(0) > 6),
+            "IMG should expand once NN halts"
+        );
+    }
+
+    #[test]
+    fn stable_kernels_do_not_reprofile() {
+        let (_, c) = run_pair("IMG", "NN", 40_000, fast_cfg());
+        assert_eq!(c.reprofile_count(), 0);
+    }
+
+    #[test]
+    fn late_arriving_kernel_triggers_repartitioning() {
+        let mut gpu = Gpu::new(GpuConfig::isca_baseline(), SchedulerKind::GreedyThenOldest);
+        gpu.add_kernel(by_abbrev("IMG").unwrap().desc);
+        let mut c = WarpedSlicerController::new(fast_cfg());
+        for _ in 0..8_000 {
+            c.on_cycle(&mut gpu);
+            gpu.tick();
+        }
+        let first = c.decision().expect("single-kernel decision").clone();
+        assert_eq!(first.quotas.as_ref().map(Vec::len), Some(1));
+        // A second kernel arrives: the controller must re-profile and make
+        // a two-kernel decision.
+        gpu.add_kernel(by_abbrev("NN").unwrap().desc);
+        for _ in 0..8_000 {
+            c.on_cycle(&mut gpu);
+            gpu.tick();
+        }
+        assert!(c.reprofile_count() >= 1);
+        let second = c.decision().expect("two-kernel decision");
+        assert!(second.decided_at > first.decided_at);
+        if let Some(q) = &second.quotas {
+            assert_eq!(q.len(), 2, "{q:?}");
+        }
+        // The newcomer actually runs.
+        assert!(gpu.kernel_insts(gpu_sim::KernelId(1)) > 0);
+    }
+
+    #[test]
+    fn both_kernels_progress_under_warped_slicer() {
+        let (gpu, _) = run_pair("MM", "BLK", 15_000, fast_cfg());
+        assert!(gpu.kernel_insts(gpu_sim::KernelId(0)) > 1_000);
+        assert!(gpu.kernel_insts(gpu_sim::KernelId(1)) > 1_000);
+    }
+}

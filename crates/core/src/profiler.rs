@@ -1,0 +1,397 @@
+//! The online profiling strategy (Sec. IV-A, Fig. 4).
+//!
+//! When `K` kernels co-arrive, the SMs are split into `K` groups; within a
+//! group each SM runs a different CTA count of its kernel. After a warm-up,
+//! a short sampling window measures each SM's IPC and memory-stall fraction
+//! (`φ_mem`); the sampled IPCs are corrected for bandwidth interference
+//! ([`crate::scaling`]) and assembled into per-kernel performance-vs-CTA
+//! curves for the water-filling partitioner.
+//!
+//! This module contains the *pure* parts of that pipeline — planning which
+//! SM profiles which CTA count, and turning raw samples into curves — so
+//! they are unit-testable without a simulator. The Warped-Slicer controller
+//! drives them against a live [`gpu_sim::Gpu`].
+
+use crate::scaling::{bandwidth_scale_factor, psi, scale_ipc_with_psi};
+
+/// Timing parameters of the profiling phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileTiming {
+    /// Cycles to let the GPU warm up before sampling (paper: 20 K).
+    pub warmup: u64,
+    /// Sampling-window length in cycles (paper: 5 K).
+    pub sample: u64,
+    /// Extra cycles between the end of sampling and applying the new
+    /// partition, modeling the partitioning algorithm's own latency
+    /// (Fig. 10a sensitivity; default 0).
+    pub algorithm_delay: u64,
+}
+
+impl Default for ProfileTiming {
+    fn default() -> Self {
+        Self {
+            warmup: 20_000,
+            sample: 5_000,
+            algorithm_delay: 0,
+        }
+    }
+}
+
+/// One SM's profiling assignment: run `quota` CTAs of kernel `kernel`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmAssignment {
+    /// SM index.
+    pub sm: usize,
+    /// Kernel slot profiled on this SM.
+    pub kernel: usize,
+    /// CTA count to hold resident.
+    pub quota: u32,
+}
+
+/// The profiling plan: one assignment per SM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfilePlan {
+    /// Per-SM assignments, one entry per SM.
+    pub assignments: Vec<SmAssignment>,
+}
+
+impl ProfilePlan {
+    /// Builds the Fig. 4 plan: SMs are split into `max_ctas.len()`
+    /// contiguous groups; within kernel `i`'s group the CTA quota ramps
+    /// from 1 up to `max_ctas[i]` (duplicating the densest counts when the
+    /// group has more SMs than distinct counts, spreading evenly when it
+    /// has fewer).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use warped_slicer::profiler::ProfilePlan;
+    ///
+    /// // Two kernels on 16 SMs: kernel 0 profiles 1..=8 CTAs on SMs 0-7.
+    /// let plan = ProfilePlan::build(16, &[8, 8]);
+    /// let quotas: Vec<u32> = plan.for_kernel(0).map(|a| a.quota).collect();
+    /// assert_eq!(quotas, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no kernels or more kernels than SMs.
+    #[must_use]
+    pub fn build(num_sms: usize, max_ctas: &[u32]) -> Self {
+        let k = max_ctas.len();
+        assert!(k > 0, "at least one kernel required");
+        assert!(k <= num_sms, "more kernels than SMs");
+        let mut assignments = Vec::with_capacity(num_sms);
+        let base = num_sms / k;
+        let extra = num_sms % k;
+        let mut sm = 0;
+        for (i, &max) in max_ctas.iter().enumerate() {
+            let group = base + usize::from(i < extra);
+            for j in 0..group {
+                let quota = if group == 1 {
+                    max.max(1)
+                } else {
+                    // Evenly spread 1..=max over the group (rounding up so
+                    // the last SM always probes the maximum).
+                    let max = f64::from(max.max(1));
+                    (1.0 + (max - 1.0) * j as f64 / (group - 1) as f64).round() as u32
+                };
+                assignments.push(SmAssignment {
+                    sm,
+                    kernel: i,
+                    quota: quota.max(1),
+                });
+                sm += 1;
+            }
+        }
+        Self { assignments }
+    }
+
+    /// Assignments belonging to kernel `kernel`.
+    pub fn for_kernel(&self, kernel: usize) -> impl Iterator<Item = &SmAssignment> {
+        self.assignments.iter().filter(move |a| a.kernel == kernel)
+    }
+}
+
+/// One SM's raw sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileSample {
+    /// Kernel slot this sample measures.
+    pub kernel: usize,
+    /// CTA count the SM was holding.
+    pub ctas: u32,
+    /// IPC of that SM over the sampling window.
+    pub ipc_sampled: f64,
+    /// Fraction of scheduler-cycles lost to long memory latency.
+    pub phi_mem: f64,
+    /// Measured bandwidth evidence. When present, the correction factor is
+    /// computed from the SM's actual DRAM share
+    /// ([`bandwidth_scale_factor`]); when absent, the paper's CTA-count
+    /// approximation ([`psi`]) is used.
+    pub bandwidth: Option<BandwidthSample>,
+}
+
+/// Per-SM DRAM-bandwidth evidence gathered over the sampling window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthSample {
+    /// DRAM transactions this SM issued during the window.
+    pub sm_transactions: u64,
+    /// The SM's fair share of the DRAM subsystem's transaction *capacity*
+    /// over the window (`channels x window / burst / num_sms`) — the
+    /// bandwidth it would get if every SM ran its configuration on a
+    /// saturated bus.
+    pub fair_transactions: f64,
+    /// Fraction of DRAM data-bus cycles busy during the window; damps the
+    /// correction when the bus was not contended.
+    pub dram_busy: f64,
+}
+
+/// Turns raw per-SM samples into per-kernel performance curves
+/// `curve[i][j] = predicted perf of kernel i with j + 1 CTAs`, applying the
+/// bandwidth-interference scaling factor and interpolating CTA counts that
+/// were not directly sampled.
+///
+/// `max_ctas[i]` bounds kernel `i`'s curve length.
+#[must_use]
+pub fn build_curves(samples: &[ProfileSample], max_ctas: &[u32]) -> Vec<Vec<f64>> {
+    let cta_avg = if samples.is_empty() {
+        1.0
+    } else {
+        samples.iter().map(|s| f64::from(s.ctas)).sum::<f64>() / samples.len() as f64
+    };
+    max_ctas
+        .iter()
+        .enumerate()
+        .map(|(i, &max)| {
+            let n = max.max(1) as usize;
+            // Average scaled IPC per sampled CTA count.
+            let mut sums = vec![0.0f64; n];
+            let mut counts = vec![0u32; n];
+            for s in samples.iter().filter(|s| s.kernel == i) {
+                let j = (s.ctas.clamp(1, max) - 1) as usize;
+                let scaled = match s.bandwidth {
+                    Some(bw) => {
+                        s.ipc_sampled
+                            * bandwidth_scale_factor(
+                                bw.sm_transactions,
+                                bw.fair_transactions,
+                                bw.dram_busy,
+                                s.phi_mem,
+                            )
+                    }
+                    None => scale_ipc_with_psi(s.ipc_sampled, s.phi_mem, psi(s.ctas, cta_avg)),
+                };
+                sums[j] += scaled;
+                counts[j] += 1;
+            }
+            interpolate(&sums, &counts)
+        })
+        .collect()
+}
+
+/// Linear interpolation over missing points; extrapolation clamps to the
+/// nearest measured value (and to zero at 0 CTAs on the left).
+fn interpolate(sums: &[f64], counts: &[u32]) -> Vec<f64> {
+    let n = sums.len();
+    let measured: Vec<(usize, f64)> = (0..n)
+        .filter(|&j| counts[j] > 0)
+        .map(|j| (j, sums[j] / f64::from(counts[j])))
+        .collect();
+    if measured.is_empty() {
+        return vec![0.0; n];
+    }
+    (0..n)
+        .map(|j| {
+            match measured.binary_search_by_key(&j, |&(idx, _)| idx) {
+                Ok(pos) => measured[pos].1,
+                Err(pos) => {
+                    if pos == 0 {
+                        // Left of the first sample: interpolate toward 0 at
+                        // "0 CTAs" (IPC vanishes with no CTAs).
+                        let (j1, v1) = measured[0];
+                        v1 * (j + 1) as f64 / (j1 + 1) as f64
+                    } else if pos == measured.len() {
+                        measured[pos - 1].1
+                    } else {
+                        let (j0, v0) = measured[pos - 1];
+                        let (j1, v1) = measured[pos];
+                        let t = (j - j0) as f64 / (j1 - j0) as f64;
+                        v0 + (v1 - v0) * t
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_kernel_plan_splits_sms_evenly() {
+        let plan = ProfilePlan::build(16, &[8, 8]);
+        assert_eq!(plan.assignments.len(), 16);
+        assert_eq!(plan.for_kernel(0).count(), 8);
+        assert_eq!(plan.for_kernel(1).count(), 8);
+        // Fig. 4: quotas ramp 1..=8 within each group.
+        let quotas: Vec<u32> = plan.for_kernel(0).map(|a| a.quota).collect();
+        assert_eq!(quotas, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        let quotas: Vec<u32> = plan.for_kernel(1).map(|a| a.quota).collect();
+        assert_eq!(quotas, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn small_max_duplicates_counts() {
+        let plan = ProfilePlan::build(16, &[3, 8]);
+        let quotas: Vec<u32> = plan.for_kernel(0).map(|a| a.quota).collect();
+        assert_eq!(quotas.len(), 8);
+        assert_eq!(*quotas.first().unwrap(), 1);
+        assert_eq!(*quotas.last().unwrap(), 3);
+        assert!(quotas.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn three_kernel_plan_covers_all_sms() {
+        let plan = ProfilePlan::build(16, &[8, 6, 8]);
+        assert_eq!(plan.assignments.len(), 16);
+        // 16 = 6 + 5 + 5.
+        assert_eq!(plan.for_kernel(0).count(), 6);
+        assert_eq!(plan.for_kernel(1).count(), 5);
+        assert_eq!(plan.for_kernel(2).count(), 5);
+        for k in 0..3 {
+            let quotas: Vec<u32> = plan.for_kernel(k).map(|a| a.quota).collect();
+            assert_eq!(*quotas.first().unwrap(), 1, "always probe 1 CTA");
+            assert!(quotas.windows(2).all(|w| w[0] <= w[1]));
+        }
+        // SM indices are a permutation of 0..16.
+        let mut sms: Vec<usize> = plan.assignments.iter().map(|a| a.sm).collect();
+        sms.sort_unstable();
+        assert_eq!(sms, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn curves_average_and_scale() {
+        // Two samples of the same point average; phi=0 means no scaling.
+        let samples = [
+            ProfileSample {
+                kernel: 0,
+                ctas: 1,
+                ipc_sampled: 1.0,
+                phi_mem: 0.0,
+                bandwidth: None,
+            },
+            ProfileSample {
+                kernel: 0,
+                ctas: 1,
+                ipc_sampled: 3.0,
+                phi_mem: 0.0,
+                bandwidth: None,
+            },
+            ProfileSample {
+                kernel: 0,
+                ctas: 2,
+                ipc_sampled: 4.0,
+                phi_mem: 0.0,
+                bandwidth: None,
+            },
+        ];
+        let curves = build_curves(&samples, &[2]);
+        assert_eq!(curves.len(), 1);
+        assert!((curves[0][0] - 2.0).abs() < 1e-12);
+        assert!((curves[0][1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curves_interpolate_gaps() {
+        let samples = [
+            ProfileSample {
+                kernel: 0,
+                ctas: 1,
+                ipc_sampled: 1.0,
+                phi_mem: 0.0,
+                bandwidth: None,
+            },
+            ProfileSample {
+                kernel: 0,
+                ctas: 5,
+                ipc_sampled: 5.0,
+                phi_mem: 0.0,
+                bandwidth: None,
+            },
+        ];
+        let c = &build_curves(&samples, &[8])[0];
+        assert!((c[2] - 3.0).abs() < 1e-9, "midpoint interpolates: {c:?}");
+        assert!((c[7] - 5.0).abs() < 1e-9, "right edge clamps");
+    }
+
+    #[test]
+    fn memory_bound_samples_get_scaled() {
+        // Average CTA count is 4.5; the 8-CTA fully memory-bound sample is
+        // scaled up, the 1-CTA one down.
+        let samples = [
+            ProfileSample {
+                kernel: 0,
+                ctas: 1,
+                ipc_sampled: 1.0,
+                phi_mem: 1.0,
+                bandwidth: None,
+            },
+            ProfileSample {
+                kernel: 0,
+                ctas: 8,
+                ipc_sampled: 1.0,
+                phi_mem: 1.0,
+                bandwidth: None,
+            },
+        ];
+        let c = &build_curves(&samples, &[8])[0];
+        assert!(c[0] < 1.0);
+        assert!(c[7] > 1.0);
+    }
+
+    #[test]
+    fn measured_bandwidth_overrides_cta_ratio() {
+        // The 8-CTA SM consumed over 3x its fair share of a saturated bus:
+        // its sample is scaled *down*, not up; the underfed 2-CTA SM is
+        // scaled up.
+        let bw = |tx: u64| {
+            Some(BandwidthSample {
+                sm_transactions: tx,
+                fair_transactions: 100.0,
+                dram_busy: 1.0,
+            })
+        };
+        let samples = [
+            ProfileSample {
+                kernel: 0,
+                ctas: 2,
+                ipc_sampled: 2.0,
+                phi_mem: 1.0,
+                bandwidth: bw(50),
+            },
+            ProfileSample {
+                kernel: 0,
+                ctas: 8,
+                ipc_sampled: 2.0,
+                phi_mem: 1.0,
+                bandwidth: bw(350),
+            },
+        ];
+        let c = &build_curves(&samples, &[8])[0];
+        assert!(c[7] < 2.0, "hog scaled down: {c:?}");
+        assert!(c[1] > 2.0, "underfed scaled up: {c:?}");
+    }
+
+    #[test]
+    fn empty_samples_give_zero_curves() {
+        let c = build_curves(&[], &[4]);
+        assert_eq!(c, vec![vec![0.0; 4]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more kernels than SMs")]
+    fn too_many_kernels_rejected() {
+        let _ = ProfilePlan::build(2, &[1, 1, 1]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Multi-dimensional SM resource vectors.
+//!
+//! Algorithm 1 of the paper reasons about "resources" abstractly; on a real
+//! SM a CTA simultaneously consumes registers, shared memory, thread slots
+//! and a CTA slot. [`ResourceVec`] carries all four so the partitioner's
+//! capacity constraint `Σ R_Ti <= R_tot` is checked component-wise.
+
+use gpu_sim::{KernelDesc, SmConfig};
+
+/// A bundle of the four per-SM resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceVec {
+    /// Registers.
+    pub regs: u64,
+    /// Shared-memory bytes.
+    pub shmem: u64,
+    /// Thread slots.
+    pub threads: u64,
+    /// CTA slots.
+    pub ctas: u64,
+}
+
+impl ResourceVec {
+    /// The zero vector.
+    #[must_use]
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Capacity of one SM under `cfg`.
+    #[must_use]
+    pub fn sm_capacity(cfg: &SmConfig) -> Self {
+        Self {
+            regs: u64::from(cfg.max_registers),
+            shmem: u64::from(cfg.shared_mem_bytes),
+            threads: u64::from(cfg.max_threads),
+            ctas: u64::from(cfg.max_ctas),
+        }
+    }
+
+    /// Footprint of one CTA of `desc`.
+    #[must_use]
+    pub fn cta_cost(desc: &KernelDesc) -> Self {
+        Self {
+            regs: u64::from(desc.regs_per_cta()),
+            shmem: u64::from(desc.shmem_per_cta),
+            threads: u64::from(desc.threads_per_cta),
+            ctas: 1,
+        }
+    }
+
+    /// Component-wise `self >= other`.
+    #[must_use]
+    pub fn covers(&self, other: &ResourceVec) -> bool {
+        self.regs >= other.regs
+            && self.shmem >= other.shmem
+            && self.threads >= other.threads
+            && self.ctas >= other.ctas
+    }
+
+    /// Component-wise saturating subtraction.
+    #[must_use]
+    pub fn saturating_sub(&self, other: &ResourceVec) -> Self {
+        Self {
+            regs: self.regs.saturating_sub(other.regs),
+            shmem: self.shmem.saturating_sub(other.shmem),
+            threads: self.threads.saturating_sub(other.threads),
+            ctas: self.ctas.saturating_sub(other.ctas),
+        }
+    }
+
+    /// Component-wise addition.
+    #[must_use]
+    pub fn plus(&self, other: &ResourceVec) -> Self {
+        Self {
+            regs: self.regs + other.regs,
+            shmem: self.shmem + other.shmem,
+            threads: self.threads + other.threads,
+            ctas: self.ctas + other.ctas,
+        }
+    }
+
+    /// Scalar multiple (`n` CTAs of this footprint).
+    #[must_use]
+    pub fn times(&self, n: u64) -> Self {
+        Self {
+            regs: self.regs * n,
+            shmem: self.shmem * n,
+            threads: self.threads * n,
+            ctas: self.ctas * n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::GpuConfig;
+
+    fn vec4(regs: u64, shmem: u64, threads: u64, ctas: u64) -> ResourceVec {
+        ResourceVec {
+            regs,
+            shmem,
+            threads,
+            ctas,
+        }
+    }
+
+    #[test]
+    fn covers_is_componentwise() {
+        let cap = vec4(100, 100, 100, 8);
+        assert!(cap.covers(&vec4(100, 0, 50, 8)));
+        assert!(!cap.covers(&vec4(101, 0, 0, 0)));
+        assert!(!cap.covers(&vec4(0, 0, 0, 9)));
+        assert!(cap.covers(&ResourceVec::zero()));
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = vec4(10, 20, 30, 1);
+        let b = a.times(3);
+        assert_eq!(b, vec4(30, 60, 90, 3));
+        assert_eq!(b.saturating_sub(&a), vec4(20, 40, 60, 2));
+        assert_eq!(a.plus(&a), a.times(2));
+        assert_eq!(vec4(1, 1, 1, 1).saturating_sub(&vec4(5, 5, 5, 5)), ResourceVec::zero());
+    }
+
+    #[test]
+    fn sm_capacity_matches_config() {
+        let cfg = GpuConfig::isca_baseline().sm;
+        let cap = ResourceVec::sm_capacity(&cfg);
+        assert_eq!(cap, vec4(32768, 48 * 1024, 1536, 8));
+    }
+}

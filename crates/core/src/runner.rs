@@ -1,0 +1,432 @@
+//! Experiment runner implementing the paper's equal-work methodology
+//! (Sec. V-A): each benchmark's instruction target is recorded from an
+//! isolation run of a fixed cycle budget; in a multiprogrammed run each
+//! kernel halts (and releases its resources) upon reaching its target, and
+//! the run ends when every kernel has finished.
+
+use gpu_sim::{Gpu, GpuConfig, KernelDesc, KernelId, SchedulerKind, StallBreakdown};
+
+use crate::policy::{make_controller, Decision, PolicyKind};
+
+/// Global run parameters.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Hardware configuration.
+    pub gpu: GpuConfig,
+    /// Warp scheduler.
+    pub scheduler: SchedulerKind,
+    /// Isolation-run cycle budget that defines each benchmark's
+    /// instruction target (the paper uses 2 M; the default here is smaller
+    /// so the full evaluation regenerates quickly — shapes are stable).
+    pub isolation_cycles: u64,
+    /// Multiprogrammed runs are aborted at
+    /// `isolation_cycles * max_cycle_factor` (safety net; a well-behaved
+    /// policy finishes far earlier).
+    pub max_cycle_factor: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            gpu: GpuConfig::isca_baseline(),
+            scheduler: SchedulerKind::GreedyThenOldest,
+            isolation_cycles: 100_000,
+            max_cycle_factor: 30,
+        }
+    }
+}
+
+/// Hardware-utilization summary over a run (Fig. 7a inputs).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UtilizationStats {
+    /// ALU pipeline busy fraction.
+    pub alu: f64,
+    /// SFU pipeline busy fraction.
+    pub sfu: f64,
+    /// LSU pipeline busy fraction.
+    pub lsu: f64,
+    /// Time-averaged register-file occupancy.
+    pub reg: f64,
+    /// Time-averaged shared-memory occupancy.
+    pub shmem: f64,
+    /// Time-averaged thread occupancy.
+    pub threads: f64,
+}
+
+/// Cache behaviour summary (Fig. 7b inputs).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CacheStats {
+    /// L1 accesses across all SMs.
+    pub l1_accesses: u64,
+    /// L1 misses across all SMs.
+    pub l1_misses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+}
+
+impl CacheStats {
+    /// L1 miss rate (0 when never accessed).
+    #[must_use]
+    pub fn l1_miss_rate(&self) -> f64 {
+        if self.l1_accesses == 0 {
+            0.0
+        } else {
+            self.l1_misses as f64 / self.l1_accesses as f64
+        }
+    }
+
+    /// L2 miss rate (0 when never accessed).
+    #[must_use]
+    pub fn l2_miss_rate(&self) -> f64 {
+        if self.l2_accesses == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 / self.l2_accesses as f64
+        }
+    }
+}
+
+/// Everything measured over one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct AggregateStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Scheduler-cycles (cycles × SMs × schedulers).
+    pub sched_cycles: u64,
+    /// Warp instructions issued, total.
+    pub insts: u64,
+    /// Warp instructions issued per kernel slot.
+    pub insts_per_kernel: Vec<u64>,
+    /// Stall breakdown summed over all schedulers.
+    pub stalls: StallBreakdown,
+    /// Utilization summary.
+    pub util: UtilizationStats,
+    /// Cache summary (all kernels).
+    pub cache: CacheStats,
+    /// Per-kernel L2 MPKI (L2 misses per kilo warp instructions).
+    pub l2_mpki_per_kernel: Vec<f64>,
+    /// Per-kernel L1 miss rate.
+    pub l1_miss_rate_per_kernel: Vec<f64>,
+    /// DRAM transactions serviced (reads + writes).
+    pub dram_transactions: u64,
+    /// Fraction of DRAM data-bus cycles busy.
+    pub dram_busy: f64,
+    /// Fraction of scheduler-cycles lost to long memory latency.
+    pub phi_mem: f64,
+}
+
+/// Collects [`AggregateStats`] from a finished (or in-flight) GPU.
+#[must_use]
+pub fn collect_stats(gpu: &Gpu) -> AggregateStats {
+    let cfg = gpu.config();
+    let num_sched = u64::from(cfg.sm.num_schedulers);
+    let cycles = gpu.cycle();
+    let num_kernels = gpu.num_kernels();
+    let mut stalls = StallBreakdown::default();
+    let mut alu = 0u64;
+    let mut sfu = 0u64;
+    let mut lsu = 0u64;
+    let mut reg = 0.0;
+    let mut shm = 0.0;
+    let mut thr = 0.0;
+    let mut l1_acc = 0u64;
+    let mut l1_miss = 0u64;
+    let mut l1_acc_k = vec![0u64; num_kernels];
+    let mut l1_miss_k = vec![0u64; num_kernels];
+    for sm in gpu.sms() {
+        let st = sm.stats();
+        stalls = StallBreakdown {
+            mem: stalls.mem + st.stalls.mem,
+            raw: stalls.raw + st.stalls.raw,
+            exec: stalls.exec + st.stalls.exec,
+            ibuffer: stalls.ibuffer + st.stalls.ibuffer,
+            barrier: stalls.barrier + st.stalls.barrier,
+            idle: stalls.idle + st.stalls.idle,
+        };
+        alu += st.alu_busy;
+        sfu += st.sfu_busy;
+        lsu += st.lsu_busy;
+        reg += st.avg_reg_occupancy(cfg.sm.max_registers);
+        shm += st.avg_shmem_occupancy(cfg.sm.shared_mem_bytes);
+        thr += st.avg_thread_occupancy(cfg.sm.max_threads);
+        for k in 0..num_kernels {
+            let ks = st.kernel(k);
+            l1_acc += ks.l1_accesses;
+            l1_miss += ks.l1_misses;
+            l1_acc_k[k] += ks.l1_accesses;
+            l1_miss_k[k] += ks.l1_misses;
+        }
+    }
+    let n_sms = gpu.num_sms() as u64;
+    let n_sms_f = gpu.num_sms() as f64;
+    let mem = gpu.mem_stats();
+    let insts_per_kernel: Vec<u64> = (0..num_kernels)
+        .map(|k| gpu.kernel_insts(KernelId(k)))
+        .collect();
+    let insts: u64 = insts_per_kernel.iter().sum();
+    let sched_cycles = cycles * n_sms * num_sched;
+    let denom_units = (cycles * n_sms * num_sched).max(1) as f64;
+    AggregateStats {
+        cycles,
+        sched_cycles,
+        insts,
+        stalls,
+        util: UtilizationStats {
+            alu: alu as f64 / denom_units,
+            sfu: sfu as f64 / denom_units,
+            lsu: lsu as f64 / denom_units,
+            reg: reg / n_sms_f,
+            shmem: shm / n_sms_f,
+            threads: thr / n_sms_f,
+        },
+        cache: CacheStats {
+            l1_accesses: l1_acc,
+            l1_misses: l1_miss,
+            l2_accesses: mem.total.l2_accesses,
+            l2_misses: mem.total.l2_misses,
+        },
+        l2_mpki_per_kernel: (0..num_kernels)
+            .map(|k| {
+                let ki = insts_per_kernel[k];
+                if ki == 0 {
+                    0.0
+                } else {
+                    mem.kernel(KernelId(k)).l2_misses as f64 * 1000.0 / ki as f64
+                }
+            })
+            .collect(),
+        l1_miss_rate_per_kernel: (0..num_kernels)
+            .map(|k| {
+                if l1_acc_k[k] == 0 {
+                    0.0
+                } else {
+                    l1_miss_k[k] as f64 / l1_acc_k[k] as f64
+                }
+            })
+            .collect(),
+        insts_per_kernel,
+        dram_transactions: gpu.mem().dram_serviced(),
+        dram_busy: gpu.mem().dram_busy_fraction(cycles.max(1)),
+        phi_mem: stalls.mem as f64 / sched_cycles.max(1) as f64,
+    }
+}
+
+/// Result of an isolation run.
+#[derive(Debug, Clone)]
+pub struct IsolationResult {
+    /// Warp instructions issued in the budget — the benchmark's equal-work
+    /// target.
+    pub target_insts: u64,
+    /// GPU-wide IPC over the budget.
+    pub ipc: f64,
+    /// Full statistics.
+    pub stats: AggregateStats,
+}
+
+/// Runs `desc` alone (Left-Over single-kernel dispatch) for
+/// `cfg.isolation_cycles` and records its instruction target and solo
+/// statistics.
+#[must_use]
+pub fn run_isolation(desc: &KernelDesc, cfg: &RunConfig) -> IsolationResult {
+    let mut gpu = Gpu::new(cfg.gpu.clone(), cfg.scheduler);
+    let k = gpu.add_kernel(desc.clone());
+    let mut controller = make_controller(&PolicyKind::LeftOver);
+    for _ in 0..cfg.isolation_cycles {
+        controller.on_cycle(&mut gpu);
+        gpu.tick();
+    }
+    let stats = collect_stats(&gpu);
+    IsolationResult {
+        target_insts: gpu.kernel_insts(k),
+        ipc: stats.insts as f64 / cfg.isolation_cycles as f64,
+        stats,
+    }
+}
+
+/// Runs `desc` with at most `cap` CTAs per SM for `cycles` cycles and
+/// returns the GPU-wide IPC — the primitive behind Fig. 3a/3b and the
+/// Oracle's per-point measurements.
+#[must_use]
+pub fn run_with_cta_cap(desc: &KernelDesc, cap: u32, cycles: u64, cfg: &RunConfig) -> f64 {
+    let mut gpu = Gpu::new(cfg.gpu.clone(), cfg.scheduler);
+    let k = gpu.add_kernel(desc.clone());
+    let mut controller = make_controller(&PolicyKind::Quota(vec![cap]));
+    // Warm up one quarter of the window, then measure.
+    let warm = cycles / 4;
+    for _ in 0..warm {
+        controller.on_cycle(&mut gpu);
+        gpu.tick();
+    }
+    let start = gpu.kernel_insts(k);
+    for _ in 0..cycles {
+        controller.on_cycle(&mut gpu);
+        gpu.tick();
+    }
+    (gpu.kernel_insts(k) - start) as f64 / cycles as f64
+}
+
+/// Result of a multiprogrammed run.
+#[derive(Debug, Clone)]
+pub struct CorunResult {
+    /// Workload label (e.g. `"IMG_NN"`).
+    pub label: String,
+    /// Policy that produced this result.
+    pub policy: String,
+    /// Per-kernel instruction targets.
+    pub targets: Vec<u64>,
+    /// Cycle at which each kernel reached its target (`None` = timed out).
+    pub finish_cycle: Vec<Option<u64>>,
+    /// Cycles until every kernel finished (or the safety cap).
+    pub total_cycles: u64,
+    /// `Σ targets / total_cycles` — the paper's combined-IPC metric.
+    pub combined_ipc: f64,
+    /// Whether the safety cap was hit.
+    pub timed_out: bool,
+    /// Full statistics at run end.
+    pub stats: AggregateStats,
+    /// The partition decision, for dynamic policies.
+    pub decision: Option<Decision>,
+}
+
+/// Runs the kernels of `descs` concurrently under `policy` with the
+/// equal-work targets `targets` (from [`run_isolation`]).
+///
+/// # Panics
+///
+/// Panics if `descs` and `targets` lengths differ or are empty.
+#[must_use]
+pub fn run_corun(
+    descs: &[&KernelDesc],
+    targets: &[u64],
+    policy: &PolicyKind,
+    cfg: &RunConfig,
+) -> CorunResult {
+    assert!(!descs.is_empty(), "at least one kernel required");
+    assert_eq!(descs.len(), targets.len(), "one target per kernel");
+    let mut gpu = Gpu::new(cfg.gpu.clone(), cfg.scheduler);
+    let ids: Vec<KernelId> = descs
+        .iter()
+        .map(|d| gpu.add_kernel((*d).clone()))
+        .collect();
+    let mut controller = make_controller(policy);
+    let max_cycles = cfg.isolation_cycles * cfg.max_cycle_factor;
+    let mut finish: Vec<Option<u64>> = vec![None; ids.len()];
+    let mut done = 0usize;
+    while done < ids.len() && gpu.cycle() < max_cycles {
+        controller.on_cycle(&mut gpu);
+        gpu.tick();
+        for (i, &k) in ids.iter().enumerate() {
+            if finish[i].is_none() && gpu.kernel_insts(k) >= targets[i] {
+                finish[i] = Some(gpu.cycle());
+                gpu.halt_kernel(k);
+                done += 1;
+            }
+        }
+    }
+    let total_cycles = gpu.cycle();
+    let stats = collect_stats(&gpu);
+    CorunResult {
+        label: descs
+            .iter()
+            .map(|d| d.name.as_str())
+            .collect::<Vec<_>>()
+            .join("_"),
+        policy: policy.to_string(),
+        targets: targets.to_vec(),
+        finish_cycle: finish.clone(),
+        total_cycles,
+        combined_ipc: targets.iter().sum::<u64>() as f64 / total_cycles.max(1) as f64,
+        timed_out: finish.iter().any(Option::is_none),
+        stats,
+        decision: controller.decision().cloned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ws_workloads::by_abbrev;
+
+    fn quick_cfg() -> RunConfig {
+        RunConfig {
+            isolation_cycles: 12_000,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn isolation_run_measures_a_target() {
+        let cfg = quick_cfg();
+        let r = run_isolation(&by_abbrev("IMG").unwrap().desc, &cfg);
+        assert!(r.target_insts > 10_000);
+        assert!(r.ipc > 0.5);
+        assert!(r.stats.util.alu > 0.3, "IMG is ALU-heavy: {:?}", r.stats.util);
+    }
+
+    #[test]
+    fn corun_finishes_both_kernels() {
+        let cfg = quick_cfg();
+        let a = by_abbrev("IMG").unwrap().desc;
+        let b = by_abbrev("BLK").unwrap().desc;
+        let ta = run_isolation(&a, &cfg).target_insts;
+        let tb = run_isolation(&b, &cfg).target_insts;
+        let r = run_corun(&[&a, &b], &[ta, tb], &PolicyKind::Even, &cfg);
+        assert!(!r.timed_out, "{r:?}");
+        assert!(r.finish_cycle.iter().all(Option::is_some));
+        assert!(r.total_cycles >= cfg.isolation_cycles, "co-run can't beat solo");
+        assert!(r.combined_ipc > 0.0);
+    }
+
+    #[test]
+    fn left_over_approximates_sequential_execution() {
+        let cfg = quick_cfg();
+        let a = by_abbrev("IMG").unwrap().desc;
+        let b = by_abbrev("MM").unwrap().desc;
+        let ta = run_isolation(&a, &cfg).target_insts;
+        let tb = run_isolation(&b, &cfg).target_insts;
+        let r = run_corun(&[&a, &b], &[ta, tb], &PolicyKind::LeftOver, &cfg);
+        assert!(!r.timed_out);
+        // Sequential would be ~2x the isolation budget.
+        let expect = 2 * cfg.isolation_cycles;
+        let ratio = r.total_cycles as f64 / expect as f64;
+        assert!(
+            (0.75..=1.35).contains(&ratio),
+            "Left-Over should be near-sequential: {} vs {expect}",
+            r.total_cycles
+        );
+    }
+
+    #[test]
+    fn cta_cap_primitive_reproduces_scaling() {
+        let cfg = quick_cfg();
+        let img = by_abbrev("IMG").unwrap().desc;
+        let low = run_with_cta_cap(&img, 1, 6_000, &cfg);
+        let high = run_with_cta_cap(&img, 8, 6_000, &cfg);
+        assert!(high > 2.0 * low, "IMG scales with CTAs: {low} vs {high}");
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let cfg = quick_cfg();
+        let r = run_isolation(&by_abbrev("BLK").unwrap().desc, &cfg);
+        let s = &r.stats;
+        assert_eq!(s.cycles, cfg.isolation_cycles);
+        assert_eq!(s.sched_cycles, s.cycles * 16 * 2);
+        assert_eq!(s.insts, s.insts_per_kernel.iter().sum::<u64>());
+        assert!(s.cache.l1_misses <= s.cache.l1_accesses);
+        assert!(s.cache.l2_misses <= s.cache.l2_accesses);
+        assert!(s.util.reg > 0.5, "BLK fills the register file");
+        assert!(s.phi_mem > 0.2, "BLK is memory bound");
+        assert!(s.l2_mpki_per_kernel[0] > 30.0, "BLK is memory class");
+    }
+
+    #[test]
+    #[should_panic(expected = "one target per kernel")]
+    fn mismatched_targets_rejected() {
+        let cfg = quick_cfg();
+        let a = by_abbrev("IMG").unwrap().desc;
+        let _ = run_corun(&[&a], &[1, 2], &PolicyKind::Even, &cfg);
+    }
+}

@@ -1,0 +1,216 @@
+//! The bandwidth-interference IPC scaling factor (Sec. IV-A, Eq. 2-4).
+//!
+//! During the profiling phase every SM runs a different CTA count, so SMs
+//! with more CTAs demand more than their fair share of DRAM bandwidth and
+//! their sampled IPC misrepresents what the kernel would achieve at that
+//! CTA count in isolation. Following Jog et al.'s observation that
+//! `IPC ∝ BW / MPKI` for memory-intensive kernels (Eq. 2), the sampled IPC
+//! is corrected by
+//!
+//! ```text
+//! IPC_scaled = IPC_sampled * (1 + φ_mem * ψ),   ψ ≈ CTA_i / CTA_avg - 1
+//! ```
+//!
+//! where `φ_mem` is the fraction of scheduler-cycles lost to long memory
+//! latency during the sample (so compute-bound samples are barely touched).
+
+/// Computes `ψ ≈ CTA_i / CTA_avg − 1` (Eq. 4).
+///
+/// # Panics
+///
+/// Panics if `cta_avg` is not positive.
+#[must_use]
+pub fn psi(cta_i: u32, cta_avg: f64) -> f64 {
+    assert!(cta_avg > 0.0, "cta_avg must be positive");
+    f64::from(cta_i) / cta_avg - 1.0
+}
+
+/// Applies the scaling factor of Eq. 3 to a sampled IPC.
+///
+/// `phi_mem` is clamped into `[0, 1]`; the resulting factor is floored at a
+/// small positive value so a pathological sample can never produce a
+/// negative IPC.
+///
+/// # Examples
+///
+/// ```
+/// use warped_slicer::scaling::scale_ipc;
+///
+/// // A fully memory-bound SM holding twice the average CTA count is
+/// // assumed to deserve twice the bandwidth it got during sampling.
+/// assert_eq!(scale_ipc(1.0, 1.0, 8, 4.0), 2.0);
+/// // A compute-bound sample is untouched.
+/// assert_eq!(scale_ipc(2.0, 0.0, 8, 4.0), 2.0);
+/// ```
+#[must_use]
+pub fn scale_ipc(ipc_sampled: f64, phi_mem: f64, cta_i: u32, cta_avg: f64) -> f64 {
+    let phi = phi_mem.clamp(0.0, 1.0);
+    let factor = (1.0 + phi * psi(cta_i, cta_avg)).max(0.05);
+    ipc_sampled * factor
+}
+
+/// Computes `ψ` from *measured* per-SM bandwidth instead of the paper's
+/// CTA-count simplification.
+///
+/// The paper derives `ψ = B_scaled / B_sampled − 1` (Eq. 3) and then
+/// approximates the bandwidth ratio by `CTA_i / CTA_avg` under the
+/// assumption that sampling-phase bandwidth is split evenly across SMs. Our
+/// DRAM substrate arbitrates demand-proportionally (FR-FCFS), so this
+/// implementation evaluates the ratio directly: `B_scaled` is the fair
+/// per-SM share the SM would get if every SM ran its configuration
+/// (`fair_transactions`), and `B_sampled` is the SM's measured transaction
+/// count. The correction matters only when the DRAM was actually contended,
+/// so `ψ` is damped by the measured bus-busy fraction.
+#[must_use]
+pub fn psi_measured(sm_transactions: u64, fair_transactions: f64, dram_busy: f64) -> f64 {
+    if sm_transactions == 0 || fair_transactions <= 0.0 {
+        return 0.0;
+    }
+    let ratio = fair_transactions / sm_transactions as f64;
+    if ratio < 1.0 {
+        // Over-share: if every SM ran this configuration the bus *would*
+        // saturate and this SM would be cut to its fair share — no damping.
+        ratio - 1.0
+    } else {
+        // Under-share: the sample was only pessimistic to the extent the
+        // bus was actually contended during sampling.
+        dram_busy.clamp(0.0, 1.0) * (ratio - 1.0)
+    }
+}
+
+/// Applies Eq. 3 with an explicit `ψ` (from [`psi`] or [`psi_measured`]).
+/// The factor is clamped to `[0.25, 2.5]` so one noisy sample cannot
+/// dominate a curve.
+#[must_use]
+pub fn scale_ipc_with_psi(ipc_sampled: f64, phi_mem: f64, psi: f64) -> f64 {
+    let phi = phi_mem.clamp(0.0, 1.0);
+    ipc_sampled * (1.0 + phi * psi).clamp(0.25, 2.5)
+}
+
+/// The complete measured-bandwidth correction factor.
+///
+/// * **Over-share** (`sm > fair`): if every SM ran this configuration, the
+///   bus would saturate and the SM would be cut to its fair share; by
+///   Eq. 2 (`IPC ∝ BW/MPKI`) its IPC scales with the cut directly.
+/// * **Under-share**: the sample was pessimistic only to the extent the
+///   bus was contended during sampling and the kernel was memory-stalled,
+///   so the relief is damped by both `dram_busy` and `φ_mem` (Eq. 3).
+///
+/// The factor is clamped to `[0.25, 2.5]`.
+#[must_use]
+pub fn bandwidth_scale_factor(
+    sm_transactions: u64,
+    fair_transactions: f64,
+    dram_busy: f64,
+    phi_mem: f64,
+) -> f64 {
+    if sm_transactions == 0 || fair_transactions <= 0.0 {
+        return 1.0;
+    }
+    let ratio = fair_transactions / sm_transactions as f64;
+    let factor = if ratio < 1.0 {
+        ratio
+    } else {
+        1.0 + phi_mem.clamp(0.0, 1.0) * dram_busy.clamp(0.0, 1.0) * (ratio - 1.0)
+    };
+    factor.clamp(0.25, 2.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psi_is_zero_at_average() {
+        assert!((psi(4, 4.0)).abs() < 1e-12);
+        assert!(psi(8, 4.0) > 0.0);
+        assert!(psi(1, 4.0) < 0.0);
+    }
+
+    #[test]
+    fn compute_bound_samples_are_untouched() {
+        // phi_mem = 0: no memory stalls -> no correction.
+        let ipc = scale_ipc(2.0, 0.0, 8, 4.0);
+        assert!((ipc - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_bound_over_average_scales_up() {
+        // An SM running twice the average CTA count, fully memory bound:
+        // factor = 1 + 1.0 * (2 - 1) = 2.
+        let ipc = scale_ipc(1.0, 1.0, 8, 4.0);
+        assert!((ipc - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_bound_under_average_scales_down() {
+        // factor = 1 + 0.5 * (0.25 - 1) = 0.625.
+        let ipc = scale_ipc(2.0, 0.5, 1, 4.0);
+        assert!((ipc - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn factor_is_floored_positive() {
+        // Extreme inputs cannot flip the sign of IPC.
+        let ipc = scale_ipc(1.0, 1.0, 0, 100.0);
+        assert!(ipc > 0.0);
+    }
+
+    #[test]
+    fn phi_is_clamped() {
+        let a = scale_ipc(1.0, 5.0, 8, 4.0);
+        let b = scale_ipc(1.0, 1.0, 8, 4.0);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_average_panics() {
+        let _ = psi(1, 0.0);
+    }
+
+    #[test]
+    fn measured_psi_scales_down_bandwidth_hogs() {
+        // An SM that consumed twice its fair share under a saturated bus.
+        let p = psi_measured(200, 100.0, 1.0);
+        assert!((p - (-0.5)).abs() < 1e-12);
+        // And scales up an underfed one.
+        let p = psi_measured(50, 100.0, 1.0);
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_psi_vanishes_without_contention() {
+        // Under-share relief is damped away on an idle bus...
+        assert_eq!(psi_measured(50, 100.0, 0.0), 0.0);
+        assert_eq!(psi_measured(0, 100.0, 1.0), 0.0);
+        // ...but the over-share counterfactual cut is not: a hog would
+        // saturate the bus if every SM ran like it.
+        assert!((psi_measured(200, 100.0, 0.0) - (-0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_factor_cuts_hogs_fully() {
+        // 4x over fair share -> 0.25x IPC regardless of phi.
+        let f = bandwidth_scale_factor(400, 100.0, 0.2, 0.1);
+        assert!((f - 0.25).abs() < 1e-12);
+        let f = bandwidth_scale_factor(200, 100.0, 0.0, 0.0);
+        assert!((f - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_factor_relief_is_damped() {
+        // 2x under fair share: relief needs both contention and stalls.
+        assert!((bandwidth_scale_factor(50, 100.0, 1.0, 1.0) - 2.0).abs() < 1e-12);
+        assert!((bandwidth_scale_factor(50, 100.0, 0.5, 1.0) - 1.5).abs() < 1e-12);
+        assert!((bandwidth_scale_factor(50, 100.0, 1.0, 0.0) - 1.0).abs() < 1e-12);
+        assert_eq!(bandwidth_scale_factor(0, 100.0, 1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn explicit_psi_factor_is_clamped() {
+        assert!((scale_ipc_with_psi(1.0, 1.0, 10.0) - 2.5).abs() < 1e-12);
+        assert!((scale_ipc_with_psi(1.0, 1.0, -10.0) - 0.25).abs() < 1e-12);
+        assert!((scale_ipc_with_psi(2.0, 0.5, 0.5) - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,406 @@
+//! The discrete water-filling partitioning algorithm (Algorithm 1).
+//!
+//! Given each kernel's performance-vs-CTA-count curve and per-CTA resource
+//! footprint, find the CTA quota vector `(T_1..T_K)` that maximizes the
+//! *minimum* normalized performance across kernels, subject to the SM's
+//! capacity (Eq. 1):
+//!
+//! ```text
+//! max  min_i P(i, T_i)   s.t.  Σ_i R_{T_i} <= R_tot
+//! ```
+//!
+//! The algorithm runs in `O(KN)` time and space (K kernels, N CTA counts):
+//! it repeatedly picks the kernel whose current normalized performance is
+//! lowest and grants it the minimum number of additional CTAs that yields an
+//! incremental performance improvement, until resources run out or every
+//! kernel is saturated. This mirrors classical water-filling in
+//! communication systems, adapted to discrete, non-convex curves.
+
+use crate::resources::ResourceVec;
+
+/// One kernel's input to the partitioner.
+#[derive(Debug, Clone)]
+pub struct KernelCurve {
+    /// `perf[j]` is the measured/predicted performance with `j + 1` CTAs.
+    /// Values need not be normalized; the algorithm normalizes to the
+    /// curve's maximum. Non-monotonic (even non-convex) curves are fine.
+    pub perf: Vec<f64>,
+    /// Resource footprint of one CTA.
+    pub cta_cost: ResourceVec,
+}
+
+/// The partitioner's output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    /// CTAs granted to each kernel.
+    pub ctas: Vec<u32>,
+    /// Normalized performance `P(i, T_i)` each kernel achieves at its grant.
+    pub perf: Vec<f64>,
+}
+
+impl Partition {
+    /// The minimum normalized performance across kernels (the objective of
+    /// Eq. 1).
+    #[must_use]
+    pub fn min_perf(&self) -> f64 {
+        self.perf.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Per-kernel performance loss `1 - P(i, T_i)` relative to each
+    /// kernel's solo peak.
+    #[must_use]
+    pub fn losses(&self) -> Vec<f64> {
+        self.perf.iter().map(|p| 1.0 - p).collect()
+    }
+}
+
+/// Monotone staircase of a performance curve: `q[d]` is the best
+/// performance reachable with `m[d]` CTAs, strictly increasing in both.
+#[derive(Debug, Clone)]
+struct Staircase {
+    q: Vec<f64>,
+    m: Vec<u32>,
+}
+
+fn staircase(perf: &[f64]) -> Staircase {
+    let peak = perf.iter().copied().fold(0.0f64, f64::max);
+    let norm = if peak > 0.0 { peak } else { 1.0 };
+    let mut q = Vec::new();
+    let mut m = Vec::new();
+    let mut best = 0.0f64;
+    for (j, &p) in perf.iter().enumerate() {
+        let p = p / norm;
+        if p > best {
+            best = p;
+            q.push(p);
+            m.push(j as u32 + 1);
+        }
+    }
+    Staircase { q, m }
+}
+
+/// Runs Algorithm 1.
+///
+/// Returns `None` when even one CTA per kernel does not fit in `total` (the
+/// caller should then fall back to spatial multitasking), or when a curve is
+/// empty.
+///
+/// # Examples
+///
+/// A kernel that keeps scaling shares an SM with one that thrashes the L1
+/// past two CTAs; the partitioner gives the scaler the slots the thrasher
+/// cannot use:
+///
+/// ```
+/// use warped_slicer::waterfill::{water_fill, KernelCurve};
+/// use warped_slicer::resources::ResourceVec;
+///
+/// let cta = |threads| ResourceVec { regs: 2048, shmem: 0, threads, ctas: 1 };
+/// let scaler = KernelCurve {
+///     perf: vec![0.25, 0.5, 0.75, 1.0],
+///     cta_cost: cta(128),
+/// };
+/// let thrasher = KernelCurve {
+///     perf: vec![0.9, 1.0, 0.6, 0.4],
+///     cta_cost: cta(128),
+/// };
+/// let cap = ResourceVec { regs: 32768, shmem: 48 * 1024, threads: 1536, ctas: 8 };
+/// let p = water_fill(&[scaler, thrasher], cap).expect("feasible");
+/// assert_eq!(p.ctas, vec![4, 2]);
+/// ```
+#[must_use]
+pub fn water_fill(kernels: &[KernelCurve], total: ResourceVec) -> Option<Partition> {
+    if kernels.is_empty() || kernels.iter().any(|k| k.perf.is_empty()) {
+        return None;
+    }
+    let stairs: Vec<Staircase> = kernels.iter().map(|k| staircase(&k.perf)).collect();
+
+    // Initialization: one CTA per kernel (lines 6-15).
+    let mut left = total;
+    let mut ctas: Vec<u32> = Vec::with_capacity(kernels.len());
+    for k in kernels {
+        if !left.covers(&k.cta_cost) {
+            return None;
+        }
+        left = left.saturating_sub(&k.cta_cost);
+        ctas.push(1);
+    }
+    // g[i]: index into the staircase of the entry currently achieved.
+    // Stair entry 0 is always (1 CTA, its perf), matching T_i = 1.
+    let mut g: Vec<usize> = vec![0; kernels.len()];
+    let mut full: Vec<bool> = vec![false; kernels.len()];
+
+    // Main loop (lines 16-32): raise the worst performer step by step.
+    loop {
+        let mut selected: Option<usize> = None;
+        let mut min_perf = f64::INFINITY;
+        for i in 0..kernels.len() {
+            if full[i] {
+                continue;
+            }
+            let cur = stairs[i].q[g[i]];
+            if cur < min_perf {
+                min_perf = cur;
+                selected = Some(i);
+            }
+        }
+        let Some(s) = selected else {
+            break; // every kernel full
+        };
+        if g[s] + 1 >= stairs[s].m.len() {
+            // No further incremental improvement exists for this kernel.
+            full[s] = true;
+            continue;
+        }
+        let d_t = stairs[s].m[g[s] + 1] - stairs[s].m[g[s]];
+        let need = kernels[s].cta_cost.times(u64::from(d_t));
+        if left.covers(&need) {
+            left = left.saturating_sub(&need);
+            g[s] += 1;
+            ctas[s] += d_t;
+        } else {
+            full[s] = true;
+        }
+    }
+
+    let perf = stairs.iter().zip(&g).map(|(st, &gi)| st.q[gi]).collect();
+    Some(Partition { ctas, perf })
+}
+
+/// Exhaustive-search reference: maximizes the same objective by trying every
+/// feasible CTA combination (`O(N^K)`). Used by tests and the Oracle policy.
+///
+/// Tie-breaking: among partitions with equal minimum performance, prefers
+/// the one with the larger *sum* of normalized performance.
+#[must_use]
+pub fn brute_force(kernels: &[KernelCurve], total: ResourceVec) -> Option<Partition> {
+    if kernels.is_empty() || kernels.iter().any(|k| k.perf.is_empty()) {
+        return None;
+    }
+    let norm: Vec<Vec<f64>> = kernels
+        .iter()
+        .map(|k| {
+            let peak = k.perf.iter().copied().fold(0.0f64, f64::max);
+            let d = if peak > 0.0 { peak } else { 1.0 };
+            k.perf.iter().map(|p| p / d).collect()
+        })
+        .collect();
+    let mut best: Option<(f64, f64, Vec<u32>)> = None;
+    let mut current = vec![1u32; kernels.len()];
+    search(kernels, &norm, total, 0, &mut current, &mut best);
+    let (_, _, ctas) = best?;
+    let perf = ctas
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| norm[i][t as usize - 1])
+        .collect();
+    Some(Partition { ctas, perf })
+}
+
+fn search(
+    kernels: &[KernelCurve],
+    norm: &[Vec<f64>],
+    left: ResourceVec,
+    i: usize,
+    current: &mut Vec<u32>,
+    best: &mut Option<(f64, f64, Vec<u32>)>,
+) {
+    if i == kernels.len() {
+        let mut min_p = f64::INFINITY;
+        let mut sum_p = 0.0;
+        for (k, &t) in current.iter().enumerate() {
+            let p = norm[k][t as usize - 1];
+            min_p = min_p.min(p);
+            sum_p += p;
+        }
+        let better = match best {
+            None => true,
+            Some((bm, bs, _)) => min_p > *bm + 1e-12 || ((min_p - *bm).abs() <= 1e-12 && sum_p > *bs),
+        };
+        if better {
+            *best = Some((min_p, sum_p, current.clone()));
+        }
+        return;
+    }
+    for t in 1..=kernels[i].perf.len() as u32 {
+        let need = kernels[i].cta_cost.times(u64::from(t));
+        if !left.covers(&need) {
+            break;
+        }
+        current[i] = t;
+        search(kernels, norm, left.saturating_sub(&need), i + 1, current, best);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(regs: u64, threads: u64) -> ResourceVec {
+        ResourceVec {
+            regs,
+            shmem: 0,
+            threads,
+            ctas: 1,
+        }
+    }
+
+    fn cap() -> ResourceVec {
+        ResourceVec {
+            regs: 32768,
+            shmem: 48 * 1024,
+            threads: 1536,
+            ctas: 8,
+        }
+    }
+
+    #[test]
+    fn single_kernel_gets_peak() {
+        // Saturating curve peaking at 6 CTAs.
+        let k = KernelCurve {
+            perf: vec![0.2, 0.4, 0.6, 0.8, 0.9, 1.0, 1.0, 1.0],
+            cta_cost: cost(1000, 64),
+        };
+        let p = water_fill(&[k], cap()).unwrap();
+        assert_eq!(p.ctas, vec![6], "no CTAs wasted past the plateau");
+        assert!((p.perf[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig3b_sweet_spot() {
+        // The IMG + NN illustration: an even split starves IMG by ~30%,
+        // while 60/40 loses only ~10% each. 8 slots, symmetric costs.
+        let img = KernelCurve {
+            perf: vec![0.24, 0.47, 0.66, 0.84, 0.90, 0.95, 0.99, 1.0],
+            cta_cost: cost(1792 * 2, 128),
+        };
+        let nn = KernelCurve {
+            perf: vec![0.71, 0.90, 1.0, 1.0, 0.76, 0.67, 0.61, 0.57],
+            cta_cost: cost(1792 * 2, 128),
+        };
+        let p = water_fill(&[img.clone(), nn.clone()], cap()).unwrap();
+        // IMG should get more CTAs than an even split would give it.
+        assert!(p.ctas[0] >= 4, "IMG CTAs: {:?}", p.ctas);
+        assert!(p.ctas[1] <= 4);
+        assert!(p.min_perf() > 0.8, "min perf {:?}", p.perf);
+        // And it should match the exhaustive optimum on the objective.
+        let b = brute_force(&[img, nn], cap()).unwrap();
+        assert!((p.min_perf() - b.min_perf()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_resource_capacity() {
+        let k1 = KernelCurve {
+            perf: vec![0.5, 0.8, 1.0],
+            cta_cost: cost(12000, 512),
+        };
+        let k2 = KernelCurve {
+            perf: vec![0.6, 0.9, 1.0],
+            cta_cost: cost(12000, 512),
+        };
+        let p = water_fill(&[k1.clone(), k2.clone()], cap()).unwrap();
+        let used = k1
+            .cta_cost
+            .times(u64::from(p.ctas[0]))
+            .plus(&k2.cta_cost.times(u64::from(p.ctas[1])));
+        assert!(cap().covers(&used));
+        // 32768 regs / 12000 per CTA = at most 2 total... threads: 1536/512=3.
+        assert!(p.ctas[0] + p.ctas[1] <= 2);
+    }
+
+    #[test]
+    fn infeasible_pair_returns_none() {
+        let huge = KernelCurve {
+            perf: vec![1.0],
+            cta_cost: cost(20000, 1024),
+        };
+        assert!(water_fill(&[huge.clone(), huge], cap()).is_none());
+        assert!(water_fill(&[], cap()).is_none());
+    }
+
+    #[test]
+    fn empty_curve_returns_none() {
+        let k = KernelCurve {
+            perf: vec![],
+            cta_cost: cost(1, 1),
+        };
+        assert!(water_fill(&[k], cap()).is_none());
+    }
+
+    #[test]
+    fn worst_performer_is_raised_first() {
+        // Kernel A saturates instantly; kernel B needs CTAs. B should get
+        // the lion's share of the 8 slots.
+        let a = KernelCurve {
+            perf: vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+            cta_cost: cost(100, 32),
+        };
+        let b = KernelCurve {
+            perf: vec![0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0],
+            cta_cost: cost(100, 32),
+        };
+        let p = water_fill(&[a, b], cap()).unwrap();
+        assert_eq!(p.ctas, vec![1, 7]);
+    }
+
+    #[test]
+    fn non_convex_curve_skips_the_valley() {
+        // Perf dips at 3-4 CTAs and recovers at 5: the staircase jumps
+        // straight from 2 to 5.
+        let k = KernelCurve {
+            perf: vec![0.4, 0.6, 0.5, 0.55, 1.0],
+            cta_cost: cost(1000, 64),
+        };
+        let p = water_fill(&[k], cap()).unwrap();
+        assert_eq!(p.ctas, vec![5]);
+    }
+
+    #[test]
+    fn three_kernels_partition() {
+        let mk = |peak_at: usize| KernelCurve {
+            perf: (1..=8)
+                .map(|j| (j as f64 / peak_at as f64).min(1.0))
+                .collect(),
+            cta_cost: cost(2000, 128),
+        };
+        let p = water_fill(&[mk(2), mk(4), mk(6)], cap()).unwrap();
+        assert_eq!(p.ctas.len(), 3);
+        let total: u32 = p.ctas.iter().sum();
+        assert!(total <= 8);
+        // The slow-saturating kernel gets the most CTAs.
+        assert!(p.ctas[2] >= p.ctas[1] && p.ctas[1] >= p.ctas[0]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_taxing_cases() {
+        // A deterministic battery of awkward shapes.
+        let shapes: Vec<Vec<f64>> = vec![
+            vec![0.9, 0.2, 1.0, 0.1, 0.95, 0.97, 0.99, 1.0],
+            vec![1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3],
+            vec![0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 1.0],
+            vec![0.5; 8],
+        ];
+        for a in &shapes {
+            for b in &shapes {
+                let ks = [
+                    KernelCurve {
+                        perf: a.clone(),
+                        cta_cost: cost(3000, 128),
+                    },
+                    KernelCurve {
+                        perf: b.clone(),
+                        cta_cost: cost(2000, 192),
+                    },
+                ];
+                let wf = water_fill(&ks, cap()).unwrap();
+                let bf = brute_force(&ks, cap()).unwrap();
+                assert!(
+                    wf.min_perf() >= bf.min_perf() - 1e-9,
+                    "waterfill {:?} vs brute {:?} on {a:?}/{b:?}",
+                    wf,
+                    bf
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Global-memory address-stream generation.
+//!
+//! Each synthetic kernel owns a disjoint slice of the physical address space
+//! (so co-scheduled kernels never false-share cache lines) and draws its
+//! global accesses from one of four patterns. The patterns are the minimal
+//! set that reproduces the four performance-scaling archetypes of Fig. 3a of
+//! the paper: streaming and random traffic saturate DRAM bandwidth, tiled
+//! traffic stays cache-resident, and bounded-footprint traffic creates L1
+//! sensitivity (performance peaks and then degrades as more CTAs thrash the
+//! L1).
+
+use crate::rng::SimRng;
+
+/// Cache-line-granular address (byte address >> log2(line size)).
+pub type LineAddr = u64;
+
+/// How many address bits each CTA's private region spans (in lines).
+const CTA_REGION_BITS: u32 = 16; // 64 Ki lines = 8 MB at 128 B lines
+/// Offset of the kernel-shared region within a kernel's address slice.
+const SHARED_REGION_BIT: u32 = 36;
+/// Address bits reserved per kernel slice.
+const KERNEL_SLICE_BITS: u32 = 40;
+
+/// Base line address of kernel slot `slot`'s address slice.
+#[must_use]
+pub fn kernel_base(slot: usize) -> LineAddr {
+    ((slot as u64) + 1) << KERNEL_SLICE_BITS
+}
+
+/// Base line address of the private region of CTA `cta_index` of kernel
+/// `slot`.
+#[must_use]
+pub fn cta_region_base(slot: usize, cta_index: u64) -> LineAddr {
+    kernel_base(slot) + (cta_index << CTA_REGION_BITS)
+}
+
+/// Base line address of kernel `slot`'s shared (inter-CTA) region.
+#[must_use]
+pub fn shared_region_base(slot: usize) -> LineAddr {
+    kernel_base(slot) | (1 << SHARED_REGION_BIT)
+}
+
+/// A global-memory access pattern.
+///
+/// `transactions` is the number of 128-byte memory transactions one warp
+/// memory instruction generates: 1 is a fully coalesced access, 32 is fully
+/// divergent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPattern {
+    /// Sequential walk over a per-CTA region far larger than any cache:
+    /// every line is touched once. Models Blackscholes/LBM-style streaming.
+    Streaming {
+        /// Transactions per warp memory instruction.
+        transactions: u32,
+    },
+    /// Uniformly random lines over a kernel-shared footprint. With a
+    /// footprint much larger than the L2 this models BFS/KNN-style irregular
+    /// traffic.
+    Random {
+        /// Footprint of the shared region, in lines.
+        footprint_lines: u64,
+        /// Transactions per warp memory instruction.
+        transactions: u32,
+    },
+    /// Mixed per-CTA private footprint and kernel-shared footprint, both
+    /// bounded. When few CTAs are resident the hot lines fit in the L1 and
+    /// hit; as CTAs are added the aggregate footprint exceeds the L1 and
+    /// performance degrades — the "L1 cache sensitive" archetype (NN, MVP).
+    BoundedFootprint {
+        /// Lines in each CTA's private footprint.
+        private_lines: u32,
+        /// Lines in the kernel-shared footprint.
+        shared_lines: u64,
+        /// Probability that an access targets the shared footprint.
+        shared_frac: f64,
+        /// Transactions per warp memory instruction.
+        transactions: u32,
+    },
+    /// Blocked/tiled access: the warp revisits a small tile `reuse` times
+    /// before advancing. Models DXT/HOT/MM-style software-blocked kernels
+    /// with very low miss rates.
+    Tiled {
+        /// Tile size in lines.
+        tile_lines: u32,
+        /// Number of passes over a tile before advancing to the next.
+        reuse: u32,
+        /// Transactions per warp memory instruction.
+        transactions: u32,
+    },
+    /// Per-CTA *hot* reused lines mixed with a per-CTA *cold* sequential
+    /// stream. The hot regions of co-resident CTAs compete for L1 capacity
+    /// (performance peaks below full occupancy) while the cold stream
+    /// produces CTA-proportional DRAM traffic — the matrix-vector-product
+    /// shape: reused vector block + streamed matrix rows.
+    HotCold {
+        /// Lines in each CTA's hot (reused) footprint.
+        hot_lines: u32,
+        /// Probability that an access targets the hot footprint.
+        hot_frac: f64,
+        /// Transactions per warp memory instruction.
+        transactions: u32,
+    },
+}
+
+impl AccessPattern {
+    /// Transactions per warp memory instruction for this pattern.
+    #[must_use]
+    pub fn transactions(&self) -> u32 {
+        match *self {
+            Self::Streaming { transactions }
+            | Self::Random { transactions, .. }
+            | Self::BoundedFootprint { transactions, .. }
+            | Self::Tiled { transactions, .. }
+            | Self::HotCold { transactions, .. } => transactions.clamp(1, 32),
+        }
+    }
+}
+
+/// Per-warp address-stream generator state.
+///
+/// Streams are deterministic functions of (kernel slot, CTA index, warp
+/// index, seed), so repeated simulations of the same workload produce
+/// identical traffic.
+#[derive(Debug, Clone)]
+pub struct AddressStream {
+    kernel_slot: usize,
+    cta_index: u64,
+    seq: u64,
+    rng: SimRng,
+}
+
+impl AddressStream {
+    /// Creates the stream for warp `warp_in_cta` of CTA `cta_index` of the
+    /// kernel in slot `kernel_slot`.
+    #[must_use]
+    pub fn new(kernel_slot: usize, cta_index: u64, warp_in_cta: u32, seed: u64) -> Self {
+        let stream_seed = seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((kernel_slot as u64) << 48)
+            .wrapping_add(cta_index << 16)
+            .wrapping_add(u64::from(warp_in_cta));
+        Self {
+            kernel_slot,
+            cta_index,
+            seq: u64::from(warp_in_cta) << 32,
+            rng: SimRng::seed_from_u64(stream_seed),
+        }
+    }
+
+    /// Generates the line addresses for the next warp memory instruction,
+    /// appending `pattern.transactions()` lines to `out`.
+    pub fn next_access(&mut self, pattern: &AccessPattern, out: &mut Vec<LineAddr>) {
+        let t = pattern.transactions();
+        match *pattern {
+            AccessPattern::Streaming { .. } => {
+                let base = cta_region_base(self.kernel_slot, self.cta_index);
+                for _ in 0..t {
+                    // Wrap within the CTA region so long runs stay in bounds.
+                    out.push(base + (self.seq & ((1 << CTA_REGION_BITS) - 1)));
+                    self.seq += 1;
+                }
+            }
+            AccessPattern::Random {
+                footprint_lines, ..
+            } => {
+                let base = shared_region_base(self.kernel_slot);
+                let fp = footprint_lines.max(1);
+                for _ in 0..t {
+                    out.push(base + self.rng.range_u64(fp));
+                }
+            }
+            AccessPattern::BoundedFootprint {
+                private_lines,
+                shared_lines,
+                shared_frac,
+                ..
+            } => {
+                let private_base = cta_region_base(self.kernel_slot, self.cta_index);
+                let shared_base = shared_region_base(self.kernel_slot);
+                let pl = u64::from(private_lines.max(1));
+                let sl = shared_lines.max(1);
+                for _ in 0..t {
+                    if self.rng.unit_f64() < shared_frac {
+                        out.push(shared_base + self.rng.range_u64(sl));
+                    } else {
+                        out.push(private_base + self.rng.range_u64(pl));
+                    }
+                }
+            }
+            AccessPattern::HotCold {
+                hot_lines,
+                hot_frac,
+                ..
+            } => {
+                let base = cta_region_base(self.kernel_slot, self.cta_index);
+                let hl = u64::from(hot_lines.max(1));
+                for _ in 0..t {
+                    if self.rng.unit_f64() < hot_frac {
+                        out.push(base + self.rng.range_u64(hl));
+                    } else {
+                        // Cold stream: sequential walk above the hot region.
+                        out.push(base + hl + (self.seq & ((1 << CTA_REGION_BITS) - 1)));
+                        self.seq += 1;
+                    }
+                }
+            }
+            AccessPattern::Tiled {
+                tile_lines, reuse, ..
+            } => {
+                let base = cta_region_base(self.kernel_slot, self.cta_index);
+                let tl = u64::from(tile_lines.max(1));
+                let ru = u64::from(reuse.max(1));
+                for _ in 0..t {
+                    let tile = self.seq / (tl * ru);
+                    let within = self.seq % tl;
+                    out.push(base + ((tile * tl + within) & ((1 << CTA_REGION_BITS) - 1)));
+                    self.seq += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_slices_are_disjoint() {
+        // The top of any address produced by kernel 0 can never collide with
+        // kernel 1's slice.
+        let k0 = kernel_base(0);
+        let k1 = kernel_base(1);
+        assert!(k1 - k0 >= 1 << KERNEL_SLICE_BITS);
+        assert!(shared_region_base(0) < k1);
+        assert!(cta_region_base(0, 1 << 20) < k1);
+    }
+
+    #[test]
+    fn streaming_walks_sequentially() {
+        let mut s = AddressStream::new(0, 3, 0, 7);
+        let pat = AccessPattern::Streaming { transactions: 1 };
+        let mut out = Vec::new();
+        for _ in 0..4 {
+            s.next_access(&pat, &mut out);
+        }
+        assert_eq!(out.len(), 4);
+        for w in out.windows(2) {
+            assert_eq!(w[1], w[0] + 1);
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let pat = AccessPattern::Random {
+            footprint_lines: 1 << 20,
+            transactions: 4,
+        };
+        let mut a = AddressStream::new(1, 2, 3, 99);
+        let mut b = AddressStream::new(1, 2, 3, 99);
+        let (mut out_a, mut out_b) = (Vec::new(), Vec::new());
+        for _ in 0..16 {
+            a.next_access(&pat, &mut out_a);
+            b.next_access(&pat, &mut out_b);
+        }
+        assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    fn random_stays_in_footprint() {
+        let fp = 1024;
+        let pat = AccessPattern::Random {
+            footprint_lines: fp,
+            transactions: 8,
+        };
+        let mut s = AddressStream::new(0, 0, 0, 1);
+        let mut out = Vec::new();
+        for _ in 0..100 {
+            s.next_access(&pat, &mut out);
+        }
+        let base = shared_region_base(0);
+        assert!(out.iter().all(|&l| l >= base && l < base + fp));
+    }
+
+    #[test]
+    fn bounded_footprint_mixes_regions() {
+        let pat = AccessPattern::BoundedFootprint {
+            private_lines: 16,
+            shared_lines: 64,
+            shared_frac: 0.5,
+            transactions: 1,
+        };
+        let mut s = AddressStream::new(0, 5, 1, 3);
+        let mut out = Vec::new();
+        for _ in 0..400 {
+            s.next_access(&pat, &mut out);
+        }
+        let shared_base = shared_region_base(0);
+        let n_shared = out.iter().filter(|&&l| l >= shared_base).count();
+        // Roughly half the accesses should land in the shared region.
+        assert!(n_shared > 100 && n_shared < 300, "n_shared = {n_shared}");
+    }
+
+    #[test]
+    fn tiled_reuses_lines() {
+        let pat = AccessPattern::Tiled {
+            tile_lines: 8,
+            reuse: 4,
+            transactions: 1,
+        };
+        let mut s = AddressStream::new(0, 0, 0, 1);
+        let mut out = Vec::new();
+        for _ in 0..64 {
+            s.next_access(&pat, &mut out);
+        }
+        // 64 accesses over 8-line tiles reused 4x touch only 16 distinct lines.
+        let mut distinct: Vec<_> = out.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 16);
+    }
+
+    #[test]
+    fn hot_cold_mixes_reuse_and_streaming() {
+        let pat = AccessPattern::HotCold {
+            hot_lines: 8,
+            hot_frac: 0.5,
+            transactions: 1,
+        };
+        let mut s = AddressStream::new(0, 0, 0, 1);
+        let mut out = Vec::new();
+        for _ in 0..400 {
+            s.next_access(&pat, &mut out);
+        }
+        let base = cta_region_base(0, 0);
+        let hot = out.iter().filter(|&&l| l < base + 8).count();
+        assert!(hot > 120 && hot < 280, "hot accesses: {hot}");
+        // Cold lines never repeat.
+        let mut cold: Vec<_> = out.iter().filter(|&&l| l >= base + 8).copied().collect();
+        let n = cold.len();
+        cold.sort_unstable();
+        cold.dedup();
+        assert_eq!(cold.len(), n, "cold stream must be distinct lines");
+    }
+
+    #[test]
+    fn transactions_clamped_to_warp_size() {
+        let pat = AccessPattern::Streaming { transactions: 64 };
+        assert_eq!(pat.transactions(), 32);
+        let pat = AccessPattern::Random {
+            footprint_lines: 10,
+            transactions: 0,
+        };
+        assert_eq!(pat.transactions(), 1);
+    }
+}

@@ -1,0 +1,256 @@
+//! Standalone simulator driver: describe a synthetic kernel on the command
+//! line, run it on the Table I GPU, and print a statistics report.
+//!
+//! ```text
+//! gpu-sim [--threads N] [--regs N] [--shmem BYTES] [--grid N]
+//!         [--body N] [--iters N] [--alu F] [--sfu F] [--gload F]
+//!         [--gstore F] [--shm-frac F] [--barrier F] [--dep N]
+//!         [--pattern streaming|random:LINES|tiled:TILE,REUSE|hotcold:HOT,FRAC]
+//!         [--transactions N] [--icache-miss F] [--conflicts N]
+//!         [--ctas-per-sm N] [--cycles N] [--sched gto|rr] [--large]
+//! ```
+
+use std::process::ExitCode;
+
+use gpu_sim::{
+    AccessPattern, Gpu, GpuConfig, KernelDesc, ProgramSpec, SchedulerKind, StallReason,
+};
+
+#[derive(Debug)]
+struct Args {
+    threads: u32,
+    regs: u32,
+    shmem: u32,
+    grid: u64,
+    body: usize,
+    iters: u32,
+    sfu: f64,
+    gload: f64,
+    gstore: f64,
+    shm_frac: f64,
+    barrier: f64,
+    dep: usize,
+    pattern: AccessPattern,
+    icache_miss: f64,
+    conflicts: u32,
+    ctas_per_sm: u32,
+    cycles: u64,
+    sched: SchedulerKind,
+    large: bool,
+    seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            threads: 128,
+            regs: 16,
+            shmem: 0,
+            grid: 10_000,
+            body: 100,
+            iters: 4,
+            sfu: 0.05,
+            gload: 0.1,
+            gstore: 0.02,
+            shm_frac: 0.0,
+            barrier: 0.0,
+            dep: 4,
+            pattern: AccessPattern::Streaming { transactions: 1 },
+            icache_miss: 0.0,
+            conflicts: 1,
+            ctas_per_sm: u32::MAX,
+            cycles: 50_000,
+            sched: SchedulerKind::GreedyThenOldest,
+            large: false,
+            seed: 1,
+        }
+    }
+}
+
+fn parse_pattern(v: &str, transactions: u32) -> Result<AccessPattern, String> {
+    let (kind, rest) = v.split_once(':').unwrap_or((v, ""));
+    match kind {
+        "streaming" => Ok(AccessPattern::Streaming { transactions }),
+        "random" => {
+            let footprint_lines = rest
+                .parse()
+                .map_err(|_| format!("random:LINES expected, got {v}"))?;
+            Ok(AccessPattern::Random {
+                footprint_lines,
+                transactions,
+            })
+        }
+        "tiled" => {
+            let (t, r) = rest
+                .split_once(',')
+                .ok_or_else(|| format!("tiled:TILE,REUSE expected, got {v}"))?;
+            Ok(AccessPattern::Tiled {
+                tile_lines: t.parse().map_err(|_| format!("bad tile size in {v}"))?,
+                reuse: r.parse().map_err(|_| format!("bad reuse in {v}"))?,
+                transactions,
+            })
+        }
+        "hotcold" => {
+            let (h, f) = rest
+                .split_once(',')
+                .ok_or_else(|| format!("hotcold:HOT_LINES,HOT_FRAC expected, got {v}"))?;
+            Ok(AccessPattern::HotCold {
+                hot_lines: h.parse().map_err(|_| format!("bad hot lines in {v}"))?,
+                hot_frac: f.parse().map_err(|_| format!("bad hot fraction in {v}"))?,
+                transactions,
+            })
+        }
+        other => Err(format!("unknown pattern kind: {other}")),
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args::default();
+    let mut transactions = 1u32;
+    let mut pattern_arg: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--large" {
+            out.large = true;
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} requires a value"))?;
+        let f = || -> Result<f64, String> {
+            value.parse().map_err(|_| format!("bad value for {flag}: {value}"))
+        };
+        match flag.as_str() {
+            "--threads" => out.threads = value.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--regs" => out.regs = value.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--shmem" => out.shmem = value.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--grid" => out.grid = value.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--body" => out.body = value.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--iters" => out.iters = value.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--sfu" => out.sfu = f()?,
+            "--gload" => out.gload = f()?,
+            "--gstore" => out.gstore = f()?,
+            "--shm-frac" => out.shm_frac = f()?,
+            "--barrier" => out.barrier = f()?,
+            "--dep" => out.dep = value.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--pattern" => pattern_arg = Some(value),
+            "--transactions" => {
+                transactions = value.parse().map_err(|e| format!("{flag}: {e}"))?;
+            }
+            "--icache-miss" => out.icache_miss = f()?,
+            "--conflicts" => out.conflicts = value.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--ctas-per-sm" => {
+                out.ctas_per_sm = value.parse().map_err(|e| format!("{flag}: {e}"))?;
+            }
+            "--cycles" => out.cycles = value.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--seed" => out.seed = value.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--sched" => {
+                out.sched = match value.as_str() {
+                    "gto" => SchedulerKind::GreedyThenOldest,
+                    "rr" => SchedulerKind::RoundRobin,
+                    other => return Err(format!("unknown scheduler: {other}")),
+                }
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    out.pattern = parse_pattern(
+        pattern_arg.as_deref().unwrap_or("streaming"),
+        transactions,
+    )?;
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = if args.large {
+        GpuConfig::large()
+    } else {
+        GpuConfig::isca_baseline()
+    };
+    let desc = KernelDesc {
+        name: "cli".into(),
+        grid_ctas: args.grid,
+        threads_per_cta: args.threads,
+        regs_per_thread: args.regs,
+        shmem_per_cta: args.shmem,
+        program: ProgramSpec {
+            body_len: args.body,
+            sfu_frac: args.sfu,
+            gload_frac: args.gload,
+            gstore_frac: args.gstore,
+            shmem_frac: args.shm_frac,
+            barrier_frac: args.barrier,
+            dep_distance: args.dep,
+            seed: args.seed,
+        }
+        .generate(),
+        iterations: args.iters,
+        pattern: args.pattern.clone(),
+        icache_miss_rate: args.icache_miss,
+        shmem_conflict_degree: args.conflicts,
+        seed: args.seed,
+    };
+    let max_ctas = desc.max_ctas_per_sm(&cfg.sm);
+    println!(
+        "kernel: {} threads/CTA, {} regs/thread, {} B shmem/CTA -> max {} CTAs/SM",
+        desc.threads_per_cta, desc.regs_per_thread, desc.shmem_per_cta, max_ctas
+    );
+
+    let mut gpu = Gpu::new(cfg.clone(), args.sched);
+    let k = gpu.add_kernel(desc);
+    let cap = args.ctas_per_sm.min(max_ctas);
+    for _ in 0..args.cycles {
+        for s in 0..gpu.num_sms() {
+            while gpu.sm(s).kernel_ctas(0) < cap && gpu.try_launch(k, s) {}
+        }
+        gpu.tick();
+    }
+
+    println!("after {} cycles ({}):", args.cycles, args.sched);
+    println!("  warp instructions : {}", gpu.kernel_insts(k));
+    println!("  IPC (GPU-wide)    : {:.3}", gpu.total_ipc());
+    println!("  CTAs completed    : {}", gpu.kernel_meta(k).completed_ctas);
+    let mem = gpu.mem_stats();
+    let mut l1a = 0u64;
+    let mut l1m = 0u64;
+    for sm in gpu.sms() {
+        l1a += sm.stats().kernel(0).l1_accesses;
+        l1m += sm.stats().kernel(0).l1_misses;
+    }
+    println!(
+        "  L1 miss rate      : {:.1}%  ({} accesses)",
+        100.0 * l1m as f64 / l1a.max(1) as f64,
+        l1a
+    );
+    println!(
+        "  L2 miss rate      : {:.1}%  (MPKI {:.1})",
+        100.0 * mem.total.l2_misses as f64 / mem.total.l2_accesses.max(1) as f64,
+        mem.total.l2_misses as f64 * 1000.0 / gpu.kernel_insts(k).max(1) as f64
+    );
+    println!(
+        "  DRAM              : {} transactions, {:.1}% bus busy",
+        gpu.mem().dram_serviced(),
+        100.0 * gpu.mem().dram_busy_fraction(args.cycles)
+    );
+    let sched_cycles = (args.cycles * gpu.num_sms() as u64 * u64::from(cfg.sm.num_schedulers)) as f64;
+    let mut stall_line = String::new();
+    for (name, reason) in [
+        ("mem", StallReason::LongMemoryLatency),
+        ("raw", StallReason::ShortRawHazard),
+        ("exec", StallReason::ExecResource),
+        ("ibuf", StallReason::IbufferEmpty),
+        ("barrier", StallReason::Barrier),
+    ] {
+        let c: u64 = gpu.sms().map(|s| s.stats().stalls.get(reason)).sum();
+        stall_line.push_str(&format!("{name} {:.1}%  ", 100.0 * c as f64 / sched_cycles));
+    }
+    println!("  stalls            : {stall_line}");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,261 @@
+//! Set-associative cache model with true-LRU replacement.
+//!
+//! The model is tag-only (no data payload): a probe either hits or misses.
+//! Fills happen explicitly (allocate-on-fill), which lets the L1 model defer
+//! allocation until the memory response returns, as GPGPU-Sim does.
+
+use crate::access::LineAddr;
+
+#[derive(Debug, Clone, Copy)]
+struct CacheLine {
+    tag: u64,
+    last_use: u64,
+    valid: bool,
+}
+
+/// Result of a cache probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeResult {
+    /// Line present; LRU state updated.
+    Hit,
+    /// Line absent.
+    Miss,
+}
+
+/// Tag-only set-associative cache with LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::{ProbeResult, SetAssocCache};
+///
+/// let mut l1 = SetAssocCache::new(16 * 1024, 4, 128);
+/// assert_eq!(l1.access(42), ProbeResult::Miss);
+/// l1.fill(42); // allocate-on-fill, as the SM does when the response returns
+/// assert_eq!(l1.access(42), ProbeResult::Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: Vec<CacheLine>,
+    num_sets: u64,
+    assoc: usize,
+    clock: u64,
+    accesses: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Creates a cache of `size_bytes` capacity with `assoc` ways and
+    /// `line_bytes` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly into at least one set.
+    #[must_use]
+    pub fn new(size_bytes: u32, assoc: u32, line_bytes: u32) -> Self {
+        let lines = size_bytes / line_bytes;
+        assert!(
+            assoc > 0 && lines >= assoc && lines.is_multiple_of(assoc),
+            "invalid cache geometry: {size_bytes} B / {assoc}-way / {line_bytes} B lines"
+        );
+        let num_sets = u64::from(lines / assoc);
+        Self {
+            sets: vec![
+                CacheLine {
+                    tag: 0,
+                    last_use: 0,
+                    valid: false,
+                };
+                (lines) as usize
+            ],
+            num_sets,
+            assoc: assoc as usize,
+            clock: 0,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
+        let set = (line % self.num_sets) as usize;
+        set * self.assoc..(set + 1) * self.assoc
+    }
+
+    /// Probes for `line`, updating LRU on a hit and recording statistics.
+    pub fn access(&mut self, line: LineAddr) -> ProbeResult {
+        self.clock += 1;
+        self.accesses += 1;
+        let tag = line / self.num_sets;
+        let clock = self.clock;
+        let range = self.set_range(line);
+        for way in &mut self.sets[range] {
+            if way.valid && way.tag == tag {
+                way.last_use = clock;
+                return ProbeResult::Hit;
+            }
+        }
+        self.misses += 1;
+        ProbeResult::Miss
+    }
+
+    /// Probes without touching LRU or statistics.
+    #[must_use]
+    pub fn peek(&self, line: LineAddr) -> bool {
+        let tag = line / self.num_sets;
+        self.sets[self.set_range(line)]
+            .iter()
+            .any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Installs `line`, evicting the LRU way if the set is full. Installing
+    /// an already-present line refreshes its LRU position.
+    pub fn fill(&mut self, line: LineAddr) {
+        self.clock += 1;
+        let tag = line / self.num_sets;
+        let clock = self.clock;
+        let range = self.set_range(line);
+        let set = &mut self.sets[range];
+        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.last_use = clock;
+            return;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.last_use } else { 0 })
+            .expect("assoc > 0");
+        *victim = CacheLine {
+            tag,
+            last_use: clock,
+            valid: true,
+        };
+    }
+
+    /// Lifetime probe count.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Lifetime miss count.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss rate over the cache's lifetime, or 0 if never accessed.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Drops all lines and statistics.
+    pub fn reset(&mut self) {
+        for w in &mut self.sets {
+            w.valid = false;
+        }
+        self.accesses = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssocCache {
+        // 4 sets x 2 ways.
+        SetAssocCache::new(8 * 128, 2, 128)
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small();
+        assert_eq!(c.access(42), ProbeResult::Miss);
+        c.fill(42);
+        assert_eq!(c.access(42), ProbeResult::Hit);
+        assert_eq!(c.accesses(), 2);
+        assert_eq!(c.misses(), 1);
+        assert!((c.miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // Lines 0, 4, 8 all map to set 0 (4 sets).
+        c.fill(0);
+        c.fill(4);
+        let _ = c.access(0); // 0 is now MRU
+        c.fill(8); // evicts 4
+        assert!(c.peek(0));
+        assert!(!c.peek(4));
+        assert!(c.peek(8));
+    }
+
+    #[test]
+    fn refill_refreshes_lru() {
+        let mut c = small();
+        c.fill(0);
+        c.fill(4);
+        c.fill(0); // refresh, not duplicate
+        c.fill(8); // evicts 4, not 0
+        assert!(c.peek(0));
+        assert!(!c.peek(4));
+    }
+
+    #[test]
+    fn peek_does_not_touch_stats() {
+        let mut c = small();
+        c.fill(3);
+        assert!(c.peek(3));
+        assert!(!c.peek(7));
+        assert_eq!(c.accesses(), 0);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut c = small();
+        for line in 0..4 {
+            c.fill(line);
+        }
+        for line in 0..4 {
+            assert_eq!(c.access(line), ProbeResult::Hit);
+        }
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = small();
+        // 16 lines cycling through an 8-line cache with LRU => ~0% hits on a
+        // sequential sweep.
+        for pass in 0..4 {
+            for line in 0..16 {
+                let r = c.access(line);
+                if pass > 0 {
+                    assert_eq!(r, ProbeResult::Miss);
+                }
+                c.fill(line);
+            }
+        }
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = small();
+        c.fill(1);
+        let _ = c.access(1);
+        c.reset();
+        assert!(!c.peek(1));
+        assert_eq!(c.accesses(), 0);
+        assert_eq!(c.misses(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cache geometry")]
+    fn bad_geometry_rejected() {
+        let _ = SetAssocCache::new(100, 3, 128);
+    }
+}

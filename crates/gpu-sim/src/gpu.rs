@@ -1,0 +1,380 @@
+//! Top-level GPU: SMs plus the shared memory subsystem, with a
+//! policy-agnostic launch interface.
+//!
+//! The simulator deliberately does *not* embed a CTA scheduling policy:
+//! multiprogramming controllers (Left-Over, Even, Spatial, Warped-Slicer,
+//! ...) live in the `warped-slicer` crate and drive launches through
+//! [`Gpu::try_launch`], [`Gpu::set_window`], and [`Gpu::halt_kernel`].
+
+use crate::alloc::PartitionWindow;
+use crate::config::GpuConfig;
+use crate::kernel::{KernelDesc, KernelId};
+use crate::mem::{MemResponse, MemStats, MemSubsystem};
+use crate::scheduler::SchedulerKind;
+use crate::sm::Sm;
+
+/// Per-kernel dispatch bookkeeping.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelMeta {
+    /// CTAs handed to SMs so far.
+    pub dispatched_ctas: u64,
+    /// CTAs that ran to completion.
+    pub completed_ctas: u64,
+    /// Whether the kernel has been halted (instruction target reached).
+    pub halted: bool,
+}
+
+/// The simulated GPU.
+#[derive(Debug)]
+pub struct Gpu {
+    cfg: GpuConfig,
+    sms: Vec<Sm>,
+    mem: MemSubsystem,
+    descs: Vec<KernelDesc>,
+    meta: Vec<KernelMeta>,
+    kernel_insts: Vec<u64>,
+    cycle: u64,
+    resp_buf: Vec<MemResponse>,
+}
+
+impl Gpu {
+    /// Builds a GPU with the given configuration and warp scheduler.
+    #[must_use]
+    pub fn new(cfg: GpuConfig, scheduler: SchedulerKind) -> Self {
+        let sms = (0..cfg.num_sms as usize)
+            .map(|i| Sm::new(i, &cfg, scheduler))
+            .collect();
+        let mem = MemSubsystem::new(&cfg);
+        Self {
+            cfg,
+            sms,
+            mem,
+            descs: Vec::new(),
+            meta: Vec::new(),
+            kernel_insts: Vec::new(),
+            cycle: 0,
+            resp_buf: Vec::new(),
+        }
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Current core cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Number of SMs.
+    #[must_use]
+    pub fn num_sms(&self) -> usize {
+        self.sms.len()
+    }
+
+    /// Registers a kernel for execution, returning its slot id. Kernels are
+    /// not launched automatically; a controller must dispatch CTAs.
+    pub fn add_kernel(&mut self, desc: KernelDesc) -> KernelId {
+        let id = KernelId(self.descs.len());
+        self.descs.push(desc);
+        self.meta.push(KernelMeta::default());
+        self.kernel_insts.push(0);
+        id
+    }
+
+    /// The descriptor of kernel `k`.
+    #[must_use]
+    pub fn kernel_desc(&self, k: KernelId) -> &KernelDesc {
+        &self.descs[k.0]
+    }
+
+    /// Number of registered kernels.
+    #[must_use]
+    pub fn num_kernels(&self) -> usize {
+        self.descs.len()
+    }
+
+    /// Dispatch bookkeeping for kernel `k`.
+    #[must_use]
+    pub fn kernel_meta(&self, k: KernelId) -> KernelMeta {
+        self.meta[k.0]
+    }
+
+    /// Warp instructions issued by kernel `k` so far (across all SMs).
+    #[must_use]
+    pub fn kernel_insts(&self, k: KernelId) -> u64 {
+        self.kernel_insts[k.0]
+    }
+
+    /// CTAs of kernel `k` not yet dispatched.
+    #[must_use]
+    pub fn remaining_ctas(&self, k: KernelId) -> u64 {
+        let m = &self.meta[k.0];
+        if m.halted {
+            0
+        } else {
+            self.descs[k.0].grid_ctas - m.dispatched_ctas
+        }
+    }
+
+    /// Whether kernel `k` has work left (undispatched CTAs) and is not
+    /// halted.
+    #[must_use]
+    pub fn kernel_has_work(&self, k: KernelId) -> bool {
+        self.remaining_ctas(k) > 0
+    }
+
+    /// Total CTAs completed across all kernels. Controllers use this as a
+    /// cheap change signal: launch opportunities only appear when a CTA
+    /// retires or a kernel halts.
+    #[must_use]
+    pub fn total_completed(&self) -> u64 {
+        self.meta.iter().map(|m| m.completed_ctas).sum()
+    }
+
+    /// Number of halted kernels.
+    #[must_use]
+    pub fn halted_kernels(&self) -> usize {
+        self.meta.iter().filter(|m| m.halted).count()
+    }
+
+    /// All registered kernel ids, in slot order.
+    #[must_use]
+    pub fn kernel_ids(&self) -> Vec<KernelId> {
+        (0..self.descs.len()).map(KernelId).collect()
+    }
+
+    /// Shared-memory-subsystem statistics.
+    #[must_use]
+    pub fn mem_stats(&self) -> &MemStats {
+        self.mem.stats()
+    }
+
+    /// The memory subsystem (for bandwidth statistics).
+    #[must_use]
+    pub fn mem(&self) -> &MemSubsystem {
+        &self.mem
+    }
+
+    /// SM `s` (read-only; controllers mutate only through GPU methods).
+    #[must_use]
+    pub fn sm(&self, s: usize) -> &Sm {
+        &self.sms[s]
+    }
+
+    /// Iterates over all SMs.
+    pub fn sms(&self) -> impl Iterator<Item = &Sm> {
+        self.sms.iter()
+    }
+
+    /// Attempts to dispatch kernel `k`'s next CTA onto SM `sm_id`.
+    pub fn try_launch(&mut self, k: KernelId, sm_id: usize) -> bool {
+        if self.meta[k.0].halted || self.meta[k.0].dispatched_ctas >= self.descs[k.0].grid_ctas {
+            return false;
+        }
+        let cta_index = self.meta[k.0].dispatched_ctas;
+        if self.sms[sm_id].launch_cta(&self.descs[k.0], k, cta_index) {
+            self.meta[k.0].dispatched_ctas += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether a CTA of kernel `k` would fit on SM `sm_id` right now.
+    #[must_use]
+    pub fn can_launch(&self, k: KernelId, sm_id: usize) -> bool {
+        !self.meta[k.0].halted
+            && self.meta[k.0].dispatched_ctas < self.descs[k.0].grid_ctas
+            && self.sms[sm_id].can_launch(&self.descs[k.0], k)
+    }
+
+    /// Sets (or clears) kernel `k`'s partition window on SM `sm_id`.
+    pub fn set_window(&mut self, sm_id: usize, k: KernelId, window: Option<PartitionWindow>) {
+        self.sms[sm_id].set_window(k.0, window);
+    }
+
+    /// Halts kernel `k`: evicts its CTAs from every SM and releases all its
+    /// resources (the paper's equal-work methodology: a benchmark reaching
+    /// its instruction target is halted and its resources freed).
+    pub fn halt_kernel(&mut self, k: KernelId) {
+        if self.meta[k.0].halted {
+            return;
+        }
+        self.meta[k.0].halted = true;
+        for sm in &mut self.sms {
+            sm.evict_kernel(k.0, &self.descs[k.0]);
+        }
+    }
+
+    /// Advances the whole GPU by one core cycle.
+    pub fn tick(&mut self) {
+        let now = self.cycle;
+        for sm in &mut self.sms {
+            sm.tick(now, &mut self.mem, &self.descs, &mut self.kernel_insts);
+        }
+        self.resp_buf.clear();
+        self.mem.tick(now, &mut self.resp_buf);
+        for i in 0..self.resp_buf.len() {
+            let r = self.resp_buf[i];
+            self.sms[r.sm_id].on_fill(r.line, now);
+        }
+        for s in 0..self.sms.len() {
+            for c in self.sms[s].take_completions() {
+                self.meta[c.kernel.0].completed_ctas += 1;
+            }
+        }
+        self.cycle += 1;
+    }
+
+    /// Runs `cycles` cycles with no controller intervention.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.tick();
+        }
+    }
+
+    /// Aggregate IPC across all SMs (warp instructions per core cycle).
+    #[must_use]
+    pub fn total_ipc(&self) -> f64 {
+        if self.cycle == 0 {
+            return 0.0;
+        }
+        let insts: u64 = self.kernel_insts.iter().sum();
+        insts as f64 / self.cycle as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessPattern;
+    use crate::program::ProgramSpec;
+
+    fn kernel(name: &str, gload: f64, seed: u64) -> KernelDesc {
+        KernelDesc {
+            name: name.into(),
+            grid_ctas: 256,
+            threads_per_cta: 128,
+            regs_per_thread: 16,
+            shmem_per_cta: 0,
+            program: ProgramSpec {
+                body_len: 48,
+                gload_frac: gload,
+                dep_distance: 6,
+                seed,
+                ..ProgramSpec::default()
+            }
+            .generate(),
+            iterations: 8,
+            pattern: AccessPattern::Streaming { transactions: 1 },
+            icache_miss_rate: 0.0,
+            shmem_conflict_degree: 1,
+            seed,
+        }
+    }
+
+    fn fill_all_sms(gpu: &mut Gpu, k: KernelId) {
+        for s in 0..gpu.num_sms() {
+            while gpu.try_launch(k, s) {}
+        }
+    }
+
+    #[test]
+    fn single_kernel_progresses_on_all_sms() {
+        let mut gpu = Gpu::new(GpuConfig::isca_baseline(), SchedulerKind::GreedyThenOldest);
+        let k = gpu.add_kernel(kernel("a", 0.05, 1));
+        fill_all_sms(&mut gpu, k);
+        gpu.run(2000);
+        assert!(gpu.kernel_insts(k) > 10_000);
+        for sm in gpu.sms() {
+            assert!(sm.stats().insts_issued() > 0, "every SM should work");
+        }
+    }
+
+    #[test]
+    fn identical_runs_are_deterministic() {
+        let run_once = || {
+            let mut gpu = Gpu::new(GpuConfig::isca_baseline(), SchedulerKind::GreedyThenOldest);
+            let k = gpu.add_kernel(kernel("a", 0.2, 7));
+            fill_all_sms(&mut gpu, k);
+            gpu.run(3000);
+            (gpu.kernel_insts(k), gpu.mem_stats().total.l2_accesses)
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn two_kernels_share_an_sm() {
+        let mut gpu = Gpu::new(GpuConfig::isca_baseline(), SchedulerKind::GreedyThenOldest);
+        let a = gpu.add_kernel(kernel("a", 0.05, 1));
+        let b = gpu.add_kernel(kernel("b", 0.3, 2));
+        // Two CTAs of each on SM 0.
+        assert!(gpu.try_launch(a, 0));
+        assert!(gpu.try_launch(b, 0));
+        assert!(gpu.try_launch(a, 0));
+        assert!(gpu.try_launch(b, 0));
+        gpu.run(4000);
+        assert!(gpu.kernel_insts(a) > 0);
+        assert!(gpu.kernel_insts(b) > 0);
+        let st = gpu.sm(0).stats();
+        assert!(st.kernel(0).insts_issued > 0 && st.kernel(1).insts_issued > 0);
+    }
+
+    #[test]
+    fn halt_releases_resources_and_stops_progress() {
+        let mut gpu = Gpu::new(GpuConfig::isca_baseline(), SchedulerKind::GreedyThenOldest);
+        let k = gpu.add_kernel(kernel("a", 0.1, 3));
+        fill_all_sms(&mut gpu, k);
+        gpu.run(500);
+        let before = gpu.kernel_insts(k);
+        assert!(before > 0);
+        gpu.halt_kernel(k);
+        assert_eq!(gpu.remaining_ctas(k), 0);
+        assert!(!gpu.kernel_has_work(k));
+        gpu.run(500);
+        assert_eq!(gpu.kernel_insts(k), before, "no progress after halt");
+        for sm in gpu.sms() {
+            assert_eq!(sm.resident_ctas(), 0);
+        }
+    }
+
+    #[test]
+    fn completed_ctas_are_counted_and_refillable() {
+        let mut gpu = Gpu::new(GpuConfig::isca_baseline(), SchedulerKind::GreedyThenOldest);
+        let mut desc = kernel("tiny", 0.0, 4);
+        desc.iterations = 1;
+        desc.grid_ctas = 4;
+        let k = gpu.add_kernel(desc);
+        assert!(gpu.try_launch(k, 0));
+        assert!(gpu.try_launch(k, 0));
+        let mut launched = 2;
+        for _ in 0..5000 {
+            gpu.tick();
+            while launched < 4 && gpu.try_launch(k, 0) {
+                launched += 1;
+            }
+            if gpu.kernel_meta(k).completed_ctas == 4 {
+                break;
+            }
+        }
+        assert_eq!(gpu.kernel_meta(k).completed_ctas, 4);
+        assert_eq!(gpu.remaining_ctas(k), 0);
+    }
+
+    #[test]
+    fn dispatch_respects_grid_size() {
+        let mut gpu = Gpu::new(GpuConfig::isca_baseline(), SchedulerKind::GreedyThenOldest);
+        let mut desc = kernel("small", 0.0, 5);
+        desc.grid_ctas = 3;
+        let k = gpu.add_kernel(desc);
+        assert!(gpu.try_launch(k, 0));
+        assert!(gpu.try_launch(k, 1));
+        assert!(gpu.try_launch(k, 2));
+        assert!(!gpu.try_launch(k, 3), "grid exhausted");
+        assert!(!gpu.can_launch(k, 3));
+    }
+}

@@ -1,0 +1,469 @@
+//! The shared memory subsystem: interconnect, banked L2, DRAM channels.
+//!
+//! The L2 is sliced per memory channel (Table I: 128 KB/channel); a line's
+//! channel is a simple modulo hash. Requests from all SMs meet here, which
+//! is why even inter-SM *spatial* multitasking still shows L2 contention in
+//! the paper (Sec. V-C) — the slices are shared no matter how SMs are
+//! partitioned.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use crate::access::LineAddr;
+use crate::cache::{ProbeResult, SetAssocCache};
+use crate::config::GpuConfig;
+use crate::dram::{DramChannel, DramRequest};
+use crate::kernel::KernelId;
+
+/// A request from an SM's L1 into the shared memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Target line.
+    pub line: LineAddr,
+    /// Requesting SM.
+    pub sm_id: usize,
+    /// Kernel the access belongs to (for per-kernel statistics).
+    pub kernel: KernelId,
+    /// Store traffic needs no response.
+    pub is_store: bool,
+}
+
+/// A fill returning to an SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemResponse {
+    /// The filled line.
+    pub line: LineAddr,
+    /// Destination SM.
+    pub sm_id: usize,
+}
+
+/// Per-kernel memory statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelMemStats {
+    /// L2 probes attributed to the kernel.
+    pub l2_accesses: u64,
+    /// L2 misses attributed to the kernel.
+    pub l2_misses: u64,
+    /// DRAM read transactions.
+    pub dram_reads: u64,
+    /// DRAM write transactions.
+    pub dram_writes: u64,
+}
+
+/// Aggregate memory-subsystem statistics.
+#[derive(Debug, Clone, Default)]
+pub struct MemStats {
+    /// Totals across kernels.
+    pub total: KernelMemStats,
+    /// Per-kernel-slot breakdown (indexed by `KernelId.0`).
+    pub per_kernel: Vec<KernelMemStats>,
+    /// DRAM transactions (reads + writes) attributed to each requesting SM.
+    pub dram_by_sm: Vec<u64>,
+}
+
+impl MemStats {
+    fn kernel_mut(&mut self, k: KernelId) -> &mut KernelMemStats {
+        if self.per_kernel.len() <= k.0 {
+            self.per_kernel.resize(k.0 + 1, KernelMemStats::default());
+        }
+        &mut self.per_kernel[k.0]
+    }
+
+    /// Statistics for kernel `k` (zeros if it never accessed memory).
+    #[must_use]
+    pub fn kernel(&self, k: KernelId) -> KernelMemStats {
+        self.per_kernel.get(k.0).copied().unwrap_or_default()
+    }
+
+    /// DRAM transactions attributed to SM `sm` (zero if it never missed).
+    #[must_use]
+    pub fn dram_by_sm(&self, sm: usize) -> u64 {
+        self.dram_by_sm.get(sm).copied().unwrap_or(0)
+    }
+
+    fn note_sm_dram(&mut self, sm: usize) {
+        if self.dram_by_sm.len() <= sm {
+            self.dram_by_sm.resize(sm + 1, 0);
+        }
+        self.dram_by_sm[sm] += 1;
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Timed<T: Ord> {
+    ready: u64,
+    payload: T,
+}
+
+/// Memory subsystem: one instance shared by all SMs.
+#[derive(Debug)]
+pub struct MemSubsystem {
+    num_channels: usize,
+    icnt_latency: u64,
+    l2_latency: u64,
+    /// Requests in flight on the SM->L2 interconnect.
+    ingress: VecDeque<(u64, MemRequest)>,
+    /// Per-channel L2 input queues.
+    l2_in: Vec<VecDeque<MemRequest>>,
+    /// Per-channel L2 slices.
+    l2: Vec<SetAssocCache>,
+    /// Per-channel DRAM channels.
+    dram: Vec<DramChannel>,
+    /// Load lines in flight to DRAM: original line -> waiting requests.
+    pending_fills: Vec<HashMap<LineAddr, Vec<MemRequest>>>,
+    /// Responses scheduled to arrive at SMs, ordered by ready time.
+    responses: BinaryHeap<Reverse<Timed<(LineAddr, usize)>>>,
+    /// DRAM completions waiting for their data-ready cycle, per channel.
+    dram_done: BinaryHeap<Reverse<Timed<(usize, LineAddr)>>>,
+    arrival_clock: u64,
+    stats: MemStats,
+}
+
+impl MemSubsystem {
+    /// Builds the memory subsystem for `cfg`.
+    #[must_use]
+    pub fn new(cfg: &GpuConfig) -> Self {
+        let n = cfg.mem.num_channels as usize;
+        let ratio = cfg.core_per_dram_clock();
+        Self {
+            num_channels: n,
+            icnt_latency: u64::from(cfg.mem.icnt_latency),
+            l2_latency: u64::from(cfg.l2.latency),
+            ingress: VecDeque::new(),
+            l2_in: vec![VecDeque::new(); n],
+            l2: (0..n)
+                .map(|_| {
+                    SetAssocCache::new(cfg.l2.size_bytes_per_channel, cfg.l2.assoc, cfg.l2.line_bytes)
+                })
+                .collect(),
+            dram: (0..n).map(|_| DramChannel::new(&cfg.mem, ratio)).collect(),
+            pending_fills: vec![HashMap::new(); n],
+            responses: BinaryHeap::new(),
+            dram_done: BinaryHeap::new(),
+            arrival_clock: 0,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// Channel a line maps to.
+    #[must_use]
+    pub fn channel_of(&self, line: LineAddr) -> usize {
+        (line % self.num_channels as u64) as usize
+    }
+
+    /// Submits an L1 miss (or store) into the interconnect at cycle `now`.
+    pub fn submit(&mut self, now: u64, req: MemRequest) {
+        self.ingress.push_back((now + self.icnt_latency, req));
+    }
+
+    /// Advances the subsystem one core cycle, appending any fills that
+    /// arrive at SMs this cycle to `out`.
+    pub fn tick(&mut self, now: u64, out: &mut Vec<MemResponse>) {
+        // Interconnect -> L2 input queues.
+        while let Some(&(ready, req)) = self.ingress.front() {
+            if ready > now {
+                break;
+            }
+            self.ingress.pop_front();
+            let ch = self.channel_of(req.line);
+            self.l2_in[ch].push_back(req);
+        }
+
+        // L2 slices: one request per channel per cycle.
+        for ch in 0..self.num_channels {
+            let Some(&req) = self.l2_in[ch].front() else {
+                continue;
+            };
+            // A load whose line is already being fetched merges without a
+            // fresh L2 probe (the in-flight fill will satisfy it).
+            if !req.is_store && self.pending_fills[ch].contains_key(&req.line) {
+                self.l2_in[ch].pop_front();
+                self.pending_fills[ch]
+                    .get_mut(&req.line)
+                    .expect("checked above")
+                    .push(req);
+                continue;
+            }
+            let probe = self.l2[ch].access(req.line);
+            self.stats.total.l2_accesses += 1;
+            self.stats.kernel_mut(req.kernel).l2_accesses += 1;
+            match probe {
+                ProbeResult::Hit => {
+                    self.l2_in[ch].pop_front();
+                    if !req.is_store {
+                        self.responses.push(Reverse(Timed {
+                            ready: now + self.l2_latency + self.icnt_latency,
+                            payload: (req.line, req.sm_id),
+                        }));
+                    }
+                }
+                ProbeResult::Miss => {
+                    self.stats.total.l2_misses += 1;
+                    self.stats.kernel_mut(req.kernel).l2_misses += 1;
+                    if req.is_store {
+                        // Write-allocate: repeated stores to a hot line
+                        // (e.g. a tile being accumulated) hit the L2
+                        // instead of re-missing on every write-through.
+                        self.l2[ch].fill(req.line);
+                    }
+                    if !self.dram[ch].can_accept() {
+                        // Head-of-line stall: retry next cycle. Undo the
+                        // probe statistics so the retry is not double
+                        // counted.
+                        self.stats.total.l2_accesses -= 1;
+                        self.stats.total.l2_misses -= 1;
+                        let ks = self.stats.kernel_mut(req.kernel);
+                        ks.l2_accesses -= 1;
+                        ks.l2_misses -= 1;
+                        continue;
+                    }
+                    self.l2_in[ch].pop_front();
+                    let stripped = req.line / self.num_channels as u64;
+                    self.arrival_clock += 1;
+                    self.dram[ch].enqueue(DramRequest {
+                        line: stripped,
+                        tag: req.line,
+                        arrival: self.arrival_clock,
+                    });
+                    let ks = self.stats.kernel_mut(req.kernel);
+                    if req.is_store {
+                        ks.dram_writes += 1;
+                        self.stats.total.dram_writes += 1;
+                    } else {
+                        ks.dram_reads += 1;
+                        self.stats.total.dram_reads += 1;
+                        self.pending_fills[ch].entry(req.line).or_default().push(req);
+                    }
+                    self.stats.note_sm_dram(req.sm_id);
+                }
+            }
+        }
+
+        // DRAM channels.
+        for ch in 0..self.num_channels {
+            if let Some(done) = self.dram[ch].tick(now) {
+                self.dram_done.push(Reverse(Timed {
+                    ready: done.ready_at,
+                    payload: (ch, done.req.tag),
+                }));
+            }
+        }
+
+        // DRAM completions whose data is ready: fill L2, wake waiters.
+        while let Some(&Reverse(Timed { ready, payload })) = self.dram_done.peek() {
+            if ready > now {
+                break;
+            }
+            self.dram_done.pop();
+            let (ch, line) = payload;
+            if let Some(waiters) = self.pending_fills[ch].remove(&line) {
+                self.l2[ch].fill(line);
+                for w in waiters {
+                    self.responses.push(Reverse(Timed {
+                        ready: now + self.icnt_latency,
+                        payload: (line, w.sm_id),
+                    }));
+                }
+            }
+            // Store completions have no waiters and do not allocate.
+        }
+
+        // Responses arriving at SMs this cycle.
+        while let Some(&Reverse(Timed { ready, payload })) = self.responses.peek() {
+            if ready > now {
+                break;
+            }
+            self.responses.pop();
+            out.push(MemResponse {
+                line: payload.0,
+                sm_id: payload.1,
+            });
+        }
+    }
+
+    /// Aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Total DRAM data transactions (reads + writes) serviced.
+    #[must_use]
+    pub fn dram_serviced(&self) -> u64 {
+        self.dram.iter().map(DramChannel::serviced).sum()
+    }
+
+    /// Total DRAM data-bus busy cycles across channels.
+    #[must_use]
+    pub fn dram_busy_cycles(&self) -> u64 {
+        self.dram.iter().map(DramChannel::busy_cycles).sum()
+    }
+
+    /// Number of DRAM channels.
+    #[must_use]
+    pub fn num_channels(&self) -> usize {
+        self.num_channels
+    }
+
+    /// Fraction of cycles the DRAM data buses were busy, given `cycles`
+    /// elapsed.
+    #[must_use]
+    pub fn dram_busy_fraction(&self, cycles: u64) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.dram.iter().map(DramChannel::busy_cycles).sum();
+        busy as f64 / (cycles * self.dram.len() as u64) as f64
+    }
+
+    /// Whether any request is still in flight anywhere in the subsystem.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.ingress.is_empty()
+            && self.l2_in.iter().all(VecDeque::is_empty)
+            && self.pending_fills.iter().all(HashMap::is_empty)
+            && self.responses.is_empty()
+            && self.dram_done.is_empty()
+            && self.dram.iter().all(|d| d.queue_len() == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> MemSubsystem {
+        MemSubsystem::new(&GpuConfig::isca_baseline())
+    }
+
+    fn load(line: LineAddr, sm: usize) -> MemRequest {
+        MemRequest {
+            line,
+            sm_id: sm,
+            kernel: KernelId(0),
+            is_store: false,
+        }
+    }
+
+    fn run_until_response(m: &mut MemSubsystem, start: u64, budget: u64) -> Option<(u64, Vec<MemResponse>)> {
+        let mut out = Vec::new();
+        for now in start..start + budget {
+            m.tick(now, &mut out);
+            if !out.is_empty() {
+                return Some((now, out));
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn cold_load_round_trips_through_dram() {
+        let mut m = mem();
+        m.submit(0, load(100, 3));
+        let (cycle, out) = run_until_response(&mut m, 0, 2000).expect("response");
+        assert_eq!(out, vec![MemResponse { line: 100, sm_id: 3 }]);
+        // Must include icnt + dram + icnt at minimum.
+        assert!(cycle > 2 * 8, "latency too small: {cycle}");
+        assert_eq!(m.stats().total.l2_misses, 1);
+        assert_eq!(m.stats().total.dram_reads, 1);
+        assert!(m.is_quiescent());
+    }
+
+    #[test]
+    fn second_load_hits_l2() {
+        let mut m = mem();
+        m.submit(0, load(100, 0));
+        let (t1, _) = run_until_response(&mut m, 0, 2000).unwrap();
+        m.submit(t1 + 1, load(100, 1));
+        let (t2, out) = run_until_response(&mut m, t1 + 1, 2000).unwrap();
+        assert_eq!(out[0].sm_id, 1);
+        let lat1 = t1;
+        let lat2 = t2 - (t1 + 1);
+        assert!(lat2 < lat1, "L2 hit ({lat2}) should beat DRAM ({lat1})");
+        assert_eq!(m.stats().total.l2_misses, 1);
+        assert_eq!(m.stats().total.dram_reads, 1);
+    }
+
+    #[test]
+    fn concurrent_loads_to_same_line_merge() {
+        let mut m = mem();
+        m.submit(0, load(100, 0));
+        m.submit(0, load(100, 1));
+        let mut out = Vec::new();
+        for now in 0..2000 {
+            m.tick(now, &mut out);
+        }
+        assert_eq!(out.len(), 2, "both SMs must receive fills");
+        assert_eq!(m.stats().total.dram_reads, 1, "one DRAM read only");
+    }
+
+    #[test]
+    fn stores_produce_no_response() {
+        let mut m = mem();
+        m.submit(
+            0,
+            MemRequest {
+                line: 5,
+                sm_id: 0,
+                kernel: KernelId(1),
+                is_store: true,
+            },
+        );
+        let mut out = Vec::new();
+        for now in 0..2000 {
+            m.tick(now, &mut out);
+        }
+        assert!(out.is_empty());
+        assert_eq!(m.stats().kernel(KernelId(1)).dram_writes, 1);
+        assert!(m.is_quiescent());
+    }
+
+    #[test]
+    fn per_kernel_stats_are_attributed() {
+        let mut m = mem();
+        m.submit(0, load(7, 0));
+        m.submit(
+            0,
+            MemRequest {
+                line: 13,
+                sm_id: 0,
+                kernel: KernelId(2),
+                is_store: false,
+            },
+        );
+        let mut out = Vec::new();
+        for now in 0..2000 {
+            m.tick(now, &mut out);
+        }
+        assert_eq!(m.stats().kernel(KernelId(0)).l2_accesses, 1);
+        assert_eq!(m.stats().kernel(KernelId(2)).l2_accesses, 1);
+        assert_eq!(m.stats().kernel(KernelId(5)), KernelMemStats::default());
+    }
+
+    #[test]
+    fn lines_spread_across_channels() {
+        let m = mem();
+        let channels: std::collections::HashSet<_> = (0u64..6).map(|l| m.channel_of(l)).collect();
+        assert_eq!(channels.len(), 6);
+    }
+
+    #[test]
+    fn bandwidth_saturates_under_streaming() {
+        let mut m = mem();
+        // Saturate: submit far more distinct lines than the channels can
+        // service in the window.
+        let mut out = Vec::new();
+        let mut line = 0u64;
+        for now in 0..3000 {
+            if now % 2 == 0 {
+                for _ in 0..4 {
+                    m.submit(now, load(line * 997, 0));
+                    line += 1;
+                }
+            }
+            m.tick(now, &mut out);
+        }
+        let frac = m.dram_busy_fraction(3000);
+        assert!(frac > 0.5, "DRAM should be mostly busy, got {frac}");
+    }
+}

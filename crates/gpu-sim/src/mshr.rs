@@ -1,0 +1,169 @@
+//! Miss-status holding registers.
+//!
+//! Each SM's L1 tracks outstanding misses in an MSHR table. Misses to a line
+//! that is already in flight merge into the existing entry (up to a merge
+//! limit); a full table back-pressures the LSU, which is one of the
+//! contention effects intra-SM sharing must manage.
+
+use std::collections::HashMap;
+
+use crate::access::LineAddr;
+
+/// Identifies a load waiting on an in-flight line. The SM resolves this to a
+/// warp slot when the fill returns; the generation counter guards against a
+/// slot being recycled while the fill is in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrWaiter {
+    /// Warp slot within the owning SM.
+    pub warp_slot: usize,
+    /// Generation of the warp occupying the slot when the miss was issued.
+    pub warp_gen: u32,
+    /// The warp-local load this transaction belongs to.
+    pub load_id: u32,
+}
+
+/// Outcome of registering a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// New entry allocated: the caller must forward a memory request.
+    Allocated,
+    /// Merged into an in-flight entry: no new memory request needed.
+    Merged,
+    /// Table or merge capacity exhausted: the access must retry later.
+    Rejected,
+}
+
+/// MSHR table: line address -> waiters.
+#[derive(Debug, Clone)]
+pub struct MshrTable {
+    entries: HashMap<LineAddr, Vec<MshrWaiter>>,
+    max_entries: usize,
+    max_merged: usize,
+}
+
+impl MshrTable {
+    /// Creates a table with `max_entries` distinct in-flight lines and up to
+    /// `max_merged` waiters per line.
+    #[must_use]
+    pub fn new(max_entries: u32, max_merged: u32) -> Self {
+        Self {
+            entries: HashMap::with_capacity(max_entries as usize),
+            max_entries: max_entries as usize,
+            max_merged: max_merged.max(1) as usize,
+        }
+    }
+
+    /// Registers a miss on `line` for `waiter`.
+    pub fn register(&mut self, line: LineAddr, waiter: MshrWaiter) -> MshrOutcome {
+        if let Some(waiters) = self.entries.get_mut(&line) {
+            if waiters.len() >= self.max_merged {
+                return MshrOutcome::Rejected;
+            }
+            waiters.push(waiter);
+            return MshrOutcome::Merged;
+        }
+        if self.entries.len() >= self.max_entries {
+            return MshrOutcome::Rejected;
+        }
+        self.entries.insert(line, vec![waiter]);
+        MshrOutcome::Allocated
+    }
+
+    /// Completes the fill of `line`, returning every waiter that was merged
+    /// into it (empty if the line was not tracked).
+    pub fn complete(&mut self, line: LineAddr) -> Vec<MshrWaiter> {
+        self.entries.remove(&line).unwrap_or_default()
+    }
+
+    /// Whether `line` is already in flight.
+    #[must_use]
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Number of in-flight lines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no lines are in flight.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn waiter(slot: usize) -> MshrWaiter {
+        MshrWaiter {
+            warp_slot: slot,
+            warp_gen: 0,
+            load_id: 0,
+        }
+    }
+
+    #[test]
+    fn first_miss_allocates_second_merges() {
+        let mut m = MshrTable::new(4, 4);
+        assert_eq!(m.register(10, waiter(0)), MshrOutcome::Allocated);
+        assert_eq!(m.register(10, waiter(1)), MshrOutcome::Merged);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn completion_returns_all_waiters() {
+        let mut m = MshrTable::new(4, 4);
+        let _ = m.register(10, waiter(0));
+        let _ = m.register(10, waiter(1));
+        let ws = m.complete(10);
+        assert_eq!(ws, vec![waiter(0), waiter(1)]);
+        assert!(m.is_empty());
+        assert!(m.complete(10).is_empty());
+    }
+
+    #[test]
+    fn table_capacity_rejects() {
+        let mut m = MshrTable::new(2, 4);
+        assert_eq!(m.register(1, waiter(0)), MshrOutcome::Allocated);
+        assert_eq!(m.register(2, waiter(0)), MshrOutcome::Allocated);
+        assert_eq!(m.register(3, waiter(0)), MshrOutcome::Rejected);
+        // Merging into existing entries still works while full.
+        assert_eq!(m.register(1, waiter(1)), MshrOutcome::Merged);
+    }
+
+    #[test]
+    fn merge_capacity_rejects() {
+        let mut m = MshrTable::new(4, 2);
+        assert_eq!(m.register(1, waiter(0)), MshrOutcome::Allocated);
+        assert_eq!(m.register(1, waiter(1)), MshrOutcome::Merged);
+        assert_eq!(m.register(1, waiter(2)), MshrOutcome::Rejected);
+    }
+
+    #[test]
+    fn completing_frees_capacity() {
+        let mut m = MshrTable::new(1, 1);
+        assert_eq!(m.register(1, waiter(0)), MshrOutcome::Allocated);
+        assert_eq!(m.register(2, waiter(0)), MshrOutcome::Rejected);
+        let _ = m.complete(1);
+        assert_eq!(m.register(2, waiter(0)), MshrOutcome::Allocated);
+    }
+
+    #[test]
+    fn clear_empties_the_table() {
+        let mut m = MshrTable::new(2, 2);
+        let _ = m.register(5, waiter(0));
+        assert!(m.contains(5));
+        m.clear();
+        assert!(m.is_empty());
+        assert!(!m.contains(5));
+    }
+}

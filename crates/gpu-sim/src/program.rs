@@ -1,0 +1,352 @@
+//! Synthetic warp programs.
+//!
+//! Real GPGPU kernels are replaced by deterministic synthetic instruction
+//! streams (see DESIGN.md, substitution table). A [`Program`] is a loop body
+//! of [`Inst`]s; every warp executes the body for a configurable number of
+//! iterations. The generator controls exactly the properties the paper's
+//! conclusions depend on: the functional-unit mix, the register dependence
+//! distance (which drives read-after-write stalls and compute saturation),
+//! and the fraction of global-memory instructions (which drives the memory
+//! system).
+
+use crate::rng::SimRng;
+
+/// Virtual register index within a warp's synthetic register window.
+pub type Reg = u8;
+
+/// Number of virtual registers each synthetic warp program may name.
+pub const NUM_VIRTUAL_REGS: usize = 32;
+
+/// Functional-unit class of an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Integer/FP32 arithmetic executed on the SP (ALU) pipeline.
+    Alu,
+    /// Transcendental executed on the special-function unit.
+    Sfu,
+    /// Global-memory load executed on the LSU; goes through L1/L2/DRAM.
+    GlobalLoad,
+    /// Global-memory store executed on the LSU; fire-and-forget traffic.
+    GlobalStore,
+    /// Shared-memory access executed on the LSU; never leaves the SM.
+    SharedMem,
+    /// CTA-wide barrier (`__syncthreads`): the warp blocks until every
+    /// live warp of its CTA has issued the same barrier.
+    Barrier,
+}
+
+impl OpClass {
+    /// Whether the instruction occupies the load/store unit.
+    #[must_use]
+    pub fn uses_lsu(self) -> bool {
+        matches!(self, Self::GlobalLoad | Self::GlobalStore | Self::SharedMem)
+    }
+
+    /// Whether the instruction is a CTA-wide barrier.
+    #[must_use]
+    pub fn is_barrier(self) -> bool {
+        self == Self::Barrier
+    }
+
+    /// Whether the instruction produces global-memory traffic.
+    #[must_use]
+    pub fn is_global(self) -> bool {
+        matches!(self, Self::GlobalLoad | Self::GlobalStore)
+    }
+}
+
+/// One synthetic warp instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Inst {
+    /// Functional-unit class.
+    pub op: OpClass,
+    /// Destination register, or `None` for stores.
+    pub dst: Option<Reg>,
+    /// Source registers read by the instruction.
+    pub srcs: [Option<Reg>; 2],
+}
+
+/// A loop body executed repeatedly by every warp of a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    insts: Vec<Inst>,
+}
+
+impl Program {
+    /// Builds a program from an explicit instruction list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `insts` is empty: a warp must always have a next
+    /// instruction to fetch.
+    #[must_use]
+    pub fn new(insts: Vec<Inst>) -> Self {
+        assert!(!insts.is_empty(), "program body must not be empty");
+        Self { insts }
+    }
+
+    /// The instruction at `pc` (wrapping semantics are the caller's
+    /// responsibility; `pc` must be in range).
+    #[must_use]
+    pub fn inst(&self, pc: usize) -> Inst {
+        self.insts[pc]
+    }
+
+    /// Body length in instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the body is empty. Always `false` by construction; provided
+    /// for API completeness.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Iterates over the body.
+    pub fn iter(&self) -> std::slice::Iter<'_, Inst> {
+        self.insts.iter()
+    }
+
+    /// Fraction of the body belonging to `op`.
+    #[must_use]
+    pub fn fraction(&self, op: OpClass) -> f64 {
+        let n = self.insts.iter().filter(|i| i.op == op).count();
+        n as f64 / self.insts.len() as f64
+    }
+}
+
+/// Parameters for deterministic random program generation.
+///
+/// The fractions need not sum to 1: the remainder becomes ALU work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramSpec {
+    /// Loop-body length in instructions.
+    pub body_len: usize,
+    /// Fraction of SFU instructions.
+    pub sfu_frac: f64,
+    /// Fraction of global loads.
+    pub gload_frac: f64,
+    /// Fraction of global stores.
+    pub gstore_frac: f64,
+    /// Fraction of shared-memory accesses.
+    pub shmem_frac: f64,
+    /// Fraction of CTA-wide barriers (`__syncthreads`); tiled kernels
+    /// synchronize between tile loads and tile use.
+    pub barrier_frac: f64,
+    /// Register dependence distance: instruction `i` reads the destination
+    /// of instruction `i - dep_distance`. Small values serialize the warp
+    /// (compute-saturating behaviour); large values expose ILP.
+    pub dep_distance: usize,
+    /// RNG seed so identical specs generate identical programs.
+    pub seed: u64,
+}
+
+impl Default for ProgramSpec {
+    fn default() -> Self {
+        Self {
+            body_len: 64,
+            sfu_frac: 0.0,
+            gload_frac: 0.1,
+            gstore_frac: 0.0,
+            shmem_frac: 0.0,
+            barrier_frac: 0.0,
+            dep_distance: 4,
+            seed: 0,
+        }
+    }
+}
+
+impl ProgramSpec {
+    /// Generates the program described by this spec.
+    ///
+    /// Instruction classes are laid out by deterministic stochastic
+    /// interleaving so that memory operations are spread through the body
+    /// (matching how compiled kernels interleave loads with arithmetic)
+    /// while the exact mix converges to the requested fractions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `body_len` is zero or the fractions are negative or sum to
+    /// more than 1.
+    #[must_use]
+    pub fn generate(&self) -> Program {
+        assert!(self.body_len > 0, "body_len must be positive");
+        let mem_frac = self.sfu_frac
+            + self.gload_frac
+            + self.gstore_frac
+            + self.shmem_frac
+            + self.barrier_frac;
+        assert!(
+            self.sfu_frac >= 0.0
+                && self.gload_frac >= 0.0
+                && self.gstore_frac >= 0.0
+                && self.shmem_frac >= 0.0
+                && self.barrier_frac >= 0.0
+                && mem_frac <= 1.0 + 1e-9,
+            "instruction-class fractions must be non-negative and sum to <= 1"
+        );
+
+        let mut rng = SimRng::seed_from_u64(self.seed);
+        let n = self.body_len;
+        // Exact per-class counts (largest-remainder rounding keeps the mix
+        // faithful even for short bodies).
+        let counts = [
+            (OpClass::Sfu, self.sfu_frac),
+            (OpClass::GlobalLoad, self.gload_frac),
+            (OpClass::GlobalStore, self.gstore_frac),
+            (OpClass::SharedMem, self.shmem_frac),
+            (OpClass::Barrier, self.barrier_frac),
+        ];
+        let mut ops: Vec<OpClass> = Vec::with_capacity(n);
+        for (op, frac) in counts {
+            let k = (frac * n as f64).round() as usize;
+            ops.extend(std::iter::repeat_n(op, k.min(n - ops.len())));
+        }
+        while ops.len() < n {
+            ops.push(OpClass::Alu);
+        }
+        // Deterministic shuffle spreads classes through the body.
+        rng.shuffle(&mut ops);
+
+        let dep = self.dep_distance.max(1);
+        let insts = ops
+            .iter()
+            .enumerate()
+            .map(|(i, &op)| {
+                let dst_reg = (i % NUM_VIRTUAL_REGS) as Reg;
+                // Primary source: the destination written `dep` instructions
+                // earlier, creating the requested dependence chain.
+                let src0 = (i + NUM_VIRTUAL_REGS - (dep % NUM_VIRTUAL_REGS)) % NUM_VIRTUAL_REGS;
+                // Secondary source: a uniformly random earlier register,
+                // mimicking the irregular second operands of real code.
+                let src1 = rng.range_usize(NUM_VIRTUAL_REGS);
+                if op == OpClass::Barrier {
+                    // Barriers carry no operands: they synchronize, not
+                    // compute.
+                    Inst {
+                        op,
+                        dst: None,
+                        srcs: [None, None],
+                    }
+                } else {
+                    Inst {
+                        op,
+                        dst: if op == OpClass::GlobalStore {
+                            None
+                        } else {
+                            Some(dst_reg)
+                        },
+                        srcs: [Some(src0 as Reg), Some(src1 as Reg)],
+                    }
+                }
+            })
+            .collect();
+        Program::new(insts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ProgramSpec {
+        ProgramSpec {
+            body_len: 200,
+            sfu_frac: 0.1,
+            gload_frac: 0.2,
+            gstore_frac: 0.05,
+            shmem_frac: 0.15,
+            barrier_frac: 0.0,
+            dep_distance: 3,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(spec().generate(), spec().generate());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut other = spec();
+        other.seed = 43;
+        assert_ne!(spec().generate(), other.generate());
+    }
+
+    #[test]
+    fn fractions_match_request() {
+        let p = spec().generate();
+        assert!((p.fraction(OpClass::Sfu) - 0.1).abs() < 0.01);
+        assert!((p.fraction(OpClass::GlobalLoad) - 0.2).abs() < 0.01);
+        assert!((p.fraction(OpClass::GlobalStore) - 0.05).abs() < 0.01);
+        assert!((p.fraction(OpClass::SharedMem) - 0.15).abs() < 0.01);
+        assert!((p.fraction(OpClass::Alu) - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn stores_and_barriers_have_no_destination() {
+        let mut sp = spec();
+        sp.barrier_frac = 0.05;
+        let p = sp.generate();
+        for inst in p.iter() {
+            match inst.op {
+                OpClass::GlobalStore => assert_eq!(inst.dst, None),
+                OpClass::Barrier => {
+                    assert_eq!(inst.dst, None);
+                    assert_eq!(inst.srcs, [None, None]);
+                }
+                _ => assert!(inst.dst.is_some()),
+            }
+        }
+        assert!((p.fraction(OpClass::Barrier) - 0.05).abs() < 0.01);
+    }
+
+    #[test]
+    fn dependence_distance_is_honored() {
+        let p = ProgramSpec {
+            dep_distance: 1,
+            ..spec()
+        }
+        .generate();
+        // With distance 1 every instruction's first source is the previous
+        // instruction's destination register index.
+        for i in 1..p.len() {
+            let src = p.inst(i).srcs[0].unwrap() as usize;
+            assert_eq!(src, (i - 1) % NUM_VIRTUAL_REGS);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "body_len must be positive")]
+    fn zero_length_body_rejected() {
+        let _ = ProgramSpec {
+            body_len: 0,
+            ..ProgramSpec::default()
+        }
+        .generate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions")]
+    fn overfull_fractions_rejected() {
+        let _ = ProgramSpec {
+            gload_frac: 0.9,
+            sfu_frac: 0.9,
+            ..ProgramSpec::default()
+        }
+        .generate();
+    }
+
+    #[test]
+    fn op_class_predicates() {
+        assert!(OpClass::GlobalLoad.uses_lsu());
+        assert!(OpClass::SharedMem.uses_lsu());
+        assert!(!OpClass::Alu.uses_lsu());
+        assert!(OpClass::GlobalStore.is_global());
+        assert!(!OpClass::SharedMem.is_global());
+    }
+}

@@ -1,0 +1,194 @@
+//! Warp schedulers: greedy-then-oldest (GPGPU-Sim's `gto`, the Table I
+//! default) and loose round-robin (the Fig. 10b alternative).
+
+use crate::warp::Warp;
+
+/// Warp scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedulerKind {
+    /// Keep issuing from the last warp that issued; fall back to the oldest
+    /// ready warp (by launch order).
+    #[default]
+    GreedyThenOldest,
+    /// Rotate through warps starting after the last issuer.
+    RoundRobin,
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::GreedyThenOldest => write!(f, "gto"),
+            Self::RoundRobin => write!(f, "rr"),
+        }
+    }
+}
+
+/// Per-scheduler selection state. Warps are statically partitioned across
+/// schedulers by slot parity (`slot % num_schedulers == sched_id`).
+#[derive(Debug)]
+pub struct SchedulerState {
+    kind: SchedulerKind,
+    sched_id: usize,
+    num_schedulers: usize,
+    last_issued: Option<usize>,
+}
+
+impl SchedulerState {
+    /// Creates the state for scheduler `sched_id` of `num_schedulers`.
+    #[must_use]
+    pub fn new(kind: SchedulerKind, sched_id: usize, num_schedulers: usize, _max_warps: usize) -> Self {
+        Self {
+            kind,
+            sched_id,
+            num_schedulers,
+            last_issued: None,
+        }
+    }
+
+    /// Whether `slot` belongs to this scheduler's partition.
+    #[must_use]
+    pub fn owns(&self, slot: usize) -> bool {
+        slot % self.num_schedulers == self.sched_id
+    }
+
+    /// Fills `out` with this scheduler's occupied warp slots in issue-
+    /// priority order.
+    pub fn fill_order(&self, warps: &[Option<Warp>], out: &mut Vec<usize>) {
+        out.clear();
+        match self.kind {
+            SchedulerKind::GreedyThenOldest => {
+                if let Some(g) = self.last_issued {
+                    if warps.get(g).is_some_and(Option::is_some) {
+                        out.push(g);
+                    }
+                }
+                let greedy = self.last_issued;
+                let mut rest: Vec<usize> = (self.sched_id..warps.len())
+                    .step_by(self.num_schedulers)
+                    .filter(|&s| Some(s) != greedy && warps[s].is_some())
+                    .collect();
+                rest.sort_by_key(|&s| warps[s].as_ref().map_or(u64::MAX, |w| w.launch_seq));
+                out.extend(rest);
+            }
+            SchedulerKind::RoundRobin => {
+                let slots: Vec<usize> = (self.sched_id..warps.len())
+                    .step_by(self.num_schedulers)
+                    .collect();
+                let start = self
+                    .last_issued
+                    .and_then(|l| slots.iter().position(|&s| s == l).map(|p| p + 1))
+                    .unwrap_or(0);
+                for i in 0..slots.len() {
+                    let s = slots[(start + i) % slots.len()];
+                    if warps[s].is_some() {
+                        out.push(s);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records that `slot` issued this cycle.
+    pub fn note_issue(&mut self, slot: usize) {
+        self.last_issued = Some(slot);
+    }
+
+    /// The slot that issued most recently, if any.
+    #[must_use]
+    pub fn last_issued(&self) -> Option<usize> {
+        self.last_issued
+    }
+
+    /// The scheduling policy.
+    #[must_use]
+    pub fn kind(&self) -> SchedulerKind {
+        self.kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessPattern;
+    use crate::kernel::{KernelDesc, KernelId};
+    use crate::program::ProgramSpec;
+
+    fn warp(launch_seq: u64) -> Warp {
+        let desc = KernelDesc {
+            name: "t".into(),
+            grid_ctas: 1,
+            threads_per_cta: 32,
+            regs_per_thread: 8,
+            shmem_per_cta: 0,
+            program: ProgramSpec::default().generate(),
+            iterations: 1,
+            pattern: AccessPattern::Streaming { transactions: 1 },
+            icache_miss_rate: 0.0,
+            shmem_conflict_degree: 1,
+            seed: 0,
+        };
+        Warp::new(&desc, KernelId(0), 0, 0, 0, 0, launch_seq, 2)
+    }
+
+    fn slots(n: usize, seqs: &[(usize, u64)]) -> Vec<Option<Warp>> {
+        let mut v: Vec<Option<Warp>> = (0..n).map(|_| None).collect();
+        for &(slot, seq) in seqs {
+            v[slot] = Some(warp(seq));
+        }
+        v
+    }
+
+    #[test]
+    fn partition_by_parity() {
+        let s0 = SchedulerState::new(SchedulerKind::GreedyThenOldest, 0, 2, 8);
+        let s1 = SchedulerState::new(SchedulerKind::GreedyThenOldest, 1, 2, 8);
+        assert!(s0.owns(0) && s0.owns(6));
+        assert!(!s0.owns(3));
+        assert!(s1.owns(3) && !s1.owns(4));
+    }
+
+    #[test]
+    fn gto_puts_greedy_first_then_oldest() {
+        let warps = slots(8, &[(0, 5), (2, 1), (4, 9), (6, 3)]);
+        let mut s = SchedulerState::new(SchedulerKind::GreedyThenOldest, 0, 2, 8);
+        let mut out = Vec::new();
+        s.fill_order(&warps, &mut out);
+        // No greedy yet: pure oldest-first.
+        assert_eq!(out, vec![2, 6, 0, 4]);
+        s.note_issue(4);
+        s.fill_order(&warps, &mut out);
+        assert_eq!(out, vec![4, 2, 6, 0]);
+    }
+
+    #[test]
+    fn gto_drops_vacated_greedy_slot() {
+        let mut warps = slots(8, &[(0, 5), (2, 1)]);
+        let mut s = SchedulerState::new(SchedulerKind::GreedyThenOldest, 0, 2, 8);
+        s.note_issue(0);
+        warps[0] = None;
+        let mut out = Vec::new();
+        s.fill_order(&warps, &mut out);
+        assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let warps = slots(8, &[(1, 0), (3, 1), (5, 2), (7, 3)]);
+        let mut s = SchedulerState::new(SchedulerKind::RoundRobin, 1, 2, 8);
+        let mut out = Vec::new();
+        s.fill_order(&warps, &mut out);
+        assert_eq!(out, vec![1, 3, 5, 7]);
+        s.note_issue(3);
+        s.fill_order(&warps, &mut out);
+        assert_eq!(out, vec![5, 7, 1, 3]);
+        s.note_issue(7);
+        s.fill_order(&warps, &mut out);
+        assert_eq!(out, vec![1, 3, 5, 7]); // wraps around, 7 now last
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SchedulerKind::GreedyThenOldest.to_string(), "gto");
+        assert_eq!(SchedulerKind::RoundRobin.to_string(), "rr");
+    }
+}

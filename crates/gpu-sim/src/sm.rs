@@ -1,0 +1,1046 @@
+//! The streaming multiprocessor: CTA residency, dual warp schedulers,
+//! functional units, LSU, L1/MSHR front end, and stall accounting.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use crate::access::LineAddr;
+use crate::alloc::{CtaResources, PartitionWindow, SmResources};
+use crate::cache::{ProbeResult, SetAssocCache};
+use crate::config::GpuConfig;
+use crate::kernel::{KernelDesc, KernelId};
+use crate::mem::{MemRequest, MemSubsystem};
+use crate::mshr::{MshrOutcome, MshrTable, MshrWaiter};
+use crate::program::OpClass;
+use crate::scheduler::{SchedulerKind, SchedulerState};
+use crate::stats::{SmStats, StallReason};
+use crate::warp::{IssueBlock, Warp};
+
+/// A CTA resident on an SM.
+#[derive(Debug, Clone)]
+pub struct CtaRecord {
+    /// Owning kernel.
+    pub kernel: KernelId,
+    /// Global CTA index within the kernel's grid.
+    pub cta_index: u64,
+    resources: CtaResources,
+    warp_slots: Vec<usize>,
+    warps_done: u32,
+}
+
+/// Notification that a CTA ran to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtaCompletion {
+    /// Kernel the CTA belonged to.
+    pub kernel: KernelId,
+    /// Its global CTA index.
+    pub cta_index: u64,
+}
+
+#[derive(Debug)]
+enum LsuKind {
+    GlobalLoad { load_id: u32 },
+    GlobalStore,
+    Shared,
+}
+
+#[derive(Debug)]
+struct LsuOp {
+    warp_slot: usize,
+    warp_gen: u32,
+    kernel: KernelId,
+    kind: LsuKind,
+    lines: VecDeque<LineAddr>,
+    cycles_left: u32,
+}
+
+#[derive(Debug, Default)]
+struct UnitSet {
+    alu_busy_until: u64,
+    sfu_busy_until: u64,
+    lsu: Option<LsuOp>,
+}
+
+/// One streaming multiprocessor.
+#[derive(Debug)]
+pub struct Sm {
+    /// This SM's index within the GPU.
+    pub id: usize,
+    cfg: GpuConfig,
+    /// Storage resources (registers, shared memory, threads, CTA slots).
+    pub resources: SmResources,
+    l1: SetAssocCache,
+    mshr: MshrTable,
+    warps: Vec<Option<Warp>>,
+    warp_gens: Vec<u32>,
+    ctas: Vec<Option<CtaRecord>>,
+    schedulers: Vec<SchedulerState>,
+    units: Vec<UnitSet>,
+    launch_counter: u64,
+    windows: HashMap<usize, PartitionWindow>,
+    /// Per-kernel-slot (CTA count, thread count) residency.
+    residency: Vec<(u32, u32)>,
+    stats: SmStats,
+    completions: Vec<CtaCompletion>,
+    line_buf: Vec<LineAddr>,
+    finished_buf: Vec<usize>,
+    fetch_ptr: usize,
+}
+
+impl Sm {
+    /// Creates SM `id` under configuration `cfg` with the given warp
+    /// scheduler.
+    #[must_use]
+    pub fn new(id: usize, cfg: &GpuConfig, scheduler: SchedulerKind) -> Self {
+        let max_warps = cfg.sm.max_warps() as usize;
+        let num_sched = cfg.sm.num_schedulers as usize;
+        Self {
+            id,
+            cfg: cfg.clone(),
+            resources: SmResources::new(&cfg.sm),
+            l1: SetAssocCache::new(cfg.l1.size_bytes, cfg.l1.assoc, cfg.l1.line_bytes),
+            mshr: MshrTable::new(cfg.l1.mshr_entries, cfg.l1.mshr_max_merged),
+            warps: (0..max_warps).map(|_| None).collect(),
+            warp_gens: vec![0; max_warps],
+            ctas: (0..cfg.sm.max_ctas as usize).map(|_| None).collect(),
+            schedulers: (0..num_sched)
+                .map(|s| SchedulerState::new(scheduler, s, num_sched, max_warps))
+                .collect(),
+            units: (0..num_sched).map(|_| UnitSet::default()).collect(),
+            launch_counter: 0,
+            windows: HashMap::new(),
+            residency: Vec::new(),
+            stats: SmStats::default(),
+            completions: Vec::new(),
+            line_buf: Vec::with_capacity(32),
+            finished_buf: Vec::with_capacity(8),
+            fetch_ptr: 0,
+        }
+    }
+
+    /// Statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &SmStats {
+        &self.stats
+    }
+
+    /// The L1 data cache (read-only view for statistics).
+    #[must_use]
+    pub fn l1(&self) -> &SetAssocCache {
+        &self.l1
+    }
+
+    /// CTAs of kernel-slot `slot` currently resident.
+    #[must_use]
+    pub fn kernel_ctas(&self, slot: usize) -> u32 {
+        self.residency.get(slot).map_or(0, |r| r.0)
+    }
+
+    /// Threads of kernel-slot `slot` currently resident.
+    #[must_use]
+    pub fn kernel_threads(&self, slot: usize) -> u32 {
+        self.residency.get(slot).map_or(0, |r| r.1)
+    }
+
+    /// Total resident CTAs.
+    #[must_use]
+    pub fn resident_ctas(&self) -> u32 {
+        self.resources.ctas_used()
+    }
+
+    /// Sets (or clears) the partition window constraining kernel-slot
+    /// `slot`'s allocations on this SM.
+    pub fn set_window(&mut self, slot: usize, window: Option<PartitionWindow>) {
+        match window {
+            Some(w) => {
+                self.windows.insert(slot, w);
+            }
+            None => {
+                self.windows.remove(&slot);
+            }
+        }
+    }
+
+    /// The partition window currently constraining kernel-slot `slot`.
+    #[must_use]
+    pub fn window(&self, slot: usize) -> Option<&PartitionWindow> {
+        self.windows.get(&slot)
+    }
+
+    fn residency_mut(&mut self, slot: usize) -> &mut (u32, u32) {
+        if self.residency.len() <= slot {
+            self.residency.resize(slot + 1, (0, 0));
+        }
+        &mut self.residency[slot]
+    }
+
+    /// Whether a CTA of `desc` could be launched right now (without
+    /// launching it).
+    #[must_use]
+    pub fn can_launch(&self, desc: &KernelDesc, kernel: KernelId) -> bool {
+        let needed = desc.warps_per_cta() as usize;
+        let free_slots = self.warps.iter().filter(|w| w.is_none()).count();
+        if free_slots < needed {
+            return false;
+        }
+        // Cheap capacity pre-checks; the definitive (fragmentation-aware)
+        // answer comes from the allocator at launch time.
+        let mut probe = self.resources.clone();
+        probe
+            .try_alloc(
+                desc,
+                self.windows.get(&kernel.0),
+                self.kernel_ctas(kernel.0),
+                self.kernel_threads(kernel.0),
+            )
+            .is_some()
+    }
+
+    /// Launches one CTA of `desc` with global index `cta_index`. Returns
+    /// `false` (without side effects) if resources, windows, or warp slots
+    /// do not permit it.
+    pub fn launch_cta(&mut self, desc: &KernelDesc, kernel: KernelId, cta_index: u64) -> bool {
+        let needed = desc.warps_per_cta() as usize;
+        let free_slots: Vec<usize> = self
+            .warps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| w.is_none().then_some(i))
+            .take(needed)
+            .collect();
+        if free_slots.len() < needed {
+            return false;
+        }
+        let Some(lease) = self.resources.try_alloc(
+            desc,
+            self.windows.get(&kernel.0),
+            self.kernel_ctas(kernel.0),
+            self.kernel_threads(kernel.0),
+        ) else {
+            return false;
+        };
+        let cta_slot = self
+            .ctas
+            .iter()
+            .position(Option::is_none)
+            .expect("allocator admitted CTA but no CTA slot free");
+        for (w, &slot) in free_slots.iter().enumerate() {
+            let warp = Warp::new(
+                desc,
+                kernel,
+                cta_slot,
+                cta_index,
+                w as u32,
+                self.warp_gens[slot],
+                self.launch_counter,
+                self.cfg.sm.ibuffer_entries,
+            );
+            self.launch_counter += 1;
+            self.warps[slot] = Some(warp);
+        }
+        self.ctas[cta_slot] = Some(CtaRecord {
+            kernel,
+            cta_index,
+            resources: lease,
+            warp_slots: free_slots,
+            warps_done: 0,
+        });
+        let r = self.residency_mut(kernel.0);
+        r.0 += 1;
+        r.1 += desc.threads_per_cta;
+        true
+    }
+
+    fn release_cta(&mut self, cta_slot: usize, threads_per_cta: u32) {
+        let rec = self.ctas[cta_slot].take().expect("release of empty CTA slot");
+        self.resources.free(rec.resources);
+        for slot in rec.warp_slots {
+            self.warps[slot] = None;
+            self.warp_gens[slot] = self.warp_gens[slot].wrapping_add(1);
+        }
+        let r = self.residency_mut(rec.kernel.0);
+        r.0 -= 1;
+        r.1 -= threads_per_cta;
+    }
+
+    /// Immediately removes every CTA of kernel-slot `slot` (used when a
+    /// kernel reaches its instruction target and releases its resources, or
+    /// when the Warped-Slicer repartitions). In-flight memory fills for the
+    /// removed warps are discarded on arrival via generation checks.
+    pub fn evict_kernel(&mut self, slot: usize, desc: &KernelDesc) {
+        let cta_slots: Vec<usize> = self
+            .ctas
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                c.as_ref()
+                    .is_some_and(|c| c.kernel.0 == slot)
+                    .then_some(i)
+            })
+            .collect();
+        for cs in cta_slots {
+            self.release_cta(cs, desc.threads_per_cta);
+        }
+        // Drop LSU work belonging to the evicted kernel.
+        for unit in &mut self.units {
+            if unit
+                .lsu
+                .as_ref()
+                .is_some_and(|op| op.kernel.0 == slot)
+            {
+                unit.lsu = None;
+            }
+        }
+    }
+
+    /// Drains CTA-completion notifications since the last call.
+    pub fn take_completions(&mut self) -> Vec<CtaCompletion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Handles a memory fill arriving from the L2/DRAM.
+    pub fn on_fill(&mut self, line: LineAddr, now: u64) {
+        self.l1.fill(line);
+        for MshrWaiter {
+            warp_slot,
+            warp_gen,
+            load_id,
+        } in self.mshr.complete(line)
+        {
+            if self.warp_gens[warp_slot] == warp_gen {
+                if let Some(w) = self.warps[warp_slot].as_mut() {
+                    let _ = w.complete_load_transaction(load_id, now);
+                }
+            }
+        }
+    }
+
+    /// Advances the SM one cycle. `descs` is the kernel table (indexed by
+    /// kernel slot); issued-instruction counts are accumulated into
+    /// `kernel_insts`.
+    pub fn tick(
+        &mut self,
+        now: u64,
+        mem: &mut MemSubsystem,
+        descs: &[KernelDesc],
+        kernel_insts: &mut [u64],
+    ) {
+        self.fetch_stage(now, descs);
+        self.issue_stage(now, descs, kernel_insts);
+        self.lsu_stage(now, mem);
+        self.finalize_warps(descs);
+        self.accumulate_occupancy();
+        self.stats.cycles += 1;
+    }
+
+    fn fetch_stage(&mut self, now: u64, descs: &[KernelDesc]) {
+        let fetch_latency = self.cfg.sm.fetch_latency;
+        let miss_penalty = self.cfg.sm.icache_miss_penalty;
+        let mut budget = self.cfg.sm.fetch_width;
+        // Round-robin over warp slots so no warp starves the shared port.
+        let n = self.warps.len();
+        for i in 0..n {
+            if budget == 0 {
+                break;
+            }
+            let slot = (self.fetch_ptr + i) % n;
+            if let Some(warp) = self.warps[slot].as_mut() {
+                if !warp.finished()
+                    && warp.fetch(now, &descs[warp.kernel.0], fetch_latency, miss_penalty)
+                {
+                    budget -= 1;
+                }
+            }
+        }
+        self.fetch_ptr = (self.fetch_ptr + 1) % n.max(1);
+    }
+
+    fn issue_stage(&mut self, now: u64, descs: &[KernelDesc], kernel_insts: &mut [u64]) {
+        let num_sched = self.schedulers.len();
+        let n_slots = self.warps.len();
+        for sched_id in 0..num_sched {
+            let mut n_mem = 0u32;
+            let mut n_raw = 0u32;
+            let mut n_exec = 0u32;
+            let mut n_fetch = 0u32;
+            let mut n_barrier = 0u32;
+            let mut any_candidate = false;
+            let greedy = self.schedulers[sched_id].last_issued();
+            let kind = self.schedulers[sched_id].kind();
+            // Lowest key wins; the greedy warp gets key 0, GTO uses launch
+            // order, RR uses distance past the last issuer.
+            let mut chosen: Option<(u64, usize)> = None;
+
+            let mut slot = sched_id;
+            while slot < n_slots {
+                let Some(warp) = self.warps[slot].as_ref() else {
+                    slot += num_sched;
+                    continue;
+                };
+                if warp.finished() {
+                    slot += num_sched;
+                    continue;
+                }
+                any_candidate = true;
+                if warp.at_barrier {
+                    n_barrier += 1;
+                    slot += num_sched;
+                    continue;
+                }
+                if warp.ibuffer_empty() {
+                    n_fetch += 1;
+                    slot += num_sched;
+                    continue;
+                }
+                match warp.issue_block(now) {
+                    Some(IssueBlock::MemPending) => n_mem += 1,
+                    Some(IssueBlock::RawPending) => n_raw += 1,
+                    None => {
+                        let inst = warp.head().expect("non-empty i-buffer");
+                        let unit = &self.units[sched_id];
+                        let available = match inst.op {
+                            OpClass::Alu => unit.alu_busy_until <= now,
+                            OpClass::Sfu => unit.sfu_busy_until <= now,
+                            OpClass::Barrier => true,
+                            _ => unit.lsu.is_none(),
+                        };
+                        if available {
+                            let key = if greedy == Some(slot) {
+                                0
+                            } else {
+                                match kind {
+                                    SchedulerKind::GreedyThenOldest => warp.launch_seq + 1,
+                                    SchedulerKind::RoundRobin => {
+                                        let last = greedy.unwrap_or(n_slots);
+                                        1 + ((slot + n_slots - last - 1) % n_slots) as u64
+                                    }
+                                }
+                            };
+                            if chosen.is_none_or(|(k, _)| key < k) {
+                                chosen = Some((key, slot));
+                            }
+                        } else {
+                            n_exec += 1;
+                        }
+                    }
+                }
+                slot += num_sched;
+            }
+
+            if let Some((_, slot)) = chosen {
+                self.issue_to_unit(now, sched_id, slot, descs, kernel_insts);
+                self.schedulers[sched_id].note_issue(slot);
+            } else {
+                // Attribute the lost cycle to the reason blocking the most
+                // warps (ties broken in the paper's Fig. 1 priority order).
+                let counts = [
+                    (n_mem, StallReason::LongMemoryLatency),
+                    (n_raw, StallReason::ShortRawHazard),
+                    (n_exec, StallReason::ExecResource),
+                    (n_fetch, StallReason::IbufferEmpty),
+                    (n_barrier, StallReason::Barrier),
+                ];
+                let reason = if !any_candidate {
+                    StallReason::Idle
+                } else {
+                    // Strict comparison keeps the *first* maximum, i.e. the
+                    // paper's priority order on ties.
+                    let mut best = counts[0];
+                    for &c in &counts[1..] {
+                        if c.0 > best.0 {
+                            best = c;
+                        }
+                    }
+                    best.1
+                };
+                self.stats.stalls.record(reason);
+            }
+        }
+    }
+
+    fn issue_to_unit(
+        &mut self,
+        now: u64,
+        sched_id: usize,
+        slot: usize,
+        descs: &[KernelDesc],
+        kernel_insts: &mut [u64],
+    ) {
+        let sm_cfg = &self.cfg.sm;
+        let warp = self.warps[slot].as_mut().expect("issuing to empty slot");
+        let kernel = warp.kernel;
+        let desc = &descs[kernel.0];
+        let inst = warp.head().expect("non-empty i-buffer");
+        let unit = &mut self.units[sched_id];
+        let warp_size = u64::from(crate::config::SmConfig::WARP_SIZE);
+        match inst.op {
+            OpClass::Alu => {
+                let ii = warp_size / u64::from(sm_cfg.simt_width);
+                unit.alu_busy_until = now + ii;
+                self.stats.alu_busy += ii;
+                let _ = warp.issue(now, u64::from(sm_cfg.alu_latency));
+            }
+            OpClass::Sfu => {
+                let ii = warp_size / u64::from(sm_cfg.sfu_width);
+                unit.sfu_busy_until = now + ii;
+                self.stats.sfu_busy += ii;
+                let _ = warp.issue(now, u64::from(sm_cfg.sfu_latency));
+            }
+            OpClass::SharedMem => {
+                // Bank conflicts serialize the access: both the LSU
+                // occupancy and the result latency scale with the degree.
+                let degree = desc.shmem_conflict_degree.max(1);
+                let base = (warp_size / u64::from(sm_cfg.lsu_width)) as u32;
+                let latency =
+                    u64::from(sm_cfg.shmem_latency) + u64::from((degree - 1) * base);
+                let _ = warp.issue(now, latency);
+                unit.lsu = Some(LsuOp {
+                    warp_slot: slot,
+                    warp_gen: warp.gen,
+                    kernel,
+                    kind: LsuKind::Shared,
+                    lines: VecDeque::new(),
+                    cycles_left: base * degree,
+                });
+            }
+            OpClass::Barrier => {
+                let _ = warp.issue(now, 0);
+                warp.at_barrier = true;
+                let cta_slot = warp.cta_slot;
+                self.note_barrier_arrival(cta_slot);
+            }
+            OpClass::GlobalLoad | OpClass::GlobalStore => {
+                let _ = warp.issue(now, 0);
+                self.line_buf.clear();
+                {
+                    let mut lines = std::mem::take(&mut self.line_buf);
+                    warp.stream.next_access(&desc.pattern, &mut lines);
+                    self.line_buf = lines;
+                }
+                let kind = if inst.op == OpClass::GlobalLoad {
+                    let load_id = warp.begin_load(inst.dst.expect("loads have destinations"));
+                    LsuKind::GlobalLoad { load_id }
+                } else {
+                    LsuKind::GlobalStore
+                };
+                unit.lsu = Some(LsuOp {
+                    warp_slot: slot,
+                    warp_gen: warp.gen,
+                    kernel,
+                    kind,
+                    lines: self.line_buf.drain(..).collect(),
+                    cycles_left: (warp_size / u64::from(sm_cfg.lsu_width)) as u32,
+                });
+            }
+        }
+        self.stats.kernel_mut(kernel.0).insts_issued += 1;
+        if kernel.0 < kernel_insts.len() {
+            kernel_insts[kernel.0] += 1;
+        }
+        if self.warps[slot].as_ref().is_some_and(Warp::finished) {
+            self.finished_buf.push(slot);
+        }
+    }
+
+    fn lsu_stage(&mut self, now: u64, mem: &mut MemSubsystem) {
+        let l1_hit_latency = u64::from(self.cfg.sm.l1_hit_latency);
+        for sched_id in 0..self.units.len() {
+            let Some(mut op) = self.units[sched_id].lsu.take() else {
+                continue;
+            };
+            self.stats.lsu_busy += 1;
+            // A warp evicted mid-operation invalidates the op.
+            if self.warp_gens[op.warp_slot] != op.warp_gen {
+                continue;
+            }
+            if let Some(&line) = op.lines.front() {
+                let is_store = matches!(op.kind, LsuKind::GlobalStore);
+                let probe = self.l1.access(line);
+                let kstats = self.stats.kernel_mut(op.kernel.0);
+                kstats.l1_accesses += 1;
+                let mut processed = true;
+                match (probe, is_store) {
+                    (ProbeResult::Hit, true) => {
+                        // Write-through: traffic still goes to memory.
+                        mem.submit(
+                            now,
+                            MemRequest {
+                                line,
+                                sm_id: self.id,
+                                kernel: op.kernel,
+                                is_store: true,
+                            },
+                        );
+                    }
+                    (ProbeResult::Miss, true) => {
+                        kstats.l1_misses += 1;
+                        mem.submit(
+                            now,
+                            MemRequest {
+                                line,
+                                sm_id: self.id,
+                                kernel: op.kernel,
+                                is_store: true,
+                            },
+                        );
+                    }
+                    (ProbeResult::Hit, false) => {}
+                    (ProbeResult::Miss, false) => {
+                        kstats.l1_misses += 1;
+                        let LsuKind::GlobalLoad { load_id } = op.kind else {
+                            unreachable!("loads checked above")
+                        };
+                        let outcome = self.mshr.register(
+                            line,
+                            MshrWaiter {
+                                warp_slot: op.warp_slot,
+                                warp_gen: op.warp_gen,
+                                load_id,
+                            },
+                        );
+                        match outcome {
+                            MshrOutcome::Allocated => {
+                                mem.submit(
+                                    now,
+                                    MemRequest {
+                                        line,
+                                        sm_id: self.id,
+                                        kernel: op.kernel,
+                                        is_store: false,
+                                    },
+                                );
+                                self.note_load_transaction(&op);
+                            }
+                            MshrOutcome::Merged => self.note_load_transaction(&op),
+                            MshrOutcome::Rejected => {
+                                // MSHR pressure: retry next cycle, undoing
+                                // the optimistic statistics.
+                                let kstats = self.stats.kernel_mut(op.kernel.0);
+                                kstats.l1_accesses -= 1;
+                                kstats.l1_misses -= 1;
+                                processed = false;
+                            }
+                        }
+                    }
+                }
+                if processed {
+                    op.lines.pop_front();
+                    op.cycles_left = op.cycles_left.saturating_sub(1);
+                }
+            } else if op.cycles_left > 0 {
+                op.cycles_left -= 1;
+            }
+
+            if op.lines.is_empty() && op.cycles_left == 0 {
+                if let LsuKind::GlobalLoad { load_id } = op.kind {
+                    if let Some(w) = self.warps[op.warp_slot].as_mut() {
+                        let _ = w.finish_load_issue(load_id, now + l1_hit_latency);
+                    }
+                }
+            } else {
+                self.units[sched_id].lsu = Some(op);
+            }
+        }
+    }
+
+    /// Releases a CTA's barrier once every live warp has arrived.
+    fn note_barrier_arrival(&mut self, cta_slot: usize) {
+        let Some(rec) = self.ctas[cta_slot].as_ref() else {
+            return;
+        };
+        let all_arrived = rec.warp_slots.iter().all(|&s| {
+            self.warps[s]
+                .as_ref()
+                .is_none_or(|w| w.finished() || w.at_barrier)
+        });
+        if all_arrived {
+            for &s in &rec.warp_slots.clone() {
+                if let Some(w) = self.warps[s].as_mut() {
+                    w.at_barrier = false;
+                }
+            }
+        }
+    }
+
+    fn note_load_transaction(&mut self, op: &LsuOp) {
+        if let LsuKind::GlobalLoad { load_id } = op.kind {
+            if let Some(w) = self.warps[op.warp_slot].as_mut() {
+                w.add_load_transaction(load_id);
+            }
+        }
+    }
+
+    fn finalize_warps(&mut self, descs: &[KernelDesc]) {
+        // Count newly finished warps into their CTAs and retire CTAs whose
+        // warps are all done.
+        while let Some(slot) = self.finished_buf.pop() {
+            let Some(warp) = self.warps[slot].as_ref() else {
+                continue;
+            };
+            let cta_slot = warp.cta_slot;
+            let done = {
+                let rec = self.ctas[cta_slot]
+                    .as_mut()
+                    .expect("finished warp belongs to a live CTA");
+                rec.warps_done += 1;
+                rec.warps_done == rec.warp_slots.len() as u32
+            };
+            if done {
+                let (kernel, cta_index) = {
+                    let rec = self.ctas[cta_slot].as_ref().expect("checked above");
+                    (rec.kernel, rec.cta_index)
+                };
+                self.release_cta(cta_slot, descs[kernel.0].threads_per_cta);
+                self.completions.push(CtaCompletion { kernel, cta_index });
+            }
+        }
+    }
+
+    fn accumulate_occupancy(&mut self) {
+        self.stats.reg_used_acc += u128::from(self.resources.regs.used());
+        self.stats.shmem_used_acc += u128::from(self.resources.shmem.used());
+        self.stats.threads_used_acc += u128::from(self.resources.threads_used());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessPattern;
+    use crate::program::{Inst, Program, ProgramSpec};
+
+    fn alu_kernel(iterations: u32) -> KernelDesc {
+        KernelDesc {
+            name: "alu".into(),
+            grid_ctas: 64,
+            threads_per_cta: 64,
+            regs_per_thread: 16,
+            shmem_per_cta: 0,
+            program: ProgramSpec {
+                body_len: 32,
+                dep_distance: 8,
+                gload_frac: 0.0,
+                ..ProgramSpec::default()
+            }
+            .generate(),
+            iterations,
+            pattern: AccessPattern::Streaming { transactions: 1 },
+            icache_miss_rate: 0.0,
+            shmem_conflict_degree: 1,
+            seed: 3,
+        }
+    }
+
+    fn mem_kernel(iterations: u32) -> KernelDesc {
+        KernelDesc {
+            name: "mem".into(),
+            grid_ctas: 64,
+            threads_per_cta: 64,
+            regs_per_thread: 16,
+            shmem_per_cta: 0,
+            program: ProgramSpec {
+                body_len: 32,
+                dep_distance: 2,
+                gload_frac: 0.4,
+                ..ProgramSpec::default()
+            }
+            .generate(),
+            iterations,
+            pattern: AccessPattern::Streaming { transactions: 1 },
+            icache_miss_rate: 0.0,
+            shmem_conflict_degree: 1,
+            seed: 4,
+        }
+    }
+
+    fn run(
+        sm: &mut Sm,
+        mem: &mut MemSubsystem,
+        descs: &[KernelDesc],
+        cycles: u64,
+    ) -> Vec<u64> {
+        let mut kernel_insts = vec![0u64; descs.len()];
+        let mut responses = Vec::new();
+        for now in 0..cycles {
+            sm.tick(now, mem, descs, &mut kernel_insts);
+            responses.clear();
+            mem.tick(now, &mut responses);
+            for r in &responses {
+                sm.on_fill(r.line, now);
+            }
+        }
+        kernel_insts
+    }
+
+    #[test]
+    fn alu_kernel_executes_to_completion() {
+        let cfg = GpuConfig::isca_baseline();
+        let mut sm = Sm::new(0, &cfg, SchedulerKind::GreedyThenOldest);
+        let mut mem = MemSubsystem::new(&cfg);
+        let descs = vec![alu_kernel(4)];
+        assert!(sm.launch_cta(&descs[0], KernelId(0), 0));
+        assert_eq!(sm.resident_ctas(), 1);
+        let insts = run(&mut sm, &mut mem, &descs, 3000);
+        // 2 warps x 32 insts x 4 iterations = 256 instructions.
+        assert_eq!(insts[0], 256);
+        assert_eq!(sm.resident_ctas(), 0, "CTA should retire");
+        let completions = sm.take_completions();
+        assert_eq!(
+            completions,
+            vec![CtaCompletion {
+                kernel: KernelId(0),
+                cta_index: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn memory_kernel_round_trips_loads() {
+        let cfg = GpuConfig::isca_baseline();
+        let mut sm = Sm::new(0, &cfg, SchedulerKind::GreedyThenOldest);
+        let mut mem = MemSubsystem::new(&cfg);
+        let descs = vec![mem_kernel(2)];
+        assert!(sm.launch_cta(&descs[0], KernelId(0), 0));
+        let insts = run(&mut sm, &mut mem, &descs, 20_000);
+        assert_eq!(insts[0], 128, "2 warps x 32 x 2 iterations");
+        assert!(sm.stats().kernel(0).l1_accesses > 0);
+        assert!(mem.stats().total.dram_reads > 0);
+        assert!(sm.stats().stalls.mem > 0, "streaming loads must stall");
+    }
+
+    #[test]
+    fn more_ctas_more_throughput_for_compute() {
+        let cfg = GpuConfig::isca_baseline();
+        let descs = vec![alu_kernel(50)];
+        let mut ipc = Vec::new();
+        for n in [1u64, 4] {
+            let mut sm = Sm::new(0, &cfg, SchedulerKind::GreedyThenOldest);
+            let mut mem = MemSubsystem::new(&cfg);
+            for c in 0..n {
+                assert!(sm.launch_cta(&descs[0], KernelId(0), c));
+            }
+            let insts = run(&mut sm, &mut mem, &descs, 2000);
+            ipc.push(insts[0] as f64 / 2000.0);
+        }
+        assert!(
+            ipc[1] > ipc[0] * 1.3,
+            "4 CTAs ({}) should outrun 1 CTA ({})",
+            ipc[1],
+            ipc[0]
+        );
+    }
+
+    #[test]
+    fn launch_fails_when_resources_exhausted() {
+        let cfg = GpuConfig::isca_baseline();
+        let mut sm = Sm::new(0, &cfg, SchedulerKind::GreedyThenOldest);
+        let desc = KernelDesc {
+            threads_per_cta: 512,
+            ..alu_kernel(1)
+        };
+        assert!(sm.launch_cta(&desc, KernelId(0), 0));
+        assert!(sm.launch_cta(&desc, KernelId(0), 1));
+        assert!(sm.launch_cta(&desc, KernelId(0), 2));
+        // 4th CTA: 2048 threads > 1536.
+        assert!(!sm.launch_cta(&desc, KernelId(0), 3));
+        assert!(!sm.can_launch(&desc, KernelId(0)));
+    }
+
+    #[test]
+    fn evict_kernel_releases_everything() {
+        let cfg = GpuConfig::isca_baseline();
+        let mut sm = Sm::new(0, &cfg, SchedulerKind::GreedyThenOldest);
+        let mut mem = MemSubsystem::new(&cfg);
+        let descs = vec![mem_kernel(1000)];
+        for c in 0..4 {
+            assert!(sm.launch_cta(&descs[0], KernelId(0), c));
+        }
+        let _ = run(&mut sm, &mut mem, &descs, 200);
+        sm.evict_kernel(0, &descs[0]);
+        assert_eq!(sm.resident_ctas(), 0);
+        assert_eq!(sm.kernel_ctas(0), 0);
+        assert_eq!(sm.kernel_threads(0), 0);
+        assert_eq!(sm.resources.regs.used(), 0);
+        // Late fills must not crash.
+        let _ = run(&mut sm, &mut mem, &descs, 2000);
+    }
+
+    #[test]
+    fn window_quota_blocks_extra_ctas() {
+        let cfg = GpuConfig::isca_baseline();
+        let mut sm = Sm::new(0, &cfg, SchedulerKind::GreedyThenOldest);
+        let desc = alu_kernel(1);
+        sm.set_window(
+            0,
+            Some(PartitionWindow {
+                regs: crate::alloc::Region::whole(cfg.sm.max_registers),
+                shmem: crate::alloc::Region::whole(cfg.sm.shared_mem_bytes),
+                max_ctas: 2,
+                max_threads: cfg.sm.max_threads,
+            }),
+        );
+        assert!(sm.launch_cta(&desc, KernelId(0), 0));
+        assert!(sm.launch_cta(&desc, KernelId(0), 1));
+        assert!(!sm.launch_cta(&desc, KernelId(0), 2));
+        sm.set_window(0, None);
+        assert!(sm.launch_cta(&desc, KernelId(0), 2));
+    }
+
+    #[test]
+    fn divergent_accesses_occupy_the_lsu_longer() {
+        let cfg = GpuConfig::isca_baseline();
+        let run_lsu_busy = |transactions: u32| {
+            let mut sm = Sm::new(0, &cfg, SchedulerKind::GreedyThenOldest);
+            let mut mem = MemSubsystem::new(&cfg);
+            let desc = KernelDesc {
+                pattern: AccessPattern::Random {
+                    footprint_lines: 1 << 16,
+                    transactions,
+                },
+                ..mem_kernel(4)
+            };
+            let descs = vec![desc];
+            assert!(sm.launch_cta(&descs[0], KernelId(0), 0));
+            let _ = run(&mut sm, &mut mem, &descs, 30_000);
+            sm.stats().lsu_busy
+        };
+        let coalesced = run_lsu_busy(1);
+        let divergent = run_lsu_busy(8);
+        assert!(
+            divergent > coalesced * 2,
+            "8-way divergence ({divergent}) should occupy the LSU far longer than coalesced ({coalesced})"
+        );
+    }
+
+    #[test]
+    fn barriers_synchronize_cta_warps() {
+        let cfg = GpuConfig::isca_baseline();
+        let mut sm = Sm::new(0, &cfg, SchedulerKind::GreedyThenOldest);
+        let mut mem = MemSubsystem::new(&cfg);
+        // Body: a (randomly timed) load then ALU work desynchronizes the
+        // warps, a barrier re-synchronizes them, then more work.
+        let mut insts: Vec<Inst> = vec![Inst {
+            op: OpClass::GlobalLoad,
+            dst: Some(20),
+            srcs: [Some(21), None],
+        }];
+        insts.extend((0..10).map(|i| Inst {
+            op: OpClass::Alu,
+            dst: Some(i as u8),
+            srcs: [Some(if i == 0 { 20 } else { (i - 1) as u8 }), None],
+        }));
+        insts.push(Inst {
+            op: OpClass::Barrier,
+            dst: None,
+            srcs: [None, None],
+        });
+        insts.extend((0..10).map(|i| Inst {
+            op: OpClass::Alu,
+            dst: Some((i + 11) as u8),
+            srcs: [Some(i as u8), None],
+        }));
+        let desc = KernelDesc {
+            name: "bar".into(),
+            grid_ctas: 4,
+            threads_per_cta: 128,
+            regs_per_thread: 8,
+            shmem_per_cta: 0,
+            program: Program::new(insts),
+            iterations: 6,
+            pattern: AccessPattern::Random {
+                footprint_lines: 1 << 14,
+                transactions: 2,
+            },
+            icache_miss_rate: 0.0,
+            shmem_conflict_degree: 1,
+            seed: 0,
+        };
+        let descs = vec![desc];
+        assert!(sm.launch_cta(&descs[0], KernelId(0), 0));
+        let insts_done = run(&mut sm, &mut mem, &descs, 20_000);
+        // All warps finish (no deadlock) and barrier stalls were recorded.
+        assert_eq!(insts_done[0], 4 * 22 * 6, "all warps complete");
+        assert!(
+            sm.stats().stalls.barrier > 0,
+            "barrier waits recorded: {:?}",
+            sm.stats().stalls
+        );
+        assert_eq!(sm.resident_ctas(), 0, "CTA retires after barriers");
+    }
+
+    #[test]
+    fn bank_conflicts_slow_shared_memory_kernels() {
+        let cfg = GpuConfig::isca_baseline();
+        let run_with_degree = |degree: u32| {
+            let mut sm = Sm::new(0, &cfg, SchedulerKind::GreedyThenOldest);
+            let mut mem = MemSubsystem::new(&cfg);
+            let desc = KernelDesc {
+                name: "shm".into(),
+                grid_ctas: 64,
+                threads_per_cta: 128,
+                regs_per_thread: 8,
+                shmem_per_cta: 1024,
+                program: ProgramSpec {
+                    body_len: 32,
+                    shmem_frac: 0.5,
+                    gload_frac: 0.0,
+                    dep_distance: 8,
+                    ..ProgramSpec::default()
+                }
+                .generate(),
+                iterations: 100,
+                pattern: AccessPattern::Streaming { transactions: 1 },
+                icache_miss_rate: 0.0,
+                shmem_conflict_degree: degree,
+                seed: 0,
+            };
+            let descs = vec![desc];
+            for c in 0..4 {
+                assert!(sm.launch_cta(&descs[0], KernelId(0), c));
+            }
+            run(&mut sm, &mut mem, &descs, 4_000)[0]
+        };
+        let clean = run_with_degree(1);
+        let conflicted = run_with_degree(8);
+        assert!(
+            clean as f64 > conflicted as f64 * 1.5,
+            "8-way conflicts should hurt: {clean} vs {conflicted}"
+        );
+    }
+
+    #[test]
+    fn raw_stalls_dominate_serial_kernels() {
+        let cfg = GpuConfig::isca_baseline();
+        let mut sm = Sm::new(0, &cfg, SchedulerKind::GreedyThenOldest);
+        let mut mem = MemSubsystem::new(&cfg);
+        // Fully serial single-warp ALU chain.
+        let insts: Vec<Inst> = (0..32)
+            .map(|i| Inst {
+                op: OpClass::Alu,
+                dst: Some((i % 32) as u8),
+                srcs: [Some(((i + 31) % 32) as u8), None],
+            })
+            .collect();
+        let desc = KernelDesc {
+            name: "serial".into(),
+            grid_ctas: 1,
+            threads_per_cta: 32,
+            regs_per_thread: 8,
+            shmem_per_cta: 0,
+            program: Program::new(insts),
+            iterations: 20,
+            pattern: AccessPattern::Streaming { transactions: 1 },
+            icache_miss_rate: 0.0,
+            shmem_conflict_degree: 1,
+            seed: 0,
+        };
+        let descs = vec![desc];
+        assert!(sm.launch_cta(&descs[0], KernelId(0), 0));
+        let _ = run(&mut sm, &mut mem, &descs, 8000);
+        let st = sm.stats().stalls;
+        assert!(
+            st.raw > st.mem && st.raw > st.exec,
+            "RAW should dominate: {st:?}"
+        );
+    }
+}

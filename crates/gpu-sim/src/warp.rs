@@ -1,0 +1,465 @@
+//! Warp execution state: program counter, i-buffer, scoreboard, and
+//! outstanding-load tracking.
+
+use std::collections::VecDeque;
+
+use crate::access::AddressStream;
+use crate::kernel::{KernelDesc, KernelId};
+use crate::program::{Inst, OpClass, Reg, NUM_VIRTUAL_REGS};
+
+/// Scoreboard marker for a register awaiting a global load.
+pub const PENDING_LOAD: u64 = u64::MAX;
+
+/// Why a warp cannot issue its head instruction this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueBlock {
+    /// An operand (or the destination) awaits an outstanding global load.
+    MemPending,
+    /// An operand awaits a short ALU/SFU/shared-memory result.
+    RawPending,
+}
+
+/// One outstanding global load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadTracker {
+    /// Warp-local load id (monotonic).
+    pub id: u32,
+    /// Destination register.
+    pub dst: Reg,
+    /// L1-miss transactions still in flight.
+    pub remaining: u32,
+    /// Whether the LSU has issued every transaction of the load.
+    pub all_issued: bool,
+}
+
+/// A resident warp.
+#[derive(Debug, Clone)]
+pub struct Warp {
+    /// Owning kernel.
+    pub kernel: KernelId,
+    /// CTA slot within the SM this warp belongs to.
+    pub cta_slot: usize,
+    /// Slot-recycling generation (checked by late memory fills).
+    pub gen: u32,
+    /// Launch order stamp used by the greedy-then-oldest scheduler.
+    pub launch_seq: u64,
+    /// Dynamic warp instructions issued so far.
+    pub insts_issued: u64,
+    /// Whether the warp is parked at a CTA-wide barrier.
+    pub at_barrier: bool,
+    total_insts: u64,
+    pc: usize,
+    body_len: usize,
+    iters_left: u32,
+    ibuffer: VecDeque<Inst>,
+    ibuffer_cap: usize,
+    fetch_ready: u64,
+    fetch_count: u64,
+    reg_ready: [u64; NUM_VIRTUAL_REGS],
+    loads: Vec<LoadTracker>,
+    next_load_id: u32,
+    /// Global-memory address stream for this warp.
+    pub stream: AddressStream,
+}
+
+impl Warp {
+    /// Creates a warp for `desc` (kernel slot `kernel`), CTA `cta_index`,
+    /// warp `warp_in_cta` within it.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        desc: &KernelDesc,
+        kernel: KernelId,
+        cta_slot: usize,
+        cta_index: u64,
+        warp_in_cta: u32,
+        gen: u32,
+        launch_seq: u64,
+        ibuffer_cap: u32,
+    ) -> Self {
+        Self {
+            kernel,
+            cta_slot,
+            gen,
+            launch_seq,
+            insts_issued: 0,
+            at_barrier: false,
+            total_insts: desc.insts_per_warp(),
+            pc: 0,
+            body_len: desc.program.len(),
+            iters_left: desc.iterations,
+            ibuffer: VecDeque::with_capacity(ibuffer_cap as usize),
+            ibuffer_cap: ibuffer_cap as usize,
+            fetch_ready: 0,
+            fetch_count: 0,
+            reg_ready: [0; NUM_VIRTUAL_REGS],
+            loads: Vec::with_capacity(4),
+            next_load_id: 0,
+            stream: AddressStream::new(kernel.0, cta_index, warp_in_cta, desc.seed),
+        }
+    }
+
+    /// Whether the warp has issued its full instruction budget.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.insts_issued >= self.total_insts
+    }
+
+    /// Whether every body instruction has been fetched (fetch front end is
+    /// done, but issue may lag).
+    #[must_use]
+    pub fn fetch_done(&self) -> bool {
+        self.iters_left == 0
+    }
+
+    /// Attempts one fetch into the i-buffer, returning whether an
+    /// instruction was fetched (consuming shared fetch-port bandwidth).
+    /// `now` is the current cycle; the i-cache miss decision is a
+    /// deterministic hash so runs replay exactly.
+    pub fn fetch(
+        &mut self,
+        now: u64,
+        desc: &KernelDesc,
+        fetch_latency: u32,
+        icache_miss_penalty: u32,
+    ) -> bool {
+        if self.fetch_done() || self.ibuffer.len() >= self.ibuffer_cap || self.fetch_ready > now {
+            return false;
+        }
+        self.ibuffer.push_back(desc.program.inst(self.pc));
+        self.pc += 1;
+        if self.pc == self.body_len {
+            self.pc = 0;
+            self.iters_left -= 1;
+        }
+        self.fetch_count += 1;
+        let miss = if desc.icache_miss_rate > 0.0 {
+            // Deterministic hash in [0, 1).
+            let h = self
+                .fetch_count
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(self.launch_seq.rotate_left(17));
+            (h >> 11) as f64 / (1u64 << 53) as f64 >= 1.0 - desc.icache_miss_rate
+        } else {
+            false
+        };
+        self.fetch_ready = now
+            + u64::from(fetch_latency)
+            + if miss {
+                u64::from(icache_miss_penalty)
+            } else {
+                0
+            };
+        true
+    }
+
+    /// The decoded instruction at the head of the i-buffer.
+    #[must_use]
+    pub fn head(&self) -> Option<Inst> {
+        self.ibuffer.front().copied()
+    }
+
+    /// Whether the i-buffer is empty (front-end starved).
+    #[must_use]
+    pub fn ibuffer_empty(&self) -> bool {
+        self.ibuffer.is_empty()
+    }
+
+    fn reg_block(&self, reg: Reg, now: u64) -> Option<IssueBlock> {
+        let ready = self.reg_ready[reg as usize];
+        if ready == PENDING_LOAD {
+            Some(IssueBlock::MemPending)
+        } else if ready > now {
+            Some(IssueBlock::RawPending)
+        } else {
+            None
+        }
+    }
+
+    /// Scoreboard check for the head instruction. `None` means operands are
+    /// ready (structural hazards are the SM's concern).
+    #[must_use]
+    pub fn issue_block(&self, now: u64) -> Option<IssueBlock> {
+        let inst = self.head()?;
+        let mut worst: Option<IssueBlock> = None;
+        let mut consider = |b: Option<IssueBlock>| {
+            worst = match (worst, b) {
+                (_, Some(IssueBlock::MemPending)) | (Some(IssueBlock::MemPending), _) => {
+                    Some(IssueBlock::MemPending)
+                }
+                (w, None) => w,
+                (None, b) => b,
+                (w, _) => w,
+            };
+        };
+        for src in inst.srcs.into_iter().flatten() {
+            consider(self.reg_block(src, now));
+        }
+        if let Some(dst) = inst.dst {
+            // Write-after-write on an in-flight load result.
+            consider(self.reg_block(dst, now));
+        }
+        worst
+    }
+
+    /// Consumes the head instruction at issue. For ALU/SFU/shared-memory
+    /// ops the destination becomes ready at `now + latency`; for global
+    /// loads the caller must follow up with [`Self::begin_load`].
+    pub fn issue(&mut self, now: u64, result_latency: u64) -> Inst {
+        let inst = self.ibuffer.pop_front().expect("issue on empty i-buffer");
+        self.insts_issued += 1;
+        if inst.op != OpClass::GlobalLoad {
+            if let Some(dst) = inst.dst {
+                self.reg_ready[dst as usize] = now + result_latency;
+            }
+        }
+        inst
+    }
+
+    /// Registers a new outstanding global load for `dst`, returning its
+    /// warp-local load id.
+    pub fn begin_load(&mut self, dst: Reg) -> u32 {
+        let id = self.next_load_id;
+        self.next_load_id += 1;
+        self.reg_ready[dst as usize] = PENDING_LOAD;
+        self.loads.push(LoadTracker {
+            id,
+            dst,
+            remaining: 0,
+            all_issued: false,
+        });
+        id
+    }
+
+    /// Notes one more in-flight L1-miss transaction for load `id`.
+    pub fn add_load_transaction(&mut self, id: u32) {
+        let t = self
+            .loads
+            .iter_mut()
+            .find(|t| t.id == id)
+            .expect("unknown load id");
+        t.remaining += 1;
+    }
+
+    /// Marks every transaction of load `id` as issued; if none missed the
+    /// L1 the destination becomes ready at `ready_at`. Returns `true` if the
+    /// load completed immediately.
+    pub fn finish_load_issue(&mut self, id: u32, ready_at: u64) -> bool {
+        let idx = self
+            .loads
+            .iter()
+            .position(|t| t.id == id)
+            .expect("unknown load id");
+        self.loads[idx].all_issued = true;
+        if self.loads[idx].remaining == 0 {
+            let dst = self.loads[idx].dst;
+            self.reg_ready[dst as usize] = ready_at;
+            self.loads.swap_remove(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Completes one in-flight transaction of load `id` (a fill returned).
+    /// Returns `true` if this completed the whole load.
+    pub fn complete_load_transaction(&mut self, id: u32, now: u64) -> bool {
+        let Some(idx) = self.loads.iter().position(|t| t.id == id) else {
+            return false; // stale fill for an already-halted warp
+        };
+        let t = &mut self.loads[idx];
+        debug_assert!(t.remaining > 0);
+        t.remaining -= 1;
+        if t.remaining == 0 && t.all_issued {
+            let dst = t.dst;
+            self.reg_ready[dst as usize] = now;
+            self.loads.swap_remove(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Outstanding-load count (for occupancy introspection/tests).
+    #[must_use]
+    pub fn outstanding_loads(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Total dynamic instructions this warp will issue.
+    #[must_use]
+    pub fn total_insts(&self) -> u64 {
+        self.total_insts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessPattern;
+    use crate::program::{Inst, Program};
+
+    fn alu(dst: Reg, src: Reg) -> Inst {
+        Inst {
+            op: OpClass::Alu,
+            dst: Some(dst),
+            srcs: [Some(src), None],
+        }
+    }
+
+    fn load(dst: Reg, src: Reg) -> Inst {
+        Inst {
+            op: OpClass::GlobalLoad,
+            dst: Some(dst),
+            srcs: [Some(src), None],
+        }
+    }
+
+    fn kernel_with(insts: Vec<Inst>, iterations: u32) -> KernelDesc {
+        KernelDesc {
+            name: "w".into(),
+            grid_ctas: 1,
+            threads_per_cta: 32,
+            regs_per_thread: 8,
+            shmem_per_cta: 0,
+            program: Program::new(insts),
+            iterations,
+            pattern: AccessPattern::Streaming { transactions: 1 },
+            icache_miss_rate: 0.0,
+            shmem_conflict_degree: 1,
+            seed: 1,
+        }
+    }
+
+    fn warp_for(desc: &KernelDesc) -> Warp {
+        Warp::new(desc, KernelId(0), 0, 0, 0, 0, 0, 2)
+    }
+
+    #[test]
+    fn fetch_fills_ibuffer_and_wraps() {
+        let desc = kernel_with(vec![alu(0, 1), alu(1, 0)], 2);
+        let mut w = warp_for(&desc);
+        assert!(w.fetch(0, &desc, 1, 0));
+        assert!(!w.ibuffer_empty());
+        // Second fetch gated by fetch latency.
+        assert!(!w.fetch(0, &desc, 1, 0));
+        assert_eq!(w.ibuffer.len(), 1);
+        w.fetch(1, &desc, 1, 0);
+        assert_eq!(w.ibuffer.len(), 2);
+        // Buffer full: no more fetches.
+        w.fetch(2, &desc, 1, 0);
+        assert_eq!(w.ibuffer.len(), 2);
+        // Drain and keep fetching: 4 total instructions then fetch_done.
+        let _ = w.issue(2, 1);
+        let _ = w.issue(2, 1);
+        w.fetch(3, &desc, 1, 0);
+        w.fetch(4, &desc, 1, 0);
+        assert!(w.fetch_done());
+        let _ = w.issue(5, 1);
+        let _ = w.issue(5, 1);
+        assert!(w.finished());
+    }
+
+    #[test]
+    fn raw_hazard_blocks_until_latency_elapses() {
+        let desc = kernel_with(vec![alu(0, 1), alu(2, 0)], 1);
+        let mut w = warp_for(&desc);
+        w.fetch(0, &desc, 1, 0);
+        w.fetch(1, &desc, 1, 0);
+        assert_eq!(w.issue_block(0), None);
+        let _ = w.issue(0, 10); // r0 ready at 10
+        assert_eq!(w.issue_block(5), Some(IssueBlock::RawPending));
+        assert_eq!(w.issue_block(10), None);
+    }
+
+    #[test]
+    fn load_blocks_consumer_until_fill() {
+        let desc = kernel_with(vec![load(0, 1), alu(2, 0)], 1);
+        let mut w = warp_for(&desc);
+        w.fetch(0, &desc, 1, 0);
+        w.fetch(1, &desc, 1, 0);
+        let inst = w.issue(0, 0);
+        assert_eq!(inst.op, OpClass::GlobalLoad);
+        let id = w.begin_load(inst.dst.unwrap());
+        w.add_load_transaction(id);
+        assert!(!w.finish_load_issue(id, 0));
+        assert_eq!(w.issue_block(100), Some(IssueBlock::MemPending));
+        assert!(w.complete_load_transaction(id, 150));
+        assert_eq!(w.issue_block(150), None);
+    }
+
+    #[test]
+    fn all_hit_load_completes_at_issue() {
+        let desc = kernel_with(vec![load(0, 1), alu(2, 0)], 1);
+        let mut w = warp_for(&desc);
+        w.fetch(0, &desc, 1, 0);
+        let inst = w.issue(0, 0);
+        let id = w.begin_load(inst.dst.unwrap());
+        assert!(w.finish_load_issue(id, 28));
+        assert_eq!(w.outstanding_loads(), 0);
+        assert_eq!(w.issue_block(27), None); // ALU not fetched yet -> None
+        w.fetch(1, &desc, 1, 0);
+        assert_eq!(w.issue_block(20), Some(IssueBlock::RawPending));
+        assert_eq!(w.issue_block(28), None);
+    }
+
+    #[test]
+    fn waw_on_inflight_load_destination_blocks() {
+        // Two loads to the same destination register: the second must wait
+        // for the first fill (write-after-write on r0).
+        let desc = kernel_with(vec![load(0, 1), load(0, 2)], 1);
+        let mut w = warp_for(&desc);
+        w.fetch(0, &desc, 0, 0);
+        w.fetch(0, &desc, 0, 0);
+        let first = w.issue(0, 0);
+        let id = w.begin_load(first.dst.unwrap());
+        w.add_load_transaction(id);
+        let _ = w.finish_load_issue(id, 0);
+        assert_eq!(
+            w.issue_block(100),
+            Some(IssueBlock::MemPending),
+            "second load must stall on the in-flight destination"
+        );
+        assert!(w.complete_load_transaction(id, 120));
+        assert_eq!(w.issue_block(120), None);
+    }
+
+    #[test]
+    fn stale_fill_is_ignored() {
+        let desc = kernel_with(vec![load(0, 1)], 1);
+        let mut w = warp_for(&desc);
+        w.fetch(0, &desc, 1, 0);
+        let _ = w.issue(0, 0);
+        assert!(!w.complete_load_transaction(99, 10));
+    }
+
+    #[test]
+    fn icache_misses_delay_fetch() {
+        let mut desc = kernel_with(vec![alu(0, 1); 100], 10);
+        desc.icache_miss_rate = 1.0;
+        let mut w = warp_for(&desc);
+        w.fetch(0, &desc, 2, 40);
+        assert_eq!(w.ibuffer.len(), 1);
+        // Every fetch misses: next fetch not ready until 42.
+        w.fetch(41, &desc, 2, 40);
+        assert_eq!(w.ibuffer.len(), 1);
+        w.fetch(42, &desc, 2, 40);
+        assert_eq!(w.ibuffer.len(), 2);
+    }
+
+    #[test]
+    fn mem_pending_dominates_raw() {
+        let desc = kernel_with(vec![load(0, 1), alu(1, 2), alu(3, 0)], 1);
+        let mut w = warp_for(&desc);
+        w.fetch(0, &desc, 0, 0);
+        let inst = w.issue(0, 0);
+        let id = w.begin_load(inst.dst.unwrap());
+        w.add_load_transaction(id);
+        let _ = w.finish_load_issue(id, 0);
+        w.fetch(1, &desc, 0, 0);
+        let _ = w.issue(1, 10); // r1 ready at 11? (now=1 + 10)
+        w.fetch(2, &desc, 0, 0);
+        // Head reads r0 (mem-pending): classified as MemPending.
+        assert_eq!(w.issue_block(2), Some(IssueBlock::MemPending));
+    }
+}

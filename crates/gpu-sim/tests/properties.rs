@@ -1,0 +1,175 @@
+//! Property-based tests for the simulator substrate: windowed allocation,
+//! cache geometry, DRAM channel behaviour, and whole-SM conservation laws.
+
+use proptest::prelude::*;
+
+use gpu_sim::{
+    dram::{DramChannel, DramRequest},
+    Gpu, GpuConfig, KernelDesc, LinearAllocator, ProbeResult, ProgramSpec, Region, SchedulerKind,
+    SetAssocCache,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn windowed_allocations_stay_inside_their_window(
+        window_start in 0u32..200,
+        window_len in 1u32..200,
+        lens in prop::collection::vec(1u32..40, 1..20),
+    ) {
+        let mut alloc = LinearAllocator::new(256);
+        let window = Region { start: window_start, len: window_len.min(256 - window_start.min(256)) };
+        let mut live: Vec<Region> = Vec::new();
+        for len in lens {
+            if let Some(r) = alloc.alloc_in_window(len, window) {
+                if r.len > 0 {
+                    prop_assert!(window.contains(&r), "{r:?} outside {window:?}");
+                    for l in &live {
+                        prop_assert!(r.end() <= l.start || l.end() <= r.start);
+                    }
+                    live.push(r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_windows_never_collide(
+        lens_a in prop::collection::vec(1u32..30, 1..12),
+        lens_b in prop::collection::vec(1u32..30, 1..12),
+    ) {
+        let mut alloc = LinearAllocator::new(256);
+        let wa = Region { start: 0, len: 128 };
+        let wb = Region { start: 128, len: 128 };
+        let mut in_a = Vec::new();
+        let mut in_b = Vec::new();
+        for (la, lb) in lens_a.iter().zip(&lens_b) {
+            if let Some(r) = alloc.alloc_in_window(*la, wa) {
+                in_a.push(r);
+            }
+            if let Some(r) = alloc.alloc_in_window(*lb, wb) {
+                in_b.push(r);
+            }
+        }
+        for a in &in_a {
+            prop_assert!(a.len == 0 || wa.contains(a));
+        }
+        for b in &in_b {
+            prop_assert!(b.len == 0 || wb.contains(b));
+        }
+    }
+
+    #[test]
+    fn cache_miss_rate_reflects_footprint(
+        footprint in 1u64..64,
+        passes in 2u32..6,
+    ) {
+        // 32-line fully covered footprints converge to 100% hits after the
+        // first pass; larger-than-cache footprints keep missing.
+        let mut cache = SetAssocCache::new(32 * 128, 4, 128);
+        let mut last_pass_misses = 0u64;
+        for pass in 0..passes {
+            last_pass_misses = 0;
+            for line in 0..footprint {
+                if cache.access(line) == ProbeResult::Miss {
+                    cache.fill(line);
+                    if pass == passes - 1 {
+                        last_pass_misses += 1;
+                    }
+                }
+            }
+        }
+        if footprint <= 32 {
+            prop_assert_eq!(last_pass_misses, 0, "resident footprint must hit");
+        } else {
+            prop_assert!(last_pass_misses > 0, "oversized footprint must miss");
+        }
+    }
+
+    #[test]
+    fn dram_completions_cover_all_requests(
+        lines in prop::collection::vec(0u64..512, 1..24),
+    ) {
+        let cfg = GpuConfig::isca_baseline();
+        let mut ch = DramChannel::new(&cfg.mem, cfg.core_per_dram_clock());
+        let mut pending = lines.len();
+        let mut submitted = 0usize;
+        let mut now = 0u64;
+        let mut seen = Vec::new();
+        while pending > 0 && now < 100_000 {
+            if submitted < lines.len() && ch.can_accept() {
+                ch.enqueue(DramRequest {
+                    line: lines[submitted],
+                    tag: submitted as u64,
+                    arrival: now,
+                });
+                submitted += 1;
+            }
+            if let Some(c) = ch.tick(now) {
+                prop_assert!(c.ready_at >= now);
+                seen.push(c.req.tag);
+                pending -= 1;
+            }
+            now += 1;
+        }
+        prop_assert_eq!(pending, 0, "all requests serviced");
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), lines.len(), "each exactly once");
+    }
+
+    #[test]
+    fn sm_residency_is_conserved_under_random_launch_churn(
+        seeds in prop::collection::vec(1u64..1_000, 1..4),
+        cycles in 200u64..1_500,
+    ) {
+        let mut gpu = Gpu::new(GpuConfig::isca_baseline(), SchedulerKind::GreedyThenOldest);
+        let ids: Vec<_> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &seed)| {
+                gpu.add_kernel(KernelDesc {
+                    name: format!("k{i}"),
+                    grid_ctas: 64,
+                    threads_per_cta: 32 + 32 * (seed % 4) as u32,
+                    regs_per_thread: 8 + (seed % 16) as u32,
+                    shmem_per_cta: (seed % 5) as u32 * 1024,
+                    program: ProgramSpec {
+                        body_len: 24,
+                        gload_frac: 0.1,
+                        dep_distance: 4,
+                        seed,
+                        ..ProgramSpec::default()
+                    }
+                    .generate(),
+                    iterations: 2,
+                    pattern: gpu_sim::AccessPattern::Streaming { transactions: 1 },
+                    icache_miss_rate: 0.0,
+                    shmem_conflict_degree: 1,
+                    seed,
+                })
+            })
+            .collect();
+        for c in 0..cycles {
+            // Deterministic churny launching.
+            let k = ids[(c as usize) % ids.len()];
+            let sm = (c as usize * 7) % gpu.num_sms();
+            let _ = gpu.try_launch(k, sm);
+            gpu.tick();
+        }
+        // Conservation: per-SM accounting matches per-kernel residency sums.
+        for sm in gpu.sms() {
+            let total: u32 = (0..ids.len()).map(|k| sm.kernel_ctas(k)).sum();
+            prop_assert_eq!(total, sm.resident_ctas());
+        }
+        // Dispatched = completed + resident.
+        for &k in &ids {
+            let meta = gpu.kernel_meta(k);
+            let resident: u64 = (0..gpu.num_sms())
+                .map(|s| u64::from(gpu.sm(s).kernel_ctas(k.0)))
+                .sum();
+            prop_assert_eq!(meta.dispatched_ctas, meta.completed_ctas + resident);
+        }
+    }
+}

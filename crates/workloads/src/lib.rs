@@ -1,0 +1,37 @@
+//! # ws-workloads
+//!
+//! The synthetic GPGPU benchmark suite for the Warped-Slicer reproduction:
+//! the ten applications of Table II (BLK, BFS, DXT, HOT, IMG, KNN, LBM, MM,
+//! MVP, NN) expressed as deterministic synthetic kernels for `gpu-sim`, plus
+//! the multiprogrammed pair/triple workloads of Fig. 6, Table III and
+//! Fig. 8.
+//!
+//! Each benchmark reproduces the paper's grid/block geometry and
+//! register/shared-memory demand exactly, and its instruction mix, register
+//! dependence distance, and memory-access pattern are chosen so the
+//! benchmark exhibits the same scaling archetype (Fig. 3a) and
+//! compute/memory/cache classification as in the paper.
+//!
+//! ```
+//! use ws_workloads::{by_abbrev, suite, all_pairs};
+//!
+//! assert_eq!(suite().len(), 10);
+//! assert_eq!(all_pairs().len(), 30);
+//! let hot = by_abbrev("HOT").expect("in suite");
+//! assert_eq!(hot.desc.threads_per_cta, 256);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod mix;
+pub mod suite;
+
+pub use mix::{
+    all_pairs, all_triples, compute_cache_pairs, compute_compute_pairs, compute_memory_pairs,
+    Pair, PairCategory, Triple,
+};
+pub use suite::{
+    bfs, blk, by_abbrev, dxt, extended_suite, hot, img, knn, lbm, mm, mum, mvp, nn, suite,
+    Benchmark, PaperRow, ScalingArchetype, WorkloadClass,
+};

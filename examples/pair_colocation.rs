@@ -1,0 +1,71 @@
+//! Co-locate two kernels on every SM and compare all multiprogramming
+//! policies — the paper's core experiment on one pair.
+//!
+//! ```text
+//! cargo run --release --example pair_colocation [BENCH_A] [BENCH_B] [CYCLES]
+//! ```
+
+use warped_slicer_repro::warped_slicer::{
+    antt, fairness, run_corun, run_isolation, PolicyKind, RunConfig, WarpedSlicerConfig,
+};
+use warped_slicer_repro::ws_workloads::by_abbrev;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let a = args.next().unwrap_or_else(|| "IMG".to_string());
+    let b = args.next().unwrap_or_else(|| "NN".to_string());
+    let cycles: u64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60_000);
+
+    let (Some(ba), Some(bb)) = (by_abbrev(&a), by_abbrev(&b)) else {
+        eprintln!("unknown benchmark; try BLK BFS DXT HOT IMG KNN LBM MM MVP NN");
+        std::process::exit(1);
+    };
+    let cfg = RunConfig {
+        isolation_cycles: cycles,
+        ..RunConfig::default()
+    };
+
+    println!("Measuring equal-work targets ({cycles} isolated cycles each)...");
+    let ta = run_isolation(&ba.desc, &cfg).target_insts;
+    let tb = run_isolation(&bb.desc, &cfg).target_insts;
+    println!("  {}: {} warp instructions", ba.abbrev, ta);
+    println!("  {}: {} warp instructions\n", bb.abbrev, tb);
+
+    let policies = [
+        PolicyKind::LeftOver,
+        PolicyKind::Fcfs,
+        PolicyKind::Spatial,
+        PolicyKind::Even,
+        PolicyKind::WarpedSlicer(WarpedSlicerConfig::scaled_for(cycles)),
+    ];
+    let mut base_ipc = None;
+    println!(
+        "{:<14} {:>8} {:>9} {:>9} {:>7}  decision",
+        "policy", "IPC", "vs LO", "fairness", "ANTT"
+    );
+    for p in policies {
+        let r = run_corun(&[&ba.desc, &bb.desc], &[ta, tb], &p, &cfg);
+        let base = *base_ipc.get_or_insert(r.combined_ipc);
+        let decision = match &r.decision {
+            Some(d) if d.spatial_fallback => "-> spatial fallback".to_string(),
+            Some(d) => match &d.quotas {
+                Some(q) => format!("quotas {q:?} @cycle {}", d.decided_at),
+                None => String::new(),
+            },
+            None => String::new(),
+        };
+        println!(
+            "{:<14} {:>8.2} {:>8.2}x {:>9.2} {:>7.2}  {}{}",
+            r.policy,
+            r.combined_ipc,
+            r.combined_ipc / base,
+            fairness(&r, cycles),
+            antt(&r, cycles),
+            decision,
+            if r.timed_out { " (TIMED OUT)" } else { "" },
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Explore the intra-SM partitioning space for a pair: runs *every*
+//! feasible CTA quota combination plus the baselines, prints the landscape,
+//! and shows where the Warped-Slicer's online decision landed in it.
+//!
+//! ```text
+//! cargo run --release --example policy_explorer [BENCH_A] [BENCH_B] [CYCLES]
+//! ```
+
+use warped_slicer_repro::warped_slicer::{
+    feasible_quotas, run_corun, run_isolation, PolicyKind, RunConfig, WarpedSlicerConfig,
+};
+use warped_slicer_repro::ws_workloads::by_abbrev;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let a = args.next().unwrap_or_else(|| "MM".to_string());
+    let b = args.next().unwrap_or_else(|| "MVP".to_string());
+    let cycles: u64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000);
+
+    let (Some(ba), Some(bb)) = (by_abbrev(&a), by_abbrev(&b)) else {
+        eprintln!("unknown benchmark; try BLK BFS DXT HOT IMG KNN LBM MM MVP NN");
+        std::process::exit(1);
+    };
+    let cfg = RunConfig {
+        isolation_cycles: cycles,
+        ..RunConfig::default()
+    };
+    let ta = run_isolation(&ba.desc, &cfg).target_insts;
+    let tb = run_isolation(&bb.desc, &cfg).target_insts;
+    let descs = [&ba.desc, &bb.desc];
+    let targets = [ta, tb];
+
+    let quotas = feasible_quotas(&descs, &cfg);
+    println!(
+        "{}_{}: {} feasible CTA combinations; sweeping all of them...\n",
+        ba.abbrev,
+        bb.abbrev,
+        quotas.len()
+    );
+
+    let mut results: Vec<(String, f64)> = Vec::new();
+    for q in &quotas {
+        let r = run_corun(&descs, &targets, &PolicyKind::Quota(q.clone()), &cfg);
+        results.push((format!("({},{})", q[0], q[1]), r.combined_ipc));
+    }
+    for p in [PolicyKind::LeftOver, PolicyKind::Spatial, PolicyKind::Even] {
+        let r = run_corun(&descs, &targets, &p, &cfg);
+        results.push((r.policy.clone(), r.combined_ipc));
+    }
+    let dynamic = run_corun(
+        &descs,
+        &targets,
+        &PolicyKind::WarpedSlicer(WarpedSlicerConfig::scaled_for(cycles)),
+        &cfg,
+    );
+    let dynamic_choice = dynamic
+        .decision
+        .as_ref()
+        .map(|d| match (&d.quotas, d.spatial_fallback) {
+            (Some(q), _) => format!("({},{})", q[0], q[1]),
+            (None, true) => "Spatial".to_string(),
+            _ => "?".to_string(),
+        })
+        .unwrap_or_default();
+
+    results.sort_by(|x, y| y.1.total_cmp(&x.1));
+    let best = results[0].1;
+    println!("{:<12} {:>8}  {:>6}", "partition", "IPC", "of best");
+    for (name, ipc) in &results {
+        let marker = if *name == dynamic_choice { "  <- Warped-Slicer's choice" } else { "" };
+        println!("{name:<12} {ipc:>8.2}  {:>5.1}%{marker}", 100.0 * ipc / best);
+    }
+    println!(
+        "\nWarped-Slicer online: chose {dynamic_choice}, achieved {:.2} IPC ({:.1}% of best swept point)",
+        dynamic.combined_ipc,
+        100.0 * dynamic.combined_ipc / best
+    );
+}

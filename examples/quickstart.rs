@@ -1,0 +1,87 @@
+//! Quickstart: simulate one GPGPU kernel on the ISCA-baseline GPU and print
+//! its throughput and stall profile.
+//!
+//! ```text
+//! cargo run --release --example quickstart [BENCH] [CYCLES]
+//! ```
+
+use warped_slicer_repro::gpu_sim::{Gpu, GpuConfig, SchedulerKind, StallReason};
+use warped_slicer_repro::ws_workloads::by_abbrev;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let abbrev = args.next().unwrap_or_else(|| "IMG".to_string());
+    let cycles: u64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+
+    let Some(bench) = by_abbrev(&abbrev) else {
+        eprintln!("unknown benchmark {abbrev}; try BLK BFS DXT HOT IMG KNN LBM MM MVP NN");
+        std::process::exit(1);
+    };
+
+    println!("{} ({}), {} cycles on the Table I GPU", bench.abbrev, bench.full_name, cycles);
+
+    let mut gpu = Gpu::new(GpuConfig::isca_baseline(), SchedulerKind::GreedyThenOldest);
+    let k = gpu.add_kernel(bench.desc.clone());
+
+    // Simple Left-Over-style driver: keep every SM as full as it can be.
+    for _ in 0..cycles {
+        for s in 0..gpu.num_sms() {
+            while gpu.try_launch(k, s) {}
+        }
+        gpu.tick();
+    }
+
+    println!("  instructions : {}", gpu.kernel_insts(k));
+    println!("  IPC (GPU)    : {:.2}", gpu.total_ipc());
+    println!("  CTAs finished: {}", gpu.kernel_meta(k).completed_ctas);
+    let mem = gpu.mem_stats();
+    println!(
+        "  L2           : {} accesses, {:.1}% miss",
+        mem.total.l2_accesses,
+        100.0 * mem.total.l2_misses as f64 / mem.total.l2_accesses.max(1) as f64
+    );
+    println!(
+        "  DRAM         : {} transactions ({:.1}% bus busy)",
+        gpu.mem().dram_serviced(),
+        100.0 * gpu.mem().dram_busy_fraction(cycles)
+    );
+
+    let mut stalls = gpu_stall_fractions(&gpu, cycles);
+    stalls.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("  stall profile (scheduler-cycles):");
+    for (name, frac) in stalls {
+        println!("    {name:<18} {:5.1}%", frac * 100.0);
+    }
+}
+
+fn gpu_stall_fractions(gpu: &Gpu, cycles: u64) -> Vec<(&'static str, f64)> {
+    let total = (cycles * 16 * 2) as f64;
+    let mut sum = gpu_sim_stalls(gpu);
+    for (_, v) in &mut sum {
+        *v /= total;
+    }
+    sum
+}
+
+fn gpu_sim_stalls(gpu: &Gpu) -> Vec<(&'static str, f64)> {
+    let mut mem = 0.0;
+    let mut raw = 0.0;
+    let mut exec = 0.0;
+    let mut ib = 0.0;
+    for sm in gpu.sms() {
+        let s = &sm.stats().stalls;
+        mem += s.get(StallReason::LongMemoryLatency) as f64;
+        raw += s.get(StallReason::ShortRawHazard) as f64;
+        exec += s.get(StallReason::ExecResource) as f64;
+        ib += s.get(StallReason::IbufferEmpty) as f64;
+    }
+    vec![
+        ("long memory", mem),
+        ("short RAW", raw),
+        ("exec resource", exec),
+        ("ibuffer empty", ib),
+    ]
+}

@@ -1,0 +1,88 @@
+//! Three kernels sharing every SM (the paper's Fig. 8 scenario): watch the
+//! Warped-Slicer profile, partition, and run a 3-way intra-SM slice.
+//!
+//! ```text
+//! cargo run --release --example three_kernels [A] [B] [C] [CYCLES]
+//! ```
+
+use warped_slicer_repro::warped_slicer::{
+    run_corun, run_isolation, PolicyKind, RunConfig, WarpedSlicerConfig,
+};
+use warped_slicer_repro::ws_workloads::by_abbrev;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let names = [
+        args.next().unwrap_or_else(|| "BLK".to_string()),
+        args.next().unwrap_or_else(|| "IMG".to_string()),
+        args.next().unwrap_or_else(|| "DXT".to_string()),
+    ];
+    let cycles: u64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60_000);
+
+    let benches: Vec<_> = names
+        .iter()
+        .map(|n| {
+            by_abbrev(n).unwrap_or_else(|| {
+                eprintln!("unknown benchmark {n}");
+                std::process::exit(1);
+            })
+        })
+        .collect();
+    let cfg = RunConfig {
+        isolation_cycles: cycles,
+        ..RunConfig::default()
+    };
+
+    let targets: Vec<u64> = benches
+        .iter()
+        .map(|b| run_isolation(&b.desc, &cfg).target_insts)
+        .collect();
+    let descs: Vec<_> = benches.iter().map(|b| &b.desc).collect();
+    println!(
+        "3-kernel workload {}: targets {:?}\n",
+        names.join("_"),
+        targets
+    );
+
+    let mut base = None;
+    for p in [
+        PolicyKind::LeftOver,
+        PolicyKind::Spatial,
+        PolicyKind::Even,
+        PolicyKind::WarpedSlicer(WarpedSlicerConfig::scaled_for(cycles)),
+    ] {
+        let r = run_corun(&descs, &targets, &p, &cfg);
+        let b = *base.get_or_insert(r.combined_ipc);
+        print!(
+            "{:<14} IPC {:6.2} ({:4.2}x vs Left-Over)",
+            r.policy,
+            r.combined_ipc,
+            r.combined_ipc / b
+        );
+        if let Some(d) = &r.decision {
+            if d.spatial_fallback {
+                print!("  -> spatial fallback");
+            } else if let Some(q) = &d.quotas {
+                print!("  quotas {q:?}");
+                print!(
+                    "  predicted perf {:?}",
+                    d.predicted_perf
+                        .iter()
+                        .map(|p| (p * 100.0).round() / 100.0)
+                        .collect::<Vec<_>>()
+                );
+            }
+        }
+        println!();
+        // Per-kernel finish times show who was starved and who ran freely.
+        for (i, f) in r.finish_cycle.iter().enumerate() {
+            match f {
+                Some(c) => println!("    {} finished at cycle {c}", names[i]),
+                None => println!("    {} DID NOT FINISH", names[i]),
+            }
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! # warped-slicer-repro
+//!
+//! Umbrella crate for the Warped-Slicer (ISCA 2016) reproduction suite.
+//! Re-exports the three library crates so examples and integration tests
+//! can use a single dependency:
+//!
+//! * [`gpu_sim`] — the cycle-level GPU simulator substrate
+//! * [`warped_slicer`] — the paper's contribution: water-filling
+//!   partitioning, online profiling, and multiprogramming policies
+//! * [`ws_workloads`] — the ten-benchmark synthetic suite
+
+#![warn(missing_docs)]
+
+pub use gpu_sim;
+pub use warped_slicer;
+pub use ws_workloads;

@@ -1,0 +1,122 @@
+//! Cross-crate integration tests: workloads -> simulator -> policies ->
+//! metrics, exercising the full pipeline the way the experiment harness
+//! does.
+
+use warped_slicer_repro::warped_slicer::{
+    antt, fairness, run_corun, run_isolation, PolicyKind, RunConfig, WarpedSlicerConfig,
+};
+use warped_slicer_repro::ws_workloads::{all_pairs, by_abbrev, suite};
+
+fn quick_cfg() -> RunConfig {
+    RunConfig {
+        isolation_cycles: 12_000,
+        ..RunConfig::default()
+    }
+}
+
+#[test]
+fn every_benchmark_runs_in_isolation() {
+    let cfg = quick_cfg();
+    for b in suite() {
+        let r = run_isolation(&b.desc, &cfg);
+        assert!(r.target_insts > 1_000, "{} made progress", b.abbrev);
+        assert!(r.ipc > 0.05, "{}: ipc {}", b.abbrev, r.ipc);
+        assert_eq!(r.stats.cycles, cfg.isolation_cycles);
+    }
+}
+
+#[test]
+fn full_policy_pipeline_on_one_pair() {
+    let cfg = quick_cfg();
+    let a = by_abbrev("IMG").unwrap().desc;
+    let b = by_abbrev("BLK").unwrap().desc;
+    let ta = run_isolation(&a, &cfg).target_insts;
+    let tb = run_isolation(&b, &cfg).target_insts;
+    let mut ipcs = Vec::new();
+    for p in [
+        PolicyKind::LeftOver,
+        PolicyKind::Fcfs,
+        PolicyKind::Spatial,
+        PolicyKind::Even,
+        PolicyKind::WarpedSlicer(WarpedSlicerConfig::scaled_for(cfg.isolation_cycles)),
+    ] {
+        let r = run_corun(&[&a, &b], &[ta, tb], &p, &cfg);
+        assert!(!r.timed_out, "{p:?} timed out");
+        assert!(r.finish_cycle.iter().all(Option::is_some));
+        // Equal work: both kernels issued at least their targets.
+        assert!(r.stats.insts_per_kernel[0] >= ta);
+        assert!(r.stats.insts_per_kernel[1] >= tb);
+        let f = fairness(&r, cfg.isolation_cycles);
+        let t = antt(&r, cfg.isolation_cycles);
+        assert!(f > 0.1 && f <= 1.05, "{p:?}: fairness {f}");
+        assert!((0.95..10.0).contains(&t), "{p:?}: antt {t}");
+        ipcs.push(r.combined_ipc);
+    }
+    // Co-location should beat the serializing baseline on this pair for at
+    // least one sharing policy.
+    let base = ipcs[0];
+    assert!(
+        ipcs[2..].iter().any(|&x| x > base),
+        "some sharing policy beats Left-Over: {ipcs:?}"
+    );
+}
+
+#[test]
+fn runs_are_deterministic_end_to_end() {
+    let cfg = quick_cfg();
+    let a = by_abbrev("MM").unwrap().desc;
+    let b = by_abbrev("MVP").unwrap().desc;
+    let run = || {
+        let ta = run_isolation(&a, &cfg).target_insts;
+        let tb = run_isolation(&b, &cfg).target_insts;
+        let r = run_corun(
+            &[&a, &b],
+            &[ta, tb],
+            &PolicyKind::WarpedSlicer(WarpedSlicerConfig::scaled_for(cfg.isolation_cycles)),
+            &cfg,
+        );
+        (
+            r.total_cycles,
+            r.combined_ipc.to_bits(),
+            r.decision.and_then(|d| d.quotas),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn warped_slicer_decides_on_every_pair_category() {
+    let cfg = quick_cfg();
+    // One pair from each Fig. 6 category.
+    for (a, b) in [("DXT", "MVP"), ("IMG", "LBM"), ("MM", "IMG")] {
+        let da = by_abbrev(a).unwrap().desc;
+        let db = by_abbrev(b).unwrap().desc;
+        let ta = run_isolation(&da, &cfg).target_insts;
+        let tb = run_isolation(&db, &cfg).target_insts;
+        let r = run_corun(
+            &[&da, &db],
+            &[ta, tb],
+            &PolicyKind::WarpedSlicer(WarpedSlicerConfig::scaled_for(cfg.isolation_cycles)),
+            &cfg,
+        );
+        let d = r.decision.expect("a decision was made");
+        assert!(
+            d.spatial_fallback || d.quotas.is_some(),
+            "{a}_{b}: decision must be quotas or spatial"
+        );
+        if let Some(q) = &d.quotas {
+            assert!(q.iter().all(|&x| x >= 1), "{a}_{b}: {q:?}");
+        }
+    }
+}
+
+#[test]
+fn pair_listing_matches_fig6_inventory() {
+    // 30 pairs; each member is a real suite benchmark reachable by name.
+    let pairs = all_pairs();
+    assert_eq!(pairs.len(), 30);
+    for p in &pairs {
+        assert!(by_abbrev(p.a.abbrev).is_some());
+        assert!(by_abbrev(p.b.abbrev).is_some());
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests on the core data structures and algorithms:
+//! water-filling optimality against exhaustive search, allocator invariants
+//! against a reference bitmap model, cache LRU behaviour against a
+//! reference list model, and profiler-curve properties.
+
+use proptest::prelude::*;
+use warped_slicer_repro::gpu_sim::{LinearAllocator, ProbeResult, Region, SetAssocCache};
+use warped_slicer_repro::warped_slicer::{
+    brute_force, build_curves, water_fill, KernelCurve, ProfileSample, ResourceVec,
+};
+
+fn capacity() -> ResourceVec {
+    ResourceVec {
+        regs: 32768,
+        shmem: 48 * 1024,
+        threads: 1536,
+        ctas: 8,
+    }
+}
+
+fn curve_strategy() -> impl Strategy<Value = KernelCurve> {
+    (
+        prop::collection::vec(0.01f64..10.0, 1..=8),
+        1024u64..8192,
+        0u64..4096,
+        1u64..12,
+    )
+        .prop_map(|(perf, regs, shmem, warps)| KernelCurve {
+            perf,
+            cta_cost: ResourceVec {
+                regs,
+                shmem,
+                threads: warps * 32,
+                ctas: 1,
+            },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn waterfill_matches_bruteforce_objective(
+        a in curve_strategy(),
+        b in curve_strategy(),
+    ) {
+        let ks = [a, b];
+        let wf = water_fill(&ks, capacity());
+        let bf = brute_force(&ks, capacity());
+        match (wf, bf) {
+            (Some(wf), Some(bf)) => {
+                // Algorithm 1 achieves the optimal max-min objective.
+                prop_assert!(wf.min_perf() >= bf.min_perf() - 1e-9,
+                    "waterfill {:?} worse than brute force {:?}", wf, bf);
+                // And respects capacity.
+                let used = ks[0].cta_cost.times(u64::from(wf.ctas[0]))
+                    .plus(&ks[1].cta_cost.times(u64::from(wf.ctas[1])));
+                prop_assert!(capacity().covers(&used));
+                prop_assert!(wf.ctas.iter().all(|&t| t >= 1));
+            }
+            (None, None) => {}
+            (wf, bf) => prop_assert!(false, "feasibility disagreement: {wf:?} vs {bf:?}"),
+        }
+    }
+
+    #[test]
+    fn waterfill_three_kernels_feasible(
+        a in curve_strategy(),
+        b in curve_strategy(),
+        c in curve_strategy(),
+    ) {
+        let ks = [a, b, c];
+        if let Some(p) = water_fill(&ks, capacity()) {
+            let mut used = ResourceVec::zero();
+            for (k, &t) in ks.iter().zip(&p.ctas) {
+                prop_assert!(t >= 1);
+                prop_assert!((t as usize) <= k.perf.len());
+                used = used.plus(&k.cta_cost.times(u64::from(t)));
+            }
+            prop_assert!(capacity().covers(&used));
+        }
+    }
+
+    #[test]
+    fn allocator_never_overlaps_and_conserves(
+        ops in prop::collection::vec((0u8..2, 1u32..64), 1..200)
+    ) {
+        let cap = 256u32;
+        let mut alloc = LinearAllocator::new(cap);
+        let mut live: Vec<Region> = Vec::new();
+        for (kind, len) in ops {
+            if kind == 0 || live.is_empty() {
+                if let Some(r) = alloc.alloc(len) {
+                    // In bounds.
+                    prop_assert!(r.end() <= cap);
+                    // No overlap with any live region.
+                    for l in &live {
+                        prop_assert!(r.end() <= l.start || l.end() <= r.start,
+                            "overlap: {r:?} vs {l:?}");
+                    }
+                    live.push(r);
+                }
+            } else {
+                let r = live.remove((len as usize) % live.len());
+                alloc.free(r);
+            }
+            let used: u32 = live.iter().map(|r| r.len).sum();
+            prop_assert_eq!(alloc.used(), used, "conservation");
+            prop_assert!(alloc.largest_free() <= cap - used);
+        }
+    }
+
+    #[test]
+    fn allocator_first_fit_finds_any_sufficient_gap(
+        lens in prop::collection::vec(8u32..64, 1..8),
+        probe in 1u32..64,
+    ) {
+        // Alloc all, free every other one, then: alloc(probe) succeeds iff
+        // some gap >= probe exists (largest_free is the oracle).
+        let mut alloc = LinearAllocator::new(256);
+        let mut regions = Vec::new();
+        for l in &lens {
+            if let Some(r) = alloc.alloc(*l) {
+                regions.push(r);
+            }
+        }
+        for (i, r) in regions.iter().enumerate() {
+            if i % 2 == 0 {
+                alloc.free(*r);
+            }
+        }
+        let can = alloc.largest_free() >= probe;
+        prop_assert_eq!(alloc.alloc(probe).is_some(), can);
+    }
+
+    #[test]
+    fn cache_tracks_reference_lru(
+        lines in prop::collection::vec(0u64..24, 1..300)
+    ) {
+        // 2 sets x 4 ways vs. a per-set reference LRU list.
+        let mut cache = SetAssocCache::new(8 * 128, 4, 128);
+        let mut reference: [Vec<u64>; 2] = [Vec::new(), Vec::new()];
+        for line in lines {
+            let set = (line % 2) as usize;
+            let hit = cache.access(line) == ProbeResult::Hit;
+            let ref_hit = reference[set].contains(&line);
+            prop_assert_eq!(hit, ref_hit, "line {} divergence", line);
+            // Touch/fill in the reference model.
+            reference[set].retain(|&l| l != line);
+            reference[set].push(line);
+            if reference[set].len() > 4 {
+                reference[set].remove(0);
+            }
+            if !hit {
+                cache.fill(line);
+            }
+        }
+    }
+
+    #[test]
+    fn profile_curves_are_bounded_by_scaled_samples(
+        ipcs in prop::collection::vec(0.0f64..4.0, 8),
+    ) {
+        let samples: Vec<ProfileSample> = ipcs
+            .iter()
+            .enumerate()
+            .map(|(i, &ipc)| ProfileSample {
+                kernel: 0,
+                ctas: i as u32 + 1,
+                ipc_sampled: ipc,
+                phi_mem: 0.0,
+                bandwidth: None,
+            })
+            .collect();
+        let curves = build_curves(&samples, &[8]);
+        prop_assert_eq!(curves.len(), 1);
+        let max_in = ipcs.iter().copied().fold(0.0f64, f64::max);
+        for v in &curves[0] {
+            prop_assert!(*v >= 0.0);
+            // phi = 0: no scaling, so the curve cannot exceed the samples.
+            prop_assert!(*v <= max_in + 1e-9);
+        }
+    }
+}
