@@ -1,14 +1,14 @@
-//! Criterion benchmarks that regenerate each paper artifact at a reduced
-//! cycle budget through the same library entry points the `experiments`
-//! binary uses — one bench per table/figure, so `cargo bench` exercises the
-//! full evaluation pipeline end to end.
+//! Micro-benchmarks that regenerate each paper artifact at a reduced cycle
+//! budget through the same library entry points the `experiments` binary
+//! uses — one bench per table/figure, so `cargo bench` exercises the full
+//! evaluation pipeline end to end. Runs on the dependency-free
+//! `ws_bench::microbench` harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ws_bench::experiments::{
     ablation, energy, fig1, fig10, fig2, fig3, fig5, fig6, fig7, fig8, fig9, large_config,
     overhead, table1, table2, table3,
 };
-use ws_bench::ExperimentContext;
+use ws_bench::{ExperimentContext, Runner};
 use ws_workloads::{by_abbrev, Pair, PairCategory};
 
 const BUDGET: u64 = 4_000;
@@ -25,110 +25,68 @@ fn one_pair() -> Pair {
     }
 }
 
-fn bench_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
+fn main() {
+    let mut r = Runner::new("figures");
 
-    g.bench_function("table1", |b| {
-        b.iter(|| table1::render(&ExperimentContext::new(BUDGET).cfg.gpu))
+    r.bench("table1", || {
+        table1::render(&ExperimentContext::new(BUDGET).cfg.gpu)
     });
-    g.bench_function("table2", |b| {
-        b.iter(|| {
-            let mut ctx = ctx();
-            table2::render(&table2::compute(&mut ctx))
-        })
+    r.bench("table2", || {
+        let mut ctx = ctx();
+        table2::render(&table2::compute(&mut ctx))
     });
-    g.bench_function("fig1", |b| {
-        b.iter(|| {
-            let mut ctx = ctx();
-            fig1::render(&fig1::compute(&mut ctx))
-        })
+    r.bench("fig1", || {
+        let mut ctx = ctx();
+        fig1::render(&fig1::compute(&mut ctx))
     });
-    g.bench_function("fig2", |b| b.iter(|| fig2::render(&fig2::compute())));
-    g.bench_function("fig3a_one_curve", |b| {
+    r.bench("fig2", || fig2::render(&fig2::compute()));
+    {
         let ctx = ctx();
         let img = by_abbrev("IMG").expect("suite");
-        b.iter(|| fig3::sweep(&ctx, &img, 2_000))
+        r.bench("fig3a_one_curve", || fig3::sweep(&ctx, &img, 2_000));
+        r.bench("fig3b", || fig3::compute_sweet_spot(&ctx, 2_000));
+        r.bench("fig5_one_series", || fig5::series(&ctx, &img, 2_000, 2));
+    }
+    r.bench("fig6_one_pair", || {
+        let mut ctx = ctx();
+        fig6::run_pair(&mut ctx, &one_pair(), false)
     });
-    g.bench_function("fig3b", |b| {
-        let ctx = ctx();
-        b.iter(|| fig3::compute_sweet_spot(&ctx, 2_000))
-    });
-    g.bench_function("fig5_one_series", |b| {
-        let ctx = ctx();
-        let img = by_abbrev("IMG").expect("suite");
-        b.iter(|| fig5::series(&ctx, &img, 2_000, 2))
-    });
-    g.bench_function("fig6_one_pair", |b| {
-        b.iter(|| {
-            let mut ctx = ctx();
-            fig6::run_pair(&mut ctx, &one_pair(), false)
-        })
-    });
-    g.bench_function("table3_render", |b| {
+    {
         let mut ctx = ctx();
         let data = fig6::Fig6Data {
             pairs: vec![fig6::run_pair(&mut ctx, &one_pair(), false)],
         };
-        b.iter(|| table3::render(&data, &ctx.cfg.gpu))
-    });
-    g.bench_function("fig7_from_runs", |b| {
-        let mut ctx = ctx();
-        let data = fig6::Fig6Data {
-            pairs: vec![fig6::run_pair(&mut ctx, &one_pair(), false)],
-        };
-        b.iter(|| {
+        r.bench("table3_render", || table3::render(&data, &ctx.cfg.gpu));
+        r.bench("fig7_from_runs", || {
             (
                 fig7::utilization_ratios(&data),
                 fig7::render_cache(&data),
                 fig7::render_stalls(&data),
             )
-        })
-    });
-    g.bench_function("fig8_one_triple", |b| {
+        });
+        r.bench("fig9_metrics", || fig9::two_kernel(&data, BUDGET));
+        r.bench("energy_model", || energy::compute(&data));
+    }
+    r.bench("fig8_one_triple", || {
         let triple = ws_workloads::all_triples().remove(0);
-        b.iter(|| {
-            let mut ctx = ctx();
-            fig8::run_triple(&mut ctx, &triple)
-        })
-    });
-    g.bench_function("fig9_metrics", |b| {
         let mut ctx = ctx();
-        let data = fig6::Fig6Data {
-            pairs: vec![fig6::run_pair(&mut ctx, &one_pair(), false)],
-        };
-        b.iter(|| fig9::two_kernel(&data, BUDGET))
+        fig8::run_triple(&mut ctx, &triple)
     });
-    g.bench_function("energy_model", |b| {
+    r.bench("fig10a_one_point", || {
         let mut ctx = ctx();
-        let data = fig6::Fig6Data {
-            pairs: vec![fig6::run_pair(&mut ctx, &one_pair(), false)],
-        };
-        b.iter(|| energy::compute(&data))
+        let pairs = vec![one_pair()];
+        fig10::compute_timing(&mut ctx, &pairs)
     });
-    g.bench_function("fig10a_one_point", |b| {
-        b.iter(|| {
-            let mut ctx = ctx();
-            let pairs = vec![one_pair()];
-            fig10::compute_timing(&mut ctx, &pairs)
-        })
+    r.bench("fig10b_schedulers", || {
+        fig10::compute_schedulers(BUDGET, &[one_pair()])
     });
-    g.bench_function("fig10b_schedulers", |b| {
-        b.iter(|| fig10::compute_schedulers(BUDGET, &[one_pair()]))
+    r.bench("large_config_one_pair", || {
+        large_config::compute(BUDGET, &[one_pair()])
     });
-    g.bench_function("large_config_one_pair", |b| {
-        b.iter(|| large_config::compute(BUDGET, &[one_pair()]))
+    r.bench("overhead", overhead::render);
+    r.bench("ablation_one_pair", || {
+        let mut ctx = ctx();
+        let pairs = vec![one_pair()];
+        ablation::compute(&mut ctx, &pairs)
     });
-    g.bench_function("overhead", |b| b.iter(overhead::render));
-    g.bench_function("ablation_one_pair", |b| {
-        b.iter(|| {
-            let mut ctx = ctx();
-            let pairs = vec![one_pair()];
-            ablation::compute(&mut ctx, &pairs)
-        })
-    });
-    g.finish();
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

@@ -1,11 +1,12 @@
-//! Criterion benchmarks for the multiprogramming policy machinery: a short
-//! co-run per policy (controller overhead + simulation) on one pair.
+//! Micro-benchmarks for the multiprogramming policy machinery: a short
+//! co-run per policy (controller overhead + simulation) on one pair. Runs
+//! on the dependency-free `ws_bench::microbench` harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use warped_slicer::{run_corun, PolicyKind, RunConfig, WarpedSlicerConfig};
+use ws_bench::Runner;
 use ws_workloads::by_abbrev;
 
-fn bench_policies(c: &mut Criterion) {
+fn main() {
     let cfg = RunConfig {
         isolation_cycles: 2_000,
         max_cycle_factor: 3,
@@ -15,8 +16,7 @@ fn bench_policies(c: &mut Criterion) {
     let b = by_abbrev("BLK").expect("suite").desc;
     // Fixed small targets keep every run the same length.
     let targets = [20_000u64, 10_000];
-    let mut g = c.benchmark_group("policies");
-    g.sample_size(10);
+    let mut r = Runner::new("policies");
     for policy in [
         PolicyKind::LeftOver,
         PolicyKind::Fcfs,
@@ -25,16 +25,8 @@ fn bench_policies(c: &mut Criterion) {
         PolicyKind::Quota(vec![5, 3]),
         PolicyKind::WarpedSlicer(WarpedSlicerConfig::scaled_for(2_000)),
     ] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(policy.to_string()),
-            &policy,
-            |bench, policy| {
-                bench.iter(|| run_corun(&[&a, &b], &targets, policy, &cfg));
-            },
-        );
+        r.bench(&policy.to_string(), || {
+            run_corun(&[&a, &b], &targets, &policy, &cfg)
+        });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_policies);
-criterion_main!(benches);

@@ -1,71 +1,60 @@
-//! Criterion micro-benchmarks for the simulator substrate: cycle
-//! throughput for representative kernel classes, plus cache/DRAM/allocator
-//! component benchmarks.
+//! Micro-benchmarks for the simulator substrate: cycle throughput for
+//! representative kernel classes, plus cache and allocator component
+//! benchmarks. Runs on the dependency-free `ws_bench::microbench` harness.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use gpu_sim::{
-    Gpu, GpuConfig, LinearAllocator, ProbeResult, SchedulerKind, SetAssocCache, SimRng,
-};
+use gpu_sim::{Gpu, GpuConfig, LinearAllocator, ProbeResult, SchedulerKind, SetAssocCache, SimRng};
+use ws_bench::Runner;
 use ws_workloads::by_abbrev;
 
-fn bench_cycle_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator/cycles");
+fn bench_cycle_throughput(r: &mut Runner) {
     for abbrev in ["IMG", "BLK", "BFS"] {
-        g.bench_function(abbrev, |b| {
-            let bench = by_abbrev(abbrev).expect("suite benchmark");
-            b.iter_batched(
-                || {
-                    let mut gpu =
-                        Gpu::new(GpuConfig::isca_baseline(), SchedulerKind::GreedyThenOldest);
-                    let k = gpu.add_kernel(bench.desc.clone());
-                    for s in 0..gpu.num_sms() {
-                        while gpu.try_launch(k, s) {}
-                    }
-                    gpu
-                },
-                |mut gpu| {
-                    gpu.run(500);
-                    gpu
-                },
-                BatchSize::SmallInput,
-            );
-        });
+        let bench = by_abbrev(abbrev).expect("suite benchmark");
+        r.bench_batched(
+            abbrev,
+            || {
+                let mut gpu = Gpu::new(GpuConfig::isca_baseline(), SchedulerKind::GreedyThenOldest);
+                let k = gpu.add_kernel(bench.desc.clone());
+                for s in 0..gpu.num_sms() {
+                    while gpu.try_launch(k, s) {}
+                }
+                gpu
+            },
+            |mut gpu| {
+                gpu.run(500);
+                gpu
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("simulator/l1_access_stream", |b| {
-        let mut cache = SetAssocCache::new(16 * 1024, 4, 128);
-        let mut rng = SimRng::seed_from_u64(1);
-        b.iter(|| {
-            let line = rng.range_u64(4096);
-            if cache.access(line) == ProbeResult::Miss {
-                cache.fill(line);
-            }
-        });
+fn bench_cache(r: &mut Runner) {
+    let mut cache = SetAssocCache::new(16 * 1024, 4, 128);
+    let mut rng = SimRng::seed_from_u64(1);
+    r.bench("l1_access_stream", || {
+        let line = rng.range_u64(4096);
+        if cache.access(line) == ProbeResult::Miss {
+            cache.fill(line);
+        }
     });
 }
 
-fn bench_allocator(c: &mut Criterion) {
-    c.bench_function("simulator/allocator_churn", |b| {
-        let mut alloc = LinearAllocator::new(48 * 1024);
-        let mut live = Vec::new();
-        let mut rng = SimRng::seed_from_u64(2);
-        b.iter(|| {
-            if live.len() > 6 || (rng.range_u64(2) == 0 && !live.is_empty()) {
-                let i = rng.range_usize(live.len());
-                alloc.free(live.swap_remove(i));
-            } else if let Some(r) = alloc.alloc(1024 + 512 * rng.range_u64(8) as u32) {
-                live.push(r);
-            }
-        });
+fn bench_allocator(r: &mut Runner) {
+    let mut alloc = LinearAllocator::new(48 * 1024);
+    let mut live = Vec::new();
+    let mut rng = SimRng::seed_from_u64(2);
+    r.bench("allocator_churn", || {
+        if live.len() > 6 || (rng.range_u64(2) == 0 && !live.is_empty()) {
+            let i = rng.range_usize(live.len());
+            alloc.free(live.swap_remove(i));
+        } else if let Some(r) = alloc.alloc(1024 + 512 * rng.range_u64(8) as u32) {
+            live.push(r);
+        }
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_cycle_throughput, bench_cache, bench_allocator
+fn main() {
+    let mut r = Runner::new("simulator");
+    bench_cycle_throughput(&mut r);
+    bench_cache(&mut r);
+    bench_allocator(&mut r);
 }
-criterion_main!(benches);

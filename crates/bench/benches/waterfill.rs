@@ -1,9 +1,10 @@
-//! Criterion benchmarks for Algorithm 1: the O(KN) water-filling pass vs.
-//! the O(N^K) exhaustive reference, across kernel counts.
+//! Micro-benchmarks for Algorithm 1: the O(KN) water-filling pass vs. the
+//! O(N^K) exhaustive reference, across kernel counts. Runs on the
+//! dependency-free `ws_bench::microbench` harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpu_sim::SimRng;
 use warped_slicer::{brute_force, water_fill, KernelCurve, ResourceVec};
+use ws_bench::Runner;
 
 fn curves(k: usize, n: usize, seed: u64) -> Vec<KernelCurve> {
     let mut rng = SimRng::seed_from_u64(seed);
@@ -37,19 +38,15 @@ fn cap() -> ResourceVec {
     }
 }
 
-fn bench_waterfill(c: &mut Criterion) {
-    let mut g = c.benchmark_group("waterfill");
+fn main() {
+    let mut r = Runner::new("waterfill");
     for k in [2usize, 3, 4] {
         let ks = curves(k, 8, k as u64);
-        g.bench_with_input(BenchmarkId::new("algorithm1", k), &ks, |b, ks| {
-            b.iter(|| water_fill(std::hint::black_box(ks), cap()));
+        r.bench(&format!("algorithm1/{k}"), || {
+            water_fill(std::hint::black_box(&ks), cap())
         });
-        g.bench_with_input(BenchmarkId::new("brute_force", k), &ks, |b, ks| {
-            b.iter(|| brute_force(std::hint::black_box(ks), cap()));
+        r.bench(&format!("brute_force/{k}"), || {
+            brute_force(std::hint::black_box(&ks), cap())
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_waterfill);
-criterion_main!(benches);

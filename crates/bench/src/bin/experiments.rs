@@ -119,8 +119,23 @@ fn main() -> ExitCode {
 
     let artifacts: Vec<&str> = if opts.artifact == "all" {
         vec![
-            "table1", "table2", "fig1", "fig2", "fig3a", "fig3b", "fig5", "fig6", "table3",
-            "fig7", "fig8", "fig9", "energy", "fig10a", "fig10b", "large-config", "overhead",
+            "table1",
+            "table2",
+            "fig1",
+            "fig2",
+            "fig3a",
+            "fig3b",
+            "fig5",
+            "fig6",
+            "table3",
+            "fig7",
+            "fig8",
+            "fig9",
+            "energy",
+            "fig10a",
+            "fig10b",
+            "large-config",
+            "overhead",
             "ablation",
         ]
     } else {

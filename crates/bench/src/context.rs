@@ -4,7 +4,10 @@
 
 use std::collections::HashMap;
 
-use warped_slicer::{run_corun, run_isolation, CorunResult, IsolationResult, PolicyKind, RunConfig, WarpedSlicerConfig};
+use warped_slicer::{
+    run_corun, run_isolation, CorunResult, IsolationResult, PolicyKind, RunConfig,
+    WarpedSlicerConfig,
+};
 use ws_workloads::Benchmark;
 
 /// Shared state for the experiment harness.
@@ -55,7 +58,10 @@ impl ExperimentContext {
 
     /// Equal-work instruction targets for a multiprogrammed workload.
     pub fn targets(&mut self, benches: &[&Benchmark]) -> Vec<u64> {
-        benches.iter().map(|b| self.isolation(b).target_insts).collect()
+        benches
+            .iter()
+            .map(|b| self.isolation(b).target_insts)
+            .collect()
     }
 
     /// Runs `benches` concurrently under `policy` with equal-work targets.

@@ -17,7 +17,8 @@ pub struct EnergyRatios {
 }
 
 /// Selects one policy's run out of a [`crate::experiments::fig6::PairResult`].
-type RunSelector = Box<dyn Fn(&crate::experiments::fig6::PairResult) -> &warped_slicer::CorunResult>;
+type RunSelector =
+    Box<dyn Fn(&crate::experiments::fig6::PairResult) -> &warped_slicer::CorunResult>;
 
 /// Computes energy ratios for Spatial/Even/Dynamic from the Fig. 6 runs.
 #[must_use]
@@ -55,7 +56,11 @@ pub fn compute(data: &Fig6Data) -> Vec<(&'static str, EnergyRatios)> {
 pub fn render(rows: &[(&'static str, EnergyRatios)]) -> String {
     let mut t = Table::new(vec!["Policy", "DynPower vs LO", "TotalEnergy vs LO"]);
     for (name, r) in rows {
-        t.row(vec![(*name).to_string(), f2(r.dynamic_power), f2(r.total_energy)]);
+        t.row(vec![
+            (*name).to_string(),
+            f2(r.dynamic_power),
+            f2(r.total_energy),
+        ]);
     }
     format!(
         "Sec. V-G: power and energy vs. Left-Over (paper: Dynamic +3.1% power, -16% energy)\n{}",

@@ -13,25 +13,26 @@ use crate::report::{f2, gmean, Table};
 /// also allows.
 #[must_use]
 pub fn subset_pairs() -> Vec<Pair> {
+    // Static suite abbreviations; by_abbrev cannot fail on them.
     vec![
         Pair {
-            a: by_abbrev("IMG").expect("suite"),
-            b: by_abbrev("NN").expect("suite"),
+            a: by_abbrev("IMG").expect("suite"), // xtask-allow: no-unwrap
+            b: by_abbrev("NN").expect("suite"),  // xtask-allow: no-unwrap
             category: PairCategory::ComputeCache,
         },
         Pair {
-            a: by_abbrev("MM").expect("suite"),
-            b: by_abbrev("BLK").expect("suite"),
+            a: by_abbrev("MM").expect("suite"),  // xtask-allow: no-unwrap
+            b: by_abbrev("BLK").expect("suite"), // xtask-allow: no-unwrap
             category: PairCategory::ComputeMemory,
         },
         Pair {
-            a: by_abbrev("HOT").expect("suite"),
-            b: by_abbrev("LBM").expect("suite"),
+            a: by_abbrev("HOT").expect("suite"), // xtask-allow: no-unwrap
+            b: by_abbrev("LBM").expect("suite"), // xtask-allow: no-unwrap
             category: PairCategory::ComputeMemory,
         },
         Pair {
-            a: by_abbrev("MM").expect("suite"),
-            b: by_abbrev("IMG").expect("suite"),
+            a: by_abbrev("MM").expect("suite"),  // xtask-allow: no-unwrap
+            b: by_abbrev("IMG").expect("suite"), // xtask-allow: no-unwrap
             category: PairCategory::ComputeCompute,
         },
     ]
@@ -113,10 +114,7 @@ pub fn compute_timing(ctx: &mut ExperimentContext, pairs: &[Pair]) -> Vec<(Strin
 }
 
 /// Fig. 10b: policy comparison under each warp scheduler.
-pub fn compute_schedulers(
-    isolation_cycles: u64,
-    pairs: &[Pair],
-) -> Vec<(String, f64, f64, f64)> {
+pub fn compute_schedulers(isolation_cycles: u64, pairs: &[Pair]) -> Vec<(String, f64, f64, f64)> {
     let mut out = Vec::new();
     for sched in [SchedulerKind::GreedyThenOldest, SchedulerKind::RoundRobin] {
         let mut ctx = ExperimentContext::with_config(RunConfig {

@@ -2,9 +2,9 @@
 //! Fig. 3b: the sweet-spot identification for the IMG + NN pair.
 
 use warped_slicer::{run_with_cta_cap, water_fill, KernelCurve, ResourceVec};
-use ws_workloads::{by_abbrev, suite, Benchmark};
 #[cfg(test)]
 use ws_workloads::ScalingArchetype;
+use ws_workloads::{by_abbrev, suite, Benchmark};
 
 use crate::context::ExperimentContext;
 use crate::report::{f2, Table};
@@ -62,7 +62,10 @@ pub fn render(curves: &[Curve]) -> String {
     ]);
     for c in curves {
         let norm = c.normalized();
-        let mut cells = vec![c.bench.abbrev.to_string(), format!("{:?}", c.bench.archetype)];
+        let mut cells = vec![
+            c.bench.abbrev.to_string(),
+            format!("{:?}", c.bench.archetype),
+        ];
         for j in 0..8 {
             cells.push(norm.get(j).map_or(String::new(), |v| f2(*v)));
         }
@@ -111,8 +114,9 @@ pub struct SweetSpot {
 
 /// Computes Fig. 3b.
 pub fn compute_sweet_spot(ctx: &ExperimentContext, window: u64) -> SweetSpot {
+    // Static suite abbreviations. xtask-allow: no-unwrap
     let img = sweep(ctx, &by_abbrev("IMG").expect("IMG in suite"), window);
-    let nn = sweep(ctx, &by_abbrev("NN").expect("NN in suite"), window);
+    let nn = sweep(ctx, &by_abbrev("NN").expect("NN in suite"), window); // xtask-allow: no-unwrap
     let kernels = [
         KernelCurve {
             perf: img.ipc.clone(),
@@ -124,6 +128,8 @@ pub fn compute_sweet_spot(ctx: &ExperimentContext, window: u64) -> SweetSpot {
         },
     ];
     let cap = ResourceVec::sm_capacity(&ctx.cfg.gpu.sm);
+    // Invariant: both kernels fit one CTA each on the ISCA baseline SM.
+    // xtask-allow: no-unwrap
     let p = water_fill(&kernels, cap).expect("IMG+NN is feasible");
     SweetSpot {
         img,

@@ -55,16 +55,17 @@ pub struct Fig6Data {
 impl Fig6Data {
     /// Pairs belonging to `category`.
     pub fn category(&self, category: PairCategory) -> impl Iterator<Item = &PairResult> {
-        self.pairs.iter().filter(move |p| p.pair.category == category)
+        self.pairs
+            .iter()
+            .filter(move |p| p.pair.category == category)
     }
 
     /// Geometric-mean normalized IPC over all pairs per policy:
     /// (spatial, even, dynamic, oracle-if-any).
     #[must_use]
     pub fn gmeans(&self) -> (f64, f64, f64, Option<f64>) {
-        let collect = |f: &dyn Fn(&PairResult) -> f64| -> Vec<f64> {
-            self.pairs.iter().map(f).collect()
-        };
+        let collect =
+            |f: &dyn Fn(&PairResult) -> f64| -> Vec<f64> { self.pairs.iter().map(f).collect() };
         let spatial = gmean(&collect(&|p| p.normalized(&p.spatial)));
         let even = gmean(&collect(&|p| p.normalized(&p.even)));
         let dynamic = gmean(&collect(&|p| p.normalized(&p.dynamic)));
@@ -72,6 +73,8 @@ impl Fig6Data {
             let os: Vec<f64> = self
                 .pairs
                 .iter()
+                // Invariant: the all() guard above established oracle_ipc
+                // is Some for every pair. xtask-allow: no-unwrap
                 .map(|p| p.normalized_all().3.expect("checked"))
                 .collect();
             Some(gmean(&os))
@@ -123,7 +126,13 @@ pub fn compute(ctx: &mut ExperimentContext, with_oracle: bool) -> Fig6Data {
 #[must_use]
 pub fn csv(data: &Fig6Data) -> String {
     let mut t = Table::new(vec![
-        "pair", "category", "spatial", "even", "dynamic", "oracle", "leftover_ipc",
+        "pair",
+        "category",
+        "spatial",
+        "even",
+        "dynamic",
+        "oracle",
+        "leftover_ipc",
     ]);
     for p in &data.pairs {
         let (s, e, d, o) = p.normalized_all();

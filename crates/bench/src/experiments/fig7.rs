@@ -82,7 +82,11 @@ pub fn render_cache(data: &Fig6Data) -> String {
             let mut l1m = 0u64;
             let mut l2a = 0u64;
             let mut l2m = 0u64;
-            for p in data.pairs.iter().filter(|p| cats.contains(&p.pair.category)) {
+            for p in data
+                .pairs
+                .iter()
+                .filter(|p| cats.contains(&p.pair.category))
+            {
                 let s = match get {
                     0 => &p.left_over.stats,
                     1 => &p.spatial.stats,

@@ -49,16 +49,19 @@ pub fn run_triple(ctx: &mut ExperimentContext, triple: &Triple) -> TripleResult 
 
 /// Runs all 15 triples.
 pub fn compute(ctx: &mut ExperimentContext) -> Vec<TripleResult> {
-    all_triples()
-        .iter()
-        .map(|t| run_triple(ctx, t))
-        .collect()
+    all_triples().iter().map(|t| run_triple(ctx, t)).collect()
 }
 
 /// Machine-readable Fig. 8 data.
 #[must_use]
 pub fn csv(results: &[TripleResult]) -> String {
-    let mut t = Table::new(vec!["workload", "spatial", "even", "dynamic", "leftover_ipc"]);
+    let mut t = Table::new(vec![
+        "workload",
+        "spatial",
+        "even",
+        "dynamic",
+        "leftover_ipc",
+    ]);
     for r in results {
         let (s, e, d) = r.normalized();
         t.row(vec![

@@ -17,7 +17,8 @@ pub struct PolicyFairness {
 }
 
 /// Selects one policy's run out of a pair result.
-type PairSelector = Box<dyn Fn(&crate::experiments::fig6::PairResult) -> &warped_slicer::CorunResult>;
+type PairSelector =
+    Box<dyn Fn(&crate::experiments::fig6::PairResult) -> &warped_slicer::CorunResult>;
 /// Selects one policy's run out of a triple result.
 type TripleSelector = Box<dyn Fn(&TripleResult) -> &warped_slicer::CorunResult>;
 

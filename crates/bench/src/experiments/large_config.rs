@@ -54,7 +54,11 @@ pub fn compute_default(isolation_cycles: u64) -> Vec<LargeRow> {
 pub fn render(rows: &[LargeRow]) -> String {
     let mut t = Table::new(vec!["Pair", "Dynamic IPC vs LO", "Dynamic fairness vs LO"]);
     for r in rows {
-        t.row(vec![r.label.clone(), f2(r.dynamic_ipc), f2(r.dynamic_fairness)]);
+        t.row(vec![
+            r.label.clone(),
+            f2(r.dynamic_ipc),
+            f2(r.dynamic_fairness),
+        ]);
     }
     let g_ipc = gmean(&rows.iter().map(|r| r.dynamic_ipc).collect::<Vec<_>>());
     let g_fair = gmean(&rows.iter().map(|r| r.dynamic_fairness).collect::<Vec<_>>());

@@ -49,7 +49,10 @@ pub fn render(cfg: &GpuConfig) -> String {
     ]);
     t.row(vec![
         "Memory Model".to_string(),
-        format!("{} MCs, FR-FCFS, {}MHz", cfg.mem.num_channels, cfg.mem.dram_clock_mhz),
+        format!(
+            "{} MCs, FR-FCFS, {}MHz",
+            cfg.mem.num_channels, cfg.mem.dram_clock_mhz
+        ),
     ]);
     let tm = &cfg.mem.timing;
     t.row(vec![

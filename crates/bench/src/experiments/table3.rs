@@ -31,6 +31,8 @@ pub fn render(data: &Fig6Data, cfg: &GpuConfig) -> String {
         let dyn_cell = match &p.dynamic.decision {
             Some(d) if d.spatial_fallback => "spatial".to_string(),
             Some(d) => {
+                // Invariant: non-spatial decisions always carry quotas.
+                // xtask-allow: no-unwrap
                 let q = d.quotas.as_ref().expect("quotas when not spatial");
                 format!("({},{})", q[0], q[1])
             }
@@ -42,10 +44,9 @@ pub fn render(data: &Fig6Data, cfg: &GpuConfig) -> String {
             even_effective_ctas(&p.pair.b, cfg, 2)
         );
         let pred = match &p.dynamic.decision {
-            Some(d) if !d.predicted_perf.is_empty() => format!(
-                "{:.2}/{:.2}",
-                d.predicted_perf[0], d.predicted_perf[1]
-            ),
+            Some(d) if !d.predicted_perf.is_empty() => {
+                format!("{:.2}/{:.2}", d.predicted_perf[0], d.predicted_perf[1])
+            }
             _ => "-".to_string(),
         };
         t.row(vec![p.pair.label(), dyn_cell, even_cell, pred]);

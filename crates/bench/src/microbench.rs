@@ -1,0 +1,182 @@
+//! A dependency-free micro-benchmark harness.
+//!
+//! Replaces Criterion so the workspace resolves `--offline`: the bench
+//! targets (`harness = false`) call into this module from a plain `main`.
+//! The harness auto-calibrates the iteration count to a wall-clock budget,
+//! reports min/median/mean per-iteration times, and honours the standard
+//! libtest-style `--bench <filter>` argument so `cargo bench foo` still
+//! narrows the run.
+//!
+//! It intentionally does *not* attempt statistical change detection; the
+//! goal is a stable, offline-runnable smoke-and-magnitude signal, not a
+//! regression oracle.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-sample wall-clock budget. Overridable via `WS_BENCH_MS` for CI, where
+/// a 1 ms budget keeps `cargo bench` under a second per target.
+fn sample_budget() -> Duration {
+    let ms = std::env::var("WS_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(100);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Number of timed samples per benchmark.
+const SAMPLES: usize = 7;
+
+/// A named group of benchmarks, printed as `group/name  ...` rows.
+pub struct Runner {
+    group: String,
+    filter: Option<String>,
+}
+
+impl Runner {
+    /// Creates a runner; reads the CLI filter from `std::env::args` (any
+    /// non-flag argument narrows which benchmarks run, as with libtest).
+    #[must_use]
+    pub fn new(group: &str) -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Self {
+            group: group.to_string(),
+            filter,
+        }
+    }
+
+    fn enabled(&self, name: &str) -> bool {
+        match &self.filter {
+            Some(f) => format!("{}/{}", self.group, name).contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    /// Benchmarks `f`, timing repeated calls.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        if !self.enabled(name) {
+            return;
+        }
+        let budget = sample_budget();
+        // Calibrate: grow the batch until one batch costs >= budget/8.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed * 8 >= budget || iters >= 1 << 30 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        let mut per_iter: Vec<Duration> = (0..SAMPLES)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed() / u32::try_from(iters).unwrap_or(u32::MAX)
+            })
+            .collect();
+        per_iter.sort_unstable();
+        self.report(name, &per_iter, iters);
+    }
+
+    /// Benchmarks `run` over fresh states from `setup`; only `run` is timed.
+    /// The per-call setup makes this the analogue of Criterion's
+    /// `iter_batched`, for workloads that consume their input.
+    pub fn bench_batched<S, R>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut run: impl FnMut(S) -> R,
+    ) {
+        if !self.enabled(name) {
+            return;
+        }
+        let budget = sample_budget();
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let mut total = Duration::ZERO;
+            let mut iters: u64 = 0;
+            while total < budget / SAMPLES as u32 || iters == 0 {
+                let state = setup();
+                let t = Instant::now();
+                black_box(run(state));
+                total += t.elapsed();
+                iters += 1;
+            }
+            per_iter.push(total / u32::try_from(iters).unwrap_or(u32::MAX));
+        }
+        per_iter.sort_unstable();
+        self.report(name, &per_iter, 1);
+    }
+
+    fn report(&self, name: &str, sorted: &[Duration], iters: u64) {
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / u32::try_from(sorted.len()).unwrap_or(1);
+        println!(
+            "{:<44} min {:>12?}  median {:>12?}  mean {:>12?}  ({} iters/sample)",
+            format!("{}/{}", self.group, name),
+            min,
+            median,
+            mean,
+            iters,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        std::env::set_var("WS_BENCH_MS", "1");
+        let mut r = Runner {
+            group: "test".into(),
+            filter: None,
+        };
+        let mut n = 0u64;
+        r.bench("counter", || {
+            n = n.wrapping_add(1);
+            n
+        });
+        assert!(n > 0, "closure must have been driven");
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut r = Runner {
+            group: "test".into(),
+            filter: Some("other".into()),
+        };
+        let mut ran = false;
+        r.bench("skipped", || ran = true);
+        assert!(!ran);
+    }
+
+    #[test]
+    fn batched_times_only_run() {
+        std::env::set_var("WS_BENCH_MS", "1");
+        let mut r = Runner {
+            group: "test".into(),
+            filter: None,
+        };
+        let mut setups = 0u64;
+        r.bench_batched(
+            "batched",
+            || {
+                setups += 1;
+                vec![1u8; 16]
+            },
+            |v| v.len(),
+        );
+        assert!(setups > 0);
+    }
+}

@@ -48,7 +48,14 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.header.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));

@@ -1,18 +1,30 @@
+//! Side-by-side isolation vs. co-run dump for one pair, for debugging
+//! partitioning decisions.
+
 use warped_slicer::{run_corun, run_isolation, PolicyKind, RunConfig, WarpedSlicerConfig};
 use ws_workloads::by_abbrev;
 
 fn main() {
-    let cfg = RunConfig { isolation_cycles: 60_000, ..RunConfig::default() };
+    let cfg = RunConfig {
+        isolation_cycles: 60_000,
+        ..RunConfig::default()
+    };
     let ba = by_abbrev("MM").unwrap().desc;
     let bb = by_abbrev("MVP").unwrap().desc;
     let ta = run_isolation(&ba, &cfg).target_insts;
     let tb = run_isolation(&bb, &cfg).target_insts;
     println!("targets {ta} {tb}");
     for i in 0..3 {
-        let r = run_corun(&[&ba, &bb], &[ta, tb],
-            &PolicyKind::WarpedSlicer(WarpedSlicerConfig::scaled_for(cfg.isolation_cycles)), &cfg);
+        let r = run_corun(
+            &[&ba, &bb],
+            &[ta, tb],
+            &PolicyKind::WarpedSlicer(WarpedSlicerConfig::scaled_for(cfg.isolation_cycles)),
+            &cfg,
+        );
         let d = r.decision.unwrap();
-        println!("run {i}: quotas={:?} spatial={} predicted={:?} ipc={:.3}",
-            d.quotas, d.spatial_fallback, d.predicted_perf, r.combined_ipc);
+        println!(
+            "run {i}: quotas={:?} spatial={} predicted={:?} ipc={:.3}",
+            d.quotas, d.spatial_fallback, d.predicted_perf, r.combined_ipc
+        );
     }
 }

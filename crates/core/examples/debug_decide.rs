@@ -10,21 +10,45 @@ fn main() {
         gpu.add_kernel(by_abbrev(a).unwrap().desc);
         gpu.add_kernel(by_abbrev(b).unwrap().desc);
         let mut cfg = WarpedSlicerConfig::scaled_for(150_000);
-        if std::env::var("NOSCALE").is_ok() { cfg.enable_scaling = false; }
+        if std::env::var("NOSCALE").is_ok() {
+            cfg.enable_scaling = false;
+        }
         let mut c = WarpedSlicerController::new(cfg);
         for _ in 0..20_000 {
             c.on_cycle(&mut gpu);
             gpu.tick();
         }
         let d = c.decision().unwrap();
-        println!("{a}_{b}: quotas={:?} spatial={} predicted={:?}", d.quotas, d.spatial_fallback,
-            d.predicted_perf.iter().map(|p| (p*100.0).round()/100.0).collect::<Vec<_>>());
+        println!(
+            "{a}_{b}: quotas={:?} spatial={} predicted={:?}",
+            d.quotas,
+            d.spatial_fallback,
+            d.predicted_perf
+                .iter()
+                .map(|p| (p * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
+        );
         for smp in c.last_samples() {
-            println!("  sample k{} ctas {} ipc {:.3} phi {:.2} bw {:?}", smp.kernel, smp.ctas, smp.ipc_sampled, smp.phi_mem,
-                smp.bandwidth.map(|b| (b.sm_transactions, (b.fair_transactions*10.0).round()/10.0, (b.dram_busy*100.0).round()/100.0)));
+            println!(
+                "  sample k{} ctas {} ipc {:.3} phi {:.2} bw {:?}",
+                smp.kernel,
+                smp.ctas,
+                smp.ipc_sampled,
+                smp.phi_mem,
+                smp.bandwidth.map(|b| (
+                    b.sm_transactions,
+                    (b.fair_transactions * 10.0).round() / 10.0,
+                    (b.dram_busy * 100.0).round() / 100.0
+                ))
+            );
         }
         for (i, c) in d.measured_curves.iter().enumerate() {
-            println!("  k{i} curve: {:?}", c.iter().map(|p| (p*100.0).round()/100.0).collect::<Vec<_>>());
+            println!(
+                "  k{i} curve: {:?}",
+                c.iter()
+                    .map(|p| (p * 100.0).round() / 100.0)
+                    .collect::<Vec<_>>()
+            );
         }
     }
 }

@@ -7,7 +7,14 @@ fn main() {
         isolation_cycles: 150_000,
         ..RunConfig::default()
     };
-    for (a, b) in [("IMG", "NN"), ("MM", "BLK"), ("DXT", "BFS"), ("HOT", "LBM"), ("MM", "MVP"), ("DXT", "IMG")] {
+    for (a, b) in [
+        ("IMG", "NN"),
+        ("MM", "BLK"),
+        ("DXT", "BFS"),
+        ("HOT", "LBM"),
+        ("MM", "MVP"),
+        ("DXT", "IMG"),
+    ] {
         let ba = by_abbrev(a).unwrap().desc;
         let bb = by_abbrev(b).unwrap().desc;
         let ta = run_isolation(&ba, &cfg).target_insts;

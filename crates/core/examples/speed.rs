@@ -1,9 +1,14 @@
+//! Wall-clock timing of an isolation run, for quick performance checks.
+
 use std::time::Instant;
 use warped_slicer::{run_isolation, RunConfig};
 use ws_workloads::by_abbrev;
 
 fn main() {
-    let cfg = RunConfig { isolation_cycles: 100_000, ..RunConfig::default() };
+    let cfg = RunConfig {
+        isolation_cycles: 100_000,
+        ..RunConfig::default()
+    };
     for b in ["IMG", "BLK", "BFS"] {
         let t = Instant::now();
         let r = run_isolation(&by_abbrev(b).unwrap().desc, &cfg);

@@ -91,7 +91,11 @@ impl EnergyModel {
         EnergyReport {
             dynamic_mj: dynamic_j * 1e3,
             leakage_mj: self.leakage_w * time_s * 1e3,
-            dynamic_power_w: if time_s > 0.0 { dynamic_j / time_s } else { 0.0 },
+            dynamic_power_w: if time_s > 0.0 {
+                dynamic_j / time_s
+            } else {
+                0.0
+            },
             time_ms: time_s * 1e3,
         }
     }

@@ -43,7 +43,14 @@ fn enumerate(
             break;
         }
         current[i] = t;
-        enumerate(costs, maxes, left.saturating_sub(&need), i + 1, current, out);
+        enumerate(
+            costs,
+            maxes,
+            left.saturating_sub(&need),
+            i + 1,
+            current,
+            out,
+        );
     }
 }
 
@@ -69,7 +76,11 @@ pub struct OracleResult {
 pub fn run_oracle(descs: &[&KernelDesc], targets: &[u64], cfg: &RunConfig) -> OracleResult {
     let mut policies: Vec<PolicyKind> =
         vec![PolicyKind::LeftOver, PolicyKind::Spatial, PolicyKind::Even];
-    policies.extend(feasible_quotas(descs, cfg).into_iter().map(PolicyKind::Quota));
+    policies.extend(
+        feasible_quotas(descs, cfg)
+            .into_iter()
+            .map(PolicyKind::Quota),
+    );
     let mut candidates = Vec::with_capacity(policies.len());
     let mut best: Option<(CorunResult, String)> = None;
     for p in policies {
@@ -83,6 +94,8 @@ pub fn run_oracle(descs: &[&KernelDesc], targets: &[u64], cfg: &RunConfig) -> Or
             best = Some((r, p.to_string()));
         }
     }
+    // Invariant: the candidate list always contains the spatial fallback,
+    // so `best` is set. xtask-allow: no-unwrap
     let (best, best_policy) = best.expect("at least one policy candidate");
     OracleResult {
         best,

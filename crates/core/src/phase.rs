@@ -121,7 +121,7 @@ mod tests {
         assert!(!m.observe(2.0)); // baseline
         assert!(!m.observe(0.5)); // first deviant window
         assert!(m.observe(0.5)); // second -> trigger
-        // Re-baselined at 0.5: stable continuation is quiet.
+                                 // Re-baselined at 0.5: stable continuation is quiet.
         assert!(!m.observe(0.5));
         assert!(!m.observe(0.52));
     }
@@ -140,7 +140,10 @@ mod tests {
     fn zero_baseline_handled() {
         let mut m = PhaseMonitor::new(0.3, 1);
         assert!(!m.observe(0.0));
-        assert!(m.observe(1.0), "any activity after a dead window is a change");
+        assert!(
+            m.observe(1.0),
+            "any activity after a dead window is a change"
+        );
     }
 
     #[test]

@@ -179,7 +179,11 @@ pub(crate) fn quota_windows(
 
 /// Fills every SM with CTAs, trying kernels in `order`, optionally
 /// restricted by `allowed(sm, kernel)`.
-pub(crate) fn sweep_launch(gpu: &mut Gpu, order: &[KernelId], allowed: impl Fn(usize, KernelId) -> bool) {
+pub(crate) fn sweep_launch(
+    gpu: &mut Gpu,
+    order: &[KernelId],
+    allowed: impl Fn(usize, KernelId) -> bool,
+) {
     for sm in 0..gpu.num_sms() {
         for &k in order {
             if !allowed(sm, k) {
@@ -377,8 +381,7 @@ impl Controller for QuotaController {
         if !self.configured {
             self.configured = true;
             let cfg = gpu.config().clone();
-            let descs: Vec<KernelDesc> =
-                ids.iter().map(|&k| gpu.kernel_desc(k).clone()).collect();
+            let descs: Vec<KernelDesc> = ids.iter().map(|&k| gpu.kernel_desc(k).clone()).collect();
             let desc_refs: Vec<&KernelDesc> = descs.iter().collect();
             let windows = quota_windows(&cfg, &desc_refs, &self.quotas);
             for sm in 0..gpu.num_sms() {

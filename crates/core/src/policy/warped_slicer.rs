@@ -185,6 +185,8 @@ impl WarpedSlicerController {
     }
 
     fn take_snapshots(&mut self, gpu: &Gpu) {
+        // Phase-machine invariant: only Profiling reaches here, after
+        // `start_profiling` installed a plan. xtask-allow: no-unwrap
         let plan = self.plan.as_ref().expect("snapshot requires a plan");
         self.snapshots = plan
             .assignments
@@ -204,6 +206,8 @@ impl WarpedSlicerController {
 
     fn decide(&mut self, gpu: &mut Gpu) {
         let now = gpu.cycle();
+        // Phase-machine invariant: Deciding follows Profiling, which
+        // installed the plan. xtask-allow: no-unwrap
         let plan = self.plan.as_ref().expect("decision requires a plan");
         let num_sched = gpu.config().sm.num_schedulers;
         let sample_cycles = self.cfg.timing.sample.max(1);
@@ -257,10 +261,7 @@ impl WarpedSlicerController {
             })
             .collect();
         let capacity = ResourceVec::sm_capacity(&gpu.config().sm);
-        let threshold = self
-            .cfg
-            .loss_threshold
-            .unwrap_or(1.2 / ids.len() as f64);
+        let threshold = self.cfg.loss_threshold.unwrap_or(1.2 / ids.len() as f64);
 
         let partition = water_fill(&kernels, capacity);
         let (quotas, predicted, spatial) = match partition {
@@ -294,6 +295,8 @@ impl WarpedSlicerController {
                 gpu.set_window(sm, k, None);
             }
         }
+        // Phase-machine invariant: Applying follows Deciding, which stored
+        // the decision. xtask-allow: no-unwrap
         let decision = self.decision.as_ref().expect("apply requires a decision");
         if let Some(quotas) = decision.quotas.clone() {
             let cfg = gpu.config().clone();
@@ -311,13 +314,10 @@ impl WarpedSlicerController {
         }
         self.phase = Phase::Run;
         self.last_phase_check = gpu.cycle();
-        self.phase_armed_at = gpu.cycle()
-            + u64::from(self.cfg.phase_settle_windows) * self.cfg.phase_window;
+        self.phase_armed_at =
+            gpu.cycle() + u64::from(self.cfg.phase_settle_windows) * self.cfg.phase_window;
         self.last_kernel_insts = ids.iter().map(|&k| gpu.kernel_insts(k)).collect();
-        self.monitors = ids
-            .iter()
-            .map(|_| PhaseMonitor::paper_default())
-            .collect();
+        self.monitors = ids.iter().map(|_| PhaseMonitor::paper_default()).collect();
         self.tracker.invalidate();
     }
 
@@ -439,7 +439,12 @@ mod tests {
         }
     }
 
-    fn run_pair(a: &str, b: &str, cycles: u64, cfg: WarpedSlicerConfig) -> (Gpu, WarpedSlicerController) {
+    fn run_pair(
+        a: &str,
+        b: &str,
+        cycles: u64,
+        cfg: WarpedSlicerConfig,
+    ) -> (Gpu, WarpedSlicerController) {
         let mut gpu = Gpu::new(GpuConfig::isca_baseline(), SchedulerKind::GreedyThenOldest);
         gpu.add_kernel(by_abbrev(a).unwrap().desc);
         gpu.add_kernel(by_abbrev(b).unwrap().desc);
@@ -491,7 +496,10 @@ mod tests {
         };
         let (gpu, c) = run_pair("LBM", "BLK", 12_000, cfg);
         let d = c.decision().expect("decision");
-        assert!(d.spatial_fallback, "near-zero loss tolerance must fall back");
+        assert!(
+            d.spatial_fallback,
+            "near-zero loss tolerance must fall back"
+        );
         assert!(d.quotas.is_none());
         // Spatial mode: each kernel on its own SM group (new launches).
         let left_has_k1 = (0..8).any(|s| gpu.sm(s).kernel_ctas(1) > 0);

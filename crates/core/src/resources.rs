@@ -122,7 +122,10 @@ mod tests {
         assert_eq!(b, vec4(30, 60, 90, 3));
         assert_eq!(b.saturating_sub(&a), vec4(20, 40, 60, 2));
         assert_eq!(a.plus(&a), a.times(2));
-        assert_eq!(vec4(1, 1, 1, 1).saturating_sub(&vec4(5, 5, 5, 5)), ResourceVec::zero());
+        assert_eq!(
+            vec4(1, 1, 1, 1).saturating_sub(&vec4(5, 5, 5, 5)),
+            ResourceVec::zero()
+        );
     }
 
     #[test]

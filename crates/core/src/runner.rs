@@ -306,10 +306,7 @@ pub fn run_corun(
     assert!(!descs.is_empty(), "at least one kernel required");
     assert_eq!(descs.len(), targets.len(), "one target per kernel");
     let mut gpu = Gpu::new(cfg.gpu.clone(), cfg.scheduler);
-    let ids: Vec<KernelId> = descs
-        .iter()
-        .map(|d| gpu.add_kernel((*d).clone()))
-        .collect();
+    let ids: Vec<KernelId> = descs.iter().map(|d| gpu.add_kernel((*d).clone())).collect();
     let mut controller = make_controller(policy);
     let max_cycles = cfg.isolation_cycles * cfg.max_cycle_factor;
     let mut finish: Vec<Option<u64>> = vec![None; ids.len()];
@@ -362,7 +359,11 @@ mod tests {
         let r = run_isolation(&by_abbrev("IMG").unwrap().desc, &cfg);
         assert!(r.target_insts > 10_000);
         assert!(r.ipc > 0.5);
-        assert!(r.stats.util.alu > 0.3, "IMG is ALU-heavy: {:?}", r.stats.util);
+        assert!(
+            r.stats.util.alu > 0.3,
+            "IMG is ALU-heavy: {:?}",
+            r.stats.util
+        );
     }
 
     #[test]
@@ -375,7 +376,10 @@ mod tests {
         let r = run_corun(&[&a, &b], &[ta, tb], &PolicyKind::Even, &cfg);
         assert!(!r.timed_out, "{r:?}");
         assert!(r.finish_cycle.iter().all(Option::is_some));
-        assert!(r.total_cycles >= cfg.isolation_cycles, "co-run can't beat solo");
+        assert!(
+            r.total_cycles >= cfg.isolation_cycles,
+            "co-run can't beat solo"
+        );
         assert!(r.combined_ipc > 0.0);
     }
 

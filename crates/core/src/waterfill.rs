@@ -68,12 +68,12 @@ fn staircase(perf: &[f64]) -> Staircase {
     let mut q = Vec::new();
     let mut m = Vec::new();
     let mut best = 0.0f64;
-    for (j, &p) in perf.iter().enumerate() {
+    for (ctas, &p) in (1u32..).zip(perf.iter()) {
         let p = p / norm;
         if p > best {
             best = p;
             q.push(p);
-            m.push(j as u32 + 1);
+            m.push(ctas);
         }
     }
     Staircase { q, m }
@@ -164,7 +164,64 @@ pub fn water_fill(kernels: &[KernelCurve], total: ResourceVec) -> Option<Partiti
     }
 
     let perf = stairs.iter().zip(&g).map(|(st, &gi)| st.q[gi]).collect();
-    Some(Partition { ctas, perf })
+    let p = Partition { ctas, perf };
+    if gpu_sim::invariant::enabled() {
+        assert_partition_feasible(kernels, &total, &p);
+        strict_oracle_check(kernels, total, &p);
+    }
+    Some(p)
+}
+
+/// Panics if `p` is not a feasible answer to Eq. 1 for `kernels` under
+/// `total`: wrong arity, a zero-CTA grant, or an aggregate footprint the SM
+/// cannot hold.
+///
+/// [`water_fill`] runs this on every partition it returns when strict
+/// invariants are compiled in (see [`gpu_sim::invariant::enabled`]); it is
+/// public so policies that post-process partitions can re-validate them.
+pub fn assert_partition_feasible(kernels: &[KernelCurve], total: &ResourceVec, p: &Partition) {
+    assert!(
+        p.ctas.len() == kernels.len() && p.perf.len() == kernels.len(),
+        "infeasible partition: {} quotas / {} perf entries for {} kernels",
+        p.ctas.len(),
+        p.perf.len(),
+        kernels.len()
+    );
+    let mut used = ResourceVec::zero();
+    for (i, (k, &t)) in kernels.iter().zip(&p.ctas).enumerate() {
+        assert!(t >= 1, "infeasible partition: kernel {i} granted zero CTAs");
+        used = used.plus(&k.cta_cost.times(u64::from(t)));
+    }
+    assert!(
+        total.covers(&used),
+        "infeasible partition: quotas {:?} need {used:?} but the SM only has \
+         {total:?} (Eq. 1 violated)",
+        p.ctas
+    );
+}
+
+/// For small instances, checks the water-filling answer against the
+/// exhaustive [`brute_force`] optimum on the Eq. 1 objective.
+fn strict_oracle_check(kernels: &[KernelCurve], total: ResourceVec, p: &Partition) {
+    let states: usize = kernels
+        .iter()
+        .map(|k| k.perf.len())
+        .try_fold(1usize, |acc, n| acc.checked_mul(n))
+        .unwrap_or(usize::MAX);
+    if kernels.len() > 3 || states > 4096 {
+        return;
+    }
+    if let Some(oracle) = brute_force(kernels, total) {
+        assert!(
+            p.min_perf() >= oracle.min_perf() - 1e-9,
+            "water-filling lost to the exhaustive oracle: min perf {} at \
+             quotas {:?} vs {} at {:?}",
+            p.min_perf(),
+            p.ctas,
+            oracle.min_perf(),
+            oracle.ctas
+        );
+    }
 }
 
 /// Exhaustive-search reference: maximizes the same objective by trying every
@@ -192,6 +249,7 @@ pub fn brute_force(kernels: &[KernelCurve], total: ResourceVec) -> Option<Partit
     let perf = ctas
         .iter()
         .enumerate()
+        // u32 -> usize never truncates. xtask-allow: no-lossy-cast
         .map(|(i, &t)| norm[i][t as usize - 1])
         .collect();
     Some(Partition { ctas, perf })
@@ -209,26 +267,37 @@ fn search(
         let mut min_p = f64::INFINITY;
         let mut sum_p = 0.0;
         for (k, &t) in current.iter().enumerate() {
+            // u32 -> usize never truncates. xtask-allow: no-lossy-cast
             let p = norm[k][t as usize - 1];
             min_p = min_p.min(p);
             sum_p += p;
         }
         let better = match best {
             None => true,
-            Some((bm, bs, _)) => min_p > *bm + 1e-12 || ((min_p - *bm).abs() <= 1e-12 && sum_p > *bs),
+            Some((bm, bs, _)) => {
+                min_p > *bm + 1e-12 || ((min_p - *bm).abs() <= 1e-12 && sum_p > *bs)
+            }
         };
         if better {
             *best = Some((min_p, sum_p, current.clone()));
         }
         return;
     }
-    for t in 1..=kernels[i].perf.len() as u32 {
+    let max_t = u32::try_from(kernels[i].perf.len()).unwrap_or(u32::MAX);
+    for t in 1..=max_t {
         let need = kernels[i].cta_cost.times(u64::from(t));
         if !left.covers(&need) {
             break;
         }
         current[i] = t;
-        search(kernels, norm, left.saturating_sub(&need), i + 1, current, best);
+        search(
+            kernels,
+            norm,
+            left.saturating_sub(&need),
+            i + 1,
+            current,
+            best,
+        );
     }
 }
 
@@ -369,6 +438,53 @@ mod tests {
         assert!(total <= 8);
         // The slow-saturating kernel gets the most CTAs.
         assert!(p.ctas[2] >= p.ctas[1] && p.ctas[1] >= p.ctas[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "Eq. 1 violated")]
+    fn infeasible_partition_is_rejected() {
+        let k = KernelCurve {
+            perf: vec![0.5, 1.0],
+            cta_cost: cost(20000, 512),
+        };
+        // Two CTAs each need 40000 registers; the SM has 32768.
+        let bogus = Partition {
+            ctas: vec![2],
+            perf: vec![1.0],
+        };
+        assert_partition_feasible(&[k], &cap(), &bogus);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero CTAs")]
+    fn zero_cta_grant_is_rejected() {
+        let k = KernelCurve {
+            perf: vec![1.0],
+            cta_cost: cost(1, 1),
+        };
+        let bogus = Partition {
+            ctas: vec![0],
+            perf: vec![0.0],
+        };
+        assert_partition_feasible(&[k], &cap(), &bogus);
+    }
+
+    #[test]
+    fn water_fill_output_is_feasible() {
+        // assert_partition_feasible also runs inside water_fill under strict
+        // invariants; exercise the public entry point explicitly too.
+        let ks = [
+            KernelCurve {
+                perf: vec![0.3, 0.6, 1.0],
+                cta_cost: cost(4000, 256),
+            },
+            KernelCurve {
+                perf: vec![0.8, 1.0],
+                cta_cost: cost(6000, 256),
+            },
+        ];
+        let p = water_fill(&ks, cap()).unwrap();
+        assert_partition_feasible(&ks, &cap(), &p);
     }
 
     #[test]

@@ -139,17 +139,58 @@ impl LinearAllocator {
             return None;
         }
         // Re-check the chosen gap end against both window and next block.
-        let gap_end = self
-            .blocks
-            .get(insert_at)
-            .map_or(hi, |b| b.start.min(hi));
+        let gap_end = self.blocks.get(insert_at).map_or(hi, |b| b.start.min(hi));
         if cursor < lo || gap_end.saturating_sub(cursor) < len {
             return None;
         }
         let region = Region { start: cursor, len };
         self.blocks.insert(insert_at, region);
         self.used += len;
+        if crate::invariant::enabled() {
+            self.assert_consistent();
+        }
         Some(region)
+    }
+
+    /// Verifies the allocator's internal accounting, panicking on the first
+    /// inconsistency found.
+    ///
+    /// Runs automatically after every mutation when strict invariants are
+    /// compiled in (see [`crate::invariant::enabled`]); exposed so embedders
+    /// and tests can audit an allocator at any point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the live-block list is out of order, overlapping, or out of
+    /// bounds, or if the `used` counter disagrees with the blocks.
+    pub fn assert_consistent(&self) {
+        let mut prev_end = 0u32;
+        let mut sum = 0u64;
+        for (i, b) in self.blocks.iter().enumerate() {
+            assert!(
+                b.end() <= self.capacity,
+                "allocator corruption: block {i} [{}, {}) exceeds capacity {}",
+                b.start,
+                b.end(),
+                self.capacity
+            );
+            assert!(
+                i == 0 || b.start >= prev_end,
+                "allocator corruption: block {i} [{}, {}) overlaps or precedes \
+                 its neighbour ending at {prev_end}",
+                b.start,
+                b.end()
+            );
+            prev_end = b.end();
+            sum += u64::from(b.len);
+        }
+        assert!(
+            u64::from(self.used) == sum,
+            "allocator corruption: used counter {} disagrees with the {} units \
+             held by live blocks",
+            self.used,
+            sum
+        );
     }
 
     /// Returns a previously allocated region to the free pool.
@@ -168,9 +209,15 @@ impl LinearAllocator {
             .blocks
             .iter()
             .position(|b| *b == region)
+            // Documented panic: a double free or foreign region is caller
+            // corruption the allocator must not paper over.
+            // xtask-allow: no-unwrap
             .expect("free of a region that is not allocated");
         self.blocks.remove(idx);
         self.used -= region.len;
+        if crate::invariant::enabled() {
+            self.assert_consistent();
+        }
     }
 
     /// Size of the largest free contiguous extent inside `window`.
@@ -336,6 +383,9 @@ impl SmResources {
         };
         self.threads_used += desc.threads_per_cta;
         self.ctas_used += 1;
+        if crate::invariant::enabled() {
+            self.assert_consistent();
+        }
         Some(CtaResources {
             regs,
             shmem,
@@ -344,11 +394,53 @@ impl SmResources {
     }
 
     /// Returns a CTA's lease.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lease's regions are not live allocations (a corrupted
+    /// or double-freed lease), via [`LinearAllocator::free`].
     pub fn free(&mut self, res: CtaResources) {
         self.regs.free(res.regs);
         self.shmem.free(res.shmem);
         self.threads_used -= res.threads;
         self.ctas_used -= 1;
+        if crate::invariant::enabled() {
+            self.assert_consistent();
+        }
+    }
+
+    /// Verifies occupancy accounting across all four resources, panicking on
+    /// the first inconsistency.
+    ///
+    /// Runs automatically after every lease and free when strict invariants
+    /// are compiled in (see [`crate::invariant::enabled`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either allocator is internally inconsistent or if the CTA /
+    /// thread occupancy exceeds the SM's capacity.
+    pub fn assert_consistent(&self) {
+        self.regs.assert_consistent();
+        self.shmem.assert_consistent();
+        assert!(
+            self.ctas_used <= self.max_ctas,
+            "SM occupancy corruption: {} resident CTAs exceed the {} CTA slots",
+            self.ctas_used,
+            self.max_ctas
+        );
+        assert!(
+            self.threads_used <= self.max_threads,
+            "SM occupancy corruption: {} resident threads exceed the {} thread slots",
+            self.threads_used,
+            self.max_threads
+        );
+        assert!(
+            self.ctas_used > 0 || (self.threads_used == 0 && self.regs.used() == 0),
+            "SM occupancy corruption: {} threads / {} registers held with no \
+             resident CTA",
+            self.threads_used,
+            self.regs.used()
+        );
     }
 }
 
@@ -488,6 +580,56 @@ mod tests {
         assert!(r.try_alloc(&k, Some(&w), 0, 0).is_some());
         assert!(r.try_alloc(&k, Some(&w), 1, 32).is_some());
         assert!(r.try_alloc(&k, Some(&w), 2, 64).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "not allocated")]
+    fn corrupted_lease_is_rejected_on_free() {
+        let cfg = GpuConfig::isca_baseline().sm;
+        let mut r = SmResources::new(&cfg);
+        let k = kernel(256, 20, 4096);
+        let mut lease = r.try_alloc(&k, None, 0, 0).unwrap();
+        // Tamper with the lease: shift the register extent.
+        lease.regs.start += 1;
+        r.free(lease);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocator corruption")]
+    fn overlapping_blocks_are_detected() {
+        let mut a = LinearAllocator::new(100);
+        let _ = a.alloc(10).unwrap();
+        // Corrupt the internal block list directly: an overlapping block.
+        a.blocks.push(Region { start: 5, len: 10 });
+        a.assert_consistent();
+    }
+
+    #[test]
+    #[should_panic(expected = "used counter")]
+    fn used_counter_drift_is_detected() {
+        let mut a = LinearAllocator::new(100);
+        let _ = a.alloc(10).unwrap();
+        a.used = 99;
+        a.assert_consistent();
+    }
+
+    #[test]
+    fn consistency_holds_through_a_churn_sequence() {
+        let cfg = GpuConfig::isca_baseline().sm;
+        let mut r = SmResources::new(&cfg);
+        let k = kernel(128, 16, 1024);
+        let mut leases = Vec::new();
+        for _ in 0..4 {
+            leases.push(r.try_alloc(&k, None, 0, 0).unwrap());
+        }
+        r.free(leases.remove(1));
+        r.free(leases.remove(2));
+        leases.push(r.try_alloc(&k, None, 0, 0).unwrap());
+        for l in leases {
+            r.free(l);
+        }
+        r.assert_consistent();
+        assert_eq!(r.ctas_used(), 0);
     }
 
     #[test]

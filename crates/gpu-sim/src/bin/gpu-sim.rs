@@ -12,9 +12,7 @@
 
 use std::process::ExitCode;
 
-use gpu_sim::{
-    AccessPattern, Gpu, GpuConfig, KernelDesc, ProgramSpec, SchedulerKind, StallReason,
-};
+use gpu_sim::{AccessPattern, Gpu, GpuConfig, KernelDesc, ProgramSpec, SchedulerKind, StallReason};
 
 #[derive(Debug)]
 struct Args {
@@ -118,7 +116,9 @@ fn parse_args() -> Result<Args, String> {
             .next()
             .ok_or_else(|| format!("{flag} requires a value"))?;
         let f = || -> Result<f64, String> {
-            value.parse().map_err(|_| format!("bad value for {flag}: {value}"))
+            value
+                .parse()
+                .map_err(|_| format!("bad value for {flag}: {value}"))
         };
         match flag.as_str() {
             "--threads" => out.threads = value.parse().map_err(|e| format!("{flag}: {e}"))?,
@@ -154,10 +154,7 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag: {other}")),
         }
     }
-    out.pattern = parse_pattern(
-        pattern_arg.as_deref().unwrap_or("streaming"),
-        transactions,
-    )?;
+    out.pattern = parse_pattern(pattern_arg.as_deref().unwrap_or("streaming"), transactions)?;
     Ok(out)
 }
 
@@ -216,7 +213,10 @@ fn main() -> ExitCode {
     println!("after {} cycles ({}):", args.cycles, args.sched);
     println!("  warp instructions : {}", gpu.kernel_insts(k));
     println!("  IPC (GPU-wide)    : {:.3}", gpu.total_ipc());
-    println!("  CTAs completed    : {}", gpu.kernel_meta(k).completed_ctas);
+    println!(
+        "  CTAs completed    : {}",
+        gpu.kernel_meta(k).completed_ctas
+    );
     let mem = gpu.mem_stats();
     let mut l1a = 0u64;
     let mut l1m = 0u64;
@@ -239,7 +239,8 @@ fn main() -> ExitCode {
         gpu.mem().dram_serviced(),
         100.0 * gpu.mem().dram_busy_fraction(args.cycles)
     );
-    let sched_cycles = (args.cycles * gpu.num_sms() as u64 * u64::from(cfg.sm.num_schedulers)) as f64;
+    let sched_cycles =
+        (args.cycles * gpu.num_sms() as u64 * u64::from(cfg.sm.num_schedulers)) as f64;
     let mut stall_line = String::new();
     for (name, reason) in [
         ("mem", StallReason::LongMemoryLatency),

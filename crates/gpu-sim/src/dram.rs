@@ -62,7 +62,8 @@ impl DramChannel {
     #[must_use]
     pub fn new(cfg: &MemConfig, core_per_dram: f64) -> Self {
         let t = &cfg.timing;
-        let cvt = |dram_cycles: u32| -> u64 { (f64::from(dram_cycles) * core_per_dram).round() as u64 };
+        let cvt =
+            |dram_cycles: u32| -> u64 { (f64::from(dram_cycles) * core_per_dram).round() as u64 };
         let DramTiming {
             t_cl,
             t_rp,
@@ -128,6 +129,8 @@ impl DramChannel {
                 self.banks[bank].open_row == Some(row)
             })
             .unwrap_or(0);
+        // Invariant: `pick` came from enumerating this queue above.
+        // xtask-allow: no-unwrap
         let req = self.queue.remove(pick).expect("index in range");
         let (bank, row) = self.bank_and_row(req.line);
         let latency = match self.banks[bank].open_row {

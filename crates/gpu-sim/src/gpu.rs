@@ -227,7 +227,24 @@ impl Gpu {
                 self.meta[c.kernel.0].completed_ctas += 1;
             }
         }
-        self.cycle += 1;
+        if crate::invariant::enabled() {
+            for m in &self.meta {
+                assert!(
+                    m.completed_ctas <= m.dispatched_ctas,
+                    "kernel accounting corruption: {} CTAs completed but only \
+                     {} were ever dispatched",
+                    m.completed_ctas,
+                    m.dispatched_ctas
+                );
+            }
+        }
+        self.cycle = self
+            .cycle
+            .checked_add(1)
+            // Documented panic: a u64 cycle counter wrapping means the
+            // simulation ran ~5.8e11 years; overflow is corruption.
+            // xtask-allow: no-unwrap
+            .expect("cycle counter overflow");
     }
 
     /// Runs `cycles` cycles with no controller intervention.

@@ -52,6 +52,7 @@ pub mod cache;
 pub mod config;
 pub mod dram;
 pub mod gpu;
+pub mod invariant;
 pub mod kernel;
 pub mod mem;
 pub mod mshr;

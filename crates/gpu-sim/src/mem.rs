@@ -133,7 +133,11 @@ impl MemSubsystem {
             l2_in: vec![VecDeque::new(); n],
             l2: (0..n)
                 .map(|_| {
-                    SetAssocCache::new(cfg.l2.size_bytes_per_channel, cfg.l2.assoc, cfg.l2.line_bytes)
+                    SetAssocCache::new(
+                        cfg.l2.size_bytes_per_channel,
+                        cfg.l2.assoc,
+                        cfg.l2.line_bytes,
+                    )
                 })
                 .collect(),
             dram: (0..n).map(|_| DramChannel::new(&cfg.mem, ratio)).collect(),
@@ -176,13 +180,12 @@ impl MemSubsystem {
             };
             // A load whose line is already being fetched merges without a
             // fresh L2 probe (the in-flight fill will satisfy it).
-            if !req.is_store && self.pending_fills[ch].contains_key(&req.line) {
-                self.l2_in[ch].pop_front();
-                self.pending_fills[ch]
-                    .get_mut(&req.line)
-                    .expect("checked above")
-                    .push(req);
-                continue;
+            if !req.is_store {
+                if let Some(waiters) = self.pending_fills[ch].get_mut(&req.line) {
+                    self.l2_in[ch].pop_front();
+                    waiters.push(req);
+                    continue;
+                }
             }
             let probe = self.l2[ch].access(req.line);
             self.stats.total.l2_accesses += 1;
@@ -232,7 +235,10 @@ impl MemSubsystem {
                     } else {
                         ks.dram_reads += 1;
                         self.stats.total.dram_reads += 1;
-                        self.pending_fills[ch].entry(req.line).or_default().push(req);
+                        self.pending_fills[ch]
+                            .entry(req.line)
+                            .or_default()
+                            .push(req);
                     }
                     self.stats.note_sm_dram(req.sm_id);
                 }
@@ -345,7 +351,11 @@ mod tests {
         }
     }
 
-    fn run_until_response(m: &mut MemSubsystem, start: u64, budget: u64) -> Option<(u64, Vec<MemResponse>)> {
+    fn run_until_response(
+        m: &mut MemSubsystem,
+        start: u64,
+        budget: u64,
+    ) -> Option<(u64, Vec<MemResponse>)> {
         let mut out = Vec::new();
         for now in start..start + budget {
             m.tick(now, &mut out);
@@ -361,7 +371,13 @@ mod tests {
         let mut m = mem();
         m.submit(0, load(100, 3));
         let (cycle, out) = run_until_response(&mut m, 0, 2000).expect("response");
-        assert_eq!(out, vec![MemResponse { line: 100, sm_id: 3 }]);
+        assert_eq!(
+            out,
+            vec![MemResponse {
+                line: 100,
+                sm_id: 3
+            }]
+        );
         // Must include icnt + dram + icnt at minimum.
         assert!(cycle > 2 * 8, "latency too small: {cycle}");
         assert_eq!(m.stats().total.l2_misses, 1);

@@ -46,9 +46,12 @@ impl MshrTable {
     /// `max_merged` waiters per line.
     #[must_use]
     pub fn new(max_entries: u32, max_merged: u32) -> Self {
+        // u32 -> usize never truncates. xtask-allow: no-lossy-cast
+        let max_entries = max_entries as usize;
         Self {
-            entries: HashMap::with_capacity(max_entries as usize),
-            max_entries: max_entries as usize,
+            entries: HashMap::with_capacity(max_entries),
+            max_entries,
+            // xtask-allow: no-lossy-cast
             max_merged: max_merged.max(1) as usize,
         }
     }
@@ -66,7 +69,41 @@ impl MshrTable {
             return MshrOutcome::Rejected;
         }
         self.entries.insert(line, vec![waiter]);
+        if crate::invariant::enabled() {
+            self.assert_within_bounds();
+        }
         MshrOutcome::Allocated
+    }
+
+    /// Verifies that the table respects its configured bounds, panicking on
+    /// the first violation.
+    ///
+    /// Runs automatically after every allocation when strict invariants are
+    /// compiled in (see [`crate::invariant::enabled`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more lines are in flight than the table has entries, or a
+    /// line holds more (or fewer) waiters than the merge bound allows.
+    pub fn assert_within_bounds(&self) {
+        assert!(
+            self.entries.len() <= self.max_entries,
+            "MSHR corruption: {} in-flight lines exceed the {}-entry table",
+            self.entries.len(),
+            self.max_entries
+        );
+        for (line, waiters) in &self.entries {
+            assert!(
+                !waiters.is_empty(),
+                "MSHR corruption: line {line:#x} tracked with no waiters"
+            );
+            assert!(
+                waiters.len() <= self.max_merged,
+                "MSHR corruption: line {line:#x} holds {} waiters, merge bound is {}",
+                waiters.len(),
+                self.max_merged
+            );
+        }
     }
 
     /// Completes the fill of `line`, returning every waiter that was merged

@@ -36,7 +36,12 @@ pub struct SchedulerState {
 impl SchedulerState {
     /// Creates the state for scheduler `sched_id` of `num_schedulers`.
     #[must_use]
-    pub fn new(kind: SchedulerKind, sched_id: usize, num_schedulers: usize, _max_warps: usize) -> Self {
+    pub fn new(
+        kind: SchedulerKind,
+        sched_id: usize,
+        num_schedulers: usize,
+        _max_warps: usize,
+    ) -> Self {
         Self {
             kind,
             sched_id,

@@ -85,6 +85,9 @@ pub struct Sm {
     line_buf: Vec<LineAddr>,
     finished_buf: Vec<usize>,
     fetch_ptr: usize,
+    /// Cycle stamp of the most recent `tick`, for the strict monotonicity
+    /// check (`None` before the first tick).
+    last_tick: Option<u64>,
 }
 
 impl Sm {
@@ -115,6 +118,7 @@ impl Sm {
             line_buf: Vec::with_capacity(32),
             finished_buf: Vec::with_capacity(8),
             fetch_ptr: 0,
+            last_tick: None,
         }
     }
 
@@ -223,6 +227,9 @@ impl Sm {
             .ctas
             .iter()
             .position(Option::is_none)
+            // Invariant: SmResources::try_alloc succeeded, so a CTA slot is
+            // free; a miss here is an accounting bug worth aborting on.
+            // xtask-allow: no-unwrap
             .expect("allocator admitted CTA but no CTA slot free");
         for (w, &slot) in free_slots.iter().enumerate() {
             let warp = Warp::new(
@@ -252,7 +259,11 @@ impl Sm {
     }
 
     fn release_cta(&mut self, cta_slot: usize, threads_per_cta: u32) {
-        let rec = self.ctas[cta_slot].take().expect("release of empty CTA slot");
+        let rec = self.ctas[cta_slot]
+            .take()
+            // Invariant: callers pass slots they just found occupied.
+            // xtask-allow: no-unwrap
+            .expect("release of empty CTA slot");
         self.resources.free(rec.resources);
         for slot in rec.warp_slots {
             self.warps[slot] = None;
@@ -272,22 +283,14 @@ impl Sm {
             .ctas
             .iter()
             .enumerate()
-            .filter_map(|(i, c)| {
-                c.as_ref()
-                    .is_some_and(|c| c.kernel.0 == slot)
-                    .then_some(i)
-            })
+            .filter_map(|(i, c)| c.as_ref().is_some_and(|c| c.kernel.0 == slot).then_some(i))
             .collect();
         for cs in cta_slots {
             self.release_cta(cs, desc.threads_per_cta);
         }
         // Drop LSU work belonging to the evicted kernel.
         for unit in &mut self.units {
-            if unit
-                .lsu
-                .as_ref()
-                .is_some_and(|op| op.kernel.0 == slot)
-            {
+            if unit.lsu.as_ref().is_some_and(|op| op.kernel.0 == slot) {
                 unit.lsu = None;
             }
         }
@@ -325,12 +328,23 @@ impl Sm {
         descs: &[KernelDesc],
         kernel_insts: &mut [u64],
     ) {
+        if let Some(prev) = self.last_tick {
+            crate::strict_assert!(
+                now > prev,
+                "SM {}: tick cycle went backwards or repeated ({now} after {prev})",
+                self.id
+            );
+        }
+        self.last_tick = Some(now);
         self.fetch_stage(now, descs);
         self.issue_stage(now, descs, kernel_insts);
         self.lsu_stage(now, mem);
         self.finalize_warps(descs);
         self.accumulate_occupancy();
         self.stats.cycles += 1;
+        if crate::invariant::enabled() {
+            self.mshr.assert_within_bounds();
+        }
     }
 
     fn fetch_stage(&mut self, now: u64, descs: &[KernelDesc]) {
@@ -396,6 +410,8 @@ impl Sm {
                     Some(IssueBlock::MemPending) => n_mem += 1,
                     Some(IssueBlock::RawPending) => n_raw += 1,
                     None => {
+                        // Invariant: ibuffer_empty() was false above.
+                        // xtask-allow: no-unwrap
                         let inst = warp.head().expect("non-empty i-buffer");
                         let unit = &self.units[sched_id];
                         let available = match inst.op {
@@ -411,8 +427,14 @@ impl Sm {
                                 match kind {
                                     SchedulerKind::GreedyThenOldest => warp.launch_seq + 1,
                                     SchedulerKind::RoundRobin => {
+                                        // Distance past the warp after the last
+                                        // issuer; reduce `last + 1` mod n_slots
+                                        // first so the subtraction cannot
+                                        // underflow when nothing has issued yet
+                                        // (`last == n_slots`) and `slot == 0`.
                                         let last = greedy.unwrap_or(n_slots);
-                                        1 + ((slot + n_slots - last - 1) % n_slots) as u64
+                                        let origin = (last + 1) % n_slots;
+                                        1 + ((slot + n_slots - origin) % n_slots) as u64
                                     }
                                 }
                             };
@@ -467,10 +489,12 @@ impl Sm {
         kernel_insts: &mut [u64],
     ) {
         let sm_cfg = &self.cfg.sm;
+        // Invariant: the issue stage only selects occupied slots with a
+        // non-empty i-buffer. xtask-allow: no-unwrap
         let warp = self.warps[slot].as_mut().expect("issuing to empty slot");
         let kernel = warp.kernel;
         let desc = &descs[kernel.0];
-        let inst = warp.head().expect("non-empty i-buffer");
+        let inst = warp.head().expect("non-empty i-buffer"); // xtask-allow: no-unwrap
         let unit = &mut self.units[sched_id];
         let warp_size = u64::from(crate::config::SmConfig::WARP_SIZE);
         match inst.op {
@@ -491,8 +515,7 @@ impl Sm {
                 // occupancy and the result latency scale with the degree.
                 let degree = desc.shmem_conflict_degree.max(1);
                 let base = (warp_size / u64::from(sm_cfg.lsu_width)) as u32;
-                let latency =
-                    u64::from(sm_cfg.shmem_latency) + u64::from((degree - 1) * base);
+                let latency = u64::from(sm_cfg.shmem_latency) + u64::from((degree - 1) * base);
                 let _ = warp.issue(now, latency);
                 unit.lsu = Some(LsuOp {
                     warp_slot: slot,
@@ -518,6 +541,8 @@ impl Sm {
                     self.line_buf = lines;
                 }
                 let kind = if inst.op == OpClass::GlobalLoad {
+                    // Invariant: the program generator always gives loads a
+                    // destination register. xtask-allow: no-unwrap
                     let load_id = warp.begin_load(inst.dst.expect("loads have destinations"));
                     LsuKind::GlobalLoad { load_id }
                 } else {
@@ -681,12 +706,15 @@ impl Sm {
             let done = {
                 let rec = self.ctas[cta_slot]
                     .as_mut()
+                    // Invariant: a warp's cta_slot stays live until every
+                    // sibling warp finished. xtask-allow: no-unwrap
                     .expect("finished warp belongs to a live CTA");
                 rec.warps_done += 1;
                 rec.warps_done == rec.warp_slots.len() as u32
             };
             if done {
                 let (kernel, cta_index) = {
+                    // Same slot as the as_mut() above. xtask-allow: no-unwrap
                     let rec = self.ctas[cta_slot].as_ref().expect("checked above");
                     (rec.kernel, rec.cta_index)
                 };
@@ -753,15 +781,12 @@ mod tests {
         }
     }
 
-    fn run(
-        sm: &mut Sm,
-        mem: &mut MemSubsystem,
-        descs: &[KernelDesc],
-        cycles: u64,
-    ) -> Vec<u64> {
+    fn run(sm: &mut Sm, mem: &mut MemSubsystem, descs: &[KernelDesc], cycles: u64) -> Vec<u64> {
         let mut kernel_insts = vec![0u64; descs.len()];
         let mut responses = Vec::new();
-        for now in 0..cycles {
+        // Resume from the SM's own clock so repeated runs stay monotone.
+        let start = sm.stats().cycles;
+        for now in start..start + cycles {
             sm.tick(now, mem, descs, &mut kernel_insts);
             responses.clear();
             mem.tick(now, &mut responses);

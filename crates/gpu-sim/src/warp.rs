@@ -206,6 +206,8 @@ impl Warp {
     /// ops the destination becomes ready at `now + latency`; for global
     /// loads the caller must follow up with [`Self::begin_load`].
     pub fn issue(&mut self, now: u64, result_latency: u64) -> Inst {
+        // Invariant: the scheduler only issues warps whose i-buffer it just
+        // inspected via head(). xtask-allow: no-unwrap
         let inst = self.ibuffer.pop_front().expect("issue on empty i-buffer");
         self.insts_issued += 1;
         if inst.op != OpClass::GlobalLoad {
@@ -237,6 +239,8 @@ impl Warp {
             .loads
             .iter_mut()
             .find(|t| t.id == id)
+            // Invariant: ids come from begin_load on this same warp and stay
+            // live until the load completes. xtask-allow: no-unwrap
             .expect("unknown load id");
         t.remaining += 1;
     }
@@ -249,6 +253,8 @@ impl Warp {
             .loads
             .iter()
             .position(|t| t.id == id)
+            // Invariant: same id lifecycle as add_load_transaction above.
+            // xtask-allow: no-unwrap
             .expect("unknown load id");
         self.loads[idx].all_issued = true;
         if self.loads[idx].remaining == 0 {

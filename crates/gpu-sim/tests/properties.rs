@@ -1,70 +1,87 @@
-//! Property-based tests for the simulator substrate: windowed allocation,
-//! cache geometry, DRAM channel behaviour, and whole-SM conservation laws.
-
-use proptest::prelude::*;
+//! Randomized property tests for the simulator substrate: windowed
+//! allocation, cache geometry, DRAM channel behaviour, and whole-SM
+//! conservation laws.
+//!
+//! Cases are generated with the in-tree deterministic `SimRng`
+//! (xoshiro256++) so the suite runs with `--offline` and replays
+//! identically everywhere; each assertion carries its case index, which
+//! together with the fixed seed reproduces the exact inputs.
 
 use gpu_sim::{
     dram::{DramChannel, DramRequest},
     Gpu, GpuConfig, KernelDesc, LinearAllocator, ProbeResult, ProgramSpec, Region, SchedulerKind,
-    SetAssocCache,
+    SetAssocCache, SimRng,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn windowed_allocations_stay_inside_their_window(
-        window_start in 0u32..200,
-        window_len in 1u32..200,
-        lens in prop::collection::vec(1u32..40, 1..20),
-    ) {
+#[test]
+fn windowed_allocations_stay_inside_their_window() {
+    let mut rng = SimRng::seed_from_u64(0xA110_0001);
+    for case in 0..48 {
+        let window_start = rng.range_u64(200) as u32;
+        let window_len = 1 + rng.range_u64(199) as u32;
         let mut alloc = LinearAllocator::new(256);
-        let window = Region { start: window_start, len: window_len.min(256 - window_start.min(256)) };
+        let window = Region {
+            start: window_start,
+            len: window_len.min(256 - window_start.min(256)),
+        };
         let mut live: Vec<Region> = Vec::new();
-        for len in lens {
+        let requests = 1 + rng.range_usize(19);
+        for _ in 0..requests {
+            let len = 1 + rng.range_u64(39) as u32;
             if let Some(r) = alloc.alloc_in_window(len, window) {
                 if r.len > 0 {
-                    prop_assert!(window.contains(&r), "{r:?} outside {window:?}");
+                    assert!(window.contains(&r), "case {case}: {r:?} outside {window:?}");
                     for l in &live {
-                        prop_assert!(r.end() <= l.start || l.end() <= r.start);
+                        assert!(
+                            r.end() <= l.start || l.end() <= r.start,
+                            "case {case}: {r:?} overlaps {l:?}"
+                        );
                     }
                     live.push(r);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn disjoint_windows_never_collide(
-        lens_a in prop::collection::vec(1u32..30, 1..12),
-        lens_b in prop::collection::vec(1u32..30, 1..12),
-    ) {
+#[test]
+fn disjoint_windows_never_collide() {
+    let mut rng = SimRng::seed_from_u64(0xA110_0002);
+    for case in 0..48 {
         let mut alloc = LinearAllocator::new(256);
         let wa = Region { start: 0, len: 128 };
-        let wb = Region { start: 128, len: 128 };
+        let wb = Region {
+            start: 128,
+            len: 128,
+        };
         let mut in_a = Vec::new();
         let mut in_b = Vec::new();
-        for (la, lb) in lens_a.iter().zip(&lens_b) {
-            if let Some(r) = alloc.alloc_in_window(*la, wa) {
+        let rounds = 1 + rng.range_usize(11);
+        for _ in 0..rounds {
+            let la = 1 + rng.range_u64(29) as u32;
+            let lb = 1 + rng.range_u64(29) as u32;
+            if let Some(r) = alloc.alloc_in_window(la, wa) {
                 in_a.push(r);
             }
-            if let Some(r) = alloc.alloc_in_window(*lb, wb) {
+            if let Some(r) = alloc.alloc_in_window(lb, wb) {
                 in_b.push(r);
             }
         }
         for a in &in_a {
-            prop_assert!(a.len == 0 || wa.contains(a));
+            assert!(a.len == 0 || wa.contains(a), "case {case}: {a:?}");
         }
         for b in &in_b {
-            prop_assert!(b.len == 0 || wb.contains(b));
+            assert!(b.len == 0 || wb.contains(b), "case {case}: {b:?}");
         }
     }
+}
 
-    #[test]
-    fn cache_miss_rate_reflects_footprint(
-        footprint in 1u64..64,
-        passes in 2u32..6,
-    ) {
+#[test]
+fn cache_miss_rate_reflects_footprint() {
+    let mut rng = SimRng::seed_from_u64(0xA110_0003);
+    for case in 0..48 {
+        let footprint = 1 + rng.range_u64(63);
+        let passes = 2 + rng.range_u64(4) as u32;
         // 32-line fully covered footprints converge to 100% hits after the
         // first pass; larger-than-cache footprints keep missing.
         let mut cache = SetAssocCache::new(32 * 128, 4, 128);
@@ -81,16 +98,26 @@ proptest! {
             }
         }
         if footprint <= 32 {
-            prop_assert_eq!(last_pass_misses, 0, "resident footprint must hit");
+            assert_eq!(
+                last_pass_misses, 0,
+                "case {case}: resident footprint must hit"
+            );
         } else {
-            prop_assert!(last_pass_misses > 0, "oversized footprint must miss");
+            assert!(
+                last_pass_misses > 0,
+                "case {case}: oversized footprint must miss"
+            );
         }
     }
+}
 
-    #[test]
-    fn dram_completions_cover_all_requests(
-        lines in prop::collection::vec(0u64..512, 1..24),
-    ) {
+#[test]
+fn dram_completions_cover_all_requests() {
+    let mut rng = SimRng::seed_from_u64(0xA110_0004);
+    for case in 0..48 {
+        let lines: Vec<u64> = (0..1 + rng.range_usize(23))
+            .map(|_| rng.range_u64(512))
+            .collect();
         let cfg = GpuConfig::isca_baseline();
         let mut ch = DramChannel::new(&cfg.mem, cfg.core_per_dram_clock());
         let mut pending = lines.len();
@@ -107,23 +134,27 @@ proptest! {
                 submitted += 1;
             }
             if let Some(c) = ch.tick(now) {
-                prop_assert!(c.ready_at >= now);
+                assert!(c.ready_at >= now, "case {case}");
                 seen.push(c.req.tag);
                 pending -= 1;
             }
             now += 1;
         }
-        prop_assert_eq!(pending, 0, "all requests serviced");
+        assert_eq!(pending, 0, "case {case}: all requests serviced");
         seen.sort_unstable();
         seen.dedup();
-        prop_assert_eq!(seen.len(), lines.len(), "each exactly once");
+        assert_eq!(seen.len(), lines.len(), "case {case}: each exactly once");
     }
+}
 
-    #[test]
-    fn sm_residency_is_conserved_under_random_launch_churn(
-        seeds in prop::collection::vec(1u64..1_000, 1..4),
-        cycles in 200u64..1_500,
-    ) {
+#[test]
+fn sm_residency_is_conserved_under_random_launch_churn() {
+    let mut rng = SimRng::seed_from_u64(0xA110_0005);
+    for case in 0..24 {
+        let seeds: Vec<u64> = (0..1 + rng.range_usize(3))
+            .map(|_| 1 + rng.range_u64(999))
+            .collect();
+        let cycles = 200 + rng.range_u64(1_300);
         let mut gpu = Gpu::new(GpuConfig::isca_baseline(), SchedulerKind::GreedyThenOldest);
         let ids: Vec<_> = seeds
             .iter()
@@ -161,7 +192,7 @@ proptest! {
         // Conservation: per-SM accounting matches per-kernel residency sums.
         for sm in gpu.sms() {
             let total: u32 = (0..ids.len()).map(|k| sm.kernel_ctas(k)).sum();
-            prop_assert_eq!(total, sm.resident_ctas());
+            assert_eq!(total, sm.resident_ctas(), "case {case}");
         }
         // Dispatched = completed + resident.
         for &k in &ids {
@@ -169,7 +200,11 @@ proptest! {
             let resident: u64 = (0..gpu.num_sms())
                 .map(|s| u64::from(gpu.sm(s).kernel_ctas(k.0)))
                 .sum();
-            prop_assert_eq!(meta.dispatched_ctas, meta.completed_ctas + resident);
+            assert_eq!(
+                meta.dispatched_ctas,
+                meta.completed_ctas + resident,
+                "case {case}"
+            );
         }
     }
 }

@@ -28,8 +28,8 @@ pub mod mix;
 pub mod suite;
 
 pub use mix::{
-    all_pairs, all_triples, compute_cache_pairs, compute_compute_pairs, compute_memory_pairs,
-    Pair, PairCategory, Triple,
+    all_pairs, all_triples, compute_cache_pairs, compute_compute_pairs, compute_memory_pairs, Pair,
+    PairCategory, Triple,
 };
 pub use suite::{
     bfs, blk, by_abbrev, dxt, extended_suite, hot, img, knn, lbm, mm, mum, mvp, nn, suite,

@@ -693,6 +693,13 @@ mod tests {
                 "{a} should synchronize its tiles"
             );
         }
-        assert_eq!(by_abbrev("BLK").unwrap().desc.program.fraction(OpClass::Barrier), 0.0);
+        assert_eq!(
+            by_abbrev("BLK")
+                .unwrap()
+                .desc
+                .program
+                .fraction(OpClass::Barrier),
+            0.0
+        );
     }
 }

@@ -1,0 +1,648 @@
+//! The custom static-analysis pass: simulator-specific lint rules that
+//! `cargo clippy` cannot express, implemented as a source-text scanner so
+//! they run without any external dependency.
+//!
+//! ## Rules
+//!
+//! * `no-unwrap` — `.unwrap()` / `.expect(...)` are forbidden in library
+//!   code under `crates/*/src`. Panics in the simulator's libraries abort
+//!   long experiment sweeps; fallible paths must return `Option`/`Result`
+//!   (or carry an `xtask-allow` justification for genuine invariants).
+//!   Tests, examples, benches, `src/bin/` binaries, and `#[cfg(test)]`
+//!   modules are exempt.
+//! * `no-lossy-cast` — value-truncating `as` casts (to any integer type or
+//!   `f32`) are forbidden in the accounting-critical modules (`alloc.rs`,
+//!   `waterfill.rs`, `resources.rs`, `stats.rs`, `mshr.rs`): a silently
+//!   wrapping cast in resource bookkeeping skews every reproduced figure
+//!   without failing a test. Use `From`/`try_from` or widen the type.
+//! * `no-float-eq` — direct `==`/`!=` against a floating-point literal.
+//!   IPC and normalized-performance values accumulate rounding error;
+//!   compare with an epsilon instead.
+//! * `module-docs` — every library source file must open with `//!` module
+//!   documentation before its first item.
+//!
+//! Any finding is suppressed by a `// xtask-allow: <rule>` comment on the
+//! same line or the line immediately above (for `module-docs`: on the first
+//! line of the file). Multiple rules may be listed, comma-separated.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Names of every rule, for help text.
+pub const RULE_NAMES: [&str; 4] = ["no-unwrap", "no-lossy-cast", "no-float-eq", "module-docs"];
+
+/// File names (within `crates/*/src`) whose arithmetic is load-bearing for
+/// the paper's accounting; `no-lossy-cast` applies only to these.
+const ACCOUNTING_MODULES: [&str; 5] = [
+    "alloc.rs",
+    "waterfill.rs",
+    "resources.rs",
+    "stats.rs",
+    "mshr.rs",
+];
+
+/// Cast targets considered lossy. `f64` is deliberately absent: every
+/// integer the simulator casts into `f64` (cycle counts, CTA counts) is far
+/// below 2^53.
+const LOSSY_CAST_TARGETS: [&str; 13] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule identifier (one of [`RULE_NAMES`]).
+    pub rule: &'static str,
+    /// Path as reported (workspace-relative when walking the workspace).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-oriented explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Per-line facts extracted by the masking pre-pass.
+struct MaskedLine {
+    /// Source text with comments, string/char literals blanked out.
+    code: String,
+    /// Rules named in an `xtask-allow` comment on this line.
+    allows: Vec<String>,
+    /// Whether the line is inside (or is) a `#[cfg(test)]` item.
+    in_test: bool,
+    /// Whether the line carried a `//!` inner doc comment.
+    inner_doc: bool,
+}
+
+/// Blanks comments and string/char literals, records `xtask-allow`
+/// directives and `//!` lines. Operating on a masked copy means rule
+/// patterns never fire inside strings, doc examples, or commentary.
+fn mask_lines(src: &str) -> Vec<MaskedLine> {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        Block(usize),
+        Str,
+        RawStr(usize),
+    }
+    let mut out: Vec<MaskedLine> = Vec::new();
+    let mut state = State::Code;
+    for raw in src.lines() {
+        let bytes = raw.as_bytes();
+        let mut code = String::with_capacity(raw.len());
+        let mut allows = Vec::new();
+        let mut inner_doc = false;
+        let mut i = 0;
+        while i < bytes.len() {
+            match state {
+                State::Code => {
+                    let rest = &raw[i..];
+                    if rest.starts_with("//") {
+                        if rest.starts_with("//!") {
+                            inner_doc = true;
+                        }
+                        if let Some(list) = rest.find("xtask-allow:").map(|p| &rest[p + 12..]) {
+                            allows.extend(
+                                list.split(',')
+                                    .map(|r| r.trim().to_string())
+                                    .filter(|r| !r.is_empty()),
+                            );
+                        }
+                        break; // rest of line is comment
+                    } else if rest.starts_with("/*") {
+                        state = State::Block(1);
+                        i += 2;
+                    } else if rest.starts_with("r\"") {
+                        state = State::RawStr(0);
+                        i += 2;
+                    } else if rest.starts_with("r#") {
+                        let hashes = rest[1..].bytes().take_while(|&b| b == b'#').count();
+                        if rest[1 + hashes..].starts_with('"') {
+                            state = State::RawStr(hashes);
+                            i += 2 + hashes;
+                        } else {
+                            code.push('r');
+                            i += 1;
+                        }
+                    } else if bytes[i] == b'"' {
+                        state = State::Str;
+                        i += 1;
+                    } else if bytes[i] == b'\'' {
+                        // Char literal vs. lifetime: a literal closes with a
+                        // quote within a few chars; a lifetime never does.
+                        let close = raw[i + 1..]
+                            .char_indices()
+                            .take(4)
+                            .find(|&(_, c)| c == '\'');
+                        match close {
+                            Some((off, _)) => {
+                                i += 1 + off + 1; // skip the literal
+                            }
+                            None => {
+                                // Lifetime or lone quote: emit as-is.
+                                code.push('\'');
+                                i += 1;
+                            }
+                        }
+                    } else {
+                        let ch = raw[i..].chars().next().unwrap_or(' ');
+                        code.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+                State::Block(depth) => {
+                    let rest = &raw[i..];
+                    if rest.starts_with("/*") {
+                        state = State::Block(depth + 1);
+                        i += 2;
+                    } else if rest.starts_with("*/") {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::Block(depth - 1)
+                        };
+                        i += 2;
+                    } else {
+                        i += raw[i..].chars().next().map_or(1, char::len_utf8);
+                    }
+                }
+                State::Str => {
+                    if bytes[i] == b'\\' {
+                        i += 2; // skip escape; fine if it runs off the line
+                    } else if bytes[i] == b'"' {
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        i += raw[i..].chars().next().map_or(1, char::len_utf8);
+                    }
+                }
+                State::RawStr(hashes) => {
+                    let rest = &raw[i..];
+                    let mut terminator = String::from("\"");
+                    terminator.push_str(&"#".repeat(hashes));
+                    if rest.starts_with(terminator.as_str()) {
+                        state = State::Code;
+                        i += terminator.len();
+                    } else {
+                        i += rest.chars().next().map_or(1, char::len_utf8);
+                    }
+                }
+            }
+        }
+        // An unterminated escape at line end (`\` before newline) keeps the
+        // string state across lines, which is exactly right.
+        out.push(MaskedLine {
+            code,
+            allows,
+            in_test: false,
+            inner_doc,
+        });
+    }
+    mark_test_regions(&mut out);
+    out
+}
+
+/// Marks every line belonging to a `#[cfg(test)]` item (attribute line,
+/// header, and the brace-balanced body).
+fn mark_test_regions(lines: &mut [MaskedLine]) {
+    let mut i = 0;
+    while i < lines.len() {
+        let code = lines[i].code.trim().to_string();
+        if code.starts_with("#[cfg(test)]") {
+            lines[i].in_test = true;
+            // Scan forward to the first `{`, then to its matching `}`.
+            let mut depth: i64 = 0;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                lines[j].in_test = true;
+                for b in lines[j].code.bytes() {
+                    match b {
+                        b'{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        b'}' => depth -= 1,
+                        b';' if !opened && depth == 0 => {
+                            // `#[cfg(test)] use ...;` — single-item form.
+                            opened = true;
+                            depth = 0;
+                        }
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+fn allowed(lines: &[MaskedLine], idx: usize, rule: &str) -> bool {
+    lines[idx].allows.iter().any(|a| a == rule)
+        || (idx > 0 && lines[idx - 1].allows.iter().any(|a| a == rule))
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Tokens adjacent to byte range `[start, end)` of `code`: the word-ish
+/// token ending right before `start` and the one starting right after `end`.
+fn adjacent_tokens(code: &str, start: usize, end: usize) -> (String, String) {
+    let bytes = code.as_bytes();
+    let mut s = start;
+    while s > 0 && bytes[s - 1] == b' ' {
+        s -= 1;
+    }
+    let mut ps = s;
+    // `-` is included so exponent literals like `1e-9` survive intact.
+    while ps > 0 && (is_ident_byte(bytes[ps - 1]) || bytes[ps - 1] == b'.' || bytes[ps - 1] == b'-')
+    {
+        ps -= 1;
+    }
+    let prev = code[ps..s].to_string();
+    let mut e = end;
+    while e < bytes.len() && bytes[e] == b' ' {
+        e += 1;
+    }
+    let mut pe = e;
+    while pe < bytes.len() && (is_ident_byte(bytes[pe]) || bytes[pe] == b'.' || bytes[pe] == b'-') {
+        pe += 1;
+    }
+    let next = code[e..pe].to_string();
+    (prev, next)
+}
+
+/// Whether `tok` looks like a float literal (`0.5`, `1.`, `1e-9`, `1.0f64`).
+fn is_float_literal(tok: &str) -> bool {
+    let mut t = tok.trim_start_matches('-');
+    if !t.starts_with(|c: char| c.is_ascii_digit()) {
+        return false; // method call like `.len`, identifier, empty
+    }
+    let digits = |s: &str| -> usize {
+        s.bytes()
+            .take_while(|b| b.is_ascii_digit() || *b == b'_')
+            .count()
+    };
+    let mut floatish = false;
+    t = &t[digits(t)..];
+    if let Some(rest) = t.strip_prefix('.') {
+        floatish = true;
+        t = &rest[digits(rest)..];
+    }
+    if let Some(rest) = t.strip_prefix(['e', 'E']) {
+        let rest = rest.strip_prefix(['+', '-']).unwrap_or(rest);
+        let n = digits(rest);
+        if n == 0 {
+            return false; // `2eX` is not a number
+        }
+        floatish = true;
+        t = &rest[n..];
+    }
+    if let Some(rest) = t.strip_prefix("f64").or_else(|| t.strip_prefix("f32")) {
+        floatish = true;
+        t = rest;
+    }
+    floatish && t.is_empty()
+}
+
+/// Applies every line rule to one masked file.
+fn scan_masked(
+    file: &str,
+    lines: &[MaskedLine],
+    check_unwrap: bool,
+    check_casts: bool,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (idx, ml) in lines.iter().enumerate() {
+        if ml.in_test {
+            continue;
+        }
+        let lineno = idx + 1;
+        let code = ml.code.as_str();
+        if check_unwrap {
+            for pat in [".unwrap()", ".expect("] {
+                if code.contains(pat) && !allowed(lines, idx, "no-unwrap") {
+                    out.push(Violation {
+                        rule: "no-unwrap",
+                        file: file.to_string(),
+                        line: lineno,
+                        message: format!(
+                            "`{pat}` in library code; return Option/Result or justify with \
+                             `// xtask-allow: no-unwrap`"
+                        ),
+                    });
+                }
+            }
+        }
+        if check_casts {
+            let mut search = 0;
+            // The surrounding spaces in the pattern already guarantee `as`
+            // is a standalone token.
+            while let Some(pos) = code[search..].find(" as ") {
+                let at = search + pos;
+                search = at + 4;
+                let after = &code[at + 4..];
+                let target: String = after
+                    .trim_start()
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                if LOSSY_CAST_TARGETS.contains(&target.as_str())
+                    && !allowed(lines, idx, "no-lossy-cast")
+                {
+                    out.push(Violation {
+                        rule: "no-lossy-cast",
+                        file: file.to_string(),
+                        line: lineno,
+                        message: format!(
+                            "lossy `as {target}` cast in accounting-critical module; use \
+                             `From`/`try_from` or widen, or justify with \
+                             `// xtask-allow: no-lossy-cast`"
+                        ),
+                    });
+                }
+            }
+        }
+        for op in ["==", "!="] {
+            let mut search = 0;
+            while let Some(pos) = code[search..].find(op) {
+                let at = search + pos;
+                search = at + 2;
+                // Skip `<=`, `>=`, `===`-ish neighbourhoods and pattern `=>`.
+                if at > 0 && matches!(code.as_bytes()[at - 1], b'<' | b'>' | b'=' | b'!') {
+                    continue;
+                }
+                if code.as_bytes().get(at + 2) == Some(&b'=') {
+                    continue;
+                }
+                let (prev, next) = adjacent_tokens(code, at, at + 2);
+                if (is_float_literal(&prev) || is_float_literal(&next))
+                    && !allowed(lines, idx, "no-float-eq")
+                {
+                    out.push(Violation {
+                        rule: "no-float-eq",
+                        file: file.to_string(),
+                        line: lineno,
+                        message: format!(
+                            "direct floating-point `{op}` comparison; use an epsilon \
+                             (rounding error accumulates in IPC/perf values) or justify \
+                             with `// xtask-allow: no-float-eq`"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    // module-docs: a `//!` must appear before the first line of code.
+    let first_code = lines
+        .iter()
+        .position(|ml| !ml.code.trim().is_empty() && !ml.code.trim().starts_with("#!["));
+    let has_doc_before = lines[..first_code.unwrap_or(lines.len())]
+        .iter()
+        .any(|ml| ml.inner_doc);
+    if !has_doc_before && !lines.is_empty() && !allowed(lines, 0, "module-docs") {
+        out.push(Violation {
+            rule: "module-docs",
+            file: file.to_string(),
+            line: 1,
+            message: "missing `//!` module documentation before the first item".to_string(),
+        });
+    }
+    out
+}
+
+/// Lints one source file's text. `file` is the path used in reports; rule
+/// applicability (accounting module, binary) is derived from it.
+#[must_use]
+pub fn scan_source(file: &str, src: &str) -> Vec<Violation> {
+    let lines = mask_lines(src);
+    let name = Path::new(file)
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("");
+    let is_bin = file.contains("/bin/");
+    let check_casts = ACCOUNTING_MODULES.contains(&name);
+    scan_masked(file, &lines, !is_bin, check_casts)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every library source under `<root>/crates/*/src` and `<root>/src`,
+/// returning findings sorted by path and line.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    for entry in fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files)?;
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs_files(&root_src, &mut files)?;
+    }
+    files.sort();
+    let mut violations = Vec::new();
+    for path in files {
+        let text = fs::read_to_string(&path)?;
+        let label = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        violations.extend(scan_source(&label, &text));
+    }
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_found(file: &str, src: &str) -> Vec<&'static str> {
+        scan_source(file, src).into_iter().map(|v| v.rule).collect()
+    }
+
+    const DOC: &str = "//! Docs.\n";
+
+    #[test]
+    fn unwrap_in_library_code_is_flagged() {
+        let src = format!("{DOC}fn f() {{ let x = Some(1).unwrap(); }}\n");
+        let v = scan_source("crates/x/src/a.rs", &src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-unwrap");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn expect_is_flagged_and_named() {
+        let src = format!("{DOC}fn f() {{ std::fs::read(\"x\").expect(\"boom\"); }}\n");
+        let v = scan_source("crates/x/src/a.rs", &src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-unwrap");
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        let src =
+            format!("{DOC}fn f() {{ let _ = None.unwrap_or(1) + Some(2).unwrap_or_default(); }}\n");
+        assert!(rules_found("crates/x/src/a.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_inside_cfg_test_is_fine() {
+        let src = format!(
+            "{DOC}fn lib() {{}}\n\n#[cfg(test)]\nmod tests {{\n    #[test]\n    fn t() {{ \
+             Some(1).unwrap(); }}\n}}\n"
+        );
+        assert!(rules_found("crates/x/src/a.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_after_cfg_test_region_is_flagged() {
+        let src = format!(
+            "{DOC}#[cfg(test)]\nmod tests {{\n    fn t() {{ Some(1).unwrap(); }}\n}}\n\
+             fn lib() {{ Some(1).unwrap(); }}\n"
+        );
+        let v = scan_source("crates/x/src/a.rs", &src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 6, "the post-module unwrap, not the test one");
+    }
+
+    #[test]
+    fn unwrap_in_string_or_comment_is_fine() {
+        let src = format!(
+            "{DOC}fn f() {{\n    // calling .unwrap() here would be wrong\n    let _ = \
+             \".unwrap()\";\n}}\n"
+        );
+        assert!(rules_found("crates/x/src/a.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_binary_is_fine() {
+        let src = format!("{DOC}fn main() {{ std::env::args().next().unwrap(); }}\n");
+        assert!(rules_found("crates/x/src/bin/tool.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses_same_line_and_previous_line() {
+        let same = format!("{DOC}fn f() {{ Some(1).unwrap(); }} // xtask-allow: no-unwrap\n");
+        assert!(rules_found("crates/x/src/a.rs", &same).is_empty());
+        let above = format!(
+            "{DOC}// invariant: always present; xtask-allow: no-unwrap\nfn f() {{ \
+             Some(1).unwrap(); }}\n"
+        );
+        assert!(rules_found("crates/x/src/a.rs", &above).is_empty());
+    }
+
+    #[test]
+    fn lossy_cast_flagged_only_in_accounting_modules() {
+        let src = format!("{DOC}fn f(x: u64) -> u32 {{ x as u32 }}\n");
+        let v = scan_source("crates/x/src/alloc.rs", &src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-lossy-cast");
+        assert!(rules_found("crates/x/src/other.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn widening_as_f64_is_fine_in_accounting_modules() {
+        let src = format!("{DOC}fn f(x: u32) -> f64 {{ x as f64 }}\n");
+        assert!(rules_found("crates/x/src/stats.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn float_eq_flagged() {
+        let src = format!("{DOC}fn f(x: f64) -> bool {{ x == 0.5 }}\n");
+        let v = scan_source("crates/x/src/a.rs", &src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-float-eq");
+    }
+
+    #[test]
+    fn float_ne_and_literal_on_left_flagged() {
+        let src = format!("{DOC}fn f(x: f64) -> bool {{ 1e-9 != x }}\n");
+        assert_eq!(rules_found("crates/x/src/a.rs", &src), ["no-float-eq"]);
+    }
+
+    #[test]
+    fn integer_eq_is_fine() {
+        let src = format!("{DOC}fn f(x: u32) -> bool {{ x == 5 && x != 7 }}\n");
+        assert!(rules_found("crates/x/src/a.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn missing_module_docs_flagged() {
+        let src = "fn f() {}\n";
+        let v = scan_source("crates/x/src/a.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "module-docs");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn module_docs_satisfied_by_inner_doc() {
+        assert!(rules_found("crates/x/src/a.rs", "//! Present.\nfn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes_do_not_confuse_masking() {
+        let src = format!(
+            "{DOC}fn f<'a>(x: &'a str) -> bool {{\n    let p = r\"float == 0.5 .unwrap()\";\n    \
+             p.len() == 24\n}}\n"
+        );
+        assert!(rules_found("crates/x/src/a.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn multiline_string_is_masked() {
+        let src = format!("{DOC}const S: &str = \"line one\n  .unwrap() inside\n\";\n");
+        assert!(rules_found("crates/x/src/a.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn workspace_walk_reports_relative_paths() {
+        // Smoke-test on the real workspace: findings (if any) must carry
+        // workspace-relative paths and valid rule names.
+        let root = {
+            let mut d = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            d.pop();
+            d.pop();
+            d
+        };
+        let vs = lint_workspace(&root).expect("walk succeeds");
+        for v in vs {
+            assert!(!v.file.starts_with('/'), "relative path: {}", v.file);
+            assert!(RULE_NAMES.contains(&v.rule));
+        }
+    }
+}

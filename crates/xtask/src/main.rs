@@ -1,0 +1,147 @@
+//! Workspace automation for the Warped-Slicer reproduction.
+//!
+//! Entry points (via the `.cargo/config.toml` alias):
+//!
+//! * `cargo xtask lint` — the custom, simulator-specific static-analysis
+//!   pass over library sources (see [`lint`] for the rules);
+//! * `cargo xtask check` — the full analysis gate: `cargo fmt --check`,
+//!   `cargo clippy -D warnings`, the custom lint pass, and the tier-1
+//!   test suite, in that order, failing fast;
+//! * `cargo xtask help` — usage.
+//!
+//! The crate is deliberately dependency-free (`std` only) so the gate runs
+//! in offline and hermetic environments where the crate registry is
+//! unreachable.
+
+mod lint;
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+/// Workspace root, derived from this crate's manifest dir (`crates/xtask`).
+fn workspace_root() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop(); // crates/
+    dir.pop(); // workspace root
+    dir
+}
+
+fn usage() {
+    eprintln!(
+        "usage: cargo xtask <command>\n\
+         \n\
+         commands:\n\
+         \x20 lint            run the custom static-analysis pass over library sources\n\
+         \x20 check           full gate: fmt --check, clippy -D warnings, lint, tests\n\
+         \x20 check --fast    gate without the test stage (fmt, clippy, lint only)\n\
+         \x20 help            this message\n\
+         \n\
+         Suppress a lint finding with a `// xtask-allow: <rule>` comment on the\n\
+         offending line or the line above it. Rules: {}",
+        lint::RULE_NAMES.join(", ")
+    );
+}
+
+/// Runs `cargo <args>` in the workspace root, echoing the invocation.
+/// Returns whether the command succeeded.
+fn run_cargo(root: &Path, args: &[&str]) -> bool {
+    println!("xtask: running `cargo {}`", args.join(" "));
+    match Command::new("cargo").current_dir(root).args(args).status() {
+        Ok(status) => status.success(),
+        Err(err) => {
+            eprintln!("xtask: failed to spawn cargo: {err}");
+            false
+        }
+    }
+}
+
+fn run_lint(root: &Path) -> bool {
+    let violations = match lint::lint_workspace(root) {
+        Ok(v) => v,
+        Err(err) => {
+            eprintln!("xtask: lint pass failed to read sources: {err}");
+            return false;
+        }
+    };
+    if violations.is_empty() {
+        println!("xtask: lint clean");
+        return true;
+    }
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    eprintln!(
+        "xtask: {} lint violation(s); suppress intentional ones with `// xtask-allow: <rule>`",
+        violations.len()
+    );
+    false
+}
+
+fn run_check(root: &Path, fast: bool) -> bool {
+    let stages: &[(&str, &dyn Fn() -> bool)] = &[
+        ("rustfmt", &|| {
+            run_cargo(root, &["fmt", "--all", "--", "--check"])
+        }),
+        ("clippy", &|| {
+            run_cargo(
+                root,
+                &[
+                    "clippy",
+                    "--workspace",
+                    "--all-targets",
+                    "--offline",
+                    "--",
+                    "-D",
+                    "warnings",
+                ],
+            )
+        }),
+        ("custom lints", &|| run_lint(root)),
+        ("tests", &|| {
+            if fast {
+                println!("xtask: skipping tests (--fast)");
+                true
+            } else {
+                run_cargo(root, &["test", "--workspace", "--offline", "-q"])
+            }
+        }),
+    ];
+    for (name, stage) in stages {
+        println!("xtask: ── stage: {name} ──");
+        if !stage() {
+            eprintln!("xtask: check FAILED at stage `{name}`");
+            return false;
+        }
+    }
+    println!("xtask: check passed (fmt + clippy + lints{})", {
+        if fast {
+            ""
+        } else {
+            " + tests"
+        }
+    });
+    true
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = workspace_root();
+    let ok = match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&root),
+        Some("check") => run_check(&root, args.iter().any(|a| a == "--fast")),
+        Some("help") | None => {
+            usage();
+            true
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}`");
+            usage();
+            false
+        }
+    };
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -15,10 +15,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let first = args.next().unwrap_or_else(|| "IMG".to_string());
     let second = args.next().unwrap_or_else(|| "MVP".to_string());
-    let arrival: u64 = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(30_000);
+    let arrival: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(30_000);
 
     let (Some(a), Some(b)) = (by_abbrev(&first), by_abbrev(&second)) else {
         eprintln!("unknown benchmark; try BLK BFS DXT HOT IMG KNN LBM MM MVP NN");
@@ -48,7 +45,10 @@ fn main() {
                         println!("cycle {:>6}: partition decided: quotas {q:?}", d.decided_at);
                     }
                     (None, true) => {
-                        println!("cycle {:>6}: fell back to spatial multitasking", d.decided_at);
+                        println!(
+                            "cycle {:>6}: fell back to spatial multitasking",
+                            d.decided_at
+                        );
                     }
                     _ => {}
                 }
@@ -69,10 +69,7 @@ fn main() {
             gpu.kernel_insts(kb)
         );
     }
-    println!(
-        "  re-profiles triggered: {}",
-        controller.reprofile_count()
-    );
+    println!("  re-profiles triggered: {}", controller.reprofile_count());
     let sm0 = gpu.sm(0);
     println!(
         "  SM0 residency: {} x {} CTAs + {} x {} CTAs",

@@ -14,10 +14,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let a = args.next().unwrap_or_else(|| "IMG".to_string());
     let b = args.next().unwrap_or_else(|| "NN".to_string());
-    let cycles: u64 = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(60_000);
+    let cycles: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(60_000);
 
     let (Some(ba), Some(bb)) = (by_abbrev(&a), by_abbrev(&b)) else {
         eprintln!("unknown benchmark; try BLK BFS DXT HOT IMG KNN LBM MM MVP NN");

@@ -15,10 +15,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let a = args.next().unwrap_or_else(|| "MM".to_string());
     let b = args.next().unwrap_or_else(|| "MVP".to_string());
-    let cycles: u64 = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(30_000);
+    let cycles: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(30_000);
 
     let (Some(ba), Some(bb)) = (by_abbrev(&a), by_abbrev(&b)) else {
         eprintln!("unknown benchmark; try BLK BFS DXT HOT IMG KNN LBM MM MVP NN");
@@ -70,8 +67,15 @@ fn main() {
     let best = results[0].1;
     println!("{:<12} {:>8}  {:>6}", "partition", "IPC", "of best");
     for (name, ipc) in &results {
-        let marker = if *name == dynamic_choice { "  <- Warped-Slicer's choice" } else { "" };
-        println!("{name:<12} {ipc:>8.2}  {:>5.1}%{marker}", 100.0 * ipc / best);
+        let marker = if *name == dynamic_choice {
+            "  <- Warped-Slicer's choice"
+        } else {
+            ""
+        };
+        println!(
+            "{name:<12} {ipc:>8.2}  {:>5.1}%{marker}",
+            100.0 * ipc / best
+        );
     }
     println!(
         "\nWarped-Slicer online: chose {dynamic_choice}, achieved {:.2} IPC ({:.1}% of best swept point)",

@@ -11,17 +11,17 @@ use warped_slicer_repro::ws_workloads::by_abbrev;
 fn main() {
     let mut args = std::env::args().skip(1);
     let abbrev = args.next().unwrap_or_else(|| "IMG".to_string());
-    let cycles: u64 = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(50_000);
+    let cycles: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(50_000);
 
     let Some(bench) = by_abbrev(&abbrev) else {
         eprintln!("unknown benchmark {abbrev}; try BLK BFS DXT HOT IMG KNN LBM MM MVP NN");
         std::process::exit(1);
     };
 
-    println!("{} ({}), {} cycles on the Table I GPU", bench.abbrev, bench.full_name, cycles);
+    println!(
+        "{} ({}), {} cycles on the Table I GPU",
+        bench.abbrev, bench.full_name, cycles
+    );
 
     let mut gpu = Gpu::new(GpuConfig::isca_baseline(), SchedulerKind::GreedyThenOldest);
     let k = gpu.add_kernel(bench.desc.clone());

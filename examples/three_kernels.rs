@@ -17,10 +17,7 @@ fn main() {
         args.next().unwrap_or_else(|| "IMG".to_string()),
         args.next().unwrap_or_else(|| "DXT".to_string()),
     ];
-    let cycles: u64 = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(60_000);
+    let cycles: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(60_000);
 
     let benches: Vec<_> = names
         .iter()

@@ -1,10 +1,15 @@
-//! Property-based tests on the core data structures and algorithms:
+//! Randomized property tests on the core data structures and algorithms:
 //! water-filling optimality against exhaustive search, allocator invariants
-//! against a reference bitmap model, cache LRU behaviour against a
-//! reference list model, and profiler-curve properties.
+//! against a reference model, cache LRU behaviour against a reference list
+//! model, and profiler-curve properties.
+//!
+//! Cases are generated with the in-tree deterministic `SimRng`
+//! (xoshiro256++), not an external property-testing crate, so the suite
+//! runs with `--offline` and replays identically on every platform. Each
+//! test fixes its seed; a failure report prints the case index, which
+//! together with the seed reproduces the exact inputs.
 
-use proptest::prelude::*;
-use warped_slicer_repro::gpu_sim::{LinearAllocator, ProbeResult, Region, SetAssocCache};
+use warped_slicer_repro::gpu_sim::{LinearAllocator, ProbeResult, Region, SetAssocCache, SimRng};
 use warped_slicer_repro::warped_slicer::{
     brute_force, build_curves, water_fill, KernelCurve, ProfileSample, ResourceVec,
 };
@@ -18,85 +23,91 @@ fn capacity() -> ResourceVec {
     }
 }
 
-fn curve_strategy() -> impl Strategy<Value = KernelCurve> {
-    (
-        prop::collection::vec(0.01f64..10.0, 1..=8),
-        1024u64..8192,
-        0u64..4096,
-        1u64..12,
-    )
-        .prop_map(|(perf, regs, shmem, warps)| KernelCurve {
-            perf,
-            cta_cost: ResourceVec {
-                regs,
-                shmem,
-                threads: warps * 32,
-                ctas: 1,
-            },
-        })
+/// Random performance curve + CTA cost, mirroring the old proptest strategy:
+/// 1–8 points in (0.01, 10), 1–8 K registers, 0–4 KB shmem, 1–11 warps.
+fn random_curve(rng: &mut SimRng) -> KernelCurve {
+    let points = 1 + rng.range_usize(8);
+    let perf = (0..points).map(|_| 0.01 + rng.unit_f64() * 9.99).collect();
+    KernelCurve {
+        perf,
+        cta_cost: ResourceVec {
+            regs: 1024 + rng.range_u64(7168),
+            shmem: rng.range_u64(4096),
+            threads: (1 + rng.range_u64(11)) * 32,
+            ctas: 1,
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn waterfill_matches_bruteforce_objective(
-        a in curve_strategy(),
-        b in curve_strategy(),
-    ) {
-        let ks = [a, b];
+#[test]
+fn waterfill_matches_bruteforce_objective() {
+    let mut rng = SimRng::seed_from_u64(0x5EED_0001);
+    for case in 0..64 {
+        let ks = [random_curve(&mut rng), random_curve(&mut rng)];
         let wf = water_fill(&ks, capacity());
         let bf = brute_force(&ks, capacity());
         match (wf, bf) {
             (Some(wf), Some(bf)) => {
                 // Algorithm 1 achieves the optimal max-min objective.
-                prop_assert!(wf.min_perf() >= bf.min_perf() - 1e-9,
-                    "waterfill {:?} worse than brute force {:?}", wf, bf);
+                assert!(
+                    wf.min_perf() >= bf.min_perf() - 1e-9,
+                    "case {case}: waterfill {wf:?} worse than brute force {bf:?}"
+                );
                 // And respects capacity.
-                let used = ks[0].cta_cost.times(u64::from(wf.ctas[0]))
+                let used = ks[0]
+                    .cta_cost
+                    .times(u64::from(wf.ctas[0]))
                     .plus(&ks[1].cta_cost.times(u64::from(wf.ctas[1])));
-                prop_assert!(capacity().covers(&used));
-                prop_assert!(wf.ctas.iter().all(|&t| t >= 1));
+                assert!(capacity().covers(&used), "case {case}");
+                assert!(wf.ctas.iter().all(|&t| t >= 1), "case {case}");
             }
             (None, None) => {}
-            (wf, bf) => prop_assert!(false, "feasibility disagreement: {wf:?} vs {bf:?}"),
+            (wf, bf) => panic!("case {case}: feasibility disagreement: {wf:?} vs {bf:?}"),
         }
     }
+}
 
-    #[test]
-    fn waterfill_three_kernels_feasible(
-        a in curve_strategy(),
-        b in curve_strategy(),
-        c in curve_strategy(),
-    ) {
-        let ks = [a, b, c];
+#[test]
+fn waterfill_three_kernels_feasible() {
+    let mut rng = SimRng::seed_from_u64(0x5EED_0002);
+    for case in 0..64 {
+        let ks = [
+            random_curve(&mut rng),
+            random_curve(&mut rng),
+            random_curve(&mut rng),
+        ];
         if let Some(p) = water_fill(&ks, capacity()) {
             let mut used = ResourceVec::zero();
             for (k, &t) in ks.iter().zip(&p.ctas) {
-                prop_assert!(t >= 1);
-                prop_assert!((t as usize) <= k.perf.len());
+                assert!(t >= 1, "case {case}");
+                assert!((t as usize) <= k.perf.len(), "case {case}");
                 used = used.plus(&k.cta_cost.times(u64::from(t)));
             }
-            prop_assert!(capacity().covers(&used));
+            assert!(capacity().covers(&used), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn allocator_never_overlaps_and_conserves(
-        ops in prop::collection::vec((0u8..2, 1u32..64), 1..200)
-    ) {
-        let cap = 256u32;
+#[test]
+fn allocator_never_overlaps_and_conserves() {
+    let cap = 256u32;
+    let mut rng = SimRng::seed_from_u64(0x5EED_0003);
+    for case in 0..64 {
         let mut alloc = LinearAllocator::new(cap);
         let mut live: Vec<Region> = Vec::new();
-        for (kind, len) in ops {
-            if kind == 0 || live.is_empty() {
+        let ops = 1 + rng.range_usize(200);
+        for _ in 0..ops {
+            let len = 1 + rng.range_u64(63) as u32;
+            if rng.range_u64(2) == 0 || live.is_empty() {
                 if let Some(r) = alloc.alloc(len) {
                     // In bounds.
-                    prop_assert!(r.end() <= cap);
+                    assert!(r.end() <= cap, "case {case}");
                     // No overlap with any live region.
                     for l in &live {
-                        prop_assert!(r.end() <= l.start || l.end() <= r.start,
-                            "overlap: {r:?} vs {l:?}");
+                        assert!(
+                            r.end() <= l.start || l.end() <= r.start,
+                            "case {case}: overlap: {r:?} vs {l:?}"
+                        );
                     }
                     live.push(r);
                 }
@@ -105,22 +116,24 @@ proptest! {
                 alloc.free(r);
             }
             let used: u32 = live.iter().map(|r| r.len).sum();
-            prop_assert_eq!(alloc.used(), used, "conservation");
-            prop_assert!(alloc.largest_free() <= cap - used);
+            assert_eq!(alloc.used(), used, "case {case}: conservation");
+            assert!(alloc.largest_free() <= cap - used, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn allocator_first_fit_finds_any_sufficient_gap(
-        lens in prop::collection::vec(8u32..64, 1..8),
-        probe in 1u32..64,
-    ) {
+#[test]
+fn allocator_first_fit_finds_any_sufficient_gap() {
+    let mut rng = SimRng::seed_from_u64(0x5EED_0004);
+    for case in 0..64 {
         // Alloc all, free every other one, then: alloc(probe) succeeds iff
         // some gap >= probe exists (largest_free is the oracle).
         let mut alloc = LinearAllocator::new(256);
         let mut regions = Vec::new();
-        for l in &lens {
-            if let Some(r) = alloc.alloc(*l) {
+        let count = 1 + rng.range_usize(7);
+        for _ in 0..count {
+            let len = 8 + rng.range_u64(56) as u32;
+            if let Some(r) = alloc.alloc(len) {
                 regions.push(r);
             }
         }
@@ -129,22 +142,26 @@ proptest! {
                 alloc.free(*r);
             }
         }
+        let probe = 1 + rng.range_u64(63) as u32;
         let can = alloc.largest_free() >= probe;
-        prop_assert_eq!(alloc.alloc(probe).is_some(), can);
+        assert_eq!(alloc.alloc(probe).is_some(), can, "case {case}");
     }
+}
 
-    #[test]
-    fn cache_tracks_reference_lru(
-        lines in prop::collection::vec(0u64..24, 1..300)
-    ) {
+#[test]
+fn cache_tracks_reference_lru() {
+    let mut rng = SimRng::seed_from_u64(0x5EED_0005);
+    for case in 0..32 {
         // 2 sets x 4 ways vs. a per-set reference LRU list.
         let mut cache = SetAssocCache::new(8 * 128, 4, 128);
         let mut reference: [Vec<u64>; 2] = [Vec::new(), Vec::new()];
-        for line in lines {
+        let accesses = 1 + rng.range_usize(300);
+        for _ in 0..accesses {
+            let line = rng.range_u64(24);
             let set = (line % 2) as usize;
             let hit = cache.access(line) == ProbeResult::Hit;
             let ref_hit = reference[set].contains(&line);
-            prop_assert_eq!(hit, ref_hit, "line {} divergence", line);
+            assert_eq!(hit, ref_hit, "case {case}: line {line} divergence");
             // Touch/fill in the reference model.
             reference[set].retain(|&l| l != line);
             reference[set].push(line);
@@ -156,11 +173,13 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn profile_curves_are_bounded_by_scaled_samples(
-        ipcs in prop::collection::vec(0.0f64..4.0, 8),
-    ) {
+#[test]
+fn profile_curves_are_bounded_by_scaled_samples() {
+    let mut rng = SimRng::seed_from_u64(0x5EED_0006);
+    for case in 0..32 {
+        let ipcs: Vec<f64> = (0..8).map(|_| rng.unit_f64() * 4.0).collect();
         let samples: Vec<ProfileSample> = ipcs
             .iter()
             .enumerate()
@@ -173,12 +192,12 @@ proptest! {
             })
             .collect();
         let curves = build_curves(&samples, &[8]);
-        prop_assert_eq!(curves.len(), 1);
+        assert_eq!(curves.len(), 1, "case {case}");
         let max_in = ipcs.iter().copied().fold(0.0f64, f64::max);
         for v in &curves[0] {
-            prop_assert!(*v >= 0.0);
+            assert!(*v >= 0.0, "case {case}");
             // phi = 0: no scaling, so the curve cannot exceed the samples.
-            prop_assert!(*v <= max_in + 1e-9);
+            assert!(*v <= max_in + 1e-9, "case {case}");
         }
     }
 }
