@@ -1,0 +1,148 @@
+//! Static verification gate for the shipped workload suites.
+//!
+//! ```text
+//! verify-workloads [ABBREV ...] [--config baseline|large] [--report PATH]
+//! ```
+//!
+//! With no abbreviations, analyzes the whole extended suite (Table II plus
+//! MUM). Prints one summary line per benchmark plus every diagnostic, and
+//! exits non-zero if any benchmark has an unwaived error or warning. With
+//! `--report PATH`, additionally writes the full per-benchmark reports
+//! (metrics and diagnostics) to `PATH` — `cargo xtask check` uploads that
+//! file as a CI artifact.
+
+use std::process::ExitCode;
+
+use gpu_sim::GpuConfig;
+use ws_analyze::{verify_suite, Report};
+use ws_workloads::{by_abbrev, extended_suite, Benchmark};
+
+struct Options {
+    benches: Vec<Benchmark>,
+    cfg: GpuConfig,
+    report_path: Option<String>,
+}
+
+fn usage() -> String {
+    "usage: verify-workloads [ABBREV ...] [--config baseline|large] [--report PATH]\n\
+     \n\
+     Statically verifies the synthetic workload suite (all of it, or only the\n\
+     named Table II abbreviations; MUM resolves too). Exits non-zero on any\n\
+     unwaived error or warning."
+        .to_string()
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut abbrevs: Vec<String> = Vec::new();
+    let mut cfg = GpuConfig::isca_baseline();
+    let mut report_path = None;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(usage()),
+            "--report" => {
+                report_path = Some(
+                    args.next()
+                        .ok_or_else(|| "--report needs a path".to_string())?,
+                );
+            }
+            "--config" => {
+                let name = args
+                    .next()
+                    .ok_or_else(|| "--config needs a name".to_string())?;
+                cfg = match name.as_str() {
+                    "baseline" => GpuConfig::isca_baseline(),
+                    "large" => GpuConfig::large(),
+                    other => return Err(format!("unknown config `{other}`")),
+                };
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            abbrev => abbrevs.push(abbrev.to_string()),
+        }
+    }
+    let benches = if abbrevs.is_empty() {
+        extended_suite()
+    } else {
+        let mut v = Vec::with_capacity(abbrevs.len());
+        for a in &abbrevs {
+            let b = by_abbrev(a).ok_or_else(|| format!("unknown benchmark `{a}`"))?;
+            v.push(b);
+        }
+        v
+    };
+    Ok(Options {
+        benches,
+        cfg,
+        report_path,
+    })
+}
+
+fn summarize(report: &Report) -> String {
+    let n_err = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == ws_analyze::Severity::Error)
+        .count();
+    let n_warn = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == ws_analyze::Severity::Warning)
+        .count();
+    let verdict = if report.is_clean() { "ok" } else { "FAIL" };
+    format!(
+        "{:<4} {verdict:<4} max CTAs/SM {} | traffic/inst {:.2} | RAW dominant {} | \
+         {n_err} error(s), {n_warn} warning(s)",
+        report.subject,
+        report.metrics.max_ctas,
+        report.metrics.global_traffic,
+        report
+            .metrics
+            .dominant_raw_distance
+            .map_or_else(|| "-".to_string(), |d| d.to_string()),
+    )
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let reports = verify_suite(&opts.benches, &opts.cfg);
+    let mut failed = false;
+    for report in &reports {
+        println!("{}", summarize(report));
+        for diag in report.failures() {
+            let span = diag.span.map_or_else(String::new, |s| format!(":inst {s}"));
+            println!(
+                "  {}{span}: {}: [{}] {}",
+                report.subject, diag.severity, diag.rule, diag.message
+            );
+            if let Some(fix) = &diag.suggestion {
+                println!("  {}{span}: help: {fix}", report.subject);
+            }
+        }
+        failed |= !report.is_clean();
+    }
+    if let Some(path) = &opts.report_path {
+        let mut text = String::new();
+        for report in &reports {
+            text.push_str(&report.to_string());
+            text.push('\n');
+        }
+        if let Err(err) = std::fs::write(path, text) {
+            eprintln!("cannot write report to {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("report written to {path}");
+    }
+    if failed {
+        eprintln!("verify-workloads: FAILED (unwaived diagnostics above)");
+        ExitCode::FAILURE
+    } else {
+        println!("verify-workloads: all {} benchmark(s) clean", reports.len());
+        ExitCode::SUCCESS
+    }
+}

@@ -56,6 +56,9 @@ impl Partition {
 
 /// Monotone staircase of a performance curve: `q[d]` is the best
 /// performance reachable with `m[d]` CTAs, strictly increasing in both.
+/// For a non-empty curve the staircase is never empty: entry 0 is always
+/// `(1 CTA, perf[0])`, so a lane's initial grant of one CTA is always a
+/// valid step (even for all-zero curves, which used to have no steps).
 #[derive(Debug, Clone)]
 struct Staircase {
     q: Vec<f64>,
@@ -67,7 +70,7 @@ fn staircase(perf: &[f64]) -> Staircase {
     let norm = if peak > 0.0 { peak } else { 1.0 };
     let mut q = Vec::new();
     let mut m = Vec::new();
-    let mut best = 0.0f64;
+    let mut best = f64::NEG_INFINITY;
     for (ctas, &p) in (1u32..).zip(perf.iter()) {
         let p = p / norm;
         if p > best {
@@ -77,6 +80,27 @@ fn staircase(perf: &[f64]) -> Staircase {
         }
     }
     Staircase { q, m }
+}
+
+/// One kernel's progress through its staircase during the main loop.
+struct Lane<'a> {
+    stair: Staircase,
+    cta_cost: &'a ResourceVec,
+    /// Index into the staircase of the entry currently achieved. Entry 0 is
+    /// `(1 CTA, its perf)`, matching the initial grant `T_i = 1`.
+    step: usize,
+    /// CTAs granted so far (the `T_i` being built up).
+    ctas: u32,
+    /// Saturated: no further step exists or the next step does not fit.
+    full: bool,
+}
+
+impl Lane<'_> {
+    /// Normalized performance at the currently achieved step. The fallback
+    /// is unreachable: `step` only advances to indices the staircase has.
+    fn perf(&self) -> f64 {
+        self.stair.q.get(self.step).copied().unwrap_or(0.0)
+    }
 }
 
 /// Runs Algorithm 1.
@@ -113,58 +137,58 @@ pub fn water_fill(kernels: &[KernelCurve], total: ResourceVec) -> Option<Partiti
     if kernels.is_empty() || kernels.iter().any(|k| k.perf.is_empty()) {
         return None;
     }
-    let stairs: Vec<Staircase> = kernels.iter().map(|k| staircase(&k.perf)).collect();
 
     // Initialization: one CTA per kernel (lines 6-15).
     let mut left = total;
-    let mut ctas: Vec<u32> = Vec::with_capacity(kernels.len());
+    let mut lanes: Vec<Lane> = Vec::with_capacity(kernels.len());
     for k in kernels {
         if !left.covers(&k.cta_cost) {
             return None;
         }
         left = left.saturating_sub(&k.cta_cost);
-        ctas.push(1);
+        lanes.push(Lane {
+            stair: staircase(&k.perf),
+            cta_cost: &k.cta_cost,
+            step: 0,
+            ctas: 1,
+            full: false,
+        });
     }
-    // g[i]: index into the staircase of the entry currently achieved.
-    // Stair entry 0 is always (1 CTA, its perf), matching T_i = 1.
-    let mut g: Vec<usize> = vec![0; kernels.len()];
-    let mut full: Vec<bool> = vec![false; kernels.len()];
 
     // Main loop (lines 16-32): raise the worst performer step by step.
     loop {
         let mut selected: Option<usize> = None;
         let mut min_perf = f64::INFINITY;
-        for i in 0..kernels.len() {
-            if full[i] {
-                continue;
-            }
-            let cur = stairs[i].q[g[i]];
-            if cur < min_perf {
-                min_perf = cur;
+        for (i, lane) in lanes.iter().enumerate() {
+            if !lane.full && lane.perf() < min_perf {
+                min_perf = lane.perf();
                 selected = Some(i);
             }
         }
-        let Some(s) = selected else {
+        let Some(lane) = selected.and_then(|s| lanes.get_mut(s)) else {
             break; // every kernel full
         };
-        if g[s] + 1 >= stairs[s].m.len() {
+        match (lane.stair.m.get(lane.step), lane.stair.m.get(lane.step + 1)) {
+            (Some(&cur), Some(&next)) => {
+                let d_t = next - cur;
+                let need = lane.cta_cost.times(u64::from(d_t));
+                if left.covers(&need) {
+                    left = left.saturating_sub(&need);
+                    lane.step += 1;
+                    lane.ctas += d_t;
+                } else {
+                    lane.full = true;
+                }
+            }
             // No further incremental improvement exists for this kernel.
-            full[s] = true;
-            continue;
-        }
-        let d_t = stairs[s].m[g[s] + 1] - stairs[s].m[g[s]];
-        let need = kernels[s].cta_cost.times(u64::from(d_t));
-        if left.covers(&need) {
-            left = left.saturating_sub(&need);
-            g[s] += 1;
-            ctas[s] += d_t;
-        } else {
-            full[s] = true;
+            _ => lane.full = true,
         }
     }
 
-    let perf = stairs.iter().zip(&g).map(|(st, &gi)| st.q[gi]).collect();
-    let p = Partition { ctas, perf };
+    let p = Partition {
+        ctas: lanes.iter().map(|lane| lane.ctas).collect(),
+        perf: lanes.iter().map(Lane::perf).collect(),
+    };
     if gpu_sim::invariant::enabled() {
         assert_partition_feasible(kernels, &total, &p);
         strict_oracle_check(kernels, total, &p);
@@ -248,9 +272,9 @@ pub fn brute_force(kernels: &[KernelCurve], total: ResourceVec) -> Option<Partit
     let (_, _, ctas) = best?;
     let perf = ctas
         .iter()
-        .enumerate()
+        .zip(&norm)
         // u32 -> usize never truncates. xtask-allow: no-lossy-cast
-        .map(|(i, &t)| norm[i][t as usize - 1])
+        .map(|(&t, n)| n.get(t as usize - 1).copied().unwrap_or(0.0))
         .collect();
     Some(Partition { ctas, perf })
 }
@@ -263,12 +287,13 @@ fn search(
     current: &mut Vec<u32>,
     best: &mut Option<(f64, f64, Vec<u32>)>,
 ) {
-    if i == kernels.len() {
+    let Some(kernel) = kernels.get(i) else {
+        // Leaf: every kernel has a tentative grant; score the combination.
         let mut min_p = f64::INFINITY;
         let mut sum_p = 0.0;
-        for (k, &t) in current.iter().enumerate() {
+        for (n, &t) in norm.iter().zip(current.iter()) {
             // u32 -> usize never truncates. xtask-allow: no-lossy-cast
-            let p = norm[k][t as usize - 1];
+            let p = n.get(t as usize - 1).copied().unwrap_or(0.0);
             min_p = min_p.min(p);
             sum_p += p;
         }
@@ -282,14 +307,16 @@ fn search(
             *best = Some((min_p, sum_p, current.clone()));
         }
         return;
-    }
-    let max_t = u32::try_from(kernels[i].perf.len()).unwrap_or(u32::MAX);
+    };
+    let max_t = u32::try_from(kernel.perf.len()).unwrap_or(u32::MAX);
     for t in 1..=max_t {
-        let need = kernels[i].cta_cost.times(u64::from(t));
+        let need = kernel.cta_cost.times(u64::from(t));
         if !left.covers(&need) {
             break;
         }
-        current[i] = t;
+        if let Some(slot) = current.get_mut(i) {
+            *slot = t;
+        }
         search(
             kernels,
             norm,
@@ -385,6 +412,25 @@ mod tests {
         };
         assert!(water_fill(&[huge.clone(), huge], cap()).is_none());
         assert!(water_fill(&[], cap()).is_none());
+    }
+
+    #[test]
+    fn all_zero_curve_is_granted_one_cta() {
+        // An all-zero curve has no improving step past its first entry; it
+        // used to leave the staircase empty and panic on lookup. It should
+        // simply keep its initial one-CTA grant at zero performance.
+        let dead = KernelCurve {
+            perf: vec![0.0, 0.0, 0.0],
+            cta_cost: cost(1000, 64),
+        };
+        let live = KernelCurve {
+            perf: vec![0.5, 1.0],
+            cta_cost: cost(1000, 64),
+        };
+        let p = water_fill(&[dead, live], cap()).unwrap();
+        assert_eq!(p.ctas, vec![1, 2]);
+        assert!((p.perf[0] - 0.0).abs() < 1e-12);
+        assert!((p.perf[1] - 1.0).abs() < 1e-12);
     }
 
     #[test]

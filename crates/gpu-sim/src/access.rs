@@ -21,6 +21,21 @@ const SHARED_REGION_BIT: u32 = 36;
 /// Address bits reserved per kernel slice.
 const KERNEL_SLICE_BITS: u32 = 40;
 
+/// Capacity of each CTA's private region, in lines. Streaming/tiled/hot-cold
+/// walks wrap within this many lines; a declared footprint beyond it cannot
+/// be disjoint from the neighbouring CTA's region.
+pub const CTA_REGION_LINES: u64 = 1 << CTA_REGION_BITS;
+
+/// Capacity of a kernel's shared (inter-CTA) region, in lines: the span from
+/// the shared-region base to the end of the kernel's address slice. A random
+/// footprint beyond this would bleed into the next kernel's slice and
+/// false-share cache lines across kernels.
+pub const SHARED_REGION_LINES: u64 = (1 << KERNEL_SLICE_BITS) - (1 << SHARED_REGION_BIT);
+
+/// Number of CTAs whose private regions fit below the shared region. Grids
+/// beyond this alias their private regions onto the shared region.
+pub const MAX_DISJOINT_CTAS: u64 = 1 << (SHARED_REGION_BIT - CTA_REGION_BITS);
+
 /// Base line address of kernel slot `slot`'s address slice.
 #[must_use]
 pub fn kernel_base(slot: usize) -> LineAddr {

@@ -8,11 +8,22 @@
 //!         [--pattern streaming|random:LINES|tiled:TILE,REUSE|hotcold:HOT,FRAC]
 //!         [--transactions N] [--icache-miss F] [--conflicts N]
 //!         [--ctas-per-sm N] [--cycles N] [--sched gto|rr] [--large]
+//!         [--analyze]
 //! ```
+//!
+//! With `--analyze`, no simulation runs: the kernel is statically verified
+//! (the same pre-flight that guards [`Gpu::try_add_kernel`]) and a report of
+//! derived static metrics — instruction mix, per-resource Eq. 1 occupancy
+//! quotas — is printed instead. Exits non-zero when the verifier rejects the
+//! kernel. The deeper dataflow report (RAW histograms, footprint and
+//! consistency checks) lives in `ws-analyze`'s `verify-workloads` binary,
+//! which this crate cannot depend on without a cycle.
 
 use std::process::ExitCode;
 
-use gpu_sim::{AccessPattern, Gpu, GpuConfig, KernelDesc, ProgramSpec, SchedulerKind, StallReason};
+use gpu_sim::{
+    AccessPattern, Gpu, GpuConfig, KernelDesc, OpClass, ProgramSpec, SchedulerKind, StallReason,
+};
 
 #[derive(Debug)]
 struct Args {
@@ -36,6 +47,7 @@ struct Args {
     sched: SchedulerKind,
     large: bool,
     seed: u64,
+    analyze: bool,
 }
 
 impl Default for Args {
@@ -61,6 +73,7 @@ impl Default for Args {
             sched: SchedulerKind::GreedyThenOldest,
             large: false,
             seed: 1,
+            analyze: false,
         }
     }
 }
@@ -112,6 +125,10 @@ fn parse_args() -> Result<Args, String> {
             out.large = true;
             continue;
         }
+        if flag == "--analyze" {
+            out.analyze = true;
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("{flag} requires a value"))?;
@@ -158,6 +175,63 @@ fn parse_args() -> Result<Args, String> {
     Ok(out)
 }
 
+/// `--analyze`: statically verify the kernel and print derived metrics
+/// instead of simulating. Exit code reflects the verifier's verdict.
+fn analyze(desc: &KernelDesc, cfg: &GpuConfig) -> ExitCode {
+    let sm = &cfg.sm;
+    println!(
+        "kernel `{}`: {} CTAs x {} threads, {} regs/thread, {} B shmem/CTA",
+        desc.name, desc.grid_ctas, desc.threads_per_cta, desc.regs_per_thread, desc.shmem_per_cta
+    );
+    println!(
+        "  program           : {} insts/iteration x {} iterations ({} insts/warp)",
+        desc.program.len(),
+        desc.iterations,
+        desc.insts_per_warp()
+    );
+    let mix = [
+        ("alu", OpClass::Alu),
+        ("sfu", OpClass::Sfu),
+        ("gload", OpClass::GlobalLoad),
+        ("gstore", OpClass::GlobalStore),
+        ("shmem", OpClass::SharedMem),
+        ("barrier", OpClass::Barrier),
+    ]
+    .iter()
+    .map(|(name, op)| format!("{name} {:.1}%", 100.0 * desc.program.fraction(*op)))
+    .collect::<Vec<_>>()
+    .join("  ");
+    println!("  instruction mix   : {mix}");
+    // Per-resource Eq. 1 quotas; "-" marks a resource the kernel does not
+    // demand (it never binds).
+    let quota = |available: u32, per_cta: u64| -> String {
+        u64::from(available)
+            .checked_div(per_cta)
+            .map_or_else(|| "-".to_string(), |q| q.to_string())
+    };
+    println!(
+        "  occupancy (Eq. 1) : threads {} | regs {} | shmem {} | CTA slots {} -> max {} CTAs/SM",
+        quota(sm.max_threads, u64::from(desc.threads_per_cta)),
+        quota(
+            sm.max_registers,
+            u64::from(desc.threads_per_cta) * u64::from(desc.regs_per_thread)
+        ),
+        quota(sm.shared_mem_bytes, u64::from(desc.shmem_per_cta)),
+        sm.max_ctas,
+        desc.max_ctas_per_sm(sm)
+    );
+    match gpu_sim::verify::preflight(desc, sm) {
+        Ok(()) => {
+            println!("  verdict           : ok");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            println!("  verdict           : REJECTED {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -194,6 +268,9 @@ fn main() -> ExitCode {
         shmem_conflict_degree: args.conflicts,
         seed: args.seed,
     };
+    if args.analyze {
+        return analyze(&desc, &cfg);
+    }
     let max_ctas = desc.max_ctas_per_sm(&cfg.sm);
     println!(
         "kernel: {} threads/CTA, {} regs/thread, {} B shmem/CTA -> max {} CTAs/SM",

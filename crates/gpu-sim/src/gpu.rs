@@ -12,6 +12,7 @@ use crate::kernel::{KernelDesc, KernelId};
 use crate::mem::{MemResponse, MemStats, MemSubsystem};
 use crate::scheduler::SchedulerKind;
 use crate::sm::Sm;
+use crate::verify::{self, KernelVerifyError};
 
 /// Per-kernel dispatch bookkeeping.
 #[derive(Debug, Clone, Copy, Default)]
@@ -77,12 +78,26 @@ impl Gpu {
 
     /// Registers a kernel for execution, returning its slot id. Kernels are
     /// not launched automatically; a controller must dispatch CTAs.
+    ///
+    /// No pre-flight verification runs on this path (tests deliberately
+    /// build degenerate kernels); descriptors from untrusted input should go
+    /// through [`Self::try_add_kernel`] instead.
     pub fn add_kernel(&mut self, desc: KernelDesc) -> KernelId {
         let id = KernelId(self.descs.len());
         self.descs.push(desc);
         self.meta.push(KernelMeta::default());
         self.kernel_insts.push(0);
         id
+    }
+
+    /// Verified kernel registration: runs the [`crate::verify`] pre-flight
+    /// (structural sanity, Eq. 1 single-CTA feasibility, program
+    /// well-formedness) against this GPU's SM configuration and rejects
+    /// malformed descriptors with a typed [`KernelVerifyError`] *before*
+    /// they can panic mid-simulation or poison occupancy curves.
+    pub fn try_add_kernel(&mut self, desc: KernelDesc) -> Result<KernelId, KernelVerifyError> {
+        verify::preflight(&desc, &self.cfg.sm)?;
+        Ok(self.add_kernel(desc))
     }
 
     /// The descriptor of kernel `k`.
@@ -380,6 +395,22 @@ mod tests {
         }
         assert_eq!(gpu.kernel_meta(k).completed_ctas, 4);
         assert_eq!(gpu.remaining_ctas(k), 0);
+    }
+
+    #[test]
+    fn try_add_kernel_rejects_malformed_and_accepts_valid() {
+        let mut gpu = Gpu::new(GpuConfig::isca_baseline(), SchedulerKind::GreedyThenOldest);
+        // A CTA footprint no SM can hold: zero occupancy is a structured
+        // error naming the Eq. 1 rule, not a mid-simulation panic.
+        let mut bad = kernel("fat", 0.1, 6);
+        bad.threads_per_cta = 4096;
+        let err = gpu.try_add_kernel(bad).unwrap_err();
+        assert_eq!(err.rule(), "eq1-infeasible");
+        assert_eq!(gpu.num_kernels(), 0, "rejected kernel takes no slot");
+        // A well-formed kernel is registered exactly as via add_kernel.
+        let k = gpu.try_add_kernel(kernel("ok", 0.1, 6)).expect("valid");
+        assert_eq!(k, KernelId(0));
+        assert!(gpu.try_launch(k, 0));
     }
 
     #[test]

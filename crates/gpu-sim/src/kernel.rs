@@ -4,6 +4,7 @@
 use crate::access::AccessPattern;
 use crate::config::SmConfig;
 use crate::program::Program;
+use crate::verify::{KernelVerifyError, ResourceKind};
 
 /// Identifies one of the kernels co-resident in a simulation run.
 ///
@@ -56,10 +57,12 @@ impl KernelDesc {
         self.threads_per_cta.div_ceil(SmConfig::WARP_SIZE)
     }
 
-    /// Register-file footprint of one CTA, in registers.
+    /// Register-file footprint of one CTA, in registers. Saturates at
+    /// `u32::MAX` for absurd descriptors instead of wrapping (a wrapped
+    /// footprint would make an infeasible kernel look feasible).
     #[must_use]
     pub fn regs_per_cta(&self) -> u32 {
-        self.threads_per_cta * self.regs_per_thread
+        self.threads_per_cta.saturating_mul(self.regs_per_thread)
     }
 
     /// Dynamic warp instructions one warp executes before completing.
@@ -77,18 +80,65 @@ impl KernelDesc {
     /// Maximum CTAs of this kernel that fit on one SM with the full SM to
     /// itself, considering every resource limit (threads, registers, shared
     /// memory, CTA slots) — the "max allowed CTAs" of Fig. 3a.
+    ///
+    /// Total (documented saturation): a zero per-CTA demand on a resource
+    /// means that resource never binds (its quotient saturates to the CTA
+    /// slot limit rather than dividing by zero), and a kernel whose single
+    /// CTA exceeds a capacity yields 0. Use [`Self::try_max_ctas_per_sm`]
+    /// for a typed error naming the binding resource instead.
     #[must_use]
     pub fn max_ctas_per_sm(&self, sm: &SmConfig) -> u32 {
-        let by_threads = sm.max_threads / self.threads_per_cta.max(1);
-        let by_regs = sm
-            .max_registers
-            .checked_div(self.regs_per_cta())
-            .unwrap_or(sm.max_ctas);
-        let by_shmem = sm
-            .shared_mem_bytes
-            .checked_div(self.shmem_per_cta)
-            .unwrap_or(sm.max_ctas);
-        by_threads.min(by_regs).min(by_shmem).min(sm.max_ctas)
+        self.try_max_ctas_per_sm(sm).unwrap_or_default()
+    }
+
+    /// Like [`Self::max_ctas_per_sm`], but distinguishes *why* a kernel
+    /// achieves zero occupancy: returns the Eq. 1 resource dimension whose
+    /// per-CTA demand already exceeds the SM's capacity (or
+    /// [`KernelVerifyError::ZeroThreads`] for a threadless CTA, which no
+    /// resource arithmetic can make meaningful).
+    ///
+    /// All arithmetic is widened to `u64`, so pathological descriptors
+    /// (e.g. `u32::MAX` threads x `u32::MAX` registers) report infeasibility
+    /// instead of wrapping or panicking.
+    pub fn try_max_ctas_per_sm(&self, sm: &SmConfig) -> Result<u32, KernelVerifyError> {
+        if self.threads_per_cta == 0 {
+            return Err(KernelVerifyError::ZeroThreads);
+        }
+        let wide_regs = u64::from(self.threads_per_cta) * u64::from(self.regs_per_thread);
+        let demands = [
+            (
+                ResourceKind::Threads,
+                u64::from(self.threads_per_cta),
+                u64::from(sm.max_threads),
+            ),
+            (
+                ResourceKind::Registers,
+                wide_regs,
+                u64::from(sm.max_registers),
+            ),
+            (
+                ResourceKind::SharedMem,
+                u64::from(self.shmem_per_cta),
+                u64::from(sm.shared_mem_bytes),
+            ),
+            (ResourceKind::CtaSlots, 1, u64::from(sm.max_ctas)),
+        ];
+        let mut limit = u64::from(sm.max_ctas);
+        for (resource, per_cta, available) in demands {
+            // A zero demand never binds; the resource imposes no limit.
+            let Some(quota) = available.checked_div(per_cta) else {
+                continue;
+            };
+            if quota == 0 {
+                return Err(KernelVerifyError::Infeasible {
+                    resource,
+                    per_cta,
+                    available,
+                });
+            }
+            limit = limit.min(quota);
+        }
+        Ok(u32::try_from(limit).unwrap_or(u32::MAX))
     }
 }
 
@@ -159,5 +209,40 @@ mod tests {
     #[test]
     fn kernel_id_displays_compactly() {
         assert_eq!(KernelId(2).to_string(), "K2");
+    }
+
+    #[test]
+    fn zero_per_cta_resources_saturate_instead_of_panicking() {
+        let sm = GpuConfig::isca_baseline().sm;
+        // Zero registers / zero shared memory per CTA: those resources never
+        // bind, the other limits still apply.
+        assert_eq!(desc(192, 0, 0).max_ctas_per_sm(&sm), 8);
+        assert_eq!(desc(192, 0, 0).try_max_ctas_per_sm(&sm), Ok(8));
+        // Zero threads per CTA is a typed error, not a division or a bogus
+        // full-occupancy answer.
+        let d = desc(0, 16, 0);
+        assert_eq!(
+            d.try_max_ctas_per_sm(&sm),
+            Err(crate::verify::KernelVerifyError::ZeroThreads)
+        );
+        assert_eq!(d.max_ctas_per_sm(&sm), 0);
+    }
+
+    #[test]
+    fn oversized_footprints_report_the_binding_resource() {
+        let sm = GpuConfig::isca_baseline().sm;
+        let err = desc(2048, 1, 0).try_max_ctas_per_sm(&sm).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::verify::KernelVerifyError::Infeasible {
+                resource: crate::verify::ResourceKind::Threads,
+                ..
+            }
+        ));
+        // u32::MAX threads x u32::MAX regs must not wrap into feasibility.
+        let d = desc(u32::MAX, u32::MAX, 0);
+        assert_eq!(d.regs_per_cta(), u32::MAX, "saturating, not wrapping");
+        assert_eq!(d.max_ctas_per_sm(&sm), 0);
+        assert!(d.try_max_ctas_per_sm(&sm).is_err());
     }
 }

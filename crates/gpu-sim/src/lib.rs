@@ -61,18 +61,23 @@ pub mod rng;
 pub mod scheduler;
 pub mod sm;
 pub mod stats;
+pub mod verify;
 pub mod warp;
 
-pub use access::{AccessPattern, AddressStream, LineAddr};
+pub use access::{
+    AccessPattern, AddressStream, LineAddr, CTA_REGION_LINES, MAX_DISJOINT_CTAS,
+    SHARED_REGION_LINES,
+};
 pub use alloc::{CtaResources, LinearAllocator, PartitionWindow, Region, SmResources};
 pub use cache::{ProbeResult, SetAssocCache};
 pub use config::{DramTiming, GpuConfig, L1Config, L2Config, MemConfig, SmConfig};
 pub use gpu::{Gpu, KernelMeta};
 pub use kernel::{KernelDesc, KernelId};
 pub use mem::{KernelMemStats, MemRequest, MemResponse, MemStats, MemSubsystem};
-pub use program::{Inst, OpClass, Program, ProgramSpec};
+pub use program::{Inst, OpClass, Program, ProgramSpec, Reg, NUM_VIRTUAL_REGS};
 pub use rng::SimRng;
 pub use scheduler::SchedulerKind;
 pub use sm::{CtaCompletion, Sm};
 pub use stats::{SmKernelStats, SmStats, StallBreakdown, StallReason};
+pub use verify::{KernelVerifyError, ResourceKind};
 pub use warp::Warp;

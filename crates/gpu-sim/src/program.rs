@@ -211,18 +211,23 @@ impl ProgramSpec {
         // Deterministic shuffle spreads classes through the body.
         rng.shuffle(&mut ops);
 
+        // The register window never exceeds the body length: a body of `n`
+        // instructions writes at most `n` distinct registers, and naming
+        // more would generate reads of never-defined registers that the
+        // verifier (`gpu_sim::verify`) rightly rejects.
+        let window = NUM_VIRTUAL_REGS.min(n);
         let dep = self.dep_distance.max(1);
         let insts = ops
             .iter()
             .enumerate()
             .map(|(i, &op)| {
-                let dst_reg = (i % NUM_VIRTUAL_REGS) as Reg;
+                let dst_reg = (i % window) as Reg;
                 // Primary source: the destination written `dep` instructions
                 // earlier, creating the requested dependence chain.
-                let src0 = (i + NUM_VIRTUAL_REGS - (dep % NUM_VIRTUAL_REGS)) % NUM_VIRTUAL_REGS;
+                let src0 = (i + window - (dep % window)) % window;
                 // Secondary source: a uniformly random earlier register,
                 // mimicking the irregular second operands of real code.
-                let src1 = rng.range_usize(NUM_VIRTUAL_REGS);
+                let src1 = rng.range_usize(window);
                 if op == OpClass::Barrier {
                     // Barriers carry no operands: they synchronize, not
                     // compute.
@@ -244,8 +249,43 @@ impl ProgramSpec {
                 }
             })
             .collect();
-        Program::new(insts)
+        Program::new(repair_undefined_reads(insts))
     }
+}
+
+/// Rewrites source operands that name a register no instruction defines.
+///
+/// Destination registers are assigned positionally, but stores and barriers
+/// define nothing, so a register whose body slots all land on stores would
+/// otherwise be read while never written — which the kernel verifier
+/// (`gpu_sim::verify`) rejects as a hard error. Each such read is redirected
+/// to the destination of the nearest preceding defining instruction
+/// (wrapping around the loop body), which preserves the read's short-range
+/// RAW character. If the body defines nothing at all (e.g. pure stores),
+/// source operands are dropped entirely.
+fn repair_undefined_reads(mut insts: Vec<Inst>) -> Vec<Inst> {
+    let mut defined = [false; NUM_VIRTUAL_REGS];
+    for inst in &insts {
+        if let Some(dst) = inst.dst {
+            defined[dst as usize % NUM_VIRTUAL_REGS] = true;
+        }
+    }
+    // Last register defined at or before each position, wrapping: seed the
+    // scan with the last definition in the body.
+    let mut last_def: Option<Reg> = insts.iter().rev().find_map(|i| i.dst);
+    for inst in &mut insts {
+        for src in &mut inst.srcs {
+            if let Some(reg) = *src {
+                if !defined[reg as usize % NUM_VIRTUAL_REGS] {
+                    *src = last_def;
+                }
+            }
+        }
+        if let Some(dst) = inst.dst {
+            last_def = Some(dst);
+        }
+    }
+    insts
 }
 
 #[cfg(test)]

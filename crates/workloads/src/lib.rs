@@ -33,5 +33,5 @@ pub use mix::{
 };
 pub use suite::{
     bfs, blk, by_abbrev, dxt, extended_suite, hot, img, knn, lbm, mm, mum, mvp, nn, suite,
-    Benchmark, PaperRow, ScalingArchetype, WorkloadClass,
+    Benchmark, PaperRow, ScalingArchetype, Waiver, WorkloadClass,
 };

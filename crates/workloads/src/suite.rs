@@ -61,6 +61,21 @@ pub struct PaperRow {
     pub l2_mpki: f64,
 }
 
+/// A written-down suppression of one static-analyzer rule for one
+/// benchmark.
+///
+/// The `ws-analyze` verifier fails the gate on any diagnostic; a benchmark
+/// that intentionally violates a rule carries a waiver *with a
+/// justification*. An empty justification is itself a verifier error, so
+/// waivers cannot silently accumulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Waiver {
+    /// The analyzer rule identifier being waived (e.g. `"class-traffic"`).
+    pub rule: &'static str,
+    /// Why the violation is intentional. Must be non-empty.
+    pub justification: &'static str,
+}
+
 /// One suite benchmark: descriptor plus classification metadata.
 #[derive(Debug, Clone)]
 pub struct Benchmark {
@@ -76,6 +91,9 @@ pub struct Benchmark {
     pub archetype: ScalingArchetype,
     /// The paper's Table II row, for side-by-side reporting.
     pub paper: PaperRow,
+    /// Static-analyzer rule suppressions, each with a written justification
+    /// (see [`Waiver`]).
+    pub waivers: &'static [Waiver],
 }
 
 impl Benchmark {
@@ -151,6 +169,7 @@ pub fn blk() -> Benchmark {
             ls: 0.84,
             l2_mpki: 51.3,
         },
+        waivers: &[],
     }
 }
 
@@ -186,6 +205,7 @@ pub fn bfs() -> Benchmark {
             ls: 0.46,
             l2_mpki: 84.4,
         },
+        waivers: &[],
     }
 }
 
@@ -222,6 +242,7 @@ pub fn dxt() -> Benchmark {
             ls: 0.21,
             l2_mpki: 0.03,
         },
+        waivers: &[],
     }
 }
 
@@ -258,6 +279,7 @@ pub fn hot() -> Benchmark {
             ls: 0.75,
             l2_mpki: 5.8,
         },
+        waivers: &[],
     }
 }
 
@@ -295,6 +317,7 @@ pub fn img() -> Benchmark {
             ls: 0.11,
             l2_mpki: 0.3,
         },
+        waivers: &[],
     }
 }
 
@@ -330,6 +353,7 @@ pub fn knn() -> Benchmark {
             ls: 0.42,
             l2_mpki: 100.0,
         },
+        waivers: &[],
     }
 }
 
@@ -362,6 +386,7 @@ pub fn lbm() -> Benchmark {
             ls: 1.0,
             l2_mpki: 166.6,
         },
+        waivers: &[],
     }
 }
 
@@ -398,6 +423,7 @@ pub fn mm() -> Benchmark {
             ls: 0.34,
             l2_mpki: 1.7,
         },
+        waivers: &[],
     }
 }
 
@@ -435,6 +461,7 @@ pub fn mvp() -> Benchmark {
             ls: 0.96,
             l2_mpki: 89.7,
         },
+        waivers: &[],
     }
 }
 
@@ -473,6 +500,7 @@ pub fn nn() -> Benchmark {
             ls: 0.89,
             l2_mpki: 3.7,
         },
+        waivers: &[],
     }
 }
 
@@ -512,6 +540,7 @@ pub fn mum() -> Benchmark {
             ls: 0.0,
             l2_mpki: 0.0,
         },
+        waivers: &[],
     }
 }
 

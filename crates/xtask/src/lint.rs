@@ -20,6 +20,12 @@
 //!   compare with an epsilon instead.
 //! * `module-docs` — every library source file must open with `//!` module
 //!   documentation before its first item.
+//! * `no-index-panic` — direct index expressions (`x[i]`) are forbidden in
+//!   the static-analyzer crate (`crates/analysis`) and in the water-filling
+//!   kernel (`crates/core/src/waterfill.rs`): both sit on the verification
+//!   path, where an out-of-bounds panic would take down the very gate meant
+//!   to catch malformed inputs. Use `get`/`get_mut`, iterators, or
+//!   destructuring (or carry an `xtask-allow` justification).
 //!
 //! Any finding is suppressed by a `// xtask-allow: <rule>` comment on the
 //! same line or the line immediately above (for `module-docs`: on the first
@@ -31,7 +37,20 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Names of every rule, for help text.
-pub const RULE_NAMES: [&str; 4] = ["no-unwrap", "no-lossy-cast", "no-float-eq", "module-docs"];
+pub const RULE_NAMES: [&str; 5] = [
+    "no-unwrap",
+    "no-lossy-cast",
+    "no-float-eq",
+    "module-docs",
+    "no-index-panic",
+];
+
+/// Keywords that may legitimately precede a `[` starting an array literal or
+/// slice pattern; a `[` after one of these is not an index expression.
+const INDEX_EXEMPT_KEYWORDS: [&str; 14] = [
+    "return", "in", "let", "mut", "ref", "box", "move", "else", "match", "break", "as", "dyn",
+    "const", "static",
+];
 
 /// File names (within `crates/*/src`) whose arithmetic is load-bearing for
 /// the paper's accounting; `no-lossy-cast` applies only to these.
@@ -323,12 +342,46 @@ fn is_float_literal(tok: &str) -> bool {
     floatish && t.is_empty()
 }
 
+/// Whether the `[` at byte offset `pos` of masked `code` begins an index
+/// expression (something panickable) rather than an array literal, slice
+/// pattern, type, or attribute.
+fn is_index_expression(code: &str, pos: usize) -> bool {
+    let bytes = code.as_bytes();
+    let mut p = pos;
+    while p > 0 && bytes.get(p - 1) == Some(&b' ') {
+        p -= 1;
+    }
+    if p == 0 {
+        return false;
+    }
+    let prev = bytes.get(p - 1).copied().unwrap_or(b' ');
+    if prev == b')' || prev == b']' {
+        return true;
+    }
+    if !is_ident_byte(prev) {
+        return false;
+    }
+    // Extract the word ending at `p`; a keyword there introduces an array
+    // literal or pattern (`return [..]`, `let [a, b] = ..`), not an index.
+    let mut start = p;
+    while start > 0 && is_ident_byte(bytes.get(start - 1).copied().unwrap_or(b' ')) {
+        start -= 1;
+    }
+    let word = code.get(start..p).unwrap_or("");
+    if INDEX_EXEMPT_KEYWORDS.contains(&word) {
+        return false;
+    }
+    // A bare number before `[` cannot be an indexable expression.
+    !word.bytes().all(|b| b.is_ascii_digit())
+}
+
 /// Applies every line rule to one masked file.
 fn scan_masked(
     file: &str,
     lines: &[MaskedLine],
     check_unwrap: bool,
     check_casts: bool,
+    check_index: bool,
 ) -> Vec<Violation> {
     let mut out = Vec::new();
     for (idx, ml) in lines.iter().enumerate() {
@@ -377,6 +430,24 @@ fn scan_masked(
                              `From`/`try_from` or widen, or justify with \
                              `// xtask-allow: no-lossy-cast`"
                         ),
+                    });
+                }
+            }
+        }
+        if check_index {
+            for (pos, b) in code.bytes().enumerate() {
+                if b == b'['
+                    && is_index_expression(code, pos)
+                    && !allowed(lines, idx, "no-index-panic")
+                {
+                    out.push(Violation {
+                        rule: "no-index-panic",
+                        file: file.to_string(),
+                        line: lineno,
+                        message: "direct index expression can panic on the verification \
+                                  path; use `get`/iterators/destructuring or justify with \
+                                  `// xtask-allow: no-index-panic`"
+                            .to_string(),
                     });
                 }
             }
@@ -440,7 +511,11 @@ pub fn scan_source(file: &str, src: &str) -> Vec<Violation> {
         .unwrap_or("");
     let is_bin = file.contains("/bin/");
     let check_casts = ACCOUNTING_MODULES.contains(&name);
-    scan_masked(file, &lines, !is_bin, check_casts)
+    // The analyzer crate (including its gate binary) and the water-filling
+    // kernel must not panic on malformed input: they *are* the checkers.
+    let check_index =
+        file.contains("crates/analysis/") || file.ends_with("crates/core/src/waterfill.rs");
+    scan_masked(file, &lines, !is_bin, check_casts, check_index)
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -598,6 +673,50 @@ mod tests {
     fn integer_eq_is_fine() {
         let src = format!("{DOC}fn f(x: u32) -> bool {{ x == 5 && x != 7 }}\n");
         assert!(rules_found("crates/x/src/a.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn index_expression_flagged_only_in_scoped_files() {
+        let src = format!("{DOC}fn f(xs: &[u32], i: usize) -> u32 {{ xs[i] }}\n");
+        let v = scan_source("crates/analysis/src/rules.rs", &src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-index-panic");
+        assert!(rules_found("crates/gpu-sim/src/sm.rs", &src).is_empty());
+        let wf = scan_source("crates/core/src/waterfill.rs", &src);
+        assert_eq!(wf.len(), 1, "waterfill.rs is in scope");
+    }
+
+    #[test]
+    fn index_rule_spares_literals_patterns_types_and_macros() {
+        let src = format!(
+            "{DOC}fn f() -> [u32; 2] {{\n    let [a, b] = [1u32, 2];\n    let _v = \
+             vec![a];\n    let _s: &[u32] = &_v;\n    return [a, b];\n}}\n\
+             #[derive(Debug)]\nstruct S;\n"
+        );
+        assert!(
+            rules_found("crates/analysis/src/x.rs", &src).is_empty(),
+            "{:?}",
+            scan_source("crates/analysis/src/x.rs", &src)
+        );
+    }
+
+    #[test]
+    fn chained_and_call_result_indexing_flagged() {
+        let src = format!("{DOC}fn f(m: &Vec<Vec<u32>>) -> u32 {{ make(m)[0] + m[1][2] }}\n");
+        let v = scan_source("crates/analysis/src/x.rs", &src);
+        assert_eq!(v.len(), 3, "call-result, outer, and inner index: {v:?}");
+    }
+
+    #[test]
+    fn index_rule_applies_to_analysis_bins_but_allows_suppression() {
+        let src = format!("{DOC}fn main() {{ let v = vec![1]; let _ = v[0]; }}\n");
+        let v = scan_source("crates/analysis/src/bin/verify-workloads.rs", &src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-index-panic");
+        let ok = format!(
+            "{DOC}fn main() {{ let v = vec![1]; let _ = v[0]; }} // xtask-allow: no-index-panic\n"
+        );
+        assert!(rules_found("crates/analysis/src/bin/verify-workloads.rs", &ok).is_empty());
     }
 
     #[test]

@@ -4,9 +4,12 @@
 //!
 //! * `cargo xtask lint` — the custom, simulator-specific static-analysis
 //!   pass over library sources (see [`lint`] for the rules);
+//! * `cargo xtask verify-workloads` — the `ws-analyze` static verifier over
+//!   the shipped workload suites (writes its per-suite report to
+//!   `target/verify-workloads-report.txt`);
 //! * `cargo xtask check` — the full analysis gate: `cargo fmt --check`,
-//!   `cargo clippy -D warnings`, the custom lint pass, and the tier-1
-//!   test suite, in that order, failing fast;
+//!   `cargo clippy -D warnings`, the custom lint pass, the workload
+//!   verifier, and the tier-1 test suite, in that order, failing fast;
 //! * `cargo xtask help` — usage.
 //!
 //! The crate is deliberately dependency-free (`std` only) so the gate runs
@@ -31,10 +34,12 @@ fn usage() {
         "usage: cargo xtask <command>\n\
          \n\
          commands:\n\
-         \x20 lint            run the custom static-analysis pass over library sources\n\
-         \x20 check           full gate: fmt --check, clippy -D warnings, lint, tests\n\
-         \x20 check --fast    gate without the test stage (fmt, clippy, lint only)\n\
-         \x20 help            this message\n\
+         \x20 lint              run the custom static-analysis pass over library sources\n\
+         \x20 verify-workloads  run the ws-analyze static verifier over the shipped suites\n\
+         \x20 check             full gate: fmt --check, clippy -D warnings, lint,\n\
+         \x20                   verify-workloads, tests\n\
+         \x20 check --fast      gate without the test stage\n\
+         \x20 help              this message\n\
          \n\
          Suppress a lint finding with a `// xtask-allow: <rule>` comment on the\n\
          offending line or the line above it. Rules: {}",
@@ -77,6 +82,27 @@ fn run_lint(root: &Path) -> bool {
     false
 }
 
+/// Runs the `ws-analyze` static verifier over the shipped workload suites,
+/// leaving its full report in `target/verify-workloads-report.txt` (uploaded
+/// as a CI artifact).
+fn run_verify_workloads(root: &Path) -> bool {
+    run_cargo(
+        root,
+        &[
+            "run",
+            "--package",
+            "ws-analyze",
+            "--bin",
+            "verify-workloads",
+            "--offline",
+            "--quiet",
+            "--",
+            "--report",
+            "target/verify-workloads-report.txt",
+        ],
+    )
+}
+
 fn run_check(root: &Path, fast: bool) -> bool {
     let stages: &[(&str, &dyn Fn() -> bool)] = &[
         ("rustfmt", &|| {
@@ -97,6 +123,7 @@ fn run_check(root: &Path, fast: bool) -> bool {
             )
         }),
         ("custom lints", &|| run_lint(root)),
+        ("verify-workloads", &|| run_verify_workloads(root)),
         ("tests", &|| {
             if fast {
                 println!("xtask: skipping tests (--fast)");
@@ -113,13 +140,16 @@ fn run_check(root: &Path, fast: bool) -> bool {
             return false;
         }
     }
-    println!("xtask: check passed (fmt + clippy + lints{})", {
-        if fast {
-            ""
-        } else {
-            " + tests"
+    println!(
+        "xtask: check passed (fmt + clippy + lints + verify-workloads{})",
+        {
+            if fast {
+                ""
+            } else {
+                " + tests"
+            }
         }
-    });
+    );
     true
 }
 
@@ -128,6 +158,7 @@ fn main() -> ExitCode {
     let root = workspace_root();
     let ok = match args.first().map(String::as_str) {
         Some("lint") => run_lint(&root),
+        Some("verify-workloads") => run_verify_workloads(&root),
         Some("check") => run_check(&root, args.iter().any(|a| a == "--fast")),
         Some("help") | None => {
             usage();

@@ -8,9 +8,11 @@
 //! * [`warped_slicer`] — the paper's contribution: water-filling
 //!   partitioning, online profiling, and multiprogramming policies
 //! * [`ws_workloads`] — the ten-benchmark synthetic suite
+//! * [`ws_analyze`] — the static kernel-IR verifier and dataflow analyzer
 
 #![warn(missing_docs)]
 
 pub use gpu_sim;
 pub use warped_slicer;
+pub use ws_analyze;
 pub use ws_workloads;
