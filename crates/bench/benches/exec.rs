@@ -1,0 +1,67 @@
+//! Execution-layer baseline: wall-clock of the Fig. 3a suite sweep with a
+//! serial pool vs. a multi-worker pool, written machine-readably to
+//! `results/BENCH_exec.json`.
+//!
+//! The sweep fans out one CTA-capped simulation per (benchmark, CTA count)
+//! point — the workload the [`ws_exec::Pool`] exists for. Besides timing,
+//! the bench asserts the rendered Fig. 3a table is byte-identical between
+//! the two pools, so the perf baseline doubles as a determinism check.
+
+use std::num::NonZeroUsize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use warped_slicer::RunConfig;
+use ws_bench::experiments::fig3;
+use ws_bench::ExperimentContext;
+
+const BUDGET: u64 = 4_000;
+const WINDOW: u64 = 2_000;
+
+/// Times one full-suite sweep on a pool with `threads` workers; returns
+/// (wall seconds, jobs completed, rendered table).
+fn time_sweep(threads: usize) -> (f64, u64, String) {
+    let cfg = RunConfig {
+        isolation_cycles: BUDGET,
+        ..RunConfig::default()
+    };
+    let ctx = ExperimentContext::with_pool(cfg, ws_exec::Pool::new(threads));
+    let t = Instant::now();
+    let curves = fig3::compute(&ctx, WINDOW);
+    let wall = t.elapsed().as_secs_f64();
+    (wall, ctx.pool().jobs_completed(), fig3::render(&curves))
+}
+
+fn main() {
+    let host = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    // On a single-core host the threaded path still runs (measuring its
+    // overhead honestly); speedup is only physically possible when host > 1.
+    let parallel_threads = host.max(2);
+
+    let (serial_wall, jobs, serial_render) = time_sweep(1);
+    let (parallel_wall, _, parallel_render) = time_sweep(parallel_threads);
+    assert_eq!(
+        serial_render, parallel_render,
+        "fig3 render must be byte-identical at any worker count"
+    );
+
+    let speedup = serial_wall / parallel_wall.max(1e-9);
+    let json = format!(
+        "{{\n  \"bench\": \"exec_fig3_sweep\",\n  \"isolation_cycles\": {BUDGET},\n  \
+         \"window_cycles\": {WINDOW},\n  \"jobs_per_sweep\": {jobs},\n  \
+         \"host_parallelism\": {host},\n  \
+         \"serial\": {{ \"threads\": 1, \"wall_s\": {serial_wall:.4} }},\n  \
+         \"parallel\": {{ \"threads\": {parallel_threads}, \"wall_s\": {parallel_wall:.4} }},\n  \
+         \"speedup\": {speedup:.3},\n  \"identical_output\": true\n}}\n"
+    );
+
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let path = dir.join("BENCH_exec.json");
+    match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, &json)) {
+        Ok(()) => println!("exec/fig3_sweep: serial {serial_wall:.2}s, {parallel_threads} threads {parallel_wall:.2}s (x{speedup:.2}) -> {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

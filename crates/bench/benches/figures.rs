@@ -32,12 +32,12 @@ fn main() {
         table1::render(&ExperimentContext::new(BUDGET).cfg.gpu)
     });
     r.bench("table2", || {
-        let mut ctx = ctx();
-        table2::render(&table2::compute(&mut ctx))
+        let ctx = ctx();
+        table2::render(&table2::compute(&ctx))
     });
     r.bench("fig1", || {
-        let mut ctx = ctx();
-        fig1::render(&fig1::compute(&mut ctx))
+        let ctx = ctx();
+        fig1::render(&fig1::compute(&ctx))
     });
     r.bench("fig2", || fig2::render(&fig2::compute()));
     {
@@ -48,13 +48,13 @@ fn main() {
         r.bench("fig5_one_series", || fig5::series(&ctx, &img, 2_000, 2));
     }
     r.bench("fig6_one_pair", || {
-        let mut ctx = ctx();
-        fig6::run_pair(&mut ctx, &one_pair(), false)
+        let ctx = ctx();
+        fig6::run_pair(&ctx, &one_pair(), false)
     });
     {
-        let mut ctx = ctx();
+        let ctx = ctx();
         let data = fig6::Fig6Data {
-            pairs: vec![fig6::run_pair(&mut ctx, &one_pair(), false)],
+            pairs: vec![fig6::run_pair(&ctx, &one_pair(), false)],
         };
         r.bench("table3_render", || table3::render(&data, &ctx.cfg.gpu));
         r.bench("fig7_from_runs", || {
@@ -69,13 +69,13 @@ fn main() {
     }
     r.bench("fig8_one_triple", || {
         let triple = ws_workloads::all_triples().remove(0);
-        let mut ctx = ctx();
-        fig8::run_triple(&mut ctx, &triple)
+        let ctx = ctx();
+        fig8::run_triple(&ctx, &triple)
     });
     r.bench("fig10a_one_point", || {
-        let mut ctx = ctx();
+        let ctx = ctx();
         let pairs = vec![one_pair()];
-        fig10::compute_timing(&mut ctx, &pairs)
+        fig10::compute_timing(&ctx, &pairs)
     });
     r.bench("fig10b_schedulers", || {
         fig10::compute_schedulers(BUDGET, &[one_pair()])
@@ -85,8 +85,8 @@ fn main() {
     });
     r.bench("overhead", overhead::render);
     r.bench("ablation_one_pair", || {
-        let mut ctx = ctx();
+        let ctx = ctx();
         let pairs = vec![one_pair()];
-        ablation::compute(&mut ctx, &pairs)
+        ablation::compute(&ctx, &pairs)
     });
 }

@@ -64,27 +64,27 @@ fn usage() -> String {
 }
 
 fn need_fig6(
-    ctx: &mut ExperimentContext,
+    ctx: &ExperimentContext,
     cache: &mut Option<fig6::Fig6Data>,
     oracle: bool,
 ) -> fig6::Fig6Data {
     if cache.is_none() {
-        eprintln!(
-            "[running all 30 pairs under 4 policies{}...]",
-            if oracle { " + oracle search" } else { "" }
-        );
-        *cache = Some(fig6::compute(ctx, oracle));
+        let label = if oracle {
+            "fig6 (30 pairs x 4 policies + oracle)"
+        } else {
+            "fig6 (30 pairs x 4 policies)"
+        };
+        *cache = Some(ctx.observe(label, |c| fig6::compute(c, oracle)));
     }
     cache.clone().expect("just filled")
 }
 
 fn need_fig8(
-    ctx: &mut ExperimentContext,
+    ctx: &ExperimentContext,
     cache: &mut Option<Vec<fig8::TripleResult>>,
 ) -> Vec<fig8::TripleResult> {
     if cache.is_none() {
-        eprintln!("[running all 15 triples under 4 policies...]");
-        *cache = Some(fig8::compute(ctx));
+        *cache = Some(ctx.observe("fig8 (15 triples x 4 policies)", fig8::compute));
     }
     cache.clone().expect("just filled")
 }
@@ -107,6 +107,14 @@ fn main() -> ExitCode {
         }
     };
     let mut ctx = ExperimentContext::new(opts.cycles);
+    // Every observed unit reports wall-clock and pool-job counts through
+    // one uniform channel instead of ad-hoc prints.
+    ctx.set_progress(Box::new(|p| eprintln!("[{p}]")));
+    eprintln!(
+        "[pool: {} worker thread(s); set {} to override]",
+        ctx.pool().threads(),
+        ws_exec::THREADS_ENV
+    );
     let window = (opts.cycles / 8).max(2_000);
     let sweep_pairs = if opts.full {
         all_pairs()
@@ -145,30 +153,38 @@ fn main() -> ExitCode {
     for artifact in artifacts {
         match artifact {
             "table1" => println!("{}", table1::render(&ctx.cfg.gpu)),
-            "table2" => println!("{}", table2::render(&table2::compute(&mut ctx))),
-            "fig1" => println!("{}", fig1::render(&fig1::compute(&mut ctx))),
+            "table2" => println!(
+                "{}",
+                table2::render(&ctx.observe("table2", table2::compute))
+            ),
+            "fig1" => println!("{}", fig1::render(&ctx.observe("fig1", fig1::compute))),
             "fig2" => println!("{}", fig2::render(&fig2::compute())),
             "fig3a" => {
-                let curves = fig3::compute(&ctx, window);
+                let curves = ctx.observe("fig3a", |c| fig3::compute(c, window));
                 write_csv(&opts.csv_dir, "fig3a", &fig3::csv(&curves));
                 println!("{}", fig3::render(&curves));
             }
             "fig3b" => println!(
                 "{}",
-                fig3::render_sweet_spot(&fig3::compute_sweet_spot(&ctx, window))
+                fig3::render_sweet_spot(
+                    &ctx.observe("fig3b", |c| fig3::compute_sweet_spot(c, window))
+                )
             ),
-            "fig5" => println!("{}", fig5::render(&fig5::compute(&ctx, 5_000, 10), 5_000)),
+            "fig5" => println!(
+                "{}",
+                fig5::render(&ctx.observe("fig5", |c| fig5::compute(c, 5_000, 10)), 5_000)
+            ),
             "fig6" => {
-                let data = need_fig6(&mut ctx, &mut fig6_cache, opts.oracle);
+                let data = need_fig6(&ctx, &mut fig6_cache, opts.oracle);
                 write_csv(&opts.csv_dir, "fig6", &fig6::csv(&data));
                 println!("{}", fig6::render(&data));
             }
             "table3" => {
-                let data = need_fig6(&mut ctx, &mut fig6_cache, opts.oracle);
+                let data = need_fig6(&ctx, &mut fig6_cache, opts.oracle);
                 println!("{}", table3::render(&data, &ctx.cfg.gpu));
             }
             "fig7" => {
-                let data = need_fig6(&mut ctx, &mut fig6_cache, opts.oracle);
+                let data = need_fig6(&ctx, &mut fig6_cache, opts.oracle);
                 println!(
                     "{}",
                     fig7::render_utilization(&fig7::utilization_ratios(&data))
@@ -177,37 +193,43 @@ fn main() -> ExitCode {
                 println!("{}", fig7::render_stalls(&data));
             }
             "fig8" => {
-                let data = need_fig8(&mut ctx, &mut fig8_cache);
+                let data = need_fig8(&ctx, &mut fig8_cache);
                 write_csv(&opts.csv_dir, "fig8", &fig8::csv(&data));
                 println!("{}", fig8::render(&data));
             }
             "fig9" => {
-                let six = need_fig6(&mut ctx, &mut fig6_cache, opts.oracle);
-                let eight = need_fig8(&mut ctx, &mut fig8_cache);
+                let six = need_fig6(&ctx, &mut fig6_cache, opts.oracle);
+                let eight = need_fig8(&ctx, &mut fig8_cache);
                 let two = fig9::two_kernel(&six, ctx.cfg.isolation_cycles);
                 let three = fig9::three_kernel(&eight, ctx.cfg.isolation_cycles);
                 println!("{}", fig9::render(&two, &three));
             }
             "energy" => {
-                let data = need_fig6(&mut ctx, &mut fig6_cache, opts.oracle);
+                let data = need_fig6(&ctx, &mut fig6_cache, opts.oracle);
                 println!("{}", energy::render(&energy::compute(&data)));
             }
             "fig10a" => println!(
                 "{}",
-                fig10::render_timing(&fig10::compute_timing(&mut ctx, &sweep_pairs))
+                fig10::render_timing(
+                    &ctx.observe("fig10a", |c| fig10::compute_timing(c, &sweep_pairs))
+                )
             ),
             "fig10b" => println!(
                 "{}",
-                fig10::render_schedulers(&fig10::compute_schedulers(opts.cycles, &sweep_pairs))
+                fig10::render_schedulers(&ctx.observe("fig10b", |_| {
+                    fig10::compute_schedulers(opts.cycles, &sweep_pairs)
+                }))
             ),
             "large-config" => println!(
                 "{}",
-                large_config::render(&large_config::compute(opts.cycles, &sweep_pairs))
+                large_config::render(&ctx.observe("large-config", |_| {
+                    large_config::compute(opts.cycles, &sweep_pairs)
+                }))
             ),
             "overhead" => println!("{}", overhead::render()),
             "ablation" => println!(
                 "{}",
-                ablation::render(&ablation::compute(&mut ctx, &sweep_pairs))
+                ablation::render(&ctx.observe("ablation", |c| ablation::compute(c, &sweep_pairs)))
             ),
             other => {
                 eprintln!("unknown artifact: {other}\n{}", usage());

@@ -2,10 +2,8 @@
 //! the bandwidth-interference scaling factor on/off, the spatial-fallback
 //! threshold sweep, and the phase monitor on/off.
 
-use warped_slicer::{
-    run_with_cta_cap, water_fill, KernelCurve, PolicyKind, ResourceVec, WarpedSlicerConfig,
-};
-use ws_workloads::Pair;
+use warped_slicer::{water_fill, KernelCurve, PolicyKind, ResourceVec, WarpedSlicerConfig};
+use ws_workloads::{Benchmark, Pair};
 
 use crate::context::ExperimentContext;
 use crate::report::{f2, gmean, Table};
@@ -26,16 +24,20 @@ pub struct AblationRow {
 /// runtime adaptivity and an offline cost the paper's design avoids).
 pub fn offline_curve_policy(ctx: &ExperimentContext, pair: &Pair) -> PolicyKind {
     let window = (ctx.cfg.isolation_cycles / 8).max(2_000);
-    let curve = |b: &ws_workloads::Benchmark| -> KernelCurve {
-        let max = b.desc.max_ctas_per_sm(&ctx.cfg.gpu.sm).max(1);
-        KernelCurve {
-            perf: (1..=max)
-                .map(|n| run_with_cta_cap(&b.desc, n, window, &ctx.cfg))
-                .collect(),
+    let benches = [&pair.a, &pair.b];
+    let max_ctas: Vec<u32> = benches
+        .iter()
+        .map(|b| b.desc.max_ctas_per_sm(&ctx.cfg.gpu.sm).max(1))
+        .collect();
+    let kernels: Vec<KernelCurve> = ctx
+        .cta_sweeps(&benches, &max_ctas, window)
+        .into_iter()
+        .zip(&benches)
+        .map(|(perf, b)| KernelCurve {
+            perf,
             cta_cost: ResourceVec::cta_cost(&b.desc),
-        }
-    };
-    let kernels = [curve(&pair.a), curve(&pair.b)];
+        })
+        .collect();
     let cap = ResourceVec::sm_capacity(&ctx.cfg.gpu.sm);
     match water_fill(&kernels, cap) {
         Some(p) => PolicyKind::Quota(p.ctas),
@@ -44,7 +46,7 @@ pub fn offline_curve_policy(ctx: &ExperimentContext, pair: &Pair) -> PolicyKind 
 }
 
 /// Runs the ablation battery over `pairs`.
-pub fn compute(ctx: &mut ExperimentContext, pairs: &[Pair]) -> Vec<AblationRow> {
+pub fn compute(ctx: &ExperimentContext, pairs: &[Pair]) -> Vec<AblationRow> {
     let base_cfg = WarpedSlicerConfig::scaled_for(ctx.cfg.isolation_cycles);
     let variants: Vec<(String, WarpedSlicerConfig)> = vec![
         ("default".into(), base_cfg.clone()),
@@ -84,29 +86,38 @@ pub fn compute(ctx: &mut ExperimentContext, pairs: &[Pair]) -> Vec<AblationRow> 
             },
         ),
     ];
+    // All `variants x pairs` runs go out as one job batch.
+    let runs: Vec<(Vec<&Benchmark>, PolicyKind)> = variants
+        .iter()
+        .flat_map(|(_, cfg)| {
+            pairs
+                .iter()
+                .map(move |p| (vec![&p.a, &p.b], PolicyKind::WarpedSlicer(cfg.clone())))
+        })
+        .collect();
+    let corun = ctx.corun_batch(&runs);
     let mut rows = Vec::new();
     let mut baseline: Option<f64> = None;
-    for (label, cfg) in variants {
-        let mut ipcs = Vec::new();
-        for p in pairs {
-            let r = ctx.corun(&[&p.a, &p.b], &PolicyKind::WarpedSlicer(cfg.clone()));
-            ipcs.push(r.combined_ipc);
-        }
+    for ((label, _), chunk) in variants.iter().zip(corun.chunks(pairs.len().max(1))) {
+        let ipcs: Vec<f64> = chunk.iter().map(|r| r.combined_ipc).collect();
         let g = gmean(&ipcs);
         let base = *baseline.get_or_insert(g);
         rows.push(AblationRow {
-            label,
+            label: label.clone(),
             ipc_vs_default: g / base,
         });
     }
     // Offline-curve quotas: how much is lost to *online* profiling noise?
     {
-        let mut ipcs = Vec::new();
-        for p in pairs {
-            let policy = offline_curve_policy(ctx, p);
-            let r = ctx.corun(&[&p.a, &p.b], &policy);
-            ipcs.push(r.combined_ipc);
-        }
+        let offline: Vec<(Vec<&Benchmark>, PolicyKind)> = pairs
+            .iter()
+            .map(|p| (vec![&p.a, &p.b], offline_curve_policy(ctx, p)))
+            .collect();
+        let ipcs: Vec<f64> = ctx
+            .corun_batch(&offline)
+            .iter()
+            .map(|r| r.combined_ipc)
+            .collect();
         let g = gmean(&ipcs);
         let base = baseline.unwrap_or(g);
         rows.push(AblationRow {
@@ -134,9 +145,9 @@ mod tests {
 
     #[test]
     fn ablations_run_and_default_is_unity() {
-        let mut ctx = ExperimentContext::new(10_000);
+        let ctx = ExperimentContext::new(10_000);
         let pairs = vec![subset_pairs().remove(1)];
-        let rows = compute(&mut ctx, &pairs);
+        let rows = compute(&ctx, &pairs);
         assert_eq!(rows.len(), 7);
         assert!((rows[0].ipc_vs_default - 1.0).abs() < 1e-12);
         for r in &rows {

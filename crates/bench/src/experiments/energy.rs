@@ -77,14 +77,14 @@ mod tests {
 
     #[test]
     fn dynamic_saves_energy_by_finishing_early() {
-        let mut ctx = ExperimentContext::new(10_000);
+        let ctx = ExperimentContext::new(10_000);
         let pair = Pair {
             a: by_abbrev("IMG").unwrap(),
             b: by_abbrev("BLK").unwrap(),
             category: PairCategory::ComputeMemory,
         };
         let data = Fig6Data {
-            pairs: vec![fig6::run_pair(&mut ctx, &pair, false)],
+            pairs: vec![fig6::run_pair(&ctx, &pair, false)],
         };
         let rows = compute(&data);
         let dynamic = rows.iter().find(|(n, _)| *n == "Dynamic").unwrap().1;

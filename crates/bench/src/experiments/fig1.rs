@@ -45,14 +45,14 @@ impl Row {
     }
 }
 
-/// Measures the breakdown for every suite benchmark.
-pub fn compute(ctx: &mut ExperimentContext) -> Vec<Row> {
-    extended_suite()
+/// Measures the breakdown for every suite benchmark (one isolation batch).
+pub fn compute(ctx: &ExperimentContext) -> Vec<Row> {
+    let benches = extended_suite();
+    let isos = ctx.isolation_batch(&benches.iter().collect::<Vec<_>>());
+    benches
         .into_iter()
-        .map(|bench| {
-            let iso = ctx.isolation(&bench);
-            Row::from(bench, &iso.stats.stalls, iso.stats.sched_cycles)
-        })
+        .zip(isos)
+        .map(|(bench, iso)| Row::from(bench, &iso.stats.stalls, iso.stats.sched_cycles))
         .collect()
 }
 
@@ -101,8 +101,8 @@ mod tests {
 
     #[test]
     fn breakdown_matches_paper_shapes() {
-        let mut ctx = ExperimentContext::new(8_000);
-        let rows = compute(&mut ctx);
+        let ctx = ExperimentContext::new(8_000);
+        let rows = compute(&ctx);
         let get = |a: &str| rows.iter().find(|r| r.bench.abbrev == a).unwrap();
         // BFS waits on memory; DXT waits on instruction fetch (paper Sec. II-C).
         let bfs = get("BFS");

@@ -3,7 +3,7 @@
 
 use gpu_sim::SchedulerKind;
 use warped_slicer::{PolicyKind, ProfileTiming, RunConfig, WarpedSlicerConfig};
-use ws_workloads::{by_abbrev, Pair, PairCategory};
+use ws_workloads::{by_abbrev, Benchmark, Pair, PairCategory};
 
 use crate::context::ExperimentContext;
 use crate::report::{f2, gmean, Table};
@@ -46,20 +46,26 @@ fn dynamic_with(timing: ProfileTiming) -> PolicyKind {
 }
 
 /// Geomean combined IPC of the Warped-Slicer with `timing` over `pairs`,
-/// normalized to the default timing.
+/// normalized to the default timing. All `timings x pairs` runs go out as
+/// one job batch.
 pub fn sweep_timing(
-    ctx: &mut ExperimentContext,
+    ctx: &ExperimentContext,
     pairs: &[Pair],
     timings: &[(String, ProfileTiming)],
 ) -> Vec<(String, f64)> {
+    let runs: Vec<(Vec<&Benchmark>, PolicyKind)> = timings
+        .iter()
+        .flat_map(|(_, timing)| {
+            pairs
+                .iter()
+                .map(move |p| (vec![&p.a, &p.b], dynamic_with(*timing)))
+        })
+        .collect();
+    let corun = ctx.corun_batch(&runs);
     let mut results = Vec::new();
     let mut baseline: Option<f64> = None;
-    for (label, timing) in timings {
-        let mut ipcs = Vec::new();
-        for p in pairs {
-            let r = ctx.corun(&[&p.a, &p.b], &dynamic_with(*timing));
-            ipcs.push(r.combined_ipc);
-        }
+    for ((label, _), chunk) in timings.iter().zip(corun.chunks(pairs.len().max(1))) {
+        let ipcs: Vec<f64> = chunk.iter().map(|r| r.combined_ipc).collect();
         let g = gmean(&ipcs);
         let base = *baseline.get_or_insert(g);
         results.push((label.clone(), g / base));
@@ -70,7 +76,7 @@ pub fn sweep_timing(
 /// Fig. 10a: sampling-length and algorithm-delay sensitivity. Lengths and
 /// delays are scaled to the run budget in the same proportion as the
 /// paper's 5 K/10 K/1 K..10 K out of 2 M.
-pub fn compute_timing(ctx: &mut ExperimentContext, pairs: &[Pair]) -> Vec<(String, f64)> {
+pub fn compute_timing(ctx: &ExperimentContext, pairs: &[Pair]) -> Vec<(String, f64)> {
     let base = WarpedSlicerConfig::scaled_for(ctx.cfg.isolation_cycles).timing;
     let timings = vec![
         (format!("sample {}", base.sample), base),
@@ -113,24 +119,42 @@ pub fn compute_timing(ctx: &mut ExperimentContext, pairs: &[Pair]) -> Vec<(Strin
     sweep_timing(ctx, pairs, &timings)
 }
 
-/// Fig. 10b: policy comparison under each warp scheduler.
+/// Fig. 10b: policy comparison under each warp scheduler. Each scheduler's
+/// `pairs x 4` runs go out as one job batch.
 pub fn compute_schedulers(isolation_cycles: u64, pairs: &[Pair]) -> Vec<(String, f64, f64, f64)> {
     let mut out = Vec::new();
     for sched in [SchedulerKind::GreedyThenOldest, SchedulerKind::RoundRobin] {
-        let mut ctx = ExperimentContext::with_config(RunConfig {
+        let ctx = ExperimentContext::with_config(RunConfig {
             isolation_cycles,
             scheduler: sched,
             ..RunConfig::default()
         });
+        let policies = [
+            PolicyKind::LeftOver,
+            PolicyKind::Spatial,
+            PolicyKind::Even,
+            ctx.dynamic_policy(),
+        ];
+        let runs: Vec<(Vec<&Benchmark>, PolicyKind)> = pairs
+            .iter()
+            .flat_map(|p| {
+                policies
+                    .iter()
+                    .map(move |policy| (vec![&p.a, &p.b], policy.clone()))
+            })
+            .collect();
+        let results = ctx.corun_batch(&runs);
         let mut sp = Vec::new();
         let mut ev = Vec::new();
         let mut dy = Vec::new();
-        for p in pairs {
-            let benches = [&p.a, &p.b];
-            let lo = ctx.corun(&benches, &PolicyKind::LeftOver).combined_ipc;
-            sp.push(ctx.corun(&benches, &PolicyKind::Spatial).combined_ipc / lo);
-            ev.push(ctx.corun(&benches, &PolicyKind::Even).combined_ipc / lo);
-            dy.push(ctx.corun(&benches, &ctx.dynamic_policy()).combined_ipc / lo);
+        for chunk in results.chunks(4) {
+            let [lo, s, e, d] = chunk else {
+                unreachable!("corun_batch returns four results per pair")
+            };
+            let lo = lo.combined_ipc;
+            sp.push(s.combined_ipc / lo);
+            ev.push(e.combined_ipc / lo);
+            dy.push(d.combined_ipc / lo);
         }
         out.push((sched.to_string(), gmean(&sp), gmean(&ev), gmean(&dy)));
     }
@@ -166,9 +190,9 @@ mod tests {
 
     #[test]
     fn timing_sensitivity_is_small() {
-        let mut ctx = ExperimentContext::new(12_000);
+        let ctx = ExperimentContext::new(12_000);
         let pairs = vec![subset_pairs().remove(0)];
-        let rows = compute_timing(&mut ctx, &pairs);
+        let rows = compute_timing(&ctx, &pairs);
         assert_eq!(rows.len(), 6);
         for (label, ipc) in &rows {
             // The paper reports <= ~2% IPC variation; allow slack for the

@@ -1,7 +1,7 @@
 //! Fig. 3a: normalized performance vs. CTA occupancy per benchmark, and
 //! Fig. 3b: the sweet-spot identification for the IMG + NN pair.
 
-use warped_slicer::{run_with_cta_cap, water_fill, KernelCurve, ResourceVec};
+use warped_slicer::{water_fill, KernelCurve, ResourceVec};
 #[cfg(test)]
 use ws_workloads::ScalingArchetype;
 use ws_workloads::{by_abbrev, suite, Benchmark};
@@ -37,21 +37,29 @@ impl Curve {
     }
 }
 
+/// Sweeps benchmarks over every CTA count up to their baseline occupancy,
+/// submitting all `Σ max_ctas` points as one job batch.
+pub fn sweep_all(ctx: &ExperimentContext, benches: &[&Benchmark], window: u64) -> Vec<Curve> {
+    let max_ctas: Vec<u32> = benches.iter().map(|b| b.max_ctas_baseline()).collect();
+    ctx.cta_sweeps(benches, &max_ctas, window)
+        .into_iter()
+        .zip(benches)
+        .map(|(ipc, b)| Curve {
+            bench: (*b).clone(),
+            ipc,
+        })
+        .collect()
+}
+
 /// Sweeps one benchmark over every CTA count.
 pub fn sweep(ctx: &ExperimentContext, bench: &Benchmark, window: u64) -> Curve {
-    let max = bench.max_ctas_baseline();
-    let ipc = (1..=max)
-        .map(|n| run_with_cta_cap(&bench.desc, n, window, &ctx.cfg))
-        .collect();
-    Curve {
-        bench: bench.clone(),
-        ipc,
-    }
+    sweep_all(ctx, &[bench], window).swap_remove(0)
 }
 
 /// Sweeps the full suite (Fig. 3a).
 pub fn compute(ctx: &ExperimentContext, window: u64) -> Vec<Curve> {
-    suite().iter().map(|b| sweep(ctx, b, window)).collect()
+    let benches = suite();
+    sweep_all(ctx, &benches.iter().collect::<Vec<_>>(), window)
 }
 
 /// Renders Fig. 3a.
@@ -115,8 +123,11 @@ pub struct SweetSpot {
 /// Computes Fig. 3b.
 pub fn compute_sweet_spot(ctx: &ExperimentContext, window: u64) -> SweetSpot {
     // Static suite abbreviations. xtask-allow: no-unwrap
-    let img = sweep(ctx, &by_abbrev("IMG").expect("IMG in suite"), window);
-    let nn = sweep(ctx, &by_abbrev("NN").expect("NN in suite"), window); // xtask-allow: no-unwrap
+    let img_bench = by_abbrev("IMG").expect("IMG in suite");
+    let nn_bench = by_abbrev("NN").expect("NN in suite"); // xtask-allow: no-unwrap
+    let mut curves = sweep_all(ctx, &[&img_bench, &nn_bench], window);
+    let nn = curves.swap_remove(1);
+    let img = curves.swap_remove(0);
     let kernels = [
         KernelCurve {
             perf: img.ipc.clone(),

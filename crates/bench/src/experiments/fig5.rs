@@ -72,12 +72,10 @@ pub fn series(
     }
 }
 
-/// Computes the series for the whole suite.
+/// Computes the series for the whole suite, one pool job per benchmark.
 pub fn compute(ctx: &ExperimentContext, window: u64, windows: usize) -> Vec<WindowSeries> {
-    suite()
-        .iter()
-        .map(|b| series(ctx, b, window, windows))
-        .collect()
+    ctx.pool()
+        .run(&suite(), |_, b| series(ctx, b, window, windows))
 }
 
 /// Renders the windowed characterization.

@@ -3,7 +3,7 @@
 //! baseline — optionally with the exhaustive Oracle.
 
 use warped_slicer::{run_oracle, CorunResult, PolicyKind};
-use ws_workloads::{all_pairs, Pair, PairCategory};
+use ws_workloads::{all_pairs, Benchmark, Pair, PairCategory};
 
 use crate::context::ExperimentContext;
 use crate::report::{f2, gmean, Table};
@@ -86,39 +86,71 @@ impl Fig6Data {
 }
 
 /// Runs one pair under every policy.
-pub fn run_pair(ctx: &mut ExperimentContext, pair: &Pair, with_oracle: bool) -> PairResult {
-    let benches = [&pair.a, &pair.b];
-    let left_over = ctx.corun(&benches, &PolicyKind::LeftOver);
-    let spatial = ctx.corun(&benches, &PolicyKind::Spatial);
-    let even = ctx.corun(&benches, &PolicyKind::Even);
-    let dynamic = ctx.corun(&benches, &ctx.dynamic_policy());
-    let oracle_ipc = if with_oracle {
-        let targets = ctx.targets(&benches);
-        let descs = [&pair.a.desc, &pair.b.desc];
-        let o = run_oracle(&descs, &targets, &ctx.cfg);
-        // The Oracle is the best of *everything*, including Dynamic itself.
-        Some(o.best.combined_ipc.max(dynamic.combined_ipc))
+pub fn run_pair(ctx: &ExperimentContext, pair: &Pair, with_oracle: bool) -> PairResult {
+    run_pairs(ctx, std::slice::from_ref(pair), with_oracle).swap_remove(0)
+}
+
+/// Runs every pair under every policy as one job batch (`pairs x 4` corun
+/// jobs), then — when requested — fans the per-pair exhaustive Oracle
+/// searches out over the pool.
+pub fn run_pairs(ctx: &ExperimentContext, pairs: &[Pair], with_oracle: bool) -> Vec<PairResult> {
+    let policies = [
+        PolicyKind::LeftOver,
+        PolicyKind::Spatial,
+        PolicyKind::Even,
+        ctx.dynamic_policy(),
+    ];
+    let runs: Vec<(Vec<&Benchmark>, PolicyKind)> = pairs
+        .iter()
+        .flat_map(|p| {
+            policies
+                .iter()
+                .map(move |policy| (vec![&p.a, &p.b], policy.clone()))
+        })
+        .collect();
+    let mut results = ctx.corun_batch(&runs).into_iter();
+    let oracle: Vec<Option<f64>> = if with_oracle {
+        // Targets are already memoized by the corun batch, so each job is
+        // pure search over one pair's quota grid.
+        ctx.pool().run(pairs, |_, p| {
+            let targets = ctx.targets(&[&p.a, &p.b]);
+            let descs = [&p.a.desc, &p.b.desc];
+            Some(run_oracle(&descs, &targets, &ctx.cfg).best.combined_ipc)
+        })
     } else {
-        None
+        vec![None; pairs.len()]
     };
-    PairResult {
-        pair: pair.clone(),
-        left_over,
-        spatial,
-        even,
-        dynamic,
-        oracle_ipc,
-    }
+    pairs
+        .iter()
+        .zip(oracle)
+        .map(|(pair, oracle_best)| {
+            let (Some(left_over), Some(spatial), Some(even), Some(dynamic)) = (
+                results.next(),
+                results.next(),
+                results.next(),
+                results.next(),
+            ) else {
+                unreachable!("corun_batch returns four results per pair")
+            };
+            // The Oracle is the best of *everything*, including Dynamic
+            // itself.
+            let oracle_ipc = oracle_best.map(|o| o.max(dynamic.combined_ipc));
+            PairResult {
+                pair: pair.clone(),
+                left_over,
+                spatial,
+                even,
+                dynamic,
+                oracle_ipc,
+            }
+        })
+        .collect()
 }
 
 /// Runs all 30 pairs. `with_oracle` adds the exhaustive search (slow).
-pub fn compute(ctx: &mut ExperimentContext, with_oracle: bool) -> Fig6Data {
-    let pairs = all_pairs();
+pub fn compute(ctx: &ExperimentContext, with_oracle: bool) -> Fig6Data {
     Fig6Data {
-        pairs: pairs
-            .iter()
-            .map(|p| run_pair(ctx, p, with_oracle))
-            .collect(),
+        pairs: run_pairs(ctx, &all_pairs(), with_oracle),
     }
 }
 
@@ -211,13 +243,13 @@ mod tests {
 
     #[test]
     fn single_pair_produces_consistent_normalization() {
-        let mut ctx = ExperimentContext::new(10_000);
+        let ctx = ExperimentContext::new(10_000);
         let pair = Pair {
             a: by_abbrev("IMG").unwrap(),
             b: by_abbrev("NN").unwrap(),
             category: PairCategory::ComputeCache,
         };
-        let r = run_pair(&mut ctx, &pair, false);
+        let r = run_pair(&ctx, &pair, false);
         let (s, e, d, o) = r.normalized_all();
         assert!(o.is_none());
         assert!(s > 0.5 && e > 0.5 && d > 0.5, "({s}, {e}, {d})");

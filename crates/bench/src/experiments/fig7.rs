@@ -161,14 +161,14 @@ mod tests {
     use ws_workloads::{by_abbrev, Pair};
 
     fn tiny_data() -> Fig6Data {
-        let mut ctx = ExperimentContext::new(10_000);
+        let ctx = ExperimentContext::new(10_000);
         let pair = Pair {
             a: by_abbrev("MM").unwrap(),
             b: by_abbrev("MVP").unwrap(),
             category: PairCategory::ComputeCache,
         };
         Fig6Data {
-            pairs: vec![fig6::run_pair(&mut ctx, &pair, false)],
+            pairs: vec![fig6::run_pair(&ctx, &pair, false)],
         }
     }
 

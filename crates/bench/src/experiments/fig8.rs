@@ -2,7 +2,7 @@
 //! memory/cache benchmark with two compute benchmarks.
 
 use warped_slicer::{CorunResult, PolicyKind};
-use ws_workloads::{all_triples, Triple};
+use ws_workloads::{all_triples, Benchmark, Triple};
 
 use crate::context::ExperimentContext;
 use crate::report::{f2, gmean, Table};
@@ -36,20 +36,52 @@ impl TripleResult {
 }
 
 /// Runs one triple under every policy.
-pub fn run_triple(ctx: &mut ExperimentContext, triple: &Triple) -> TripleResult {
-    let benches = [&triple.a, &triple.b, &triple.c];
-    TripleResult {
-        triple: triple.clone(),
-        left_over: ctx.corun(&benches, &PolicyKind::LeftOver),
-        spatial: ctx.corun(&benches, &PolicyKind::Spatial),
-        even: ctx.corun(&benches, &PolicyKind::Even),
-        dynamic: ctx.corun(&benches, &ctx.dynamic_policy()),
-    }
+pub fn run_triple(ctx: &ExperimentContext, triple: &Triple) -> TripleResult {
+    run_triples(ctx, std::slice::from_ref(triple)).swap_remove(0)
+}
+
+/// Runs every triple under every policy as one `triples x 4` job batch.
+pub fn run_triples(ctx: &ExperimentContext, triples: &[Triple]) -> Vec<TripleResult> {
+    let policies = [
+        PolicyKind::LeftOver,
+        PolicyKind::Spatial,
+        PolicyKind::Even,
+        ctx.dynamic_policy(),
+    ];
+    let runs: Vec<(Vec<&Benchmark>, PolicyKind)> = triples
+        .iter()
+        .flat_map(|t| {
+            policies
+                .iter()
+                .map(move |policy| (vec![&t.a, &t.b, &t.c], policy.clone()))
+        })
+        .collect();
+    let mut results = ctx.corun_batch(&runs).into_iter();
+    triples
+        .iter()
+        .map(|triple| {
+            let (Some(left_over), Some(spatial), Some(even), Some(dynamic)) = (
+                results.next(),
+                results.next(),
+                results.next(),
+                results.next(),
+            ) else {
+                unreachable!("corun_batch returns four results per triple")
+            };
+            TripleResult {
+                triple: triple.clone(),
+                left_over,
+                spatial,
+                even,
+                dynamic,
+            }
+        })
+        .collect()
 }
 
 /// Runs all 15 triples.
-pub fn compute(ctx: &mut ExperimentContext) -> Vec<TripleResult> {
-    all_triples().iter().map(|t| run_triple(ctx, t)).collect()
+pub fn compute(ctx: &ExperimentContext) -> Vec<TripleResult> {
+    run_triples(ctx, &all_triples())
 }
 
 /// Machine-readable Fig. 8 data.
@@ -108,13 +140,13 @@ mod tests {
 
     #[test]
     fn one_triple_runs_under_all_policies() {
-        let mut ctx = ExperimentContext::new(10_000);
+        let ctx = ExperimentContext::new(10_000);
         let triple = Triple {
             a: by_abbrev("BLK").unwrap(),
             b: by_abbrev("IMG").unwrap(),
             c: by_abbrev("DXT").unwrap(),
         };
-        let r = run_triple(&mut ctx, &triple);
+        let r = run_triple(&ctx, &triple);
         assert!(!r.left_over.timed_out, "{:?}", r.left_over.finish_cycle);
         assert!(!r.dynamic.timed_out);
         let (s, e, d) = r.normalized();

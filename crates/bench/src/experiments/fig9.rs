@@ -122,14 +122,14 @@ mod tests {
 
     #[test]
     fn fairness_aggregates_compute() {
-        let mut ctx = ExperimentContext::new(10_000);
+        let ctx = ExperimentContext::new(10_000);
         let pair = Pair {
             a: by_abbrev("IMG").unwrap(),
             b: by_abbrev("BLK").unwrap(),
             category: PairCategory::ComputeMemory,
         };
         let data = Fig6Data {
-            pairs: vec![fig6::run_pair(&mut ctx, &pair, false)],
+            pairs: vec![fig6::run_pair(&ctx, &pair, false)],
         };
         let two = two_kernel(&data, ctx.cfg.isolation_cycles);
         assert_eq!(two.len(), 3);

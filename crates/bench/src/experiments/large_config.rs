@@ -21,24 +21,36 @@ pub struct LargeRow {
     pub dynamic_fairness: f64,
 }
 
-/// Runs the subset pairs (or any provided list) under the Sec. V-H config.
+/// Runs the subset pairs (or any provided list) under the Sec. V-H config,
+/// submitting all `pairs x 2` runs as one job batch.
 pub fn compute(isolation_cycles: u64, pairs: &[Pair]) -> Vec<LargeRow> {
-    let mut ctx = ExperimentContext::with_config(RunConfig {
+    let ctx = ExperimentContext::with_config(RunConfig {
         gpu: GpuConfig::large(),
         isolation_cycles,
         ..RunConfig::default()
     });
+    let runs: Vec<(Vec<&ws_workloads::Benchmark>, PolicyKind)> = pairs
+        .iter()
+        .flat_map(|p| {
+            [
+                (vec![&p.a, &p.b], PolicyKind::LeftOver),
+                (vec![&p.a, &p.b], ctx.dynamic_policy()),
+            ]
+        })
+        .collect();
+    let results = ctx.corun_batch(&runs);
     pairs
         .iter()
-        .map(|p| {
-            let benches = [&p.a, &p.b];
-            let lo = ctx.corun(&benches, &PolicyKind::LeftOver);
-            let dy = ctx.corun(&benches, &ctx.dynamic_policy());
+        .zip(results.chunks(2))
+        .map(|(p, chunk)| {
+            let [lo, dy] = chunk else {
+                unreachable!("corun_batch returns two results per pair")
+            };
             LargeRow {
                 label: format!("{}_{}", p.a.abbrev, p.b.abbrev),
                 dynamic_ipc: dy.combined_ipc / lo.combined_ipc.max(1e-12),
-                dynamic_fairness: fairness(&dy, isolation_cycles)
-                    / fairness(&lo, isolation_cycles).max(1e-12),
+                dynamic_fairness: fairness(dy, isolation_cycles)
+                    / fairness(lo, isolation_cycles).max(1e-12),
             }
         })
         .collect()

@@ -50,14 +50,16 @@ pub fn classify(bench: &Benchmark, l2_mpki: f64) -> WorkloadClass {
     }
 }
 
-/// Measures every suite benchmark.
-pub fn compute(ctx: &mut ExperimentContext) -> Vec<Row> {
+/// Measures every suite benchmark (one isolation batch).
+pub fn compute(ctx: &ExperimentContext) -> Vec<Row> {
     let ws = WarpedSlicerConfig::scaled_for(ctx.cfg.isolation_cycles);
     let profile_cycles = ws.timing.warmup + ws.timing.sample;
-    suite()
+    let benches = suite();
+    let isos = ctx.isolation_batch(&benches.iter().collect::<Vec<_>>());
+    benches
         .into_iter()
-        .map(|bench| {
-            let iso = ctx.isolation(&bench);
+        .zip(isos)
+        .map(|(bench, iso)| {
             let s = &iso.stats;
             Row {
                 insts: s.insts,
@@ -114,8 +116,8 @@ mod tests {
 
     #[test]
     fn quick_rows_have_sane_shapes() {
-        let mut ctx = ExperimentContext::new(6_000);
-        let rows = compute(&mut ctx);
+        let ctx = ExperimentContext::new(6_000);
+        let rows = compute(&ctx);
         assert_eq!(rows.len(), 10);
         for r in &rows {
             assert!(r.insts > 0, "{} ran", r.bench.abbrev);

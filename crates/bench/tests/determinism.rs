@@ -1,0 +1,57 @@
+//! The execution layer's determinism contract, pinned end to end: rendered
+//! experiment tables must be byte-identical whether the pool runs with one
+//! worker (the historical serial harness) or many.
+
+use warped_slicer::{PolicyKind, RunConfig};
+use ws_bench::experiments::{fig3, fig6};
+use ws_bench::ExperimentContext;
+use ws_workloads::{by_abbrev, Pair, PairCategory};
+
+fn ctx_with(threads: usize, isolation_cycles: u64) -> ExperimentContext {
+    let cfg = RunConfig {
+        isolation_cycles,
+        ..RunConfig::default()
+    };
+    ExperimentContext::with_pool(cfg, ws_exec::Pool::new(threads))
+}
+
+#[test]
+fn fig3_render_is_byte_identical_across_worker_counts() {
+    let serial = fig3::render(&fig3::compute(&ctx_with(1, 4_000), 2_000));
+    let parallel = fig3::render(&fig3::compute(&ctx_with(8, 4_000), 2_000));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn corun_experiment_is_byte_identical_across_worker_counts() {
+    let pair = Pair {
+        a: by_abbrev("IMG").expect("suite"),
+        b: by_abbrev("NN").expect("suite"),
+        category: PairCategory::ComputeCache,
+    };
+    let render = |threads: usize| {
+        let ctx = ctx_with(threads, 6_000);
+        let data = fig6::Fig6Data {
+            pairs: vec![fig6::run_pair(&ctx, &pair, false)],
+        };
+        fig6::render(&data)
+    };
+    assert_eq!(render(1), render(8));
+}
+
+#[test]
+fn corun_batch_matches_sequential_coruns() {
+    let img = by_abbrev("IMG").expect("suite");
+    let mm = by_abbrev("MM").expect("suite");
+    let ctx = ctx_with(4, 4_000);
+    let batch = ctx.corun_batch(&[
+        (vec![&img, &mm], PolicyKind::Even),
+        (vec![&img, &mm], PolicyKind::Spatial),
+    ]);
+    let even = ctx.corun(&[&img, &mm], &PolicyKind::Even);
+    let spatial = ctx.corun(&[&img, &mm], &PolicyKind::Spatial);
+    assert_eq!(batch[0].total_cycles, even.total_cycles);
+    assert_eq!(batch[0].finish_cycle, even.finish_cycle);
+    assert_eq!(batch[1].total_cycles, spatial.total_cycles);
+    assert_eq!(batch[1].finish_cycle, spatial.finish_cycle);
+}

@@ -59,11 +59,14 @@ pub use policy::{
     make_controller, Controller, Decision, EvenController, FcfsController, LeftOverController,
     PolicyKind, QuotaController, SpatialController, WarpedSlicerConfig, WarpedSlicerController,
 };
-pub use profiler::{build_curves, ProfilePlan, ProfileSample, ProfileTiming, SmAssignment};
+pub use profiler::{
+    build_curves, profile_curves, ProfilePlan, ProfileSample, ProfileTiming, SmAssignment,
+};
 pub use resources::ResourceVec;
 pub use runner::{
-    collect_stats, run_corun, run_isolation, run_with_cta_cap, AggregateStats, CacheStats,
-    CorunResult, IsolationResult, RunConfig, UtilizationStats,
+    collect_stats, execute, execute_batch, run_corun, run_isolation, run_with_cta_cap,
+    AggregateStats, CacheStats, CorunResult, IsolationResult, RunConfig, SimJob, SimOutcome,
+    StopCondition, UtilizationStats,
 };
 pub use scaling::{psi, scale_ipc};
 pub use waterfill::{brute_force, water_fill, KernelCurve, Partition};

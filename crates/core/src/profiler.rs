@@ -12,7 +12,9 @@
 //! they are unit-testable without a simulator. The Warped-Slicer controller
 //! drives them against a live [`gpu_sim::Gpu`].
 
+use crate::runner::{execute_batch, RunConfig, SimJob, SimOutcome};
 use crate::scaling::{bandwidth_scale_factor, psi, scale_ipc_with_psi};
+use gpu_sim::KernelDesc;
 
 /// Timing parameters of the profiling phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,6 +113,54 @@ impl ProfilePlan {
     pub fn for_kernel(&self, kernel: usize) -> impl Iterator<Item = &SmAssignment> {
         self.assignments.iter().filter(move |a| a.kernel == kernel)
     }
+}
+
+/// Samples per-kernel performance-vs-CTA curves *offline* by running the
+/// Fig. 4 grid — every (kernel, CTA count) point up to `max_ctas[i]` — as
+/// independent [`SimJob::cta_cap`] simulations on `pool`.
+///
+/// This is the batch analogue of the online profiling phase: where the live
+/// controller samples all points simultaneously on disjoint SM groups of
+/// one GPU, this variant gives each point its own dedicated simulation of
+/// `window` cycles, trading simulated time for sampling noise. The result
+/// has the same shape as [`build_curves`]:
+/// `curve[i][j]` = IPC of kernel `i` with `j + 1` CTAs per SM.
+///
+/// Determinism: jobs are pure data and the pool collects results by
+/// submission index, so the curves are byte-identical for any worker count.
+///
+/// # Panics
+///
+/// Panics if `descs` and `max_ctas` lengths differ.
+#[must_use]
+pub fn profile_curves(
+    pool: &ws_exec::Pool,
+    descs: &[&KernelDesc],
+    max_ctas: &[u32],
+    window: u64,
+    cfg: &RunConfig,
+) -> Vec<Vec<f64>> {
+    assert_eq!(descs.len(), max_ctas.len(), "one CTA bound per kernel");
+    let mut jobs = Vec::new();
+    for (desc, &max) in descs.iter().zip(max_ctas) {
+        for cap in 1..=max.max(1) {
+            jobs.push(SimJob::cta_cap(desc, cap, window, cfg));
+        }
+    }
+    let mut outcomes = execute_batch(pool, &jobs).into_iter();
+    max_ctas
+        .iter()
+        .map(|&max| {
+            (1..=max.max(1))
+                .map(|_| {
+                    outcomes
+                        .next()
+                        .as_ref()
+                        .map_or(0.0, SimOutcome::measured_ipc)
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// One SM's raw sample.

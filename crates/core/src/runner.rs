@@ -3,6 +3,14 @@
 //! isolation run of a fixed cycle budget; in a multiprogrammed run each
 //! kernel halts (and releases its resources) upon reaching its target, and
 //! the run ends when every kernel has finished.
+//!
+//! Every run is described by a [`SimJob`] — a plain-data value (hardware
+//! config + kernels + policy + warm-up + stop condition) executed by the
+//! single [`execute`] entry point. Because a job is pure data and
+//! `execute` is a pure function of it, batches of jobs run on the
+//! [`ws_exec::Pool`] with byte-identical results at any worker count; see
+//! [`execute_batch`]. The historical entry points ([`run_isolation`],
+//! [`run_with_cta_cap`], [`run_corun`]) are thin wrappers over `execute`.
 
 use gpu_sim::{Gpu, GpuConfig, KernelDesc, KernelId, SchedulerKind, StallBreakdown};
 
@@ -225,24 +233,243 @@ pub struct IsolationResult {
     pub stats: AggregateStats,
 }
 
+/// When a simulation job stops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StopCondition {
+    /// Run exactly this many cycles after the warm-up.
+    Cycles(u64),
+    /// Run until every kernel reaches its equal-work instruction target
+    /// (halting each as it finishes) or the safety cap
+    /// `isolation_cycles * max_cycle_factor` is hit.
+    Targets(Vec<u64>),
+}
+
+/// A complete, self-contained description of one simulation run: hardware
+/// configuration, kernels, dispatch policy, warm-up and stop condition.
+///
+/// Jobs are plain data (`Clone + Send`), so a batch of them can be executed
+/// on any thread in any order; [`execute`] is a pure function of the job.
+#[derive(Debug, Clone)]
+pub struct SimJob {
+    /// Kernels dispatched at cycle 0, in slot order.
+    pub kernels: Vec<KernelDesc>,
+    /// CTA-dispatch policy controlling the run.
+    pub policy: PolicyKind,
+    /// Run parameters (hardware config, scheduler, budgets).
+    pub cfg: RunConfig,
+    /// Cycles to run before the measurement window opens.
+    pub warmup: u64,
+    /// When the run ends.
+    pub stop: StopCondition,
+}
+
+impl SimJob {
+    /// The isolation job behind [`run_isolation`]: `desc` alone under
+    /// Left-Over for `cfg.isolation_cycles`.
+    #[must_use]
+    pub fn isolation(desc: &KernelDesc, cfg: &RunConfig) -> Self {
+        Self {
+            kernels: vec![desc.clone()],
+            policy: PolicyKind::LeftOver,
+            cfg: cfg.clone(),
+            warmup: 0,
+            stop: StopCondition::Cycles(cfg.isolation_cycles),
+        }
+    }
+
+    /// The CTA-capped sampling job behind [`run_with_cta_cap`]: `desc`
+    /// alone with at most `cap` CTAs per SM, warmed up for a quarter of the
+    /// window and measured for `cycles`.
+    #[must_use]
+    pub fn cta_cap(desc: &KernelDesc, cap: u32, cycles: u64, cfg: &RunConfig) -> Self {
+        Self {
+            kernels: vec![desc.clone()],
+            policy: PolicyKind::Quota(vec![cap]),
+            cfg: cfg.clone(),
+            warmup: cycles / 4,
+            stop: StopCondition::Cycles(cycles),
+        }
+    }
+
+    /// The multiprogrammed equal-work job behind [`run_corun`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `descs` and `targets` lengths differ or are empty.
+    #[must_use]
+    pub fn corun(
+        descs: &[&KernelDesc],
+        targets: &[u64],
+        policy: &PolicyKind,
+        cfg: &RunConfig,
+    ) -> Self {
+        assert!(!descs.is_empty(), "at least one kernel required");
+        assert_eq!(descs.len(), targets.len(), "one target per kernel");
+        Self {
+            kernels: descs.iter().map(|d| (*d).clone()).collect(),
+            policy: policy.clone(),
+            cfg: cfg.clone(),
+            warmup: 0,
+            stop: StopCondition::Targets(targets.to_vec()),
+        }
+    }
+
+    /// The workload label (kernel names joined by `_`, e.g. `"IMG_NN"`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        self.kernels
+            .iter()
+            .map(|d| d.name.as_str())
+            .collect::<Vec<_>>()
+            .join("_")
+    }
+}
+
+/// Everything [`execute`] measures over one [`SimJob`].
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Per-kernel instructions issued when the measurement window opened
+    /// (end of warm-up).
+    pub start_insts: Vec<u64>,
+    /// Per-kernel instructions issued at run end.
+    pub end_insts: Vec<u64>,
+    /// Cycles inside the measurement window (excludes warm-up).
+    pub measured_cycles: u64,
+    /// Total cycles simulated (includes warm-up).
+    pub total_cycles: u64,
+    /// Cycle at which each kernel reached its target (`Targets` jobs only;
+    /// `None` = not reached).
+    pub finish_cycle: Vec<Option<u64>>,
+    /// Whether a `Targets` job hit the safety cap.
+    pub timed_out: bool,
+    /// Full statistics at run end.
+    pub stats: AggregateStats,
+    /// The partition decision, for dynamic policies.
+    pub decision: Option<Decision>,
+}
+
+impl SimOutcome {
+    /// GPU-wide IPC over the measurement window, summed across kernels —
+    /// the Fig. 3 sampling metric.
+    #[must_use]
+    pub fn measured_ipc(&self) -> f64 {
+        let issued: u64 = self
+            .end_insts
+            .iter()
+            .zip(&self.start_insts)
+            .map(|(e, s)| e - s)
+            .sum();
+        issued as f64 / self.measured_cycles.max(1) as f64
+    }
+
+    /// Interprets the outcome of a [`SimJob::isolation`] job.
+    #[must_use]
+    pub fn into_isolation(self) -> IsolationResult {
+        IsolationResult {
+            target_insts: self.end_insts.iter().sum(),
+            ipc: self.stats.insts as f64 / self.measured_cycles.max(1) as f64,
+            stats: self.stats,
+        }
+    }
+
+    /// Interprets the outcome of a [`SimJob::corun`] job, labelling it from
+    /// the job it came from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job` is not a `Targets` job.
+    #[must_use]
+    pub fn into_corun(self, job: &SimJob) -> CorunResult {
+        let StopCondition::Targets(targets) = &job.stop else {
+            panic!("into_corun requires a Targets job");
+        };
+        CorunResult {
+            label: job.label(),
+            policy: job.policy.to_string(),
+            targets: targets.clone(),
+            finish_cycle: self.finish_cycle,
+            total_cycles: self.total_cycles,
+            combined_ipc: targets.iter().sum::<u64>() as f64 / self.total_cycles.max(1) as f64,
+            timed_out: self.timed_out,
+            stats: self.stats,
+            decision: self.decision,
+        }
+    }
+}
+
+/// Executes one [`SimJob`] to completion. Pure in the job: the same job
+/// always produces the same outcome, on any thread.
+#[must_use]
+pub fn execute(job: &SimJob) -> SimOutcome {
+    let mut gpu = Gpu::new(job.cfg.gpu.clone(), job.cfg.scheduler);
+    let ids: Vec<KernelId> = job
+        .kernels
+        .iter()
+        .map(|d| gpu.add_kernel(d.clone()))
+        .collect();
+    let mut controller = make_controller(&job.policy);
+    for _ in 0..job.warmup {
+        controller.on_cycle(&mut gpu);
+        gpu.tick();
+    }
+    let start_insts: Vec<u64> = ids.iter().map(|&k| gpu.kernel_insts(k)).collect();
+    let warm_end = gpu.cycle();
+    let mut finish: Vec<Option<u64>> = vec![None; ids.len()];
+    let mut timed_out = false;
+    match &job.stop {
+        StopCondition::Cycles(cycles) => {
+            for _ in 0..*cycles {
+                controller.on_cycle(&mut gpu);
+                gpu.tick();
+            }
+        }
+        StopCondition::Targets(targets) => {
+            let max_cycles = job.cfg.isolation_cycles * job.cfg.max_cycle_factor;
+            let mut done = 0usize;
+            while done < ids.len() && gpu.cycle() < max_cycles {
+                controller.on_cycle(&mut gpu);
+                gpu.tick();
+                for (i, &k) in ids.iter().enumerate() {
+                    if finish[i].is_none() && gpu.kernel_insts(k) >= targets[i] {
+                        finish[i] = Some(gpu.cycle());
+                        gpu.halt_kernel(k);
+                        done += 1;
+                    }
+                }
+            }
+            timed_out = finish.iter().any(Option::is_none);
+        }
+    }
+    SimOutcome {
+        end_insts: ids.iter().map(|&k| gpu.kernel_insts(k)).collect(),
+        start_insts,
+        measured_cycles: gpu.cycle() - warm_end,
+        total_cycles: gpu.cycle(),
+        finish_cycle: finish,
+        timed_out,
+        stats: collect_stats(&gpu),
+        decision: controller.decision().cloned(),
+    }
+}
+
+/// Executes a batch of jobs on `pool`, returning outcomes in job order —
+/// byte-identical to a serial loop for any worker count.
+///
+/// # Panics
+///
+/// Re-raises the first job panic deterministically (lowest job index); see
+/// [`ws_exec::Pool::run`].
+#[must_use]
+pub fn execute_batch(pool: &ws_exec::Pool, jobs: &[SimJob]) -> Vec<SimOutcome> {
+    pool.run(jobs, |_, job| execute(job))
+}
+
 /// Runs `desc` alone (Left-Over single-kernel dispatch) for
 /// `cfg.isolation_cycles` and records its instruction target and solo
 /// statistics.
 #[must_use]
 pub fn run_isolation(desc: &KernelDesc, cfg: &RunConfig) -> IsolationResult {
-    let mut gpu = Gpu::new(cfg.gpu.clone(), cfg.scheduler);
-    let k = gpu.add_kernel(desc.clone());
-    let mut controller = make_controller(&PolicyKind::LeftOver);
-    for _ in 0..cfg.isolation_cycles {
-        controller.on_cycle(&mut gpu);
-        gpu.tick();
-    }
-    let stats = collect_stats(&gpu);
-    IsolationResult {
-        target_insts: gpu.kernel_insts(k),
-        ipc: stats.insts as f64 / cfg.isolation_cycles as f64,
-        stats,
-    }
+    execute(&SimJob::isolation(desc, cfg)).into_isolation()
 }
 
 /// Runs `desc` with at most `cap` CTAs per SM for `cycles` cycles and
@@ -250,21 +477,7 @@ pub fn run_isolation(desc: &KernelDesc, cfg: &RunConfig) -> IsolationResult {
 /// Oracle's per-point measurements.
 #[must_use]
 pub fn run_with_cta_cap(desc: &KernelDesc, cap: u32, cycles: u64, cfg: &RunConfig) -> f64 {
-    let mut gpu = Gpu::new(cfg.gpu.clone(), cfg.scheduler);
-    let k = gpu.add_kernel(desc.clone());
-    let mut controller = make_controller(&PolicyKind::Quota(vec![cap]));
-    // Warm up one quarter of the window, then measure.
-    let warm = cycles / 4;
-    for _ in 0..warm {
-        controller.on_cycle(&mut gpu);
-        gpu.tick();
-    }
-    let start = gpu.kernel_insts(k);
-    for _ in 0..cycles {
-        controller.on_cycle(&mut gpu);
-        gpu.tick();
-    }
-    (gpu.kernel_insts(k) - start) as f64 / cycles as f64
+    execute(&SimJob::cta_cap(desc, cap, cycles, cfg)).measured_ipc()
 }
 
 /// Result of a multiprogrammed run.
@@ -303,42 +516,8 @@ pub fn run_corun(
     policy: &PolicyKind,
     cfg: &RunConfig,
 ) -> CorunResult {
-    assert!(!descs.is_empty(), "at least one kernel required");
-    assert_eq!(descs.len(), targets.len(), "one target per kernel");
-    let mut gpu = Gpu::new(cfg.gpu.clone(), cfg.scheduler);
-    let ids: Vec<KernelId> = descs.iter().map(|d| gpu.add_kernel((*d).clone())).collect();
-    let mut controller = make_controller(policy);
-    let max_cycles = cfg.isolation_cycles * cfg.max_cycle_factor;
-    let mut finish: Vec<Option<u64>> = vec![None; ids.len()];
-    let mut done = 0usize;
-    while done < ids.len() && gpu.cycle() < max_cycles {
-        controller.on_cycle(&mut gpu);
-        gpu.tick();
-        for (i, &k) in ids.iter().enumerate() {
-            if finish[i].is_none() && gpu.kernel_insts(k) >= targets[i] {
-                finish[i] = Some(gpu.cycle());
-                gpu.halt_kernel(k);
-                done += 1;
-            }
-        }
-    }
-    let total_cycles = gpu.cycle();
-    let stats = collect_stats(&gpu);
-    CorunResult {
-        label: descs
-            .iter()
-            .map(|d| d.name.as_str())
-            .collect::<Vec<_>>()
-            .join("_"),
-        policy: policy.to_string(),
-        targets: targets.to_vec(),
-        finish_cycle: finish.clone(),
-        total_cycles,
-        combined_ipc: targets.iter().sum::<u64>() as f64 / total_cycles.max(1) as f64,
-        timed_out: finish.iter().any(Option::is_none),
-        stats,
-        decision: controller.decision().cloned(),
-    }
+    let job = SimJob::corun(descs, targets, policy, cfg);
+    execute(&job).into_corun(&job)
 }
 
 #[cfg(test)]

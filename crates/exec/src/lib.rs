@@ -1,0 +1,330 @@
+//! # ws-exec
+//!
+//! A deterministic parallel execution layer for the Warped-Slicer harness.
+//!
+//! The decision pipeline this repository reproduces is embarrassingly
+//! parallel: the online profiling phase evaluates one CTA count per SM as
+//! `K x N` *independent* simulations, and the experiment suite multiplies
+//! that by pairs, triples, policies and sensitivity variants. [`Pool`] runs
+//! such batches on scoped worker threads while keeping the output
+//! *byte-identical* to a serial run:
+//!
+//! * jobs are numbered on submission and results are collected **by job
+//!   index**, so the returned `Vec` never depends on scheduling order;
+//! * each job is a pure function of its description — workers share no
+//!   mutable state with the jobs;
+//! * with one worker the batch runs inline on the caller's thread, which is
+//!   exactly the pre-pool serial harness.
+//!
+//! The worker count comes from `WS_EXEC_THREADS` (default: the machine's
+//! available parallelism; `1` forces serial execution). A panicking job
+//! fails *that job*, not the process: [`Pool::try_run`] returns
+//! `Result<R, JobPanic>` per job, and [`Pool::run`] re-raises the first
+//! failure (lowest job index) deterministically.
+//!
+//! The crate is deliberately `std`-only and free of simulator types: the
+//! job model (`SimJob`) lives in `warped-slicer`'s runner, which depends on
+//! this crate, not the other way around.
+//!
+//! All thread use in this crate goes through the scoped pool; the
+//! `no-unchecked-spawn` rule of `cargo xtask lint` pins that invariant.
+
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Environment variable controlling the worker count.
+pub const THREADS_ENV: &str = "WS_EXEC_THREADS";
+
+/// Identifies one job within a batch (its submission index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub usize);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// A job that panicked instead of returning a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Which job failed.
+    pub id: JobId,
+    /// The panic payload rendered as text (when it was a string).
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} panicked: {}", self.id, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Per-job result of a fallible batch.
+pub type JobResult<R> = Result<R, JobPanic>;
+
+/// Parses a `WS_EXEC_THREADS`-style value into a worker count.
+///
+/// `None`, an empty string, `0`, or an unparsable value fall back to the
+/// machine's available parallelism (itself falling back to 1), so a
+/// misconfigured environment degrades to the default rather than erroring.
+#[must_use]
+pub fn threads_from_env(value: Option<&str>) -> usize {
+    match value.map(str::trim).and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map_or(1, NonZeroUsize::get),
+    }
+}
+
+/// A deterministic scoped-thread worker pool.
+///
+/// The pool owns no long-lived threads: every [`Pool::run`] /
+/// [`Pool::try_run`] call opens a [`std::thread::scope`], spawns up to
+/// `threads` workers for the duration of the batch, and joins them (scope
+/// exit checks every join; a worker cannot disappear silently). This keeps
+/// the type trivially `Sync` and means a `Pool` held in shared experiment
+/// state never outlives its work.
+#[derive(Debug)]
+pub struct Pool {
+    threads: usize,
+    completed: AtomicU64,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Pool {
+    /// Creates a pool with a fixed worker count (clamped to at least 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            completed: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a pool sized by `WS_EXEC_THREADS` (see [`threads_from_env`]).
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::new(threads_from_env(std::env::var(THREADS_ENV).ok().as_deref()))
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Total jobs completed over the pool's lifetime (including panicked
+    /// ones) — the harness's per-experiment job counter.
+    #[must_use]
+    pub fn jobs_completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f` over every job in `jobs`, returning one result per job **in
+    /// submission order**, with per-job panic containment.
+    ///
+    /// `f` receives the job's [`JobId`] and a reference to its description.
+    /// Results are keyed by job index, so the output is identical for any
+    /// worker count. A panic inside `f` is caught and surfaced as
+    /// `Err(JobPanic)` for that job only; the batch and the process
+    /// continue.
+    pub fn try_run<J, R, F>(&self, jobs: &[J], f: F) -> Vec<JobResult<R>>
+    where
+        J: Sync,
+        R: Send,
+        F: Fn(JobId, &J) -> R + Sync,
+    {
+        let workers = self.threads.min(jobs.len()).max(1);
+        if workers == 1 {
+            // Serial fast path: run inline on the caller's thread. This is
+            // bit-for-bit the pre-pool behaviour (same thread, same order).
+            return jobs
+                .iter()
+                .enumerate()
+                .map(|(i, job)| {
+                    let r = run_contained(JobId(i), job, &f);
+                    self.completed.fetch_add(1, Ordering::Relaxed);
+                    r
+                })
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<JobResult<R>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    let r = run_contained(JobId(i), job, &f);
+                    if let Some(slot) = slots.get(i) {
+                        *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
+                    }
+                    self.completed.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .unwrap_or_else(|| {
+                        // Unreachable: the scope joined every worker and the
+                        // index walk covers every slot exactly once.
+                        Err(JobPanic {
+                            id: JobId(usize::MAX),
+                            message: "result slot never filled".to_string(),
+                        })
+                    })
+            })
+            .collect()
+    }
+
+    /// Runs `f` over every job, returning plain results in submission
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first failed job (lowest job index) on the caller's
+    /// thread — deterministic regardless of worker count. Use
+    /// [`Pool::try_run`] to keep going past failures.
+    pub fn run<J, R, F>(&self, jobs: &[J], f: F) -> Vec<R>
+    where
+        J: Sync,
+        R: Send,
+        F: Fn(JobId, &J) -> R + Sync,
+    {
+        self.try_run(jobs, f)
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => v,
+                Err(p) => panic!("{p}"),
+            })
+            .collect()
+    }
+}
+
+/// Runs one job under `catch_unwind`, mapping a panic to [`JobPanic`].
+fn run_contained<J, R>(id: JobId, job: &J, f: &(impl Fn(JobId, &J) -> R + Sync)) -> JobResult<R> {
+    catch_unwind(AssertUnwindSafe(|| f(id, job))).map_err(|payload| JobPanic {
+        id,
+        message: panic_message(payload.as_ref()),
+    })
+}
+
+/// Renders a panic payload: `&str` and `String` payloads verbatim,
+/// anything else as a placeholder.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_ordered_by_job_id_for_any_worker_count() {
+        let jobs: Vec<u64> = (0..97).collect();
+        let serial = Pool::new(1).run(&jobs, |_, &j| j * j);
+        for threads in [2, 3, 8, 64] {
+            let parallel = Pool::new(threads).run(&jobs, |_, &j| j * j);
+            assert_eq!(serial, parallel, "{threads} workers reorder results");
+        }
+    }
+
+    #[test]
+    fn job_ids_match_submission_indices() {
+        let jobs = vec![(); 40];
+        let ids = Pool::new(4).run(&jobs, |id, ()| id.0);
+        assert_eq!(ids, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_job_fails_that_job_not_the_process() {
+        let jobs: Vec<u32> = (0..20).collect();
+        for threads in [1, 4] {
+            let results = Pool::new(threads).try_run(&jobs, |_, &j| {
+                assert!(j != 7 && j != 13, "job {j} exploded");
+                j + 100
+            });
+            assert_eq!(results.len(), 20);
+            for (i, r) in results.iter().enumerate() {
+                match r {
+                    Ok(v) if i != 7 && i != 13 => assert_eq!(*v, i as u32 + 100),
+                    Err(p) if i == 7 || i == 13 => {
+                        assert_eq!(p.id, JobId(i));
+                        assert!(p.message.contains("exploded"), "{}", p.message);
+                    }
+                    other => panic!("job {i} ({threads} threads): unexpected {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "job#3 panicked")]
+    fn run_reraises_the_first_failure_deterministically() {
+        let jobs: Vec<u32> = (0..32).collect();
+        let _ = Pool::new(8).run(&jobs, |_, &j| {
+            assert!(j < 3 || j % 3 != 0, "multiple of three");
+            j
+        });
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let out: Vec<u8> = Pool::new(4).run(&Vec::<u8>::new(), |_, &j| j);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn jobs_completed_counts_across_batches() {
+        let pool = Pool::new(2);
+        let _ = pool.run(&[(); 5], |_, ()| ());
+        let _ = pool.try_run(&[(); 3], |id, ()| assert!(id.0 > 0, "zero"));
+        assert_eq!(pool.jobs_completed(), 8);
+    }
+
+    #[test]
+    fn thread_count_parsing_falls_back_to_parallelism() {
+        assert_eq!(threads_from_env(Some("6")), 6);
+        assert_eq!(threads_from_env(Some(" 2 ")), 2);
+        let default = threads_from_env(None);
+        assert!(default >= 1);
+        assert_eq!(threads_from_env(Some("0")), default);
+        assert_eq!(threads_from_env(Some("")), default);
+        assert_eq!(threads_from_env(Some("lots")), default);
+        assert_eq!(threads_from_env(Some("-3")), default);
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_at_least_one() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert!(Pool::default().threads() >= 1);
+    }
+
+    #[test]
+    fn non_string_panic_payload_is_reported() {
+        let results = Pool::new(1).try_run(&[0u8], |_, _| -> u8 { std::panic::panic_any(42u32) });
+        match &results[0] {
+            Err(p) => assert!(p.message.contains("non-string")),
+            Ok(v) => panic!("job should have failed, got {v}"),
+        }
+    }
+}

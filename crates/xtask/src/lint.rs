@@ -26,6 +26,12 @@
 //!   path, where an out-of-bounds panic would take down the very gate meant
 //!   to catch malformed inputs. Use `get`/`get_mut`, iterators, or
 //!   destructuring (or carry an `xtask-allow` justification).
+//! * `no-unchecked-spawn` — in the execution layer (`crates/exec`), raw
+//!   `thread::spawn` and discarded join handles (`.join().ok()`, a `let _`
+//!   binding of a `.join()`) are forbidden: every worker must live inside a
+//!   `std::thread::scope`, whose exit propagates worker panics instead of
+//!   silently losing them. The determinism contract (results keyed by job
+//!   index, every slot filled) depends on no thread outliving its batch.
 //!
 //! Any finding is suppressed by a `// xtask-allow: <rule>` comment on the
 //! same line or the line immediately above (for `module-docs`: on the first
@@ -37,12 +43,13 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Names of every rule, for help text.
-pub const RULE_NAMES: [&str; 5] = [
+pub const RULE_NAMES: [&str; 6] = [
     "no-unwrap",
     "no-lossy-cast",
     "no-float-eq",
     "module-docs",
     "no-index-panic",
+    "no-unchecked-spawn",
 ];
 
 /// Keywords that may legitimately precede a `[` starting an array literal or
@@ -382,6 +389,7 @@ fn scan_masked(
     check_unwrap: bool,
     check_casts: bool,
     check_index: bool,
+    check_spawn: bool,
 ) -> Vec<Violation> {
     let mut out = Vec::new();
     for (idx, ml) in lines.iter().enumerate() {
@@ -452,6 +460,34 @@ fn scan_masked(
                 }
             }
         }
+        if check_spawn && !allowed(lines, idx, "no-unchecked-spawn") {
+            if code.contains("thread::spawn") {
+                out.push(Violation {
+                    rule: "no-unchecked-spawn",
+                    file: file.to_string(),
+                    line: lineno,
+                    message: "raw `thread::spawn` in the execution layer; use a \
+                              `std::thread::scope` worker (scope exit checks every join) \
+                              or justify with `// xtask-allow: no-unchecked-spawn`"
+                        .to_string(),
+                });
+            }
+            let discards_join = code.contains(".join().ok()")
+                || (code.contains(".join(") && code.contains("let _ "))
+                || (code.contains(".join(") && code.contains("let _="));
+            if discards_join {
+                out.push(Violation {
+                    rule: "no-unchecked-spawn",
+                    file: file.to_string(),
+                    line: lineno,
+                    message: "discarded join handle result in the execution layer; a \
+                              swallowed worker panic breaks the determinism contract — \
+                              propagate it or justify with \
+                              `// xtask-allow: no-unchecked-spawn`"
+                        .to_string(),
+                });
+            }
+        }
         for op in ["==", "!="] {
             let mut search = 0;
             while let Some(pos) = code[search..].find(op) {
@@ -515,7 +551,10 @@ pub fn scan_source(file: &str, src: &str) -> Vec<Violation> {
     // kernel must not panic on malformed input: they *are* the checkers.
     let check_index =
         file.contains("crates/analysis/") || file.ends_with("crates/core/src/waterfill.rs");
-    scan_masked(file, &lines, !is_bin, check_casts, check_index)
+    // The execution layer is the only place threads are created; everything
+    // it spawns must be scope-checked.
+    let check_spawn = file.contains("crates/exec/");
+    scan_masked(file, &lines, !is_bin, check_casts, check_index, check_spawn)
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -673,6 +712,41 @@ mod tests {
     fn integer_eq_is_fine() {
         let src = format!("{DOC}fn f(x: u32) -> bool {{ x == 5 && x != 7 }}\n");
         assert!(rules_found("crates/x/src/a.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn raw_spawn_flagged_only_in_exec_crate() {
+        let src = format!("{DOC}fn f() {{ std::thread::spawn(|| ()); }}\n");
+        let v = scan_source("crates/exec/src/lib.rs", &src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-unchecked-spawn");
+        assert!(rules_found("crates/core/src/runner.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn discarded_join_flagged_in_exec_crate() {
+        let dropped = format!("{DOC}fn f(h: std::thread::JoinHandle<()>) {{ h.join().ok(); }}\n");
+        assert_eq!(
+            rules_found("crates/exec/src/lib.rs", &dropped),
+            ["no-unchecked-spawn"]
+        );
+        let let_bound =
+            format!("{DOC}fn f(h: std::thread::JoinHandle<()>) {{ let _ = h.join(); }}\n");
+        assert_eq!(
+            rules_found("crates/exec/src/lib.rs", &let_bound),
+            ["no-unchecked-spawn"]
+        );
+    }
+
+    #[test]
+    fn scoped_spawn_is_fine_in_exec_crate() {
+        let src =
+            format!("{DOC}fn f() {{ std::thread::scope(|scope| {{ scope.spawn(|| ()); }}); }}\n");
+        assert!(rules_found("crates/exec/src/lib.rs", &src).is_empty());
+        let suppressed = format!(
+            "{DOC}fn f() {{ std::thread::spawn(|| ()); }} // xtask-allow: no-unchecked-spawn\n"
+        );
+        assert!(rules_found("crates/exec/src/lib.rs", &suppressed).is_empty());
     }
 
     #[test]
