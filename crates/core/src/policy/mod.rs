@@ -70,6 +70,19 @@ pub trait Controller: std::fmt::Debug {
     fn decision(&self) -> Option<&Decision> {
         None
     }
+
+    /// Earliest future cycle at which this controller may act even though
+    /// the GPU's launch-relevant state (completed CTAs, halted kernels) is
+    /// unchanged — a timer-driven intervention such as a sampling-phase
+    /// boundary or a periodic phase-monitor check.
+    ///
+    /// The runner's fast-forward path clamps every dead-cycle skip to this
+    /// value, so returning `None` promises "I only react to state changes".
+    /// Returning `Some(c)` with `c` *later* than the true intervention
+    /// cycle is a correctness bug; *earlier* merely forfeits speedup.
+    fn next_intervention(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Builds the controller for `kind`.

@@ -420,6 +420,21 @@ impl Controller for WarpedSlicerController {
     fn decision(&self) -> Option<&Decision> {
         self.decision.as_ref()
     }
+
+    fn next_intervention(&self) -> Option<u64> {
+        match self.phase {
+            // Init transitions on the very next `on_cycle`, so nothing may
+            // be skipped.
+            Phase::Init => Some(0),
+            Phase::Warmup { until } | Phase::Sampling { until } | Phase::Deciding { until } => {
+                Some(until)
+            }
+            Phase::Run if self.cfg.enable_phase_monitor && !self.released => {
+                Some(self.last_phase_check + self.cfg.phase_window)
+            }
+            Phase::Run => None,
+        }
+    }
 }
 
 #[cfg(test)]

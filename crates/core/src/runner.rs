@@ -31,6 +31,12 @@ pub struct RunConfig {
     /// `isolation_cycles * max_cycle_factor` (safety net; a well-behaved
     /// policy finishes far earlier).
     pub max_cycle_factor: u64,
+    /// Event-horizon fast-forward override: `None` follows the process
+    /// default ([`gpu_sim::fast_forward_default`], i.e. the
+    /// `WS_SIM_FASTFORWARD` env var), `Some(on)` forces it for this job.
+    /// Either way the outcome statistics are byte-identical; only
+    /// wall-clock time changes.
+    pub fast_forward: Option<bool>,
 }
 
 impl Default for RunConfig {
@@ -40,6 +46,7 @@ impl Default for RunConfig {
             scheduler: SchedulerKind::GreedyThenOldest,
             isolation_cycles: 100_000,
             max_cycle_factor: 30,
+            fast_forward: None,
         }
     }
 }
@@ -346,6 +353,11 @@ pub struct SimOutcome {
     pub stats: AggregateStats,
     /// The partition decision, for dynamic policies.
     pub decision: Option<Decision>,
+    /// Simulated cycles the event-horizon fast-forward path skipped
+    /// (diagnostic only; 0 when fast-forward is disabled). Deliberately
+    /// not part of [`AggregateStats`] so outcome comparisons across
+    /// fast-forward modes stay byte-identical.
+    pub ff_skipped_cycles: u64,
 }
 
 impl SimOutcome {
@@ -397,20 +409,52 @@ impl SimOutcome {
     }
 }
 
+/// One fast-forward attempt after a `gpu.tick()`.
+///
+/// Skipping an `on_cycle` call is only sound if that call would have been a
+/// no-op, so the skip is gated on the controller-visible change signature
+/// — `(completed CTAs, halted kernels)`, the same key
+/// [`crate::policy`]'s `ChangeTracker` watches — being unchanged since the
+/// previous iteration, and the jump is clamped to both the stop-condition
+/// `boundary` and the controller's own
+/// [`Controller::next_intervention`](crate::policy::Controller::next_intervention)
+/// timer. See `DESIGN.md` §9 for the full contract.
+fn fast_forward_step(
+    gpu: &mut Gpu,
+    controller: &dyn crate::policy::Controller,
+    last_sig: &mut (u64, usize),
+    boundary: u64,
+) {
+    let sig = (gpu.total_completed(), gpu.halted_kernels());
+    if sig == *last_sig {
+        let limit = controller
+            .next_intervention()
+            .map_or(boundary, |iv| iv.min(boundary));
+        let _ = gpu.fast_forward(limit);
+    }
+    *last_sig = sig;
+}
+
 /// Executes one [`SimJob`] to completion. Pure in the job: the same job
-/// always produces the same outcome, on any thread.
+/// always produces the same outcome, on any thread — and, by the
+/// event-horizon contract, regardless of whether fast-forward is on.
 #[must_use]
 pub fn execute(job: &SimJob) -> SimOutcome {
     let mut gpu = Gpu::new(job.cfg.gpu.clone(), job.cfg.scheduler);
+    if let Some(on) = job.cfg.fast_forward {
+        gpu.set_fast_forward(on);
+    }
     let ids: Vec<KernelId> = job
         .kernels
         .iter()
         .map(|d| gpu.add_kernel(d.clone()))
         .collect();
     let mut controller = make_controller(&job.policy);
-    for _ in 0..job.warmup {
+    let mut sig = (gpu.total_completed(), gpu.halted_kernels());
+    while gpu.cycle() < job.warmup {
         controller.on_cycle(&mut gpu);
         gpu.tick();
+        fast_forward_step(&mut gpu, controller.as_ref(), &mut sig, job.warmup);
     }
     let start_insts: Vec<u64> = ids.iter().map(|&k| gpu.kernel_insts(k)).collect();
     let warm_end = gpu.cycle();
@@ -418,9 +462,11 @@ pub fn execute(job: &SimJob) -> SimOutcome {
     let mut timed_out = false;
     match &job.stop {
         StopCondition::Cycles(cycles) => {
-            for _ in 0..*cycles {
+            let end = warm_end + cycles;
+            while gpu.cycle() < end {
                 controller.on_cycle(&mut gpu);
                 gpu.tick();
+                fast_forward_step(&mut gpu, controller.as_ref(), &mut sig, end);
             }
         }
         StopCondition::Targets(targets) => {
@@ -436,6 +482,10 @@ pub fn execute(job: &SimJob) -> SimOutcome {
                         done += 1;
                     }
                 }
+                // Safe after the target checks: instruction counts are
+                // frozen inside a dead span, so no target can be crossed
+                // mid-skip.
+                fast_forward_step(&mut gpu, controller.as_ref(), &mut sig, max_cycles);
             }
             timed_out = finish.iter().any(Option::is_none);
         }
@@ -449,6 +499,7 @@ pub fn execute(job: &SimJob) -> SimOutcome {
         timed_out,
         stats: collect_stats(&gpu),
         decision: controller.decision().cloned(),
+        ff_skipped_cycles: gpu.skipped_cycles(),
     }
 }
 

@@ -151,6 +151,23 @@ impl DramChannel {
         })
     }
 
+    /// The earliest cycle `>= from` at which this channel can dispatch a
+    /// queued request, or `None` when the queue is empty (an idle channel
+    /// only accrues bus-occupancy cycles, which [`Self::account_skip`]
+    /// replays in bulk).
+    #[must_use]
+    pub fn next_dispatch(&self, from: u64) -> Option<u64> {
+        (!self.queue.is_empty()).then(|| self.busy_until.max(from))
+    }
+
+    /// Bulk-replays the per-cycle accounting `tick` would have performed
+    /// over the dead span `[from, to)`: the bus-occupancy counter advances
+    /// while `now < busy_until`, and nothing else can change because the
+    /// fast-forward horizon guarantees no dispatch happens before `to`.
+    pub fn account_skip(&mut self, from: u64, to: u64) {
+        self.busy_cycles += self.busy_until.min(to).saturating_sub(from);
+    }
+
     /// Requests serviced so far.
     #[must_use]
     pub fn serviced(&self) -> u64 {

@@ -6,13 +6,31 @@
 //! ...) live in the `warped-slicer` crate and drive launches through
 //! [`Gpu::try_launch`], [`Gpu::set_window`], and [`Gpu::halt_kernel`].
 
+use std::sync::OnceLock;
+
 use crate::alloc::PartitionWindow;
 use crate::config::GpuConfig;
 use crate::kernel::{KernelDesc, KernelId};
 use crate::mem::{MemResponse, MemStats, MemSubsystem};
 use crate::scheduler::SchedulerKind;
-use crate::sm::Sm;
+use crate::sm::{CtaCompletion, Sm};
 use crate::verify::{self, KernelVerifyError};
+
+/// Whether event-horizon fast-forwarding is enabled by default, read once
+/// from the `WS_SIM_FASTFORWARD` environment variable. It is on unless the
+/// variable is set to `0`, `false`, or `off` — the escape hatch for
+/// bisecting any suspected divergence against the naive tick loop.
+#[must_use]
+pub fn fast_forward_default() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| match std::env::var("WS_SIM_FASTFORWARD") {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "false" | "off"
+        ),
+        Err(_) => true,
+    })
+}
 
 /// Per-kernel dispatch bookkeeping.
 #[derive(Debug, Clone, Copy, Default)]
@@ -36,7 +54,22 @@ pub struct Gpu {
     kernel_insts: Vec<u64>,
     cycle: u64,
     resp_buf: Vec<MemResponse>,
+    completion_buf: Vec<CtaCompletion>,
+    fast_forward: bool,
+    skipped_cycles: u64,
+    /// Current attempt-backoff width: after a failed skip attempt the next
+    /// `ff_cooldown` calls decline without probing, and the width doubles
+    /// (capped). Dense phases — where every cycle has real work — thus pay
+    /// for a horizon probe only once every `FF_BACKOFF_CAP` cycles instead
+    /// of every cycle. Purely a wall-clock heuristic: declining to skip
+    /// never changes simulated state.
+    ff_backoff: u32,
+    ff_cooldown: u32,
 }
+
+/// Widest attempt-backoff (in declined `fast_forward` calls) after
+/// consecutive failed skip attempts.
+const FF_BACKOFF_CAP: u32 = 32;
 
 impl Gpu {
     /// Builds a GPU with the given configuration and warp scheduler.
@@ -55,7 +88,32 @@ impl Gpu {
             kernel_insts: Vec::new(),
             cycle: 0,
             resp_buf: Vec::new(),
+            completion_buf: Vec::new(),
+            fast_forward: fast_forward_default(),
+            skipped_cycles: 0,
+            ff_backoff: 0,
+            ff_cooldown: 0,
         }
+    }
+
+    /// Overrides the event-horizon fast-forward gate for this GPU instance
+    /// (the process-wide default comes from [`fast_forward_default`]).
+    /// Useful for in-process A/B comparisons where mutating the environment
+    /// would race with other threads.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
+    }
+
+    /// Whether event-horizon fast-forwarding is enabled on this instance.
+    #[must_use]
+    pub fn fast_forward_enabled(&self) -> bool {
+        self.fast_forward
+    }
+
+    /// Total dead cycles skipped (rather than naively ticked) so far.
+    #[must_use]
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
     }
 
     /// The configuration in force.
@@ -237,10 +295,12 @@ impl Gpu {
             let r = self.resp_buf[i];
             self.sms[r.sm_id].on_fill(r.line, now);
         }
-        for s in 0..self.sms.len() {
-            for c in self.sms[s].take_completions() {
-                self.meta[c.kernel.0].completed_ctas += 1;
-            }
+        self.completion_buf.clear();
+        for sm in &mut self.sms {
+            sm.drain_completions_into(&mut self.completion_buf);
+        }
+        for c in &self.completion_buf {
+            self.meta[c.kernel.0].completed_ctas += 1;
         }
         if crate::invariant::enabled() {
             for m in &self.meta {
@@ -262,10 +322,68 @@ impl Gpu {
             .expect("cycle counter overflow");
     }
 
-    /// Runs `cycles` cycles with no controller intervention.
+    /// Jumps the clock over a provably dead span. Every SM and the memory
+    /// subsystem report the earliest future cycle at which they can change
+    /// state; if the global minimum (clamped to `limit`, exclusive) lies
+    /// beyond the next tick, the skipped cycles' bookkeeping is replayed in
+    /// bulk and `cycle` jumps straight there. Returns the number of cycles
+    /// skipped (0 when fast-forwarding is disabled or the next tick can do
+    /// work). Call *after* [`Self::tick`] and after any external
+    /// stop-condition checks, so window edges and controller intervention
+    /// points — which must bound `limit` — stay exact.
+    pub fn fast_forward(&mut self, limit: u64) -> u64 {
+        if !self.fast_forward || self.cycle >= limit {
+            return 0;
+        }
+        if self.ff_cooldown > 0 {
+            self.ff_cooldown -= 1;
+            return 0;
+        }
+        let from = self.cycle;
+        let mut horizon = self.mem.next_event(from);
+        if horizon > from {
+            for sm in &mut self.sms {
+                horizon = horizon.min(sm.next_event(from));
+                if horizon <= from {
+                    break;
+                }
+            }
+        }
+        let to = horizon.min(limit);
+        if to <= from {
+            self.ff_backoff = (self.ff_backoff * 2 + 1).min(FF_BACKOFF_CAP);
+            self.ff_cooldown = self.ff_backoff;
+            return 0;
+        }
+        self.ff_backoff = 0;
+        for sm in &mut self.sms {
+            sm.account_skip(from, to);
+        }
+        self.mem.account_skip(from, to);
+        self.cycle = to;
+        self.skipped_cycles += to - from;
+        to - from
+    }
+
+    /// One tick followed by a fast-forward bounded by `limit`: the
+    /// event-horizon equivalent of a naive tick loop iteration. Returns the
+    /// number of dead cycles skipped after the tick.
+    pub fn tick_fast_forward(&mut self, limit: u64) -> u64 {
+        self.tick();
+        self.fast_forward(limit)
+    }
+
+    /// Runs `cycles` cycles with no controller intervention, fast-forwarding
+    /// over dead spans when enabled (statistics are identical either way).
     pub fn run(&mut self, cycles: u64) {
-        for _ in 0..cycles {
-            self.tick();
+        let end = self
+            .cycle
+            .checked_add(cycles)
+            // Same corruption argument as the tick counter overflow below.
+            // xtask-allow: no-unwrap
+            .expect("cycle budget overflow");
+        while self.cycle < end {
+            self.tick_fast_forward(end);
         }
     }
 
@@ -411,6 +529,69 @@ mod tests {
         let k = gpu.try_add_kernel(kernel("ok", 0.1, 6)).expect("valid");
         assert_eq!(k, KernelId(0));
         assert!(gpu.try_launch(k, 0));
+    }
+
+    /// Everything the fast-forward path must reproduce bit-for-bit,
+    /// rendered through Debug so every counter is compared.
+    fn full_state(gpu: &Gpu) -> (u64, Vec<u64>, String, String) {
+        (
+            gpu.cycle(),
+            gpu.kernel_ids()
+                .into_iter()
+                .map(|k| gpu.kernel_insts(k))
+                .collect(),
+            format!("{:?}", gpu.sms().map(Sm::stats).collect::<Vec<_>>()),
+            format!("{:?}", gpu.mem_stats()),
+        )
+    }
+
+    #[test]
+    fn fast_forward_matches_naive_tick_loop() {
+        let run_with = |ff: bool| {
+            let mut gpu = Gpu::new(GpuConfig::isca_baseline(), SchedulerKind::GreedyThenOldest);
+            gpu.set_fast_forward(ff);
+            let a = gpu.add_kernel(kernel("a", 0.4, 9));
+            let b = gpu.add_kernel(kernel("b", 0.05, 11));
+            // Sparse residency on a few SMs: plenty of dead cycles.
+            assert!(gpu.try_launch(a, 0));
+            assert!(gpu.try_launch(a, 1));
+            assert!(gpu.try_launch(b, 2));
+            gpu.run(20_000);
+            (full_state(&gpu), gpu.skipped_cycles())
+        };
+        let (ff_state, skipped) = run_with(true);
+        let (naive_state, zero) = run_with(false);
+        assert_eq!(ff_state, naive_state, "fast-forward must be invisible");
+        assert_eq!(zero, 0, "disabled mode must not skip");
+        assert!(skipped > 0, "memory-bound co-run must have dead cycles");
+    }
+
+    #[test]
+    fn fast_forward_respects_the_run_boundary() {
+        let mut gpu = Gpu::new(GpuConfig::isca_baseline(), SchedulerKind::GreedyThenOldest);
+        gpu.set_fast_forward(true);
+        let k = gpu.add_kernel(kernel("a", 0.5, 13));
+        assert!(gpu.try_launch(k, 0));
+        for _ in 0..7 {
+            gpu.run(311);
+            assert_eq!(gpu.cycle() % 311, 0, "run() may never overshoot");
+        }
+    }
+
+    #[test]
+    fn fast_forward_on_an_idle_gpu_jumps_to_the_limit() {
+        let mut gpu = Gpu::new(GpuConfig::isca_baseline(), SchedulerKind::GreedyThenOldest);
+        gpu.set_fast_forward(true);
+        gpu.run(100_000);
+        assert_eq!(gpu.cycle(), 100_000);
+        assert!(
+            gpu.skipped_cycles() > 99_000,
+            "an empty GPU should skip nearly everything, skipped {}",
+            gpu.skipped_cycles()
+        );
+        // Stats must still read as 100k idle cycles.
+        assert_eq!(gpu.sm(0).stats().cycles, 100_000);
+        assert_eq!(gpu.sm(0).stats().stalls.idle, 200_000, "2 schedulers");
     }
 
     #[test]

@@ -62,11 +62,17 @@ pub struct MemStats {
 }
 
 impl MemStats {
-    fn kernel_mut(&mut self, k: KernelId) -> &mut KernelMemStats {
+    /// Pre-sizes the per-kernel and per-SM stat slots so the tick hot loop
+    /// can index them directly: kernel ids are dense slot indices, so the
+    /// resize-on-demand branch belongs at submission time, not in the
+    /// per-cycle L2 loop.
+    fn ensure_slots(&mut self, k: KernelId, sm: usize) {
         if self.per_kernel.len() <= k.0 {
             self.per_kernel.resize(k.0 + 1, KernelMemStats::default());
         }
-        &mut self.per_kernel[k.0]
+        if self.dram_by_sm.len() <= sm {
+            self.dram_by_sm.resize(sm + 1, 0);
+        }
     }
 
     /// Statistics for kernel `k` (zeros if it never accessed memory).
@@ -79,13 +85,6 @@ impl MemStats {
     #[must_use]
     pub fn dram_by_sm(&self, sm: usize) -> u64 {
         self.dram_by_sm.get(sm).copied().unwrap_or(0)
-    }
-
-    fn note_sm_dram(&mut self, sm: usize) {
-        if self.dram_by_sm.len() <= sm {
-            self.dram_by_sm.resize(sm + 1, 0);
-        }
-        self.dram_by_sm[sm] += 1;
     }
 }
 
@@ -157,6 +156,7 @@ impl MemSubsystem {
 
     /// Submits an L1 miss (or store) into the interconnect at cycle `now`.
     pub fn submit(&mut self, now: u64, req: MemRequest) {
+        self.stats.ensure_slots(req.kernel, req.sm_id);
         self.ingress.push_back((now + self.icnt_latency, req));
     }
 
@@ -187,9 +187,12 @@ impl MemSubsystem {
                     continue;
                 }
             }
+            // Stat slots were pre-sized at submit(); index them directly
+            // instead of paying a resize-on-demand lookup per probe.
+            let k = req.kernel.0;
             let probe = self.l2[ch].access(req.line);
             self.stats.total.l2_accesses += 1;
-            self.stats.kernel_mut(req.kernel).l2_accesses += 1;
+            self.stats.per_kernel[k].l2_accesses += 1;
             match probe {
                 ProbeResult::Hit => {
                     self.l2_in[ch].pop_front();
@@ -202,7 +205,7 @@ impl MemSubsystem {
                 }
                 ProbeResult::Miss => {
                     self.stats.total.l2_misses += 1;
-                    self.stats.kernel_mut(req.kernel).l2_misses += 1;
+                    self.stats.per_kernel[k].l2_misses += 1;
                     if req.is_store {
                         // Write-allocate: repeated stores to a hot line
                         // (e.g. a tile being accumulated) hit the L2
@@ -215,9 +218,8 @@ impl MemSubsystem {
                         // counted.
                         self.stats.total.l2_accesses -= 1;
                         self.stats.total.l2_misses -= 1;
-                        let ks = self.stats.kernel_mut(req.kernel);
-                        ks.l2_accesses -= 1;
-                        ks.l2_misses -= 1;
+                        self.stats.per_kernel[k].l2_accesses -= 1;
+                        self.stats.per_kernel[k].l2_misses -= 1;
                         continue;
                     }
                     self.l2_in[ch].pop_front();
@@ -228,19 +230,18 @@ impl MemSubsystem {
                         tag: req.line,
                         arrival: self.arrival_clock,
                     });
-                    let ks = self.stats.kernel_mut(req.kernel);
                     if req.is_store {
-                        ks.dram_writes += 1;
+                        self.stats.per_kernel[k].dram_writes += 1;
                         self.stats.total.dram_writes += 1;
                     } else {
-                        ks.dram_reads += 1;
+                        self.stats.per_kernel[k].dram_reads += 1;
                         self.stats.total.dram_reads += 1;
                         self.pending_fills[ch]
                             .entry(req.line)
                             .or_default()
                             .push(req);
                     }
-                    self.stats.note_sm_dram(req.sm_id);
+                    self.stats.dram_by_sm[req.sm_id] += 1;
                 }
             }
         }
@@ -284,6 +285,49 @@ impl MemSubsystem {
                 line: payload.0,
                 sm_id: payload.1,
             });
+        }
+    }
+
+    /// The earliest future cycle `>= from` at which [`Self::tick`] can
+    /// change state: the ingress head's arrival, any non-empty L2 input
+    /// queue (serviced one request per channel per cycle, forcing "next
+    /// cycle"), the earliest DRAM dispatch opportunity, the earliest
+    /// data-ready DRAM completion, or the earliest scheduled SM response.
+    /// Returns `u64::MAX` when fully quiescent. Pending fills never need
+    /// their own entry: their line is always also queued in a DRAM channel
+    /// or sitting in `dram_done`.
+    #[must_use]
+    pub fn next_event(&self, from: u64) -> u64 {
+        // The ingress is FIFO with a constant latency and monotone submit
+        // times, so the front entry carries the minimum ready stamp.
+        let mut best = u64::MAX;
+        if let Some(&(ready, _)) = self.ingress.front() {
+            best = ready.max(from);
+        }
+        if self.l2_in.iter().any(|q| !q.is_empty()) {
+            return from;
+        }
+        for ch in &self.dram {
+            if let Some(at) = ch.next_dispatch(from) {
+                best = best.min(at);
+            }
+        }
+        if let Some(&Reverse(Timed { ready, .. })) = self.dram_done.peek() {
+            best = best.min(ready.max(from));
+        }
+        if let Some(&Reverse(Timed { ready, .. })) = self.responses.peek() {
+            best = best.min(ready.max(from));
+        }
+        best
+    }
+
+    /// Bulk-replays per-cycle accounting over the dead span `[from, to)`
+    /// that a fast-forward skipped. Only DRAM bus-occupancy counters tick
+    /// during a dead span; every queue is provably idle until `to` because
+    /// [`Self::next_event`] returned a cycle `>= to`.
+    pub fn account_skip(&mut self, from: u64, to: u64) {
+        for ch in &mut self.dram {
+            ch.account_skip(from, to);
         }
     }
 

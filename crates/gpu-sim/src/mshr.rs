@@ -39,6 +39,9 @@ pub struct MshrTable {
     entries: HashMap<LineAddr, Vec<MshrWaiter>>,
     max_entries: usize,
     max_merged: usize,
+    /// Retired waiter vectors kept for reuse so the per-miss allocate /
+    /// per-fill free churn disappears from the tick path.
+    pool: Vec<Vec<MshrWaiter>>,
 }
 
 impl MshrTable {
@@ -53,6 +56,7 @@ impl MshrTable {
             max_entries,
             // xtask-allow: no-lossy-cast
             max_merged: max_merged.max(1) as usize,
+            pool: Vec::with_capacity(max_entries),
         }
     }
 
@@ -68,7 +72,9 @@ impl MshrTable {
         if self.entries.len() >= self.max_entries {
             return MshrOutcome::Rejected;
         }
-        self.entries.insert(line, vec![waiter]);
+        let mut waiters = self.pool.pop().unwrap_or_default();
+        waiters.push(waiter);
+        self.entries.insert(line, waiters);
         if crate::invariant::enabled() {
             self.assert_within_bounds();
         }
@@ -110,6 +116,18 @@ impl MshrTable {
     /// into it (empty if the line was not tracked).
     pub fn complete(&mut self, line: LineAddr) -> Vec<MshrWaiter> {
         self.entries.remove(&line).unwrap_or_default()
+    }
+
+    /// Completes the fill of `line`, appending its waiters to `out` and
+    /// recycling the entry's storage internally — the allocation-free
+    /// variant of [`Self::complete`] used on the per-fill hot path.
+    pub fn complete_into(&mut self, line: LineAddr, out: &mut Vec<MshrWaiter>) {
+        if let Some(mut waiters) = self.entries.remove(&line) {
+            out.append(&mut waiters);
+            if self.pool.len() < self.max_entries {
+                self.pool.push(waiters);
+            }
+        }
     }
 
     /// Whether `line` is already in flight.

@@ -84,10 +84,19 @@ pub struct Sm {
     completions: Vec<CtaCompletion>,
     line_buf: Vec<LineAddr>,
     finished_buf: Vec<usize>,
+    waiter_buf: Vec<MshrWaiter>,
     fetch_ptr: usize,
     /// Cycle stamp of the most recent `tick`, for the strict monotonicity
     /// check (`None` before the first tick).
     last_tick: Option<u64>,
+    /// Occupied warp slots, maintained incrementally at launch/release so
+    /// the per-tick stages and the event horizon can skip empty SMs without
+    /// scanning all slots.
+    resident_warp_slots: u32,
+    /// Cached event horizon; valid while `horizon_valid` and no state
+    /// change (fetch/issue/LSU work, fill, launch, eviction) occurred.
+    horizon: u64,
+    horizon_valid: bool,
 }
 
 impl Sm {
@@ -117,8 +126,12 @@ impl Sm {
             completions: Vec::new(),
             line_buf: Vec::with_capacity(32),
             finished_buf: Vec::with_capacity(8),
+            waiter_buf: Vec::with_capacity(8),
             fetch_ptr: 0,
             last_tick: None,
+            resident_warp_slots: 0,
+            horizon: 0,
+            horizon_valid: false,
         }
     }
 
@@ -163,6 +176,7 @@ impl Sm {
                 self.windows.remove(&slot);
             }
         }
+        self.horizon_valid = false;
     }
 
     /// The partition window currently constraining kernel-slot `slot`.
@@ -255,6 +269,8 @@ impl Sm {
         let r = self.residency_mut(kernel.0);
         r.0 += 1;
         r.1 += desc.threads_per_cta;
+        self.resident_warp_slots += needed as u32;
+        self.horizon_valid = false;
         true
     }
 
@@ -265,6 +281,7 @@ impl Sm {
             // xtask-allow: no-unwrap
             .expect("release of empty CTA slot");
         self.resources.free(rec.resources);
+        self.resident_warp_slots -= rec.warp_slots.len() as u32;
         for slot in rec.warp_slots {
             self.warps[slot] = None;
             self.warp_gens[slot] = self.warp_gens[slot].wrapping_add(1);
@@ -272,6 +289,7 @@ impl Sm {
         let r = self.residency_mut(rec.kernel.0);
         r.0 -= 1;
         r.1 -= threads_per_cta;
+        self.horizon_valid = false;
     }
 
     /// Immediately removes every CTA of kernel-slot `slot` (used when a
@@ -294,6 +312,7 @@ impl Sm {
                 unit.lsu = None;
             }
         }
+        self.horizon_valid = false;
     }
 
     /// Drains CTA-completion notifications since the last call.
@@ -301,14 +320,26 @@ impl Sm {
         std::mem::take(&mut self.completions)
     }
 
+    /// Drains CTA-completion notifications into `out`. Both this SM's
+    /// internal buffer and `out` keep their capacity, so the per-tick
+    /// collection path allocates nothing in steady state (unlike
+    /// [`Self::take_completions`], which hands the whole Vec away).
+    pub fn drain_completions_into(&mut self, out: &mut Vec<CtaCompletion>) {
+        out.append(&mut self.completions);
+    }
+
     /// Handles a memory fill arriving from the L2/DRAM.
     pub fn on_fill(&mut self, line: LineAddr, now: u64) {
         self.l1.fill(line);
+        self.horizon_valid = false;
+        let mut waiters = std::mem::take(&mut self.waiter_buf);
+        waiters.clear();
+        self.mshr.complete_into(line, &mut waiters);
         for MshrWaiter {
             warp_slot,
             warp_gen,
             load_id,
-        } in self.mshr.complete(line)
+        } in waiters.drain(..)
         {
             if self.warp_gens[warp_slot] == warp_gen {
                 if let Some(w) = self.warps[warp_slot].as_mut() {
@@ -316,6 +347,7 @@ impl Sm {
                 }
             }
         }
+        self.waiter_buf = waiters;
     }
 
     /// Advances the SM one cycle. `descs` is the kernel table (indexed by
@@ -336,9 +368,12 @@ impl Sm {
             );
         }
         self.last_tick = Some(now);
-        self.fetch_stage(now, descs);
-        self.issue_stage(now, descs, kernel_insts);
-        self.lsu_stage(now, mem);
+        let fetched = self.fetch_stage(now, descs);
+        let issued = self.issue_stage(now, descs, kernel_insts);
+        let lsu_active = self.lsu_stage(now, mem);
+        if fetched || issued || lsu_active {
+            self.horizon_valid = false;
+        }
         self.finalize_warps(descs);
         self.accumulate_occupancy();
         self.stats.cycles += 1;
@@ -347,29 +382,39 @@ impl Sm {
         }
     }
 
-    fn fetch_stage(&mut self, now: u64, descs: &[KernelDesc]) {
+    fn fetch_stage(&mut self, now: u64, descs: &[KernelDesc]) -> bool {
+        let n = self.warps.len();
+        // The round-robin pointer advances whether or not anything fetched,
+        // so the fast-forward bulk replay stays bit-exact.
+        self.fetch_ptr = (self.fetch_ptr + 1) % n.max(1);
+        if self.resident_warp_slots == 0 {
+            return false;
+        }
         let fetch_latency = self.cfg.sm.fetch_latency;
         let miss_penalty = self.cfg.sm.icache_miss_penalty;
         let mut budget = self.cfg.sm.fetch_width;
+        let mut fetched = false;
         // Round-robin over warp slots so no warp starves the shared port.
-        let n = self.warps.len();
+        let start = (self.fetch_ptr + n - 1) % n.max(1);
         for i in 0..n {
             if budget == 0 {
                 break;
             }
-            let slot = (self.fetch_ptr + i) % n;
+            let slot = (start + i) % n;
             if let Some(warp) = self.warps[slot].as_mut() {
                 if !warp.finished()
                     && warp.fetch(now, &descs[warp.kernel.0], fetch_latency, miss_penalty)
                 {
                     budget -= 1;
+                    fetched = true;
                 }
             }
         }
-        self.fetch_ptr = (self.fetch_ptr + 1) % n.max(1);
+        fetched
     }
 
-    fn issue_stage(&mut self, now: u64, descs: &[KernelDesc], kernel_insts: &mut [u64]) {
+    fn issue_stage(&mut self, now: u64, descs: &[KernelDesc], kernel_insts: &mut [u64]) -> bool {
+        let mut any_issued = false;
         let num_sched = self.schedulers.len();
         let n_slots = self.warps.len();
         for sched_id in 0..num_sched {
@@ -452,6 +497,7 @@ impl Sm {
             if let Some((_, slot)) = chosen {
                 self.issue_to_unit(now, sched_id, slot, descs, kernel_insts);
                 self.schedulers[sched_id].note_issue(slot);
+                any_issued = true;
             } else {
                 // Attribute the lost cycle to the reason blocking the most
                 // warps (ties broken in the paper's Fig. 1 priority order).
@@ -478,6 +524,7 @@ impl Sm {
                 self.stats.stalls.record(reason);
             }
         }
+        any_issued
     }
 
     fn issue_to_unit(
@@ -567,12 +614,14 @@ impl Sm {
         }
     }
 
-    fn lsu_stage(&mut self, now: u64, mem: &mut MemSubsystem) {
+    fn lsu_stage(&mut self, now: u64, mem: &mut MemSubsystem) -> bool {
+        let mut any_active = false;
         let l1_hit_latency = u64::from(self.cfg.sm.l1_hit_latency);
         for sched_id in 0..self.units.len() {
             let Some(mut op) = self.units[sched_id].lsu.take() else {
                 continue;
             };
+            any_active = true;
             self.stats.lsu_busy += 1;
             // A warp evicted mid-operation invalidates the op.
             if self.warp_gens[op.warp_slot] != op.warp_gen {
@@ -666,6 +715,7 @@ impl Sm {
                 self.units[sched_id].lsu = Some(op);
             }
         }
+        any_active
     }
 
     /// Releases a CTA's barrier once every live warp has arrived.
@@ -728,6 +778,177 @@ impl Sm {
         self.stats.reg_used_acc += u128::from(self.resources.regs.used());
         self.stats.shmem_used_acc += u128::from(self.resources.shmem.used());
         self.stats.threads_used_acc += u128::from(self.resources.threads_used());
+    }
+
+    /// The earliest future cycle `>= from` at which this SM can change
+    /// state on its own: a warp fetch becoming possible, a warp's operands
+    /// becoming ready, or an execution unit freeing up for an
+    /// operand-ready warp. Pending memory fills and barrier releases are
+    /// deliberately *not* warp-local events: a fill is reported by the
+    /// memory subsystem, and a barrier release coincides with a sibling
+    /// warp's issue (itself an SM event). Returns `u64::MAX` when the SM
+    /// can never progress without external input, and `from` when the very
+    /// next tick can do work. The result is cached; any state change
+    /// invalidates it.
+    pub fn next_event(&mut self, from: u64) -> u64 {
+        if self.horizon_valid && self.horizon >= from {
+            return self.horizon;
+        }
+        let h = self.compute_horizon(from);
+        self.horizon = h;
+        self.horizon_valid = true;
+        h
+    }
+
+    fn compute_horizon(&self, from: u64) -> u64 {
+        // An in-flight LSU operation processes a line (or burns a
+        // serialization cycle) every tick.
+        if self.units.iter().any(|u| u.lsu.is_some()) {
+            return from;
+        }
+        if self.resident_warp_slots == 0 {
+            return u64::MAX;
+        }
+        let num_sched = self.schedulers.len();
+        let mut best = u64::MAX;
+        for (slot, warp) in self.warps.iter().enumerate() {
+            let Some(warp) = warp.as_ref() else { continue };
+            if warp.finished() {
+                continue;
+            }
+            if let Some(e) = warp.fetch_event(from) {
+                best = best.min(e);
+            }
+            // A parked warp un-parks only when the last sibling issues its
+            // barrier, which is that sibling's (already counted) event.
+            if warp.at_barrier {
+                continue;
+            }
+            let Some(ready) = warp.operands_ready_at() else {
+                // Empty i-buffer (fetch event covers it) or a pending
+                // global load (the memory subsystem's event covers it).
+                continue;
+            };
+            let e = if ready > from {
+                // RAW horizon. Even if the unit is still busy at `ready`,
+                // the span must end there: the stall classification flips
+                // from ShortRawHazard to ExecResource.
+                ready
+            } else {
+                // Operands ready now: bounded by unit availability. The
+                // head instruction exists because operands_ready_at saw it.
+                // xtask-allow: no-unwrap
+                let inst = warp.head().expect("operand-ready warp has a head");
+                let unit = &self.units[slot % num_sched];
+                match inst.op {
+                    OpClass::Alu => unit.alu_busy_until.max(from),
+                    OpClass::Sfu => unit.sfu_busy_until.max(from),
+                    // Barriers always issue; LSU-class ops issue whenever
+                    // the LSU is free, and no LSU op is in flight here.
+                    _ => from,
+                }
+            };
+            best = best.min(e);
+            if best <= from {
+                return from;
+            }
+        }
+        best
+    }
+
+    /// Read-only mirror of `issue_stage`'s stall classification for
+    /// scheduler `sched_id` at cycle `now`, used to replay a dead span in
+    /// bulk. The event horizon guarantees the classification is constant
+    /// across the span and that no warp can actually issue.
+    fn classify_stall(&self, sched_id: usize, now: u64) -> StallReason {
+        let num_sched = self.schedulers.len();
+        let n_slots = self.warps.len();
+        let mut n_mem = 0u32;
+        let mut n_raw = 0u32;
+        let mut n_exec = 0u32;
+        let mut n_fetch = 0u32;
+        let mut n_barrier = 0u32;
+        let mut any_candidate = false;
+        let mut slot = sched_id;
+        while slot < n_slots {
+            let Some(warp) = self.warps[slot].as_ref() else {
+                slot += num_sched;
+                continue;
+            };
+            if warp.finished() {
+                slot += num_sched;
+                continue;
+            }
+            any_candidate = true;
+            if warp.at_barrier {
+                n_barrier += 1;
+            } else if warp.ibuffer_empty() {
+                n_fetch += 1;
+            } else {
+                match warp.issue_block(now) {
+                    Some(IssueBlock::MemPending) => n_mem += 1,
+                    Some(IssueBlock::RawPending) => n_raw += 1,
+                    None => {
+                        crate::strict_assert!(
+                            {
+                                // xtask-allow: no-unwrap
+                                let inst = warp.head().expect("non-empty i-buffer");
+                                let unit = &self.units[sched_id];
+                                match inst.op {
+                                    OpClass::Alu => unit.alu_busy_until > now,
+                                    OpClass::Sfu => unit.sfu_busy_until > now,
+                                    OpClass::Barrier => false,
+                                    _ => unit.lsu.is_some(),
+                                }
+                            },
+                            "SM {}: warp slot {slot} was issuable inside a fast-forwarded span",
+                            self.id
+                        );
+                        n_exec += 1;
+                    }
+                }
+            }
+            slot += num_sched;
+        }
+        if !any_candidate {
+            return StallReason::Idle;
+        }
+        let counts = [
+            (n_mem, StallReason::LongMemoryLatency),
+            (n_raw, StallReason::ShortRawHazard),
+            (n_exec, StallReason::ExecResource),
+            (n_fetch, StallReason::IbufferEmpty),
+            (n_barrier, StallReason::Barrier),
+        ];
+        let mut best = counts[0];
+        for &c in &counts[1..] {
+            if c.0 > best.0 {
+                best = c;
+            }
+        }
+        best.1
+    }
+
+    /// Bulk-replays the per-cycle bookkeeping `tick` would have performed
+    /// over the dead span `[from, to)`: cycle and occupancy accumulators,
+    /// the constant per-scheduler stall classification, and the fetch
+    /// round-robin pointer. Callers must have established via
+    /// [`Self::next_event`] (and the memory subsystem's horizon) that no
+    /// state can change before `to`.
+    pub fn account_skip(&mut self, from: u64, to: u64) {
+        debug_assert!(to > from, "empty skip span");
+        let span = to - from;
+        for sched_id in 0..self.schedulers.len() {
+            let reason = self.classify_stall(sched_id, from);
+            self.stats.stalls.record_n(reason, span);
+        }
+        let n = self.warps.len().max(1) as u64;
+        self.fetch_ptr = ((self.fetch_ptr as u64 + span % n) % n) as usize;
+        self.stats.reg_used_acc += u128::from(self.resources.regs.used()) * u128::from(span);
+        self.stats.shmem_used_acc += u128::from(self.resources.shmem.used()) * u128::from(span);
+        self.stats.threads_used_acc += u128::from(self.resources.threads_used()) * u128::from(span);
+        self.stats.cycles += span;
+        self.last_tick = Some(to - 1);
     }
 }
 

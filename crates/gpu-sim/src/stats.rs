@@ -65,6 +65,19 @@ impl StallBreakdown {
         }
     }
 
+    /// Records `n` stalled scheduler-cycles with the same classification —
+    /// used by the fast-forward path to replay a dead span in bulk.
+    pub fn record_n(&mut self, reason: StallReason, n: u64) {
+        match reason {
+            StallReason::LongMemoryLatency => self.mem += n,
+            StallReason::ShortRawHazard => self.raw += n,
+            StallReason::ExecResource => self.exec += n,
+            StallReason::IbufferEmpty => self.ibuffer += n,
+            StallReason::Barrier => self.barrier += n,
+            StallReason::Idle => self.idle += n,
+        }
+    }
+
     /// Count for `reason`.
     #[must_use]
     pub fn get(&self, reason: StallReason) -> u64 {

@@ -286,6 +286,38 @@ impl Warp {
         }
     }
 
+    /// The earliest cycle `>= from` at which the front end could fetch, or
+    /// `None` when fetching cannot resume on its own: the body is fully
+    /// fetched, or the i-buffer is full (drained only by an issue, which is
+    /// itself an SM event).
+    #[must_use]
+    pub fn fetch_event(&self, from: u64) -> Option<u64> {
+        if self.fetch_done() || self.ibuffer.len() >= self.ibuffer_cap {
+            None
+        } else {
+            Some(self.fetch_ready.max(from))
+        }
+    }
+
+    /// The cycle at which every operand (and the destination) of the head
+    /// instruction becomes ready, or `None` when the i-buffer is empty or an
+    /// operand awaits an outstanding global load — a fill is a
+    /// memory-subsystem event, not a warp-local one, so the warp reports no
+    /// horizon of its own for it.
+    #[must_use]
+    pub fn operands_ready_at(&self) -> Option<u64> {
+        let inst = self.head()?;
+        let mut ready = 0u64;
+        for src in inst.srcs.into_iter().flatten() {
+            ready = ready.max(self.reg_ready[src as usize]);
+        }
+        if let Some(dst) = inst.dst {
+            ready = ready.max(self.reg_ready[dst as usize]);
+        }
+        // PENDING_LOAD is u64::MAX, so a pending operand dominates the max.
+        (ready != PENDING_LOAD).then_some(ready)
+    }
+
     /// Outstanding-load count (for occupancy introspection/tests).
     #[must_use]
     pub fn outstanding_loads(&self) -> usize {

@@ -32,6 +32,12 @@
 //!   `std::thread::scope`, whose exit propagates worker panics instead of
 //!   silently losing them. The determinism contract (results keyed by job
 //!   index, every slot filled) depends on no thread outliving its batch.
+//! * `no-tick-alloc` — heap allocations (`Vec::new(`, `vec![`, `.to_vec()`)
+//!   are forbidden inside the simulator's per-cycle tick-path functions
+//!   (`crates/gpu-sim/src`, the function names in [`TICK_PATH_FNS`]). These
+//!   run millions of times per experiment; an allocation there is invisible
+//!   in tests but dominates sweep wall-clock (DESIGN.md §9). Reuse a
+//!   member or caller-owned buffer (`std::mem::take` + `clear` is fine).
 //!
 //! Any finding is suppressed by a `// xtask-allow: <rule>` comment on the
 //! same line or the line immediately above (for `module-docs`: on the first
@@ -43,14 +49,35 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Names of every rule, for help text.
-pub const RULE_NAMES: [&str; 6] = [
+pub const RULE_NAMES: [&str; 7] = [
     "no-unwrap",
     "no-lossy-cast",
     "no-float-eq",
     "module-docs",
     "no-index-panic",
     "no-unchecked-spawn",
+    "no-tick-alloc",
 ];
+
+/// Functions on the simulator's per-cycle hot path. `no-tick-alloc`
+/// applies to the bodies of functions with these names under
+/// `crates/gpu-sim/src`; everything else (constructors, launch/evict,
+/// tests) may allocate freely.
+pub const TICK_PATH_FNS: [&str; 10] = [
+    "tick",
+    "tick_fast_forward",
+    "fast_forward",
+    "on_fill",
+    "next_event",
+    "account_skip",
+    "classify_stall",
+    "compute_horizon",
+    "drain_completions_into",
+    "take_completions",
+];
+
+/// Allocation patterns forbidden on the tick path.
+const TICK_ALLOC_PATTERNS: [&str; 3] = ["Vec::new(", "vec![", ".to_vec()"];
 
 /// Keywords that may legitimately precede a `[` starting an array literal or
 /// slice pattern; a `[` after one of these is not an index expression.
@@ -107,6 +134,9 @@ struct MaskedLine {
     allows: Vec<String>,
     /// Whether the line is inside (or is) a `#[cfg(test)]` item.
     in_test: bool,
+    /// Whether the line is inside the body of a [`TICK_PATH_FNS`] function
+    /// (only computed for files where `no-tick-alloc` applies).
+    in_tick: bool,
     /// Whether the line carried a `//!` inner doc comment.
     inner_doc: bool,
 }
@@ -232,6 +262,7 @@ fn mask_lines(src: &str) -> Vec<MaskedLine> {
             code,
             allows,
             in_test: false,
+            in_tick: false,
             inner_doc,
         });
     }
@@ -277,6 +308,63 @@ fn mark_test_regions(lines: &mut [MaskedLine]) {
         } else {
             i += 1;
         }
+    }
+}
+
+/// Whether masked `code` contains a definition of a [`TICK_PATH_FNS`]
+/// function: `fn <name>(` with a non-identifier byte (or line start)
+/// before the `fn`.
+fn defines_tick_fn(code: &str) -> bool {
+    TICK_PATH_FNS.iter().any(|name| {
+        let pat = format!("fn {name}(");
+        let mut search = 0;
+        while let Some(pos) = code[search..].find(pat.as_str()) {
+            let at = search + pos;
+            search = at + 3;
+            if at == 0 || !is_ident_byte(code.as_bytes()[at - 1]) {
+                return true;
+            }
+        }
+        false
+    })
+}
+
+/// Marks every line belonging to the body of a tick-path function: from
+/// the `fn` line (signatures may span lines before the `{`) to its
+/// matching close brace. A `;` before any `{` is a trait-method
+/// declaration, which has no body to mark.
+fn mark_tick_regions(lines: &mut [MaskedLine]) {
+    let mut i = 0;
+    while i < lines.len() {
+        if !defines_tick_fn(&lines[i].code) {
+            i += 1;
+            continue;
+        }
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let mut j = i;
+        'body: while j < lines.len() {
+            lines[j].in_tick = true;
+            for b in lines[j].code.bytes() {
+                match b {
+                    b'{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    b'}' => depth -= 1,
+                    b';' if !opened && depth == 0 => {
+                        lines[j].in_tick = false; // declaration only
+                        break 'body;
+                    }
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
     }
 }
 
@@ -460,6 +548,22 @@ fn scan_masked(
                 }
             }
         }
+        if ml.in_tick && !allowed(lines, idx, "no-tick-alloc") {
+            for pat in TICK_ALLOC_PATTERNS {
+                if code.contains(pat) {
+                    out.push(Violation {
+                        rule: "no-tick-alloc",
+                        file: file.to_string(),
+                        line: lineno,
+                        message: format!(
+                            "`{pat}` allocates inside a per-cycle tick-path function; \
+                             reuse a member or caller-owned buffer, or justify with \
+                             `// xtask-allow: no-tick-alloc`"
+                        ),
+                    });
+                }
+            }
+        }
         if check_spawn && !allowed(lines, idx, "no-unchecked-spawn") {
             if code.contains("thread::spawn") {
                 out.push(Violation {
@@ -540,7 +644,12 @@ fn scan_masked(
 /// applicability (accounting module, binary) is derived from it.
 #[must_use]
 pub fn scan_source(file: &str, src: &str) -> Vec<Violation> {
-    let lines = mask_lines(src);
+    let mut lines = mask_lines(src);
+    // The per-cycle hot path lives in the simulator core; see DESIGN.md §9
+    // for why allocation there is a wall-clock bug, not a style issue.
+    if file.contains("crates/gpu-sim/src") {
+        mark_tick_regions(&mut lines);
+    }
     let name = Path::new(file)
         .file_name()
         .and_then(|n| n.to_str())
@@ -791,6 +900,59 @@ mod tests {
             "{DOC}fn main() {{ let v = vec![1]; let _ = v[0]; }} // xtask-allow: no-index-panic\n"
         );
         assert!(rules_found("crates/analysis/src/bin/verify-workloads.rs", &ok).is_empty());
+    }
+
+    #[test]
+    fn tick_alloc_flagged_only_inside_tick_path_fns() {
+        let src = format!(
+            "{DOC}impl Sm {{\n    pub fn tick(&mut self, now: u64) {{\n        let v = \
+             Vec::new();\n        drop(v);\n    }}\n    pub fn launch(&mut self) {{\n        \
+             let _ = vec![1, 2];\n    }}\n}}\n"
+        );
+        let v = scan_source("crates/gpu-sim/src/sm.rs", &src);
+        assert_eq!(v.len(), 1, "only the tick-body alloc: {v:?}");
+        assert_eq!(v[0].rule, "no-tick-alloc");
+        assert_eq!(v[0].line, 4);
+        // Same source outside the simulator core is exempt.
+        assert!(rules_found("crates/core/src/runner.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn tick_alloc_covers_multiline_signatures_and_all_patterns() {
+        let src = format!(
+            "{DOC}impl Sm {{\n    pub fn tick(\n        &mut self,\n        now: u64,\n    ) \
+             {{\n        let a = xs.to_vec();\n        let b = vec![0; 4];\n        drop((a, \
+             b));\n    }}\n}}\n"
+        );
+        let v = scan_source("crates/gpu-sim/src/sm.rs", &src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "no-tick-alloc"));
+    }
+
+    #[test]
+    fn tick_alloc_suppressible_and_spares_lookalikes() {
+        let ok = format!(
+            "{DOC}impl Sm {{\n    pub fn on_fill(&mut self, line: u64) {{\n        // one-shot \
+             resize on first fill; xtask-allow: no-tick-alloc\n        let v = Vec::new();\n        \
+             drop(v);\n    }}\n}}\n"
+        );
+        assert!(rules_found("crates/gpu-sim/src/sm.rs", &ok).is_empty());
+        // `ticker` is not `tick`; `mem::take` of an existing buffer is fine.
+        let spared = format!(
+            "{DOC}impl Sm {{\n    pub fn ticker(&mut self) {{\n        let _ = Vec::new();\n    \
+             }}\n    pub fn tick(&mut self, now: u64) {{\n        let w = \
+             std::mem::take(&mut self.buf);\n        self.buf = w;\n    }}\n}}\n"
+        );
+        assert!(rules_found("crates/gpu-sim/src/sm.rs", &spared).is_empty());
+    }
+
+    #[test]
+    fn tick_alloc_ignores_trait_declarations() {
+        let src = format!(
+            "{DOC}trait Ticked {{\n    fn tick(&mut self, now: u64);\n}}\nfn mk() -> Vec<u32> {{ \
+             Vec::new() }}\n"
+        );
+        assert!(rules_found("crates/gpu-sim/src/x.rs", &src).is_empty());
     }
 
     #[test]
