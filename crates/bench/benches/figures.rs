@@ -64,7 +64,7 @@ fn main() {
                 fig7::render_stalls(&data),
             )
         });
-        r.bench("fig9_metrics", || fig9::two_kernel(&data, BUDGET));
+        r.bench("fig9_metrics", || fig9::two_kernel(&ctx, &data));
         r.bench("energy_model", || energy::compute(&data));
     }
     r.bench("fig8_one_triple", || {

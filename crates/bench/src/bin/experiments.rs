@@ -200,8 +200,8 @@ fn main() -> ExitCode {
             "fig9" => {
                 let six = need_fig6(&ctx, &mut fig6_cache, opts.oracle);
                 let eight = need_fig8(&ctx, &mut fig8_cache);
-                let two = fig9::two_kernel(&six, ctx.cfg.isolation_cycles);
-                let three = fig9::three_kernel(&eight, ctx.cfg.isolation_cycles);
+                let two = fig9::two_kernel(&ctx, &six);
+                let three = fig9::three_kernel(&ctx, &eight);
                 println!("{}", fig9::render(&two, &three));
             }
             "energy" => {

@@ -183,6 +183,18 @@ impl ExperimentContext {
             .collect()
     }
 
+    /// Per-kernel *true* isolated cycle counts for a workload — how long
+    /// each benchmark alone needed for its equal-work target (its last
+    /// instruction-issue cycle, not the shared isolation budget). This is
+    /// the normalizer [`warped_slicer::metrics`] requires, one entry per
+    /// kernel.
+    pub fn isolated_cycles(&self, benches: &[&Benchmark]) -> Vec<u64> {
+        self.isolation_batch(benches)
+            .iter()
+            .map(|r| r.isolated_cycles)
+            .collect()
+    }
+
     /// The equal-work corun job for `benches` under `policy` (targets come
     /// from the isolation memo).
     pub fn corun_job(&self, benches: &[&Benchmark], policy: &PolicyKind) -> SimJob {

@@ -1,8 +1,14 @@
 //! Fig. 9: fairness (minimum speedup) and average normalized turnaround
 //! time for two- and three-kernel workloads, normalized to Left-Over.
+//!
+//! Each kernel's speedup and slowdown are normalized by *its own* isolated
+//! execution time (from the context's isolation memo), not by the shared
+//! isolation budget — the two differ whenever a kernel exhausts its grid
+//! before the budget.
 
 use warped_slicer::{antt, fairness};
 
+use crate::context::ExperimentContext;
 use crate::experiments::fig6::Fig6Data;
 use crate::experiments::fig8::TripleResult;
 use crate::report::{f2, gmean, Table};
@@ -22,9 +28,11 @@ type PairSelector =
 /// Selects one policy's run out of a triple result.
 type TripleSelector = Box<dyn Fn(&TripleResult) -> &warped_slicer::CorunResult>;
 
-/// Computes Fig. 9 aggregates for 2-kernel workloads from the Fig. 6 runs.
+/// Computes Fig. 9 aggregates for 2-kernel workloads from the Fig. 6 runs,
+/// normalizing each kernel by its own isolated cycle count from `ctx`'s
+/// isolation memo.
 #[must_use]
-pub fn two_kernel(data: &Fig6Data, isolation_cycles: u64) -> Vec<(&'static str, PolicyFairness)> {
+pub fn two_kernel(ctx: &ExperimentContext, data: &Fig6Data) -> Vec<(&'static str, PolicyFairness)> {
     let policies: [(&'static str, PairSelector); 3] = [
         ("Spatial", Box::new(|p| &p.spatial)),
         ("Even", Box::new(|p| &p.even)),
@@ -36,10 +44,11 @@ pub fn two_kernel(data: &Fig6Data, isolation_cycles: u64) -> Vec<(&'static str, 
             let mut ratios = Vec::new();
             let mut antts = Vec::new();
             for p in &data.pairs {
-                let base = fairness(&p.left_over, isolation_cycles).max(1e-12);
-                let f = fairness(get(p), isolation_cycles);
+                let iso = ctx.isolated_cycles(&[&p.pair.a, &p.pair.b]);
+                let base = fairness(&p.left_over, &iso).max(1e-12);
+                let f = fairness(get(p), &iso);
                 ratios.push(f / base);
-                antts.push(antt(get(p), isolation_cycles));
+                antts.push(antt(get(p), &iso));
             }
             (
                 name,
@@ -52,11 +61,13 @@ pub fn two_kernel(data: &Fig6Data, isolation_cycles: u64) -> Vec<(&'static str, 
         .collect()
 }
 
-/// Computes Fig. 9 aggregates for 3-kernel workloads from the Fig. 8 runs.
+/// Computes Fig. 9 aggregates for 3-kernel workloads from the Fig. 8 runs,
+/// normalizing each kernel by its own isolated cycle count from `ctx`'s
+/// isolation memo.
 #[must_use]
 pub fn three_kernel(
+    ctx: &ExperimentContext,
     data: &[TripleResult],
-    isolation_cycles: u64,
 ) -> Vec<(&'static str, PolicyFairness)> {
     let policies: [(&'static str, TripleSelector); 3] = [
         ("Spatial", Box::new(|t| &t.spatial)),
@@ -69,9 +80,10 @@ pub fn three_kernel(
             let mut ratios = Vec::new();
             let mut antts = Vec::new();
             for t in data {
-                let base = fairness(&t.left_over, isolation_cycles).max(1e-12);
-                ratios.push(fairness(get(t), isolation_cycles) / base);
-                antts.push(antt(get(t), isolation_cycles));
+                let iso = ctx.isolated_cycles(&[&t.triple.a, &t.triple.b, &t.triple.c]);
+                let base = fairness(&t.left_over, &iso).max(1e-12);
+                ratios.push(fairness(get(t), &iso) / base);
+                antts.push(antt(get(t), &iso));
             }
             (
                 name,
@@ -131,7 +143,7 @@ mod tests {
         let data = Fig6Data {
             pairs: vec![fig6::run_pair(&ctx, &pair, false)],
         };
-        let two = two_kernel(&data, ctx.cfg.isolation_cycles);
+        let two = two_kernel(&ctx, &data);
         assert_eq!(two.len(), 3);
         for (name, f) in &two {
             assert!(

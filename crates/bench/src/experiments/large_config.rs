@@ -46,11 +46,11 @@ pub fn compute(isolation_cycles: u64, pairs: &[Pair]) -> Vec<LargeRow> {
             let [lo, dy] = chunk else {
                 unreachable!("corun_batch returns two results per pair")
             };
+            let iso = ctx.isolated_cycles(&[&p.a, &p.b]);
             LargeRow {
                 label: format!("{}_{}", p.a.abbrev, p.b.abbrev),
                 dynamic_ipc: dy.combined_ipc / lo.combined_ipc.max(1e-12),
-                dynamic_fairness: fairness(dy, isolation_cycles)
-                    / fairness(lo, isolation_cycles).max(1e-12),
+                dynamic_fairness: fairness(dy, &iso) / fairness(lo, &iso).max(1e-12),
             }
         })
         .collect()

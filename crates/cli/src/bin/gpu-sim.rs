@@ -1,5 +1,24 @@
-//! Standalone simulator driver: describe a synthetic kernel on the command
-//! line, run it on the Table I GPU, and print a statistics report.
+//! Standalone simulator driver.
+//!
+//! Three modes:
+//!
+//! * **Single-kernel** (default): describe a synthetic kernel on the
+//!   command line, run it on the Table I GPU, and print a statistics
+//!   report.
+//! * **`--analyze`**: no simulation; the kernel is statically verified
+//!   (the same pre-flight that guards `Gpu::try_add_kernel`) and a report
+//!   of derived static metrics — instruction mix, per-resource Eq. 1
+//!   occupancy quotas — is printed. Exits non-zero when the verifier
+//!   rejects the kernel.
+//! * **`--corun A,B[,C]`**: run the named benchmark workloads (Table II
+//!   abbreviations) concurrently under the paper's equal-work methodology
+//!   and print fairness/ANTT. With `--trace FILE` the run captures the
+//!   ws-trace event stream and the Warped-Slicer decision audit and writes
+//!   them as JSONL; `--chrome FILE` additionally writes a Chrome
+//!   `trace_event` document for `chrome://tracing` / Perfetto.
+//!
+//! `--validate-trace FILE` checks a previously written JSONL trace against
+//! the ws-trace schema and exits.
 //!
 //! ```text
 //! gpu-sim [--threads N] [--regs N] [--shmem BYTES] [--grid N]
@@ -9,21 +28,21 @@
 //!         [--transactions N] [--icache-miss F] [--conflicts N]
 //!         [--ctas-per-sm N] [--cycles N] [--sched gto|rr] [--large]
 //!         [--analyze]
+//! gpu-sim --corun IMG,NN [--policy leftover|fcfs|even|spatial|dynamic]
+//!         [--cycles N] [--trace FILE] [--chrome FILE] [--large]
+//! gpu-sim --validate-trace FILE
 //! ```
-//!
-//! With `--analyze`, no simulation runs: the kernel is statically verified
-//! (the same pre-flight that guards [`Gpu::try_add_kernel`]) and a report of
-//! derived static metrics — instruction mix, per-resource Eq. 1 occupancy
-//! quotas — is printed instead. Exits non-zero when the verifier rejects the
-//! kernel. The deeper dataflow report (RAW histograms, footprint and
-//! consistency checks) lives in `ws-analyze`'s `verify-workloads` binary,
-//! which this crate cannot depend on without a cycle.
 
 use std::process::ExitCode;
 
 use gpu_sim::{
     AccessPattern, Gpu, GpuConfig, KernelDesc, OpClass, ProgramSpec, SchedulerKind, StallReason,
 };
+use warped_slicer::{
+    antt, chrome_trace, execute, fairness, jsonl, run_isolation, validate_jsonl, PolicyKind,
+    RunConfig, SimJob, TraceOptions, WarpedSlicerConfig,
+};
+use ws_workloads::by_abbrev;
 
 #[derive(Debug)]
 struct Args {
@@ -48,6 +67,11 @@ struct Args {
     large: bool,
     seed: u64,
     analyze: bool,
+    corun: Option<Vec<String>>,
+    policy: String,
+    trace: Option<String>,
+    chrome: Option<String>,
+    validate: Option<String>,
 }
 
 impl Default for Args {
@@ -74,6 +98,11 @@ impl Default for Args {
             large: false,
             seed: 1,
             analyze: false,
+            corun: None,
+            policy: "dynamic".to_string(),
+            trace: None,
+            chrome: None,
+            validate: None,
         }
     }
 }
@@ -168,10 +197,20 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown scheduler: {other}")),
                 }
             }
+            "--corun" => {
+                out.corun = Some(value.split(',').map(str::to_string).collect());
+            }
+            "--policy" => out.policy = value,
+            "--trace" => out.trace = Some(value),
+            "--chrome" => out.chrome = Some(value),
+            "--validate-trace" => out.validate = Some(value),
             other => return Err(format!("unknown flag: {other}")),
         }
     }
     out.pattern = parse_pattern(pattern_arg.as_deref().unwrap_or("streaming"), transactions)?;
+    if out.corun.is_none() && (out.trace.is_some() || out.chrome.is_some()) {
+        return Err("--trace/--chrome require --corun".to_string());
+    }
     Ok(out)
 }
 
@@ -232,6 +271,111 @@ fn analyze(desc: &KernelDesc, cfg: &GpuConfig) -> ExitCode {
     }
 }
 
+/// `--validate-trace`: check a JSONL trace against the ws-trace schema.
+fn validate_trace(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_jsonl(&text) {
+        Ok(records) => {
+            println!("{path}: {records} schema-valid records");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_policy(name: &str, isolation_cycles: u64) -> Result<PolicyKind, String> {
+    match name {
+        "leftover" => Ok(PolicyKind::LeftOver),
+        "fcfs" => Ok(PolicyKind::Fcfs),
+        "even" => Ok(PolicyKind::Even),
+        "spatial" => Ok(PolicyKind::Spatial),
+        "dynamic" => Ok(PolicyKind::WarpedSlicer(WarpedSlicerConfig::scaled_for(
+            isolation_cycles,
+        ))),
+        other => Err(format!(
+            "unknown policy: {other} (expected leftover|fcfs|even|spatial|dynamic)"
+        )),
+    }
+}
+
+/// `--corun`: equal-work multiprogrammed run with optional ws-trace export.
+fn corun(args: &Args, abbrevs: &[String]) -> Result<ExitCode, String> {
+    let benches: Vec<_> = abbrevs
+        .iter()
+        .map(|a| by_abbrev(a).ok_or_else(|| format!("unknown benchmark abbreviation: {a}")))
+        .collect::<Result<_, _>>()?;
+    if benches.len() < 2 {
+        return Err("--corun needs at least two comma-separated benchmarks".to_string());
+    }
+    let cfg = RunConfig {
+        gpu: if args.large {
+            GpuConfig::large()
+        } else {
+            GpuConfig::isca_baseline()
+        },
+        scheduler: args.sched,
+        isolation_cycles: args.cycles,
+        ..RunConfig::default()
+    };
+    let policy = parse_policy(&args.policy, args.cycles)?;
+    let names: Vec<&str> = benches.iter().map(|b| b.abbrev).collect();
+    println!(
+        "corun {} under `{}` (isolation budget {} cycles)",
+        names.join("+"),
+        args.policy,
+        args.cycles
+    );
+    let iso: Vec<_> = benches
+        .iter()
+        .map(|b| run_isolation(&b.desc, &cfg))
+        .collect();
+    let targets: Vec<u64> = iso.iter().map(|r| r.target_insts).collect();
+    let isolated: Vec<u64> = iso.iter().map(|r| r.isolated_cycles).collect();
+    let traced = args.trace.is_some() || args.chrome.is_some();
+    let run_cfg = RunConfig {
+        trace: traced.then(TraceOptions::default),
+        ..cfg
+    };
+    let descs: Vec<&KernelDesc> = benches.iter().map(|b| &b.desc).collect();
+    let job = SimJob::corun(&descs, &targets, &policy, &run_cfg);
+    let outcome = execute(&job);
+    let result = outcome.clone().into_corun(&job);
+    println!("  total cycles      : {}", result.total_cycles);
+    for (i, name) in names.iter().enumerate() {
+        let fin = result.finish_cycle.get(i).copied().flatten();
+        println!(
+            "  {name:<6} target {:>9} insts, isolated {:>8} cycles, finished at {}",
+            targets.get(i).copied().unwrap_or(0),
+            isolated.get(i).copied().unwrap_or(0),
+            fin.map_or_else(|| "TIMEOUT".to_string(), |c| c.to_string()),
+        );
+    }
+    println!("  combined IPC      : {:.3}", result.combined_ipc);
+    println!("  fairness          : {:.3}", fairness(&result, &isolated));
+    println!("  ANTT              : {:.3}", antt(&result, &isolated));
+    if let Some(path) = &args.trace {
+        let text = jsonl(&outcome, &result.label, &result.policy, &names);
+        let records = validate_jsonl(&text).map_err(|e| format!("internal: {e}"))?;
+        std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("  trace             : {records} records -> {path}");
+    }
+    if let Some(path) = &args.chrome {
+        let doc = chrome_trace(&outcome, &names);
+        std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("  chrome trace      : -> {path}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -240,6 +384,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &args.validate {
+        return validate_trace(path);
+    }
+    if let Some(abbrevs) = &args.corun {
+        return match corun(&args, abbrevs) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let cfg = if args.large {
         GpuConfig::large()
     } else {

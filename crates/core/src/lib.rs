@@ -15,6 +15,8 @@
 //!   Spatial, fixed-quota, and the dynamic Warped-Slicer;
 //! * [`runner`] — the equal-work experiment methodology (Sec. V-A);
 //! * [`metrics`] — combined IPC, fairness (minimum speedup), ANTT;
+//! * [`audit`] / [`tracefmt`] — the ws-trace decision-audit channel and
+//!   its JSONL / Chrome `trace_event` export formats;
 //! * [`energy`] — an event-based power/energy model (Sec. V-G);
 //! * [`oracle`] — exhaustive best-partition search (the figures' Oracle).
 //!
@@ -40,6 +42,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod audit;
 pub mod energy;
 pub mod metrics;
 pub mod oracle;
@@ -49,8 +52,10 @@ pub mod profiler;
 pub mod resources;
 pub mod runner;
 pub mod scaling;
+pub mod tracefmt;
 pub mod waterfill;
 
+pub use audit::{AuditEvent, DecisionAudit};
 pub use energy::{EnergyModel, EnergyReport};
 pub use metrics::{antt, fairness, speedups, system_throughput};
 pub use oracle::{feasible_quotas, run_oracle, OracleResult};
@@ -60,13 +65,17 @@ pub use policy::{
     PolicyKind, QuotaController, SpatialController, WarpedSlicerConfig, WarpedSlicerController,
 };
 pub use profiler::{
-    build_curves, profile_curves, ProfilePlan, ProfileSample, ProfileTiming, SmAssignment,
+    build_curves, build_curves_audited, profile_curves, ProfilePlan, ProfileSample, ProfileTiming,
+    SmAssignment,
 };
 pub use resources::ResourceVec;
 pub use runner::{
     collect_stats, execute, execute_batch, run_corun, run_isolation, run_with_cta_cap,
     AggregateStats, CacheStats, CorunResult, IsolationResult, RunConfig, SimJob, SimOutcome,
-    StopCondition, UtilizationStats,
+    StopCondition, TraceOptions, UtilizationStats,
 };
-pub use scaling::{psi, scale_ipc};
-pub use waterfill::{brute_force, water_fill, KernelCurve, Partition};
+pub use scaling::{psi, scale_ipc, scale_ipc_audited, ScaleOutcome};
+pub use tracefmt::{chrome_trace, jsonl, validate_jsonl};
+pub use waterfill::{
+    brute_force, water_fill, water_fill_traced, KernelCurve, Partition, WaterFillStep,
+};

@@ -8,19 +8,36 @@
 //!   finish time (Fig. 9a).
 //! * **ANTT** — average normalized turnaround time, the mean of the
 //!   per-kernel slowdowns (Fig. 9b; lower is better).
+//!
+//! Every metric takes *per-kernel* isolated cycle counts (`isolated[k]` is
+//! how long kernel `k` alone needs for its equal-work target). A single
+//! shared scalar — the historical interface — is wrong for heterogeneous
+//! pairs: a kernel that exhausts its grid before the isolation budget has a
+//! true isolated time below the budget, and normalizing it by the shared
+//! budget inflated its speedup and deflated its slowdown.
 
 use crate::runner::CorunResult;
 
-/// Per-kernel speedups: `isolated_cycles / finish_cycle`.
+/// Per-kernel speedups: `isolated[k] / finish_cycle[k]`.
 ///
 /// Kernels that timed out get a speedup computed against the run's total
 /// cycles (a conservative lower bound).
+///
+/// # Panics
+///
+/// Panics unless `isolated` has exactly one entry per kernel.
 #[must_use]
-pub fn speedups(result: &CorunResult, isolated_cycles: u64) -> Vec<f64> {
+pub fn speedups(result: &CorunResult, isolated: &[u64]) -> Vec<f64> {
+    assert_eq!(
+        isolated.len(),
+        result.finish_cycle.len(),
+        "one isolated-cycle count per kernel"
+    );
     result
         .finish_cycle
         .iter()
-        .map(|f| isolated_cycles as f64 / f.unwrap_or(result.total_cycles).max(1) as f64)
+        .zip(isolated)
+        .map(|(f, &iso)| iso as f64 / f.unwrap_or(result.total_cycles).max(1) as f64)
         .collect()
 }
 
@@ -28,30 +45,48 @@ pub fn speedups(result: &CorunResult, isolated_cycles: u64) -> Vec<f64> {
 ///
 /// A policy that finishes one kernel on time but doubles the other's
 /// turnaround scores 0.5 — the starved kernel defines fairness.
+///
+/// # Panics
+///
+/// Panics unless `isolated` has exactly one entry per kernel.
 #[must_use]
-pub fn fairness(result: &CorunResult, isolated_cycles: u64) -> f64 {
-    speedups(result, isolated_cycles)
+pub fn fairness(result: &CorunResult, isolated: &[u64]) -> f64 {
+    speedups(result, isolated)
         .into_iter()
         .fold(f64::INFINITY, f64::min)
 }
 
-/// Average normalized turnaround time: mean of `finish / isolated`
+/// Average normalized turnaround time: mean of `finish[k] / isolated[k]`
 /// (Fig. 9b; lower is better, 1.0 = no slowdown).
+///
+/// # Panics
+///
+/// Panics unless `isolated` has exactly one entry per kernel.
 #[must_use]
-pub fn antt(result: &CorunResult, isolated_cycles: u64) -> f64 {
+pub fn antt(result: &CorunResult, isolated: &[u64]) -> f64 {
+    assert_eq!(
+        isolated.len(),
+        result.finish_cycle.len(),
+        "one isolated-cycle count per kernel"
+    );
     let slowdowns: Vec<f64> = result
         .finish_cycle
         .iter()
-        .map(|f| f.unwrap_or(result.total_cycles).max(1) as f64 / isolated_cycles as f64)
+        .zip(isolated)
+        .map(|(f, &iso)| f.unwrap_or(result.total_cycles).max(1) as f64 / iso.max(1) as f64)
         .collect();
     slowdowns.iter().sum::<f64>() / slowdowns.len() as f64
 }
 
 /// System throughput: the sum of per-kernel speedups (a.k.a. weighted
 /// speedup).
+///
+/// # Panics
+///
+/// Panics unless `isolated` has exactly one entry per kernel.
 #[must_use]
-pub fn system_throughput(result: &CorunResult, isolated_cycles: u64) -> f64 {
-    speedups(result, isolated_cycles).iter().sum()
+pub fn system_throughput(result: &CorunResult, isolated: &[u64]) -> f64 {
+    speedups(result, isolated).iter().sum()
 }
 
 #[cfg(test)]
@@ -76,32 +111,97 @@ mod tests {
     #[test]
     fn speedups_divide_isolated_by_finish() {
         let r = result(vec![Some(200), Some(400)], 400);
-        assert_eq!(speedups(&r, 200), vec![1.0, 0.5]);
+        assert_eq!(speedups(&r, &[200, 200]), vec![1.0, 0.5]);
     }
 
     #[test]
     fn fairness_is_the_minimum() {
         let r = result(vec![Some(200), Some(400), Some(250)], 400);
-        assert!((fairness(&r, 200) - 0.5).abs() < 1e-12);
+        assert!((fairness(&r, &[200, 200, 200]) - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn antt_is_mean_slowdown() {
         let r = result(vec![Some(200), Some(400)], 400);
         // Slowdowns 1.0 and 2.0 -> ANTT 1.5.
-        assert!((antt(&r, 200) - 1.5).abs() < 1e-12);
+        assert!((antt(&r, &[200, 200]) - 1.5).abs() < 1e-12);
     }
 
     #[test]
     fn stp_sums_speedups() {
         let r = result(vec![Some(200), Some(400)], 400);
-        assert!((system_throughput(&r, 200) - 1.5).abs() < 1e-12);
+        assert!((system_throughput(&r, &[200, 200]) - 1.5).abs() < 1e-12);
     }
 
     #[test]
     fn timed_out_kernels_use_total_cycles() {
         let r = result(vec![Some(100), None], 1000);
-        assert_eq!(speedups(&r, 100), vec![1.0, 0.1]);
-        assert!((antt(&r, 100) - 5.5).abs() < 1e-12);
+        assert_eq!(speedups(&r, &[100, 100]), vec![1.0, 0.1]);
+        assert!((antt(&r, &[100, 100]) - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_pair_uses_each_kernels_own_isolation() {
+        // Kernel 0 alone needs 100 cycles for its target, kernel 1 needs
+        // 400 (e.g. it exhausted its grid before the isolation budget). In
+        // the co-run they finish at 200 and 800: both were slowed 2x, so
+        // fairness is 0.5 and ANTT is 2.0.
+        let r = result(vec![Some(200), Some(800)], 800);
+        let iso = [100u64, 400];
+        assert_eq!(speedups(&r, &iso), vec![0.5, 0.5]);
+        assert!((fairness(&r, &iso) - 0.5).abs() < 1e-12);
+        assert!((antt(&r, &iso) - 2.0).abs() < 1e-12);
+        assert!((system_throughput(&r, &iso) - 1.0).abs() < 1e-12);
+        // Regression pin: the old interface applied one shared scalar (the
+        // isolation budget both kernels ran under, here kernel 0's 100) to
+        // every kernel and reported fairness 100/800 = 0.125 — starvation
+        // that never happened — and ANTT (2 + 8) / 2 = 5.0. Pinned here as
+        // the *wrong* values the shared-scalar computation produces.
+        let shared = [100u64, 100];
+        assert!((fairness(&r, &shared) - 0.125).abs() < 1e-12);
+        assert!((antt(&r, &shared) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn property_fairness_is_min_isolated_over_finish() {
+        // Randomized heterogeneous workloads: fairness must equal
+        // `min_k(isolated[k] / finish[k])` computed independently, speedups
+        // must be the per-kernel ratios, and ANTT the mean of their
+        // reciprocals — for any kernel count, finish order, and timeout mix.
+        let mut rng = gpu_sim::SimRng::seed_from_u64(0x5eed_fa1e);
+        for round in 0..200 {
+            let k = 2 + (rng.next_u64() % 3) as usize;
+            let total = 1_000 + rng.next_u64() % 100_000;
+            let finish: Vec<Option<u64>> = (0..k)
+                .map(|_| (!rng.next_u64().is_multiple_of(8)).then(|| 1 + rng.next_u64() % total))
+                .collect();
+            let iso: Vec<u64> = (0..k).map(|_| 1 + rng.next_u64() % total).collect();
+            let r = result(finish.clone(), total);
+            let ratios: Vec<f64> = finish
+                .iter()
+                .zip(&iso)
+                .map(|(f, &i)| i as f64 / f.unwrap_or(total).max(1) as f64)
+                .collect();
+            let min_ratio = ratios.iter().copied().fold(f64::INFINITY, f64::min);
+            assert_eq!(speedups(&r, &iso), ratios, "round {round}");
+            assert!(
+                (fairness(&r, &iso) - min_ratio).abs() < 1e-12,
+                "round {round}: fairness {} vs oracle {min_ratio}",
+                fairness(&r, &iso)
+            );
+            let mean_slowdown = ratios.iter().map(|s| 1.0 / s).sum::<f64>() / k as f64;
+            assert!(
+                (antt(&r, &iso) - mean_slowdown).abs() < 1e-9 * mean_slowdown,
+                "round {round}: antt {} vs oracle {mean_slowdown}",
+                antt(&r, &iso)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one isolated-cycle count per kernel")]
+    fn mismatched_isolated_slice_rejected() {
+        let r = result(vec![Some(200), Some(400)], 400);
+        let _ = speedups(&r, &[200]);
     }
 }

@@ -53,7 +53,11 @@ impl PhaseMonitor {
     }
 
     /// Feeds one window's IPC. Returns `true` when a significant, sustained
-    /// phase change is detected; the monitor then re-baselines itself.
+    /// phase change is detected; the monitor then re-arms — the baseline is
+    /// cleared and re-established from the *next* observed window, so the
+    /// kernel's post-trigger steady state (typically under a fresh
+    /// partition) defines the new reference rather than the transition
+    /// window itself.
     pub fn observe(&mut self, window_ipc: f64) -> bool {
         let Some(base) = self.baseline else {
             self.baseline = Some(window_ipc);
@@ -71,7 +75,12 @@ impl PhaseMonitor {
         if deviation > self.threshold {
             self.deviant_windows += 1;
             if self.deviant_windows >= self.sustain {
-                self.baseline = Some(window_ipc);
+                // Re-arm rather than re-baseline at the transition window's
+                // IPC: the trigger window is mid-transition, and using it as
+                // the new reference made any settled level > threshold away
+                // from it re-fire every `sustain` windows (a re-sampling
+                // storm).
+                self.baseline = None;
                 self.deviant_windows = 0;
                 return true;
             }
@@ -121,9 +130,31 @@ mod tests {
         assert!(!m.observe(2.0)); // baseline
         assert!(!m.observe(0.5)); // first deviant window
         assert!(m.observe(0.5)); // second -> trigger
-                                 // Re-baselined at 0.5: stable continuation is quiet.
+                                 // Re-armed: the next window re-establishes
+                                 // the baseline, so a stable continuation is
+                                 // quiet.
         assert!(!m.observe(0.5));
         assert!(!m.observe(0.52));
+    }
+
+    #[test]
+    fn rearms_after_trigger_and_does_not_refire() {
+        // Regression: the monitor used to re-baseline at the *trigger
+        // window's* IPC instead of re-arming. A kernel settling afterwards
+        // at a level > threshold away from that mid-transition value then
+        // re-fired every `sustain` windows — a perpetual re-sampling storm.
+        let mut m = PhaseMonitor::new(0.3, 2);
+        assert!(!m.observe(2.0)); // baseline
+        assert!(!m.observe(0.2)); // first deviant window
+        assert!(m.observe(0.6)); // second -> trigger, re-arm
+        assert_eq!(m.baseline(), None, "trigger must clear the baseline");
+        // Settled level 0.8 deviates 33% from the trigger window's 0.6, so
+        // the buggy monitor fired again here every two windows. The fixed
+        // one re-baselines at 0.8 and stays quiet forever.
+        for _ in 0..20 {
+            assert!(!m.observe(0.8), "monitor re-fired after settling");
+        }
+        assert_eq!(m.baseline(), Some(0.8));
     }
 
     #[test]

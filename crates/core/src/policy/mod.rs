@@ -71,6 +71,15 @@ pub trait Controller: std::fmt::Debug {
         None
     }
 
+    /// The decision-audit trail, if this policy records one (see
+    /// [`crate::audit::DecisionAudit`]; only the Warped-Slicer controller
+    /// does, and only when
+    /// [`WarpedSlicerConfig::audit`](crate::policy::WarpedSlicerConfig) is
+    /// set).
+    fn audit(&self) -> Option<&crate::audit::DecisionAudit> {
+        None
+    }
+
     /// Earliest future cycle at which this controller may act even though
     /// the GPU's launch-relevant state (completed CTAs, halted kernels) is
     /// unchanged — a timer-driven intervention such as a sampling-phase

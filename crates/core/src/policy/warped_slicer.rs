@@ -9,14 +9,17 @@
 
 use gpu_sim::{Gpu, KernelDesc};
 
+use crate::audit::{AuditEvent, DecisionAudit};
 use crate::phase::PhaseMonitor;
 use crate::policy::{
     blocked_window, quota_windows, sweep_launch, ChangeTracker, Controller, Decision,
     SpatialController,
 };
-use crate::profiler::{build_curves, BandwidthSample, ProfilePlan, ProfileSample, ProfileTiming};
+use crate::profiler::{
+    build_curves, build_curves_audited, BandwidthSample, ProfilePlan, ProfileSample, ProfileTiming,
+};
 use crate::resources::ResourceVec;
-use crate::waterfill::{water_fill, KernelCurve};
+use crate::waterfill::{water_fill, water_fill_traced, KernelCurve};
 
 /// Tunables for the Warped-Slicer controller.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +42,12 @@ pub struct WarpedSlicerConfig {
     /// so the drain of over-quota profile CTAs (Fig. 2e) is not mistaken
     /// for a program phase change.
     pub phase_settle_windows: u32,
+    /// Record a [`DecisionAudit`] of every scaling application,
+    /// water-filling grant, fallback verdict, and phase-monitor window.
+    /// Recording happens only at decision points, so the simulated run is
+    /// identical either way; off by default to keep decisions
+    /// allocation-free.
+    pub audit: bool,
 }
 
 impl Default for WarpedSlicerConfig {
@@ -50,6 +59,7 @@ impl Default for WarpedSlicerConfig {
             enable_phase_monitor: true,
             phase_window: 5_000,
             phase_settle_windows: 4,
+            audit: false,
         }
     }
 }
@@ -110,6 +120,7 @@ pub struct WarpedSlicerController {
     reprofiles: u32,
     last_samples: Vec<ProfileSample>,
     known_kernels: usize,
+    audit: DecisionAudit,
 }
 
 impl WarpedSlicerController {
@@ -133,6 +144,7 @@ impl WarpedSlicerController {
             reprofiles: 0,
             last_samples: Vec::new(),
             known_kernels: 0,
+            audit: DecisionAudit::default(),
         }
     }
 
@@ -249,7 +261,11 @@ impl WarpedSlicerController {
 
         self.last_samples = samples.clone();
         let max = Self::max_ctas(gpu);
-        let curves = build_curves(&samples, &max);
+        let curves = if self.cfg.audit {
+            build_curves_audited(&samples, &max, &mut self.audit)
+        } else {
+            build_curves(&samples, &max)
+        };
         let measured_curves = curves.clone();
         let ids = gpu.kernel_ids();
         let kernels: Vec<KernelCurve> = ids
@@ -263,7 +279,51 @@ impl WarpedSlicerController {
         let capacity = ResourceVec::sm_capacity(&gpu.config().sm);
         let threshold = self.cfg.loss_threshold.unwrap_or(1.2 / ids.len() as f64);
 
-        let partition = water_fill(&kernels, capacity);
+        let partition = if self.cfg.audit {
+            self.audit.record(AuditEvent::WaterFillInputs {
+                cta_costs: kernels.iter().map(|k| k.cta_cost).collect(),
+                capacity,
+            });
+            for (i, k) in kernels.iter().enumerate() {
+                self.audit.record(AuditEvent::Curve {
+                    kernel: i,
+                    perf: k.perf.clone(),
+                });
+            }
+            let mut steps = Vec::new();
+            let p = water_fill_traced(&kernels, capacity, &mut steps);
+            for s in steps {
+                self.audit.record(AuditEvent::WaterFillStep {
+                    kernel: s.kernel,
+                    ctas: s.ctas,
+                    perf: s.perf,
+                });
+            }
+            if let Some(p) = &p {
+                self.audit.record(AuditEvent::WaterFillDecision {
+                    quotas: p.ctas.clone(),
+                    water_level: p.min_perf(),
+                    predicted: p.perf.clone(),
+                });
+            }
+            p
+        } else {
+            water_fill(&kernels, capacity)
+        };
+        if self.cfg.audit {
+            let max_loss = partition
+                .as_ref()
+                .map(|p| p.losses().iter().copied().fold(f64::NEG_INFINITY, f64::max));
+            let spatial = match &partition {
+                Some(p) => p.losses().iter().any(|&l| l > threshold),
+                None => true,
+            };
+            self.audit.record(AuditEvent::FallbackVerdict {
+                threshold,
+                max_loss,
+                spatial,
+            });
+        }
         let (quotas, predicted, spatial) = match partition {
             Some(p) if p.losses().iter().all(|&l| l <= threshold) => {
                 (Some(p.ctas.clone()), p.perf, false)
@@ -346,7 +406,18 @@ impl WarpedSlicerController {
             if gpu.kernel_meta(k).halted {
                 continue;
             }
-            if self.monitors[i].observe(ipc) {
+            let baseline = self.monitors[i].baseline();
+            let triggered = self.monitors[i].observe(ipc);
+            if self.cfg.audit {
+                self.audit.record(AuditEvent::PhaseSample {
+                    kernel: i,
+                    cycle: now,
+                    ipc,
+                    baseline,
+                    triggered,
+                });
+            }
+            if triggered {
                 trigger = true;
             }
         }
@@ -419,6 +490,10 @@ impl Controller for WarpedSlicerController {
 
     fn decision(&self) -> Option<&Decision> {
         self.decision.as_ref()
+    }
+
+    fn audit(&self) -> Option<&DecisionAudit> {
+        self.cfg.audit.then_some(&self.audit)
     }
 
     fn next_intervention(&self) -> Option<u64> {
@@ -583,6 +658,33 @@ mod tests {
         }
         // The newcomer actually runs.
         assert!(gpu.kernel_insts(gpu_sim::KernelId(1)) > 0);
+    }
+
+    #[test]
+    fn audit_records_a_replayable_decision() {
+        let cfg = WarpedSlicerConfig {
+            audit: true,
+            ..fast_cfg()
+        };
+        let (_, c) = run_pair("IMG", "NN", 12_000, cfg);
+        let audit = c.audit().expect("audit enabled");
+        let d = c.decision().expect("decision made");
+        let quotas = d.quotas.as_ref().expect("IMG+NN co-locate");
+        // Every kernel's Eq. 2-4 applications were recorded with their
+        // inputs, and the water-filling decision replays from the trace to
+        // the same quota vector.
+        assert!(audit.scaled_points(0).count() >= 1);
+        assert!(audit.scaled_points(1).count() >= 1);
+        assert_eq!(audit.last_quotas(), Some(quotas.as_slice()));
+        let replayed = audit.replay_water_fill().expect("complete decision");
+        assert_eq!(&replayed.ctas, quotas);
+    }
+
+    #[test]
+    fn audit_is_off_by_default() {
+        let (_, c) = run_pair("IMG", "NN", 12_000, fast_cfg());
+        assert!(c.audit().is_none());
+        assert!(c.decision().is_some());
     }
 
     #[test]

@@ -12,8 +12,11 @@
 //! they are unit-testable without a simulator. The Warped-Slicer controller
 //! drives them against a live [`gpu_sim::Gpu`].
 
+use crate::audit::{AuditEvent, DecisionAudit};
 use crate::runner::{execute_batch, RunConfig, SimJob, SimOutcome};
-use crate::scaling::{bandwidth_scale_factor, psi, scale_ipc_with_psi};
+use crate::scaling::{
+    bandwidth_scale_factor_audited, psi, psi_measured, scale_ipc_with_psi_audited,
+};
 use gpu_sim::KernelDesc;
 
 /// Timing parameters of the profiling phase.
@@ -204,6 +207,19 @@ pub struct BandwidthSample {
 /// `max_ctas[i]` bounds kernel `i`'s curve length.
 #[must_use]
 pub fn build_curves(samples: &[ProfileSample], max_ctas: &[u32]) -> Vec<Vec<f64>> {
+    build_curves_audited(samples, max_ctas, &mut DecisionAudit::default())
+}
+
+/// [`build_curves`] with a decision-audit trail: every sample's Eq. 2-4
+/// scaling application is recorded as an [`AuditEvent::ScaledPoint`]
+/// carrying the raw IPC, the `φ_mem`/`ψ` inputs, and the clamp verdict, in
+/// sample order.
+#[must_use]
+pub fn build_curves_audited(
+    samples: &[ProfileSample],
+    max_ctas: &[u32],
+    audit: &mut DecisionAudit,
+) -> Vec<Vec<f64>> {
     let cta_avg = if samples.is_empty() {
         1.0
     } else {
@@ -219,19 +235,31 @@ pub fn build_curves(samples: &[ProfileSample], max_ctas: &[u32]) -> Vec<Vec<f64>
             let mut counts = vec![0u32; n];
             for s in samples.iter().filter(|s| s.kernel == i) {
                 let j = (s.ctas.clamp(1, max) - 1) as usize;
-                let scaled = match s.bandwidth {
-                    Some(bw) => {
-                        s.ipc_sampled
-                            * bandwidth_scale_factor(
-                                bw.sm_transactions,
-                                bw.fair_transactions,
-                                bw.dram_busy,
-                                s.phi_mem,
-                            )
+                let (psi_used, outcome) = match s.bandwidth {
+                    Some(bw) => (
+                        psi_measured(bw.sm_transactions, bw.fair_transactions, bw.dram_busy),
+                        bandwidth_scale_factor_audited(
+                            s.ipc_sampled,
+                            bw.sm_transactions,
+                            bw.fair_transactions,
+                            bw.dram_busy,
+                            s.phi_mem,
+                        ),
+                    ),
+                    None => {
+                        let p = psi(s.ctas, cta_avg);
+                        (p, scale_ipc_with_psi_audited(s.ipc_sampled, s.phi_mem, p))
                     }
-                    None => scale_ipc_with_psi(s.ipc_sampled, s.phi_mem, psi(s.ctas, cta_avg)),
                 };
-                sums[j] += scaled;
+                audit.record(AuditEvent::ScaledPoint {
+                    kernel: s.kernel,
+                    ctas: s.ctas,
+                    ipc_sampled: s.ipc_sampled,
+                    phi_mem: s.phi_mem,
+                    psi: psi_used,
+                    outcome,
+                });
+                sums[j] += outcome.ipc;
                 counts[j] += 1;
             }
             interpolate(&sums, &counts)
@@ -431,6 +459,47 @@ mod tests {
         let c = &build_curves(&samples, &[8])[0];
         assert!(c[7] < 2.0, "hog scaled down: {c:?}");
         assert!(c[1] > 2.0, "underfed scaled up: {c:?}");
+    }
+
+    #[test]
+    fn audited_curves_record_every_scaling_application() {
+        let samples = [
+            ProfileSample {
+                kernel: 0,
+                ctas: 1,
+                ipc_sampled: 1.0,
+                phi_mem: 0.5,
+                bandwidth: None,
+            },
+            ProfileSample {
+                kernel: 1,
+                ctas: 4,
+                ipc_sampled: 2.0,
+                phi_mem: 1.0,
+                bandwidth: Some(BandwidthSample {
+                    sm_transactions: 350,
+                    fair_transactions: 100.0,
+                    dram_busy: 1.0,
+                }),
+            },
+        ];
+        let mut audit = DecisionAudit::default();
+        let audited = build_curves_audited(&samples, &[2, 4], &mut audit);
+        // The audited and plain entry points agree on the curves.
+        assert_eq!(audited, build_curves(&samples, &[2, 4]));
+        assert_eq!(audit.scaled_points(0).count(), 1);
+        assert_eq!(audit.scaled_points(1).count(), 1);
+        // The recorded outcome reproduces the curve point it fed.
+        let Some(AuditEvent::ScaledPoint {
+            ipc_sampled,
+            outcome,
+            ..
+        }) = audit.scaled_points(0).next()
+        else {
+            panic!("missing scaled point");
+        };
+        assert!((ipc_sampled * outcome.factor - outcome.ipc).abs() < 1e-12);
+        assert!((outcome.ipc - audited[0][0]).abs() < 1e-12);
     }
 
     #[test]

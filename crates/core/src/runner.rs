@@ -12,8 +12,9 @@
 //! [`execute_batch`]. The historical entry points ([`run_isolation`],
 //! [`run_with_cta_cap`], [`run_corun`]) are thin wrappers over `execute`.
 
-use gpu_sim::{Gpu, GpuConfig, KernelDesc, KernelId, SchedulerKind, StallBreakdown};
+use gpu_sim::{Gpu, GpuConfig, KernelDesc, KernelId, SchedulerKind, StallBreakdown, TraceEvent};
 
+use crate::audit::DecisionAudit;
 use crate::policy::{make_controller, Decision, PolicyKind};
 
 /// Global run parameters.
@@ -37,6 +38,32 @@ pub struct RunConfig {
     /// Either way the outcome statistics are byte-identical; only
     /// wall-clock time changes.
     pub fast_forward: Option<bool>,
+    /// ws-trace capture: `Some` enables the simulator's ring-buffered event
+    /// sink and (for the Warped-Slicer policy) the decision audit, both
+    /// returned on the [`SimOutcome`]. `None` (the default) keeps the run
+    /// allocation-free on the tick path. Statistics are identical either
+    /// way; only the outcome's `trace`/`audit` fields change.
+    pub trace: Option<TraceOptions>,
+}
+
+/// Tunables for ws-trace capture (see [`RunConfig::trace`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOptions {
+    /// Ring-buffer capacity in events; when full, the oldest events are
+    /// overwritten (the sink counts the drops).
+    pub ring_capacity: usize,
+    /// Emit an aggregated stall-breakdown event every this many cycles
+    /// (0 disables stall windows).
+    pub stall_window: u64,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        Self {
+            ring_capacity: 1 << 16,
+            stall_window: 5_000,
+        }
+    }
 }
 
 impl Default for RunConfig {
@@ -47,6 +74,7 @@ impl Default for RunConfig {
             isolation_cycles: 100_000,
             max_cycle_factor: 30,
             fast_forward: None,
+            trace: None,
         }
     }
 }
@@ -234,6 +262,12 @@ pub struct IsolationResult {
     /// Warp instructions issued in the budget — the benchmark's equal-work
     /// target.
     pub target_insts: u64,
+    /// Cycles the kernel actually needed to issue `target_insts` alone: the
+    /// cycle of its last instruction issue, not the isolation budget. The
+    /// two differ when the kernel exhausts its grid (or stalls out) before
+    /// the budget; metrics must normalize by *this* value, one per kernel,
+    /// never by the shared budget (see [`crate::metrics`]). Always >= 1.
+    pub isolated_cycles: u64,
     /// GPU-wide IPC over the budget.
     pub ipc: f64,
     /// Full statistics.
@@ -358,6 +392,18 @@ pub struct SimOutcome {
     /// not part of [`AggregateStats`] so outcome comparisons across
     /// fast-forward modes stay byte-identical.
     pub ff_skipped_cycles: u64,
+    /// Cycle at which each kernel last issued an instruction (0 if it never
+    /// did). For an isolation job this is the kernel's true isolated
+    /// execution time for its target.
+    pub last_progress_cycle: Vec<u64>,
+    /// Captured simulator events, oldest first ([`RunConfig::trace`] jobs
+    /// only). Unlike the statistics, the event *stream* is only comparable
+    /// between runs with the same fast-forward setting.
+    pub trace: Option<Vec<TraceEvent>>,
+    /// The policy's decision audit ([`RunConfig::trace`] jobs under the
+    /// Warped-Slicer policy, or any policy configured with
+    /// [`WarpedSlicerConfig::audit`](crate::policy::WarpedSlicerConfig)).
+    pub audit: Option<DecisionAudit>,
 }
 
 impl SimOutcome {
@@ -379,6 +425,12 @@ impl SimOutcome {
     pub fn into_isolation(self) -> IsolationResult {
         IsolationResult {
             target_insts: self.end_insts.iter().sum(),
+            isolated_cycles: self
+                .last_progress_cycle
+                .first()
+                .copied()
+                .unwrap_or(self.total_cycles)
+                .max(1),
             ipc: self.stats.insts as f64 / self.measured_cycles.max(1) as f64,
             stats: self.stats,
         }
@@ -435,6 +487,22 @@ fn fast_forward_step(
     *last_sig = sig;
 }
 
+/// Updates each kernel's last-progress cycle after a tick: any kernel whose
+/// instruction count moved issued at the just-ticked cycle. Instruction
+/// counts are frozen inside fast-forwarded spans, so this is exact under
+/// fast-forward too.
+fn note_progress(gpu: &Gpu, ids: &[KernelId], last_insts: &mut [u64], last_cycle: &mut [u64]) {
+    for (i, &k) in ids.iter().enumerate() {
+        let insts = gpu.kernel_insts(k);
+        if let (Some(prev), Some(cell)) = (last_insts.get_mut(i), last_cycle.get_mut(i)) {
+            if insts > *prev {
+                *prev = insts;
+                *cell = gpu.cycle();
+            }
+        }
+    }
+}
+
 /// Executes one [`SimJob`] to completion. Pure in the job: the same job
 /// always produces the same outcome, on any thread — and, by the
 /// event-horizon contract, regardless of whether fast-forward is on.
@@ -444,16 +512,33 @@ pub fn execute(job: &SimJob) -> SimOutcome {
     if let Some(on) = job.cfg.fast_forward {
         gpu.set_fast_forward(on);
     }
+    if let Some(t) = &job.cfg.trace {
+        gpu.enable_trace(t.ring_capacity, t.stall_window);
+    }
     let ids: Vec<KernelId> = job
         .kernels
         .iter()
         .map(|d| gpu.add_kernel(d.clone()))
         .collect();
-    let mut controller = make_controller(&job.policy);
+    // A traced Warped-Slicer run implies the decision audit: recording only
+    // happens at decision points, so the simulated run is unchanged.
+    let policy = match (&job.cfg.trace, &job.policy) {
+        (Some(_), PolicyKind::WarpedSlicer(ws)) if !ws.audit => {
+            PolicyKind::WarpedSlicer(crate::policy::WarpedSlicerConfig {
+                audit: true,
+                ..ws.clone()
+            })
+        }
+        _ => job.policy.clone(),
+    };
+    let mut controller = make_controller(&policy);
     let mut sig = (gpu.total_completed(), gpu.halted_kernels());
+    let mut last_insts = vec![0u64; ids.len()];
+    let mut last_progress = vec![0u64; ids.len()];
     while gpu.cycle() < job.warmup {
         controller.on_cycle(&mut gpu);
         gpu.tick();
+        note_progress(&gpu, &ids, &mut last_insts, &mut last_progress);
         fast_forward_step(&mut gpu, controller.as_ref(), &mut sig, job.warmup);
     }
     let start_insts: Vec<u64> = ids.iter().map(|&k| gpu.kernel_insts(k)).collect();
@@ -466,6 +551,7 @@ pub fn execute(job: &SimJob) -> SimOutcome {
             while gpu.cycle() < end {
                 controller.on_cycle(&mut gpu);
                 gpu.tick();
+                note_progress(&gpu, &ids, &mut last_insts, &mut last_progress);
                 fast_forward_step(&mut gpu, controller.as_ref(), &mut sig, end);
             }
         }
@@ -475,6 +561,7 @@ pub fn execute(job: &SimJob) -> SimOutcome {
             while done < ids.len() && gpu.cycle() < max_cycles {
                 controller.on_cycle(&mut gpu);
                 gpu.tick();
+                note_progress(&gpu, &ids, &mut last_insts, &mut last_progress);
                 for (i, &k) in ids.iter().enumerate() {
                     if finish[i].is_none() && gpu.kernel_insts(k) >= targets[i] {
                         finish[i] = Some(gpu.cycle());
@@ -500,6 +587,9 @@ pub fn execute(job: &SimJob) -> SimOutcome {
         stats: collect_stats(&gpu),
         decision: controller.decision().cloned(),
         ff_skipped_cycles: gpu.skipped_cycles(),
+        last_progress_cycle: last_progress,
+        trace: gpu.take_trace().map(|t| t.events().copied().collect()),
+        audit: controller.audit().cloned(),
     }
 }
 
@@ -654,6 +744,53 @@ mod tests {
         assert!(s.util.reg > 0.5, "BLK fills the register file");
         assert!(s.phi_mem > 0.2, "BLK is memory bound");
         assert!(s.l2_mpki_per_kernel[0] > 30.0, "BLK is memory class");
+    }
+
+    #[test]
+    fn isolation_measures_per_kernel_cycles() {
+        let cfg = quick_cfg();
+        let r = run_isolation(&by_abbrev("IMG").unwrap().desc, &cfg);
+        assert!(r.isolated_cycles >= 1);
+        assert!(r.isolated_cycles <= cfg.isolation_cycles);
+        // IMG keeps issuing through the whole budget, so its true isolated
+        // time is (nearly) the budget itself.
+        assert!(r.isolated_cycles > cfg.isolation_cycles / 2);
+    }
+
+    #[test]
+    fn traced_corun_captures_events_and_audit_without_changing_results() {
+        let cfg = quick_cfg();
+        let a = by_abbrev("IMG").unwrap().desc;
+        let b = by_abbrev("NN").unwrap().desc;
+        let ta = run_isolation(&a, &cfg).target_insts;
+        let tb = run_isolation(&b, &cfg).target_insts;
+        let policy =
+            PolicyKind::WarpedSlicer(crate::policy::WarpedSlicerConfig::scaled_for(12_000));
+        let plain = SimJob::corun(&[&a, &b], &[ta, tb], &policy, &cfg);
+        let traced = SimJob {
+            cfg: RunConfig {
+                trace: Some(TraceOptions::default()),
+                ..cfg.clone()
+            },
+            ..plain.clone()
+        };
+        let p = execute(&plain);
+        let t = execute(&traced);
+        // Tracing is observation only: the simulated run is identical.
+        assert_eq!(p.total_cycles, t.total_cycles);
+        assert_eq!(p.finish_cycle, t.finish_cycle);
+        assert_eq!(p.end_insts, t.end_insts);
+        assert!(p.trace.is_none() && p.audit.is_none());
+        let events = t.trace.expect("trace captured");
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::KernelLaunch { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::KernelHalt { .. })));
+        let audit = t.audit.expect("Warped-Slicer audit implied by tracing");
+        assert!(audit.scaled_points(0).count() >= 1);
+        assert!(audit.scaled_points(1).count() >= 1);
     }
 
     #[test]

@@ -14,6 +14,47 @@
 //! where `φ_mem` is the fraction of scheduler-cycles lost to long memory
 //! latency during the sample (so compute-bound samples are barely touched).
 
+/// Raw Eq. 3 factors below this floor are clamped so a pathological sample
+/// can never produce a negative (or zero) scaled IPC. Hitting the floor
+/// means the scaling model broke down for that sample — audited variants
+/// flag it, and [`scale_ipc`] asserts against it under strict invariants.
+pub const MIN_SCALE_FACTOR: f64 = 0.05;
+
+/// Lower edge of the soft clamp applied by the ψ/bandwidth variants so one
+/// noisy sample cannot dominate a curve.
+pub const FACTOR_CLAMP_MIN: f64 = 0.25;
+
+/// Upper edge of the soft clamp applied by the ψ/bandwidth variants.
+pub const FACTOR_CLAMP_MAX: f64 = 2.5;
+
+/// One audited application of an Eq. 3-style scaling factor: the scaled
+/// IPC together with the factor used, the raw (pre-clamp) factor, and
+/// whether clamping fired. Decision-audit traces record these outcomes so a
+/// clamped sample is attributable instead of silently floored.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleOutcome {
+    /// The scaled IPC (`ipc_sampled * factor`).
+    pub ipc: f64,
+    /// The factor actually applied (after any clamping).
+    pub factor: f64,
+    /// The raw Eq. 3 factor before clamping.
+    pub raw_factor: f64,
+    /// Whether the raw factor fell outside the clamp range.
+    pub clamped: bool,
+}
+
+/// Clamps `raw` into `[lo, hi]` and packages the audited outcome.
+fn clamp_outcome(ipc_sampled: f64, raw: f64, lo: f64, hi: f64) -> ScaleOutcome {
+    let clamped = raw < lo || raw > hi;
+    let factor = raw.clamp(lo, hi);
+    ScaleOutcome {
+        ipc: ipc_sampled * factor,
+        factor,
+        raw_factor: raw,
+        clamped,
+    }
+}
+
 /// Computes `ψ ≈ CTA_i / CTA_avg − 1` (Eq. 4).
 ///
 /// # Panics
@@ -25,11 +66,26 @@ pub fn psi(cta_i: u32, cta_avg: f64) -> f64 {
     f64::from(cta_i) / cta_avg - 1.0
 }
 
+/// Applies the scaling factor of Eq. 3 to a sampled IPC, reporting whether
+/// the [`MIN_SCALE_FACTOR`] floor fired. `phi_mem` is clamped into
+/// `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `cta_avg` is not positive (see [`psi`]).
+#[must_use]
+pub fn scale_ipc_audited(ipc_sampled: f64, phi_mem: f64, cta_i: u32, cta_avg: f64) -> ScaleOutcome {
+    let phi = phi_mem.clamp(0.0, 1.0);
+    let raw = 1.0 + phi * psi(cta_i, cta_avg);
+    clamp_outcome(ipc_sampled, raw, MIN_SCALE_FACTOR, f64::INFINITY)
+}
+
 /// Applies the scaling factor of Eq. 3 to a sampled IPC.
 ///
-/// `phi_mem` is clamped into `[0, 1]`; the resulting factor is floored at a
-/// small positive value so a pathological sample can never produce a
-/// negative IPC.
+/// `phi_mem` is clamped into `[0, 1]`; the resulting factor is floored at
+/// [`MIN_SCALE_FACTOR`] so a pathological sample can never produce a
+/// negative IPC. Callers that can hit the floor legitimately should use
+/// [`scale_ipc_audited`] and inspect [`ScaleOutcome::clamped`] instead.
 ///
 /// # Examples
 ///
@@ -42,11 +98,24 @@ pub fn psi(cta_i: u32, cta_avg: f64) -> f64 {
 /// // A compute-bound sample is untouched.
 /// assert_eq!(scale_ipc(2.0, 0.0, 8, 4.0), 2.0);
 /// ```
+///
+/// # Panics
+///
+/// Panics if `cta_avg` is not positive — and, under strict invariants
+/// (`debug_assertions` or the `strict-invariants` feature), if the factor
+/// had to be floored: a clamped sample means the scaling model broke down,
+/// which this unaudited entry point treats as corruption.
 #[must_use]
 pub fn scale_ipc(ipc_sampled: f64, phi_mem: f64, cta_i: u32, cta_avg: f64) -> f64 {
-    let phi = phi_mem.clamp(0.0, 1.0);
-    let factor = (1.0 + phi * psi(cta_i, cta_avg)).max(0.05);
-    ipc_sampled * factor
+    let out = scale_ipc_audited(ipc_sampled, phi_mem, cta_i, cta_avg);
+    gpu_sim::strict_assert!(
+        !out.clamped,
+        "scaling model breakdown: Eq. 3 factor {} for cta_i={cta_i} \
+         cta_avg={cta_avg} phi_mem={phi_mem} was floored at {MIN_SCALE_FACTOR}; \
+         use scale_ipc_audited to handle clamped samples",
+        out.raw_factor
+    );
+    out.ipc
 }
 
 /// Computes `ψ` from *measured* per-SM bandwidth instead of the paper's
@@ -78,13 +147,25 @@ pub fn psi_measured(sm_transactions: u64, fair_transactions: f64, dram_busy: f64
     }
 }
 
+/// Applies Eq. 3 with an explicit `ψ`, reporting whether the
+/// `[`[`FACTOR_CLAMP_MIN`]`, `[`FACTOR_CLAMP_MAX`]`]` clamp fired.
+#[must_use]
+pub fn scale_ipc_with_psi_audited(ipc_sampled: f64, phi_mem: f64, psi: f64) -> ScaleOutcome {
+    let phi = phi_mem.clamp(0.0, 1.0);
+    clamp_outcome(
+        ipc_sampled,
+        1.0 + phi * psi,
+        FACTOR_CLAMP_MIN,
+        FACTOR_CLAMP_MAX,
+    )
+}
+
 /// Applies Eq. 3 with an explicit `ψ` (from [`psi`] or [`psi_measured`]).
 /// The factor is clamped to `[0.25, 2.5]` so one noisy sample cannot
 /// dominate a curve.
 #[must_use]
 pub fn scale_ipc_with_psi(ipc_sampled: f64, phi_mem: f64, psi: f64) -> f64 {
-    let phi = phi_mem.clamp(0.0, 1.0);
-    ipc_sampled * (1.0 + phi * psi).clamp(0.25, 2.5)
+    scale_ipc_with_psi_audited(ipc_sampled, phi_mem, psi).ipc
 }
 
 /// The complete measured-bandwidth correction factor.
@@ -104,16 +185,36 @@ pub fn bandwidth_scale_factor(
     dram_busy: f64,
     phi_mem: f64,
 ) -> f64 {
+    bandwidth_scale_factor_audited(1.0, sm_transactions, fair_transactions, dram_busy, phi_mem)
+        .factor
+}
+
+/// The measured-bandwidth correction applied to a sampled IPC, reporting
+/// whether the `[`[`FACTOR_CLAMP_MIN`]`, `[`FACTOR_CLAMP_MAX`]`]` clamp
+/// fired (see [`bandwidth_scale_factor`] for the model).
+#[must_use]
+pub fn bandwidth_scale_factor_audited(
+    ipc_sampled: f64,
+    sm_transactions: u64,
+    fair_transactions: f64,
+    dram_busy: f64,
+    phi_mem: f64,
+) -> ScaleOutcome {
     if sm_transactions == 0 || fair_transactions <= 0.0 {
-        return 1.0;
+        return ScaleOutcome {
+            ipc: ipc_sampled,
+            factor: 1.0,
+            raw_factor: 1.0,
+            clamped: false,
+        };
     }
     let ratio = fair_transactions / sm_transactions as f64;
-    let factor = if ratio < 1.0 {
+    let raw = if ratio < 1.0 {
         ratio
     } else {
         1.0 + phi_mem.clamp(0.0, 1.0) * dram_busy.clamp(0.0, 1.0) * (ratio - 1.0)
     };
-    factor.clamp(0.25, 2.5)
+    clamp_outcome(ipc_sampled, raw, FACTOR_CLAMP_MIN, FACTOR_CLAMP_MAX)
 }
 
 #[cfg(test)]
@@ -150,10 +251,46 @@ mod tests {
     }
 
     #[test]
-    fn factor_is_floored_positive() {
-        // Extreme inputs cannot flip the sign of IPC.
-        let ipc = scale_ipc(1.0, 1.0, 0, 100.0);
-        assert!(ipc > 0.0);
+    fn factor_is_floored_positive_and_flagged() {
+        // Extreme inputs cannot flip the sign of IPC — and the floor is no
+        // longer silent: the audited outcome pins the clamped path.
+        let out = scale_ipc_audited(1.0, 1.0, 0, 100.0);
+        assert!(out.ipc > 0.0);
+        assert!(out.clamped, "hitting the floor must be flagged");
+        assert!((out.factor - MIN_SCALE_FACTOR).abs() < 1e-12);
+        assert!((out.ipc - MIN_SCALE_FACTOR).abs() < 1e-12);
+        assert!(out.raw_factor < MIN_SCALE_FACTOR);
+        // A healthy sample is not flagged.
+        let ok = scale_ipc_audited(1.0, 1.0, 8, 4.0);
+        assert!(!ok.clamped);
+        assert!((ok.ipc - 2.0).abs() < 1e-12);
+        assert!((ok.factor - ok.raw_factor).abs() < 1e-12);
+    }
+
+    #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+    #[test]
+    #[should_panic(expected = "scaling model breakdown")]
+    fn unaudited_floor_panics_under_strict_invariants() {
+        // The unaudited entry point treats a floored factor as corruption.
+        let _ = scale_ipc(1.0, 1.0, 0, 100.0);
+    }
+
+    #[test]
+    fn psi_and_bandwidth_audits_flag_their_clamps() {
+        let out = scale_ipc_with_psi_audited(1.0, 1.0, 10.0);
+        assert!(out.clamped);
+        assert!((out.factor - FACTOR_CLAMP_MAX).abs() < 1e-12);
+        assert!((out.raw_factor - 11.0).abs() < 1e-12);
+        assert!(!scale_ipc_with_psi_audited(1.0, 1.0, 0.5).clamped);
+        // 8x over fair share: raw 0.125 clamps to 0.25.
+        let out = bandwidth_scale_factor_audited(2.0, 800, 100.0, 1.0, 1.0);
+        assert!(out.clamped);
+        assert!((out.factor - FACTOR_CLAMP_MIN).abs() < 1e-12);
+        assert!((out.ipc - 0.5).abs() < 1e-12);
+        // Degenerate inputs are an unclamped identity.
+        let out = bandwidth_scale_factor_audited(2.0, 0, 100.0, 1.0, 1.0);
+        assert!(!out.clamped);
+        assert!((out.ipc - 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -103,6 +103,19 @@ impl Lane<'_> {
     }
 }
 
+/// One Algorithm 1 grant, for decision-audit traces: after the grant, the
+/// lane for `kernel` holds `ctas` CTAs at normalized performance `perf`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaterFillStep {
+    /// Kernel whose lane was raised (the initial one-CTA grants are
+    /// recorded too, in kernel order).
+    pub kernel: usize,
+    /// The lane's CTA total after the grant.
+    pub ctas: u32,
+    /// The lane's normalized performance after the grant.
+    pub perf: f64,
+}
+
 /// Runs Algorithm 1.
 ///
 /// Returns `None` when even one CTA per kernel does not fit in `total` (the
@@ -134,6 +147,19 @@ impl Lane<'_> {
 /// ```
 #[must_use]
 pub fn water_fill(kernels: &[KernelCurve], total: ResourceVec) -> Option<Partition> {
+    water_fill_traced(kernels, total, &mut Vec::new())
+}
+
+/// [`water_fill`] with an audit trail: every grant — the K initial one-CTA
+/// grants and each main-loop raise — is appended to `steps` in execution
+/// order. On an infeasible instance `steps` holds the grants made before
+/// the algorithm gave up.
+#[must_use]
+pub fn water_fill_traced(
+    kernels: &[KernelCurve],
+    total: ResourceVec,
+    steps: &mut Vec<WaterFillStep>,
+) -> Option<Partition> {
     if kernels.is_empty() || kernels.iter().any(|k| k.perf.is_empty()) {
         return None;
     }
@@ -141,18 +167,24 @@ pub fn water_fill(kernels: &[KernelCurve], total: ResourceVec) -> Option<Partiti
     // Initialization: one CTA per kernel (lines 6-15).
     let mut left = total;
     let mut lanes: Vec<Lane> = Vec::with_capacity(kernels.len());
-    for k in kernels {
+    for (i, k) in kernels.iter().enumerate() {
         if !left.covers(&k.cta_cost) {
             return None;
         }
         left = left.saturating_sub(&k.cta_cost);
-        lanes.push(Lane {
+        let lane = Lane {
             stair: staircase(&k.perf),
             cta_cost: &k.cta_cost,
             step: 0,
             ctas: 1,
             full: false,
+        };
+        steps.push(WaterFillStep {
+            kernel: i,
+            ctas: 1,
+            perf: lane.perf(),
         });
+        lanes.push(lane);
     }
 
     // Main loop (lines 16-32): raise the worst performer step by step.
@@ -165,8 +197,11 @@ pub fn water_fill(kernels: &[KernelCurve], total: ResourceVec) -> Option<Partiti
                 selected = Some(i);
             }
         }
-        let Some(lane) = selected.and_then(|s| lanes.get_mut(s)) else {
+        let Some(sel) = selected else {
             break; // every kernel full
+        };
+        let Some(lane) = lanes.get_mut(sel) else {
+            break;
         };
         match (lane.stair.m.get(lane.step), lane.stair.m.get(lane.step + 1)) {
             (Some(&cur), Some(&next)) => {
@@ -176,6 +211,11 @@ pub fn water_fill(kernels: &[KernelCurve], total: ResourceVec) -> Option<Partiti
                     left = left.saturating_sub(&need);
                     lane.step += 1;
                     lane.ctas += d_t;
+                    steps.push(WaterFillStep {
+                        kernel: sel,
+                        ctas: lane.ctas,
+                        perf: lane.perf(),
+                    });
                 } else {
                     lane.full = true;
                 }
@@ -531,6 +571,54 @@ mod tests {
         ];
         let p = water_fill(&ks, cap()).unwrap();
         assert_partition_feasible(&ks, &cap(), &p);
+    }
+
+    #[test]
+    fn traced_steps_end_at_the_final_quotas() {
+        let scaler = KernelCurve {
+            perf: vec![0.25, 0.5, 0.75, 1.0],
+            cta_cost: cost(2048, 128),
+        };
+        let thrasher = KernelCurve {
+            perf: vec![0.9, 1.0, 0.6, 0.4],
+            cta_cost: cost(2048, 128),
+        };
+        let mut steps = Vec::new();
+        let p = water_fill_traced(&[scaler, thrasher], cap(), &mut steps).unwrap();
+        // The first K steps are the initial one-CTA grants, in kernel order.
+        assert_eq!(
+            steps[0],
+            WaterFillStep {
+                kernel: 0,
+                ctas: 1,
+                perf: 0.25
+            }
+        );
+        assert_eq!(steps[1].kernel, 1);
+        assert_eq!(steps[1].ctas, 1);
+        // Each kernel's last recorded grant is its final quota.
+        for (i, &quota) in p.ctas.iter().enumerate() {
+            let last = steps.iter().rev().find(|s| s.kernel == i).unwrap();
+            assert_eq!(last.ctas, quota);
+        }
+        // And the untraced entry point agrees.
+        assert_eq!(
+            water_fill(
+                &[
+                    KernelCurve {
+                        perf: vec![0.25, 0.5, 0.75, 1.0],
+                        cta_cost: cost(2048, 128)
+                    },
+                    KernelCurve {
+                        perf: vec![0.9, 1.0, 0.6, 0.4],
+                        cta_cost: cost(2048, 128)
+                    },
+                ],
+                cap()
+            )
+            .unwrap(),
+            p
+        );
     }
 
     #[test]

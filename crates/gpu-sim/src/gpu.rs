@@ -14,6 +14,8 @@ use crate::kernel::{KernelDesc, KernelId};
 use crate::mem::{MemResponse, MemStats, MemSubsystem};
 use crate::scheduler::SchedulerKind;
 use crate::sm::{CtaCompletion, Sm};
+use crate::stats::StallBreakdown;
+use crate::trace::{TraceEvent, TraceSink};
 use crate::verify::{self, KernelVerifyError};
 
 /// Whether event-horizon fast-forwarding is enabled by default, read once
@@ -65,6 +67,10 @@ pub struct Gpu {
     /// never changes simulated state.
     ff_backoff: u32,
     ff_cooldown: u32,
+    /// ws-trace event sink. `None` (the default) keeps every hook a single
+    /// branch, so the tick path stays allocation-free and effectively
+    /// zero-cost with tracing off.
+    trace: Option<TraceSink>,
 }
 
 /// Widest attempt-backoff (in declined `fast_forward` calls) after
@@ -93,7 +99,26 @@ impl Gpu {
             skipped_cycles: 0,
             ff_backoff: 0,
             ff_cooldown: 0,
+            trace: None,
         }
+    }
+
+    /// Enables the ws-trace event sink with a ring of `capacity` events and
+    /// aggregate stall-window records every `stall_window` cycles (`0`
+    /// disables stall windows). Replaces any prior sink.
+    pub fn enable_trace(&mut self, capacity: usize, stall_window: u64) {
+        self.trace = Some(TraceSink::new(capacity, stall_window));
+    }
+
+    /// The active trace sink, if tracing is enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&TraceSink> {
+        self.trace.as_ref()
+    }
+
+    /// Detaches and returns the trace sink, disabling further recording.
+    pub fn take_trace(&mut self) -> Option<TraceSink> {
+        self.trace.take()
     }
 
     /// Overrides the event-horizon fast-forward gate for this GPU instance
@@ -251,6 +276,20 @@ impl Gpu {
         let cta_index = self.meta[k.0].dispatched_ctas;
         if self.sms[sm_id].launch_cta(&self.descs[k.0], k, cta_index) {
             self.meta[k.0].dispatched_ctas += 1;
+            if let Some(t) = self.trace.as_mut() {
+                if cta_index == 0 {
+                    t.record(TraceEvent::KernelLaunch {
+                        cycle: self.cycle,
+                        kernel: k.0,
+                    });
+                }
+                t.record(TraceEvent::CtaLaunch {
+                    cycle: self.cycle,
+                    sm: sm_id,
+                    kernel: k.0,
+                    cta: cta_index,
+                });
+            }
             true
         } else {
             false
@@ -281,6 +320,13 @@ impl Gpu {
         for sm in &mut self.sms {
             sm.evict_kernel(k.0, &self.descs[k.0]);
         }
+        if let Some(t) = self.trace.as_mut() {
+            t.record(TraceEvent::KernelHalt {
+                cycle: self.cycle,
+                kernel: k.0,
+                insts: self.kernel_insts[k.0],
+            });
+        }
     }
 
     /// Advances the whole GPU by one core cycle.
@@ -294,6 +340,13 @@ impl Gpu {
         for i in 0..self.resp_buf.len() {
             let r = self.resp_buf[i];
             self.sms[r.sm_id].on_fill(r.line, now);
+            if let Some(t) = self.trace.as_mut() {
+                t.record(TraceEvent::MshrFill {
+                    cycle: now,
+                    sm: r.sm_id,
+                    line: r.line,
+                });
+            }
         }
         self.completion_buf.clear();
         for sm in &mut self.sms {
@@ -301,6 +354,22 @@ impl Gpu {
         }
         for c in &self.completion_buf {
             self.meta[c.kernel.0].completed_ctas += 1;
+            if let Some(t) = self.trace.as_mut() {
+                t.record(TraceEvent::CtaComplete {
+                    cycle: now,
+                    kernel: c.kernel.0,
+                    cta: c.cta_index,
+                });
+            }
+        }
+        if self.trace.as_ref().is_some_and(|t| t.stall_window_due(now)) {
+            let mut agg = StallBreakdown::default();
+            for sm in &self.sms {
+                agg.accumulate(&sm.stats().stalls);
+            }
+            if let Some(t) = self.trace.as_mut() {
+                t.record_stall_window(now, agg);
+            }
         }
         if crate::invariant::enabled() {
             for m in &self.meta {
@@ -362,6 +431,9 @@ impl Gpu {
         self.mem.account_skip(from, to);
         self.cycle = to;
         self.skipped_cycles += to - from;
+        if let Some(t) = self.trace.as_mut() {
+            t.record(TraceEvent::FastForward { from, to });
+        }
         to - from
     }
 
@@ -592,6 +664,35 @@ mod tests {
         // Stats must still read as 100k idle cycles.
         assert_eq!(gpu.sm(0).stats().cycles, 100_000);
         assert_eq!(gpu.sm(0).stats().stalls.idle, 200_000, "2 schedulers");
+    }
+
+    #[test]
+    fn tracing_records_events_without_perturbing_state() {
+        use crate::trace::TraceEvent;
+        let run = |trace: bool| {
+            let mut gpu = Gpu::new(GpuConfig::isca_baseline(), SchedulerKind::GreedyThenOldest);
+            let k = gpu.add_kernel(kernel("a", 0.3, 21));
+            if trace {
+                gpu.enable_trace(4096, 500);
+            }
+            assert!(gpu.try_launch(k, 0));
+            gpu.run(3000);
+            gpu.halt_kernel(k);
+            (full_state(&gpu), gpu.take_trace())
+        };
+        let (traced_state, sink) = run(true);
+        let (plain_state, no_sink) = run(false);
+        assert_eq!(traced_state, plain_state, "tracing must be invisible");
+        assert!(no_sink.is_none());
+        let sink = sink.expect("tracing was enabled");
+        let has = |f: fn(&TraceEvent) -> bool| sink.events().any(f);
+        assert!(has(|e| matches!(e, TraceEvent::KernelLaunch { .. })));
+        assert!(has(|e| matches!(e, TraceEvent::CtaLaunch { .. })));
+        assert!(has(|e| matches!(e, TraceEvent::MshrFill { .. })));
+        assert!(has(|e| matches!(e, TraceEvent::StallWindow { .. })));
+        assert!(has(
+            |e| matches!(e, TraceEvent::KernelHalt { insts, .. } if *insts > 0)
+        ));
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod rng;
 pub mod scheduler;
 pub mod sm;
 pub mod stats;
+pub mod trace;
 pub mod verify;
 pub mod warp;
 
@@ -79,5 +80,6 @@ pub use rng::SimRng;
 pub use scheduler::SchedulerKind;
 pub use sm::{CtaCompletion, Sm};
 pub use stats::{SmKernelStats, SmStats, StallBreakdown, StallReason};
+pub use trace::{TraceEvent, TraceSink};
 pub use verify::{KernelVerifyError, ResourceKind};
 pub use warp::Warp;

@@ -97,6 +97,17 @@ impl StallBreakdown {
         self.mem + self.raw + self.exec + self.ibuffer + self.barrier
     }
 
+    /// Adds `other` component-wise — used to aggregate per-SM breakdowns
+    /// into a GPU-wide total (e.g. for trace stall windows).
+    pub fn accumulate(&mut self, other: &StallBreakdown) {
+        self.mem += other.mem;
+        self.raw += other.raw;
+        self.exec += other.exec;
+        self.ibuffer += other.ibuffer;
+        self.barrier += other.barrier;
+        self.idle += other.idle;
+    }
+
     /// Component-wise difference (`self - earlier`).
     #[must_use]
     pub fn since(&self, earlier: &StallBreakdown) -> StallBreakdown {

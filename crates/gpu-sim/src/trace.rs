@@ -1,0 +1,286 @@
+//! ws-trace event sink: a bounded, pre-allocated ring buffer of simulator
+//! events (kernel/CTA lifecycle, MSHR fills, fast-forward jumps, per-window
+//! stall-breakdown deltas).
+//!
+//! The sink is strictly opt-in: a [`crate::gpu::Gpu`] carries
+//! `Option<TraceSink>` and every hook sits behind an `is_some` check, so the
+//! tick path stays branch-cheap and allocation-free when tracing is off (the
+//! `no-tick-alloc` lint covers [`TraceSink::record`]). When tracing is on,
+//! all allocation happens up front in [`TraceSink::new`]; a full ring
+//! overwrites its oldest slot and counts the drop instead of growing.
+//!
+//! Event *streams* are only guaranteed identical across runs with the same
+//! fast-forward setting: a skipped span emits one [`TraceEvent::FastForward`]
+//! jump and folds its stall cycles into the next
+//! [`TraceEvent::StallWindow`], where a naive run would emit per-window
+//! records throughout. Aggregate statistics remain byte-identical either
+//! way — the tracing layer never feeds back into simulation state.
+
+use crate::access::LineAddr;
+use crate::stats::StallBreakdown;
+
+/// One structured simulator event. Fixed-size and `Copy` so the ring buffer
+/// never touches the heap after construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A kernel dispatched its first CTA (the kernel became resident).
+    KernelLaunch {
+        /// Core cycle of the dispatch.
+        cycle: u64,
+        /// Kernel slot id.
+        kernel: usize,
+    },
+    /// A CTA was dispatched onto an SM.
+    CtaLaunch {
+        /// Core cycle of the dispatch.
+        cycle: u64,
+        /// Destination SM.
+        sm: usize,
+        /// Kernel slot id.
+        kernel: usize,
+        /// Global CTA index within the kernel's grid.
+        cta: u64,
+    },
+    /// A CTA ran to completion and released its resources.
+    CtaComplete {
+        /// Core cycle of the retirement.
+        cycle: u64,
+        /// Kernel slot id.
+        kernel: usize,
+        /// Global CTA index within the kernel's grid.
+        cta: u64,
+    },
+    /// A kernel was halted and evicted from every SM (equal-work target
+    /// reached, or a controller tore it down).
+    KernelHalt {
+        /// Core cycle of the eviction.
+        cycle: u64,
+        /// Kernel slot id.
+        kernel: usize,
+        /// Warp instructions the kernel had issued when halted.
+        insts: u64,
+    },
+    /// The memory subsystem delivered a fill to an SM's MSHR.
+    MshrFill {
+        /// Core cycle of the fill.
+        cycle: u64,
+        /// Destination SM.
+        sm: usize,
+        /// The filled cache line.
+        line: LineAddr,
+    },
+    /// The event-horizon fast-forward jumped the clock over a dead span.
+    FastForward {
+        /// First skipped cycle.
+        from: u64,
+        /// Cycle the clock jumped to (exclusive end of the span).
+        to: u64,
+    },
+    /// GPU-aggregate stall-cycle deltas since the previous window boundary.
+    StallWindow {
+        /// Core cycle at which the window closed.
+        cycle: u64,
+        /// Scheduler-cycles lost per stall reason inside the window.
+        stalls: StallBreakdown,
+    },
+}
+
+/// Bounded keep-latest event ring. All storage is reserved in [`Self::new`];
+/// once full, each new event overwrites the oldest and bumps the dropped
+/// counter, so recording never allocates.
+#[derive(Debug)]
+pub struct TraceSink {
+    events: Vec<TraceEvent>,
+    /// Next slot to overwrite once `events` has reached capacity.
+    head: usize,
+    capacity: usize,
+    dropped: u64,
+    stall_window: u64,
+    last_window_emit: u64,
+    last_stalls: StallBreakdown,
+}
+
+impl TraceSink {
+    /// Builds a sink holding at most `capacity` events (at least one slot is
+    /// always reserved). `stall_window` is the cycle period of aggregate
+    /// [`TraceEvent::StallWindow`] records; `0` disables them.
+    #[must_use]
+    pub fn new(capacity: usize, stall_window: u64) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            events: Vec::with_capacity(capacity),
+            head: 0,
+            capacity,
+            dropped: 0,
+            stall_window,
+            last_window_emit: 0,
+            last_stalls: StallBreakdown::default(),
+        }
+    }
+
+    /// Appends an event, overwriting the oldest when the ring is full.
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else if let Some(slot) = self.events.get_mut(self.head) {
+            self.dropped += 1;
+            *slot = event;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Whether a stall-window record is due at cycle `now`. Uses a `>=`
+    /// threshold rather than a modulus so fast-forwarded spans (which jump
+    /// the clock past many boundaries) still close exactly one window.
+    #[must_use]
+    pub fn stall_window_due(&self, now: u64) -> bool {
+        self.stall_window > 0 && now >= self.last_window_emit + self.stall_window
+    }
+
+    /// Closes a stall window at cycle `now` against the GPU-aggregate
+    /// breakdown `total`, recording the delta since the previous boundary.
+    pub fn record_stall_window(&mut self, now: u64, total: StallBreakdown) {
+        let delta = total.since(&self.last_stalls);
+        self.last_stalls = total;
+        self.last_window_emit = now;
+        self.record(TraceEvent::StallWindow {
+            cycle: now,
+            stalls: delta,
+        });
+    }
+
+    /// Events in arrival order (oldest surviving first).
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (wrapped, recent) = self.events.split_at(self.head.min(self.events.len()));
+        recent.iter().chain(wrapped.iter())
+    }
+
+    /// Number of events currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the ring holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Ring capacity in events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events lost to ring overflow (oldest-first eviction).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn halt(cycle: u64) -> TraceEvent {
+        TraceEvent::KernelHalt {
+            cycle,
+            kernel: 0,
+            insts: 0,
+        }
+    }
+
+    #[test]
+    fn records_in_order_below_capacity() {
+        let mut sink = TraceSink::new(8, 0);
+        for c in 0..5 {
+            sink.record(halt(c));
+        }
+        let cycles: Vec<u64> = sink
+            .events()
+            .map(|e| match e {
+                TraceEvent::KernelHalt { cycle, .. } => *cycle,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(cycles, vec![0, 1, 2, 3, 4]);
+        assert_eq!(sink.dropped(), 0);
+        assert_eq!(sink.len(), 5);
+    }
+
+    #[test]
+    fn full_ring_drops_oldest_and_counts() {
+        let mut sink = TraceSink::new(4, 0);
+        for c in 0..10 {
+            sink.record(halt(c));
+        }
+        let cycles: Vec<u64> = sink
+            .events()
+            .map(|e| match e {
+                TraceEvent::KernelHalt { cycle, .. } => *cycle,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(cycles, vec![6, 7, 8, 9], "keep-latest semantics");
+        assert_eq!(sink.dropped(), 6);
+        assert_eq!(sink.capacity(), 4);
+    }
+
+    #[test]
+    fn recording_never_grows_the_ring() {
+        let mut sink = TraceSink::new(16, 0);
+        let cap_before = sink.events.capacity();
+        for c in 0..1000 {
+            sink.record(halt(c));
+        }
+        assert_eq!(sink.events.capacity(), cap_before, "no reallocation");
+    }
+
+    #[test]
+    fn stall_windows_emit_deltas_not_totals() {
+        let mut sink = TraceSink::new(8, 100);
+        assert!(!sink.stall_window_due(99));
+        assert!(sink.stall_window_due(100));
+        let total = StallBreakdown {
+            mem: 40,
+            ..StallBreakdown::default()
+        };
+        sink.record_stall_window(100, total);
+        let total = StallBreakdown {
+            mem: 55,
+            idle: 7,
+            ..StallBreakdown::default()
+        };
+        assert!(!sink.stall_window_due(150));
+        assert!(sink.stall_window_due(200));
+        sink.record_stall_window(200, total);
+        let windows: Vec<StallBreakdown> = sink
+            .events()
+            .filter_map(|e| match e {
+                TraceEvent::StallWindow { stalls, .. } => Some(*stalls),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].mem, 40);
+        assert_eq!(windows[1].mem, 15, "second window is a delta");
+        assert_eq!(windows[1].idle, 7);
+    }
+
+    #[test]
+    fn zero_window_disables_stall_records() {
+        let sink = TraceSink::new(8, 0);
+        assert!(!sink.stall_window_due(u64::MAX / 2));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut sink = TraceSink::new(0, 0);
+        sink.record(halt(1));
+        sink.record(halt(2));
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.dropped(), 1);
+    }
+}

@@ -34,10 +34,13 @@
 //!   index, every slot filled) depends on no thread outliving its batch.
 //! * `no-tick-alloc` — heap allocations (`Vec::new(`, `vec![`, `.to_vec()`)
 //!   are forbidden inside the simulator's per-cycle tick-path functions
-//!   (`crates/gpu-sim/src`, the function names in [`TICK_PATH_FNS`]). These
-//!   run millions of times per experiment; an allocation there is invisible
-//!   in tests but dominates sweep wall-clock (DESIGN.md §9). Reuse a
-//!   member or caller-owned buffer (`std::mem::take` + `clear` is fine).
+//!   (`crates/gpu-sim/src` plus the ws-trace audit channel
+//!   `crates/core/src/audit.rs`, the function names in [`TICK_PATH_FNS`]).
+//!   These run millions of times per experiment; an allocation there is
+//!   invisible in tests but dominates sweep wall-clock (DESIGN.md §9). The
+//!   trace/audit `record` sinks are included so event capture stays
+//!   allocation-free after construction. Reuse a member or caller-owned
+//!   buffer (`std::mem::take` + `clear` is fine).
 //!
 //! Any finding is suppressed by a `// xtask-allow: <rule>` comment on the
 //! same line or the line immediately above (for `module-docs`: on the first
@@ -63,7 +66,7 @@ pub const RULE_NAMES: [&str; 7] = [
 /// applies to the bodies of functions with these names under
 /// `crates/gpu-sim/src`; everything else (constructors, launch/evict,
 /// tests) may allocate freely.
-pub const TICK_PATH_FNS: [&str; 10] = [
+pub const TICK_PATH_FNS: [&str; 12] = [
     "tick",
     "tick_fast_forward",
     "fast_forward",
@@ -74,6 +77,8 @@ pub const TICK_PATH_FNS: [&str; 10] = [
     "compute_horizon",
     "drain_completions_into",
     "take_completions",
+    "record",
+    "record_stall_window",
 ];
 
 /// Allocation patterns forbidden on the tick path.
@@ -646,8 +651,11 @@ fn scan_masked(
 pub fn scan_source(file: &str, src: &str) -> Vec<Violation> {
     let mut lines = mask_lines(src);
     // The per-cycle hot path lives in the simulator core; see DESIGN.md §9
-    // for why allocation there is a wall-clock bug, not a style issue.
-    if file.contains("crates/gpu-sim/src") {
+    // for why allocation there is a wall-clock bug, not a style issue. The
+    // ws-trace sinks (`TraceSink::record` in gpu-sim, `DecisionAudit::record`
+    // in core) are held to the same bar: recording must never allocate, so
+    // tracing stays zero-cost when off and O(1)-amortized when on.
+    if file.contains("crates/gpu-sim/src") || file.ends_with("crates/core/src/audit.rs") {
         mark_tick_regions(&mut lines);
     }
     let name = Path::new(file)

@@ -26,8 +26,11 @@ fn main() {
     };
 
     println!("Measuring equal-work targets ({cycles} isolated cycles each)...");
-    let ta = run_isolation(&ba.desc, &cfg).target_insts;
-    let tb = run_isolation(&bb.desc, &cfg).target_insts;
+    let ra = run_isolation(&ba.desc, &cfg);
+    let rb = run_isolation(&bb.desc, &cfg);
+    let (ta, tb) = (ra.target_insts, rb.target_insts);
+    // Metrics normalize each kernel by its own isolated execution time.
+    let iso = [ra.isolated_cycles, rb.isolated_cycles];
     println!("  {}: {} warp instructions", ba.abbrev, ta);
     println!("  {}: {} warp instructions\n", bb.abbrev, tb);
 
@@ -59,8 +62,8 @@ fn main() {
             r.policy,
             r.combined_ipc,
             r.combined_ipc / base,
-            fairness(&r, cycles),
-            antt(&r, cycles),
+            fairness(&r, &iso),
+            antt(&r, &iso),
             decision,
             if r.timed_out { " (TIMED OUT)" } else { "" },
         );

@@ -30,8 +30,11 @@ fn full_policy_pipeline_on_one_pair() {
     let cfg = quick_cfg();
     let a = by_abbrev("IMG").unwrap().desc;
     let b = by_abbrev("BLK").unwrap().desc;
-    let ta = run_isolation(&a, &cfg).target_insts;
-    let tb = run_isolation(&b, &cfg).target_insts;
+    let ra = run_isolation(&a, &cfg);
+    let rb = run_isolation(&b, &cfg);
+    let (ta, tb) = (ra.target_insts, rb.target_insts);
+    // Each kernel is normalized by its own isolated execution time.
+    let iso = [ra.isolated_cycles, rb.isolated_cycles];
     let mut ipcs = Vec::new();
     for p in [
         PolicyKind::LeftOver,
@@ -46,8 +49,8 @@ fn full_policy_pipeline_on_one_pair() {
         // Equal work: both kernels issued at least their targets.
         assert!(r.stats.insts_per_kernel[0] >= ta);
         assert!(r.stats.insts_per_kernel[1] >= tb);
-        let f = fairness(&r, cfg.isolation_cycles);
-        let t = antt(&r, cfg.isolation_cycles);
+        let f = fairness(&r, &iso);
+        let t = antt(&r, &iso);
         assert!(f > 0.1 && f <= 1.05, "{p:?}: fairness {f}");
         assert!((0.95..10.0).contains(&t), "{p:?}: antt {t}");
         ipcs.push(r.combined_ipc);
