@@ -71,7 +71,11 @@ pub const SCHEMAS: [(&str, &[&str]); 16] = [
 ];
 
 /// Escapes `s` for inclusion inside a JSON string literal.
-fn esc(s: &str) -> String {
+///
+/// Public so downstream JSON emitters (the xtask lint report, external
+/// tooling) share one escaping implementation with the trace writer.
+#[must_use]
+pub fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -582,6 +586,29 @@ pub fn validate_jsonl(input: &str) -> Result<usize, String> {
                 ));
             }
         }
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Validates that every non-empty line of `input` parses as a JSON value,
+/// with no record-type schema applied — for JSONL documents other than
+/// ws-trace streams (e.g. the xtask lint report). Returns the number of
+/// lines parsed.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line (1-based) and what
+/// was wrong with it.
+pub fn validate_json_syntax(input: &str) -> Result<usize, String> {
+    let mut count = 0usize;
+    for (idx, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        Parser::new(line)
+            .parse()
+            .map_err(|e| format!("line {}: {e}", idx + 1))?;
         count += 1;
     }
     Ok(count)

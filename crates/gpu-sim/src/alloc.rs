@@ -211,7 +211,7 @@ impl LinearAllocator {
             .position(|b| *b == region)
             // Documented panic: a double free or foreign region is caller
             // corruption the allocator must not paper over.
-            // xtask-allow: no-unwrap
+            // xtask-allow: no-unwrap, panic-free-accounting
             .expect("free of a region that is not allocated");
         self.blocks.remove(idx);
         self.used -= region.len;

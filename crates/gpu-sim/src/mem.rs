@@ -7,7 +7,7 @@
 //! partitioned.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use crate::access::LineAddr;
 use crate::cache::{ProbeResult, SetAssocCache};
@@ -109,7 +109,9 @@ pub struct MemSubsystem {
     /// Per-channel DRAM channels.
     dram: Vec<DramChannel>,
     /// Load lines in flight to DRAM: original line -> waiting requests.
-    pending_fills: Vec<HashMap<LineAddr, Vec<MemRequest>>>,
+    /// Ordered by line address (`BTreeMap`, never a hash map) so draining
+    /// and invariant walks are deterministic (`determinism` lint).
+    pending_fills: Vec<BTreeMap<LineAddr, Vec<MemRequest>>>,
     /// Responses scheduled to arrive at SMs, ordered by ready time.
     responses: BinaryHeap<Reverse<Timed<(LineAddr, usize)>>>,
     /// DRAM completions waiting for their data-ready cycle, per channel.
@@ -140,7 +142,7 @@ impl MemSubsystem {
                 })
                 .collect(),
             dram: (0..n).map(|_| DramChannel::new(&cfg.mem, ratio)).collect(),
-            pending_fills: vec![HashMap::new(); n],
+            pending_fills: vec![BTreeMap::new(); n],
             responses: BinaryHeap::new(),
             dram_done: BinaryHeap::new(),
             arrival_clock: 0,
@@ -371,7 +373,7 @@ impl MemSubsystem {
     pub fn is_quiescent(&self) -> bool {
         self.ingress.is_empty()
             && self.l2_in.iter().all(VecDeque::is_empty)
-            && self.pending_fills.iter().all(HashMap::is_empty)
+            && self.pending_fills.iter().all(BTreeMap::is_empty)
             && self.responses.is_empty()
             && self.dram_done.is_empty()
             && self.dram.iter().all(|d| d.queue_len() == 0)

@@ -5,7 +5,7 @@
 //! limit); a full table back-pressures the LSU, which is one of the
 //! contention effects intra-SM sharing must manage.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::access::LineAddr;
 
@@ -36,7 +36,9 @@ pub enum MshrOutcome {
 /// MSHR table: line address -> waiters.
 #[derive(Debug, Clone)]
 pub struct MshrTable {
-    entries: HashMap<LineAddr, Vec<MshrWaiter>>,
+    /// Line-ordered (`BTreeMap`) so the strict-invariant walk and any future
+    /// drain see a deterministic order (`determinism` lint).
+    entries: BTreeMap<LineAddr, Vec<MshrWaiter>>,
     max_entries: usize,
     max_merged: usize,
     /// Retired waiter vectors kept for reuse so the per-miss allocate /
@@ -52,7 +54,7 @@ impl MshrTable {
         // u32 -> usize never truncates. xtask-allow: no-lossy-cast
         let max_entries = max_entries as usize;
         Self {
-            entries: HashMap::with_capacity(max_entries),
+            entries: BTreeMap::new(),
             max_entries,
             // xtask-allow: no-lossy-cast
             max_merged: max_merged.max(1) as usize,

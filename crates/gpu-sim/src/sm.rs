@@ -1,7 +1,7 @@
 //! The streaming multiprocessor: CTA residency, dual warp schedulers,
 //! functional units, LSU, L1/MSHR front end, and stall accounting.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 use crate::access::LineAddr;
@@ -77,12 +77,21 @@ pub struct Sm {
     schedulers: Vec<SchedulerState>,
     units: Vec<UnitSet>,
     launch_counter: u64,
-    windows: HashMap<usize, PartitionWindow>,
+    /// Per-kernel-slot spatial partition windows. Kept in a `BTreeMap` (not
+    /// a hash map) so any future iteration is slot-ordered: byte-identical
+    /// results at any worker count is a workspace-wide contract
+    /// (`determinism` lint, DESIGN.md §11).
+    windows: BTreeMap<usize, PartitionWindow>,
     /// Per-kernel-slot (CTA count, thread count) residency.
     residency: Vec<(u32, u32)>,
     stats: SmStats,
     completions: Vec<CtaCompletion>,
     line_buf: Vec<LineAddr>,
+    /// Recycled line deques for in-flight LSU ops: completed (or evicted)
+    /// ops return their deque here so issuing a new memory op never
+    /// allocates on the tick path (`no-tick-alloc`). Bounded by the number
+    /// of scheduler units (at most one LSU op each).
+    lsu_line_pool: Vec<VecDeque<LineAddr>>,
     finished_buf: Vec<usize>,
     waiter_buf: Vec<MshrWaiter>,
     fetch_ptr: usize,
@@ -120,11 +129,12 @@ impl Sm {
                 .collect(),
             units: (0..num_sched).map(|_| UnitSet::default()).collect(),
             launch_counter: 0,
-            windows: HashMap::new(),
+            windows: BTreeMap::new(),
             residency: Vec::new(),
             stats: SmStats::default(),
             completions: Vec::new(),
             line_buf: Vec::with_capacity(32),
+            lsu_line_pool: Vec::with_capacity(num_sched),
             finished_buf: Vec::with_capacity(8),
             waiter_buf: Vec::with_capacity(8),
             fetch_ptr: 0,
@@ -595,12 +605,17 @@ impl Sm {
                 } else {
                     LsuKind::GlobalStore
                 };
+                // Reuse a pooled deque instead of collecting into a fresh
+                // one: issuing a memory op must not allocate per-op.
+                let mut lines = self.lsu_line_pool.pop().unwrap_or_default();
+                lines.clear();
+                lines.extend(self.line_buf.drain(..));
                 unit.lsu = Some(LsuOp {
                     warp_slot: slot,
                     warp_gen: warp.gen,
                     kernel,
                     kind,
-                    lines: self.line_buf.drain(..).collect(),
+                    lines,
                     cycles_left: (warp_size / u64::from(sm_cfg.lsu_width)) as u32,
                 });
             }
@@ -625,6 +640,8 @@ impl Sm {
             self.stats.lsu_busy += 1;
             // A warp evicted mid-operation invalidates the op.
             if self.warp_gens[op.warp_slot] != op.warp_gen {
+                op.lines.clear();
+                self.lsu_line_pool.push(op.lines);
                 continue;
             }
             if let Some(&line) = op.lines.front() {
@@ -711,6 +728,7 @@ impl Sm {
                         let _ = w.finish_load_issue(load_id, now + l1_hit_latency);
                     }
                 }
+                self.lsu_line_pool.push(op.lines);
             } else {
                 self.units[sched_id].lsu = Some(op);
             }

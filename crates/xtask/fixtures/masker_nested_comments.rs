@@ -1,0 +1,25 @@
+//! Masker-regression fixture: nested block comments. Rust block comments
+//! nest; the old masker matched the first `*/`, so the tail of a nested
+//! comment was scanned as code and its contents produced phantom findings.
+//! The lexer must consume each comment below as one token and still flag
+//! the one genuine violation at the end of the file.
+
+/* outer comment
+   /* inner comment with Some(1).unwrap() and panic!("no") */
+   still inside the outer comment: xs[i], m.keys(), Instant::now()
+*/
+
+/// A `*/` inside a string must not terminate a comment, and a `/*` inside
+/// a string must not open one.
+pub fn comment_like_strings() -> (&'static str, &'static str) {
+    ("/* not a comment */", "*/ stray terminator")
+}
+
+/* one more /* doubly /* triply */ nested */ comment with .expect("x") */
+
+/// Real code after every trap above must still be scanned: this is the one
+/// genuine violation in the file.
+pub fn after_comments() -> u8 {
+    let v: Vec<u8> = Vec::new();
+    v.first().copied().unwrap()
+}

@@ -1,0 +1,36 @@
+//! Masker-regression fixture: raw strings. The old line-masking pass
+//! treated the `"` inside `r#"…"#` as a plain string delimiter, which
+//! inverted its in-string state and masked (or unmasked) everything that
+//! followed — hiding real violations or reporting phantom ones. The token
+//! lexer must treat every payload below as a single string token and still
+//! flag the one genuine violation at the end of the file.
+
+/// Lookalike text inside raw strings must not be reported.
+pub fn raw_string_payloads() -> (&'static str, &'static str, &'static [u8]) {
+    let a = r#"calling .unwrap() or x[i] in a string is fine "quoted" too"#;
+    let b = r##"nested hash: "# still inside, and .expect("boom") as well"##;
+    let c = br#"byte raw string with .unwrap() inside"#;
+    (a, b, c)
+}
+
+/// Multi-line raw string: the old masker lost its string state at the
+/// first line break and scanned the remaining lines as code.
+pub fn multiline() -> &'static str {
+    r#"
+    first line with Some(1).unwrap()
+    second line with m.iter() and vec![0; 8]
+    third line with Instant::now() and thread::spawn
+    "#
+}
+
+/// Lifetimes and char literals share a sigil; `'\''` is a char, `'a` is a
+/// lifetime, and neither opens a string.
+pub fn lifetimes<'a>(x: &'a str) -> (char, &'a str) {
+    ('\'', x)
+}
+
+/// Real code after every trap above must still be scanned: this is the one
+/// genuine violation in the file.
+pub fn after_raw_strings() -> Vec<u8> {
+    std::fs::read("config").unwrap()
+}

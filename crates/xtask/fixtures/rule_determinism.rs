@@ -1,0 +1,40 @@
+//! Golden fixture for `determinism` in the simulator core: unordered
+//! container iteration, wall-clock reads, host-thread identity — plus the
+//! waiver-justification contract.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::Instant;
+
+/// Positive: every host-state leak fires once.
+pub fn positive(m: &HashMap<u32, u32>, s: &HashSet<u32>) -> u32 {
+    let mut sum: u32 = m.values().sum();
+    for k in s.iter() {
+        sum += *k;
+    }
+    let t0 = Instant::now();
+    let _ = std::thread::current();
+    let _ = std::time::SystemTime::now();
+    sum + t0.elapsed().subsec_nanos()
+}
+
+/// Negative: ordered containers iterate deterministically.
+pub fn negative(b: &BTreeMap<u32, u32>) -> u32 {
+    let mut sum = 0;
+    for (_k, v) in b.iter() {
+        sum += *v;
+    }
+    sum + b.values().sum::<u32>()
+}
+
+/// Waived with the required justification.
+pub fn waived(w: &HashMap<u32, u32>) -> usize {
+    // aggregate count only, order-insensitive; xtask-allow: determinism
+    w.keys().count()
+}
+
+/// Waived WITHOUT a justification: the engine converts the finding instead
+/// of silencing it.
+pub fn waived_bare(u: &HashMap<u32, u32>) -> usize {
+    // xtask-allow: determinism
+    u.values().count()
+}

@@ -1,0 +1,4 @@
+// Golden fixture for `module-docs`: this file deliberately carries no `//!`
+// module documentation, so linting it yields exactly one finding at line 1.
+
+pub fn item() {}

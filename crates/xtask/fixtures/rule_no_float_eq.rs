@@ -1,0 +1,21 @@
+//! Golden fixture for `no-float-eq`.
+
+/// Positive: a float literal on either side, negated and in scientific
+/// notation too (`1e-9` must lex as one float token, not `1e - 9`).
+pub fn positive(x: f64) -> bool {
+    let a = x == 0.5;
+    let b = 1e-9 != x;
+    let c = x == -0.25;
+    a || b || c
+}
+
+/// Negative: integer comparisons and epsilon-based float comparison.
+pub fn negative(x: f64, n: u32) -> bool {
+    (x - 0.5).abs() < 1e-9 || n == 5 || n != 7
+}
+
+/// Waived.
+pub fn waived(x: f64) -> bool {
+    // exact sentinel propagated unchanged; xtask-allow: no-float-eq
+    x == -1.0
+}

@@ -1,0 +1,22 @@
+//! Golden fixture for `no-index-panic` on the verification path.
+
+/// Positive: direct index expressions, on a binding and on a call result.
+pub fn positive(xs: &[u32], i: usize) -> u32 {
+    let a = xs[i];
+    let b = xs.to_vec()[0];
+    a + b
+}
+
+/// Negative: array literals, slice patterns, types, and checked access.
+pub fn negative(xs: &[u32]) -> u32 {
+    let arr = [1u32, 2, 3];
+    let [first, ..] = arr;
+    let sum: u32 = arr.iter().sum();
+    first + sum + xs.first().copied().unwrap_or(0)
+}
+
+/// Waived.
+pub fn waived(xs: &[u32]) -> u32 {
+    // non-empty by caller contract; xtask-allow: no-index-panic
+    xs[0]
+}

@@ -1,0 +1,20 @@
+//! Golden fixture for `no-lossy-cast` in accounting-critical modules.
+
+/// Positive: truncating integer and `f32` casts.
+pub fn positive(cycles: u64, ipc: f64) -> (u32, f32) {
+    let c = cycles as u32;
+    let i = ipc as f32;
+    (c, i)
+}
+
+/// Negative: widening into `f64` and lossless conversions are fine.
+pub fn negative(ctas: u32) -> f64 {
+    let exact = f64::from(ctas);
+    exact + ctas as f64
+}
+
+/// Waived.
+pub fn waived(warps: u64) -> u32 {
+    // bounded by the per-SM warp limit (< 2^6); xtask-allow: no-lossy-cast
+    warps as u32
+}

@@ -1,0 +1,47 @@
+//! Golden fixture for the transitive `no-tick-alloc` rule: a seed entry
+//! point (`Sm::tick`), a clean intermediate hop, an allocating leaf hit by
+//! every widened pattern, a waived leaf, and an unreachable function whose
+//! allocations are fine.
+
+pub struct Sm {
+    scratch: Vec<u32>,
+}
+
+impl Sm {
+    /// Seed: the per-cycle entry point.
+    pub fn tick(&mut self) {
+        self.issue_stage();
+    }
+
+    /// Clean intermediate hop: reusing a member buffer is allowed.
+    fn issue_stage(&mut self) {
+        self.scratch.clear();
+        self.leaf();
+        self.waived_leaf();
+    }
+
+    /// Allocating leaf: every pattern fires, each with the full chain.
+    fn leaf(&mut self) {
+        let a: Vec<u32> = Vec::new();
+        let b = vec![0u32; 4];
+        let c: Vec<u32> = Vec::with_capacity(8);
+        let d = Box::new(1u32);
+        let e: Vec<u32> = b.iter().copied().collect();
+        let f = e.to_vec();
+        let g = format!("{}", f.len());
+        let h = String::from("x");
+        self.scratch.extend(a);
+        let _ = (c, d, g, h);
+    }
+
+    /// Waived: a justified allocation on the tick path.
+    fn waived_leaf(&mut self) {
+        // grown once on first use, then reused; xtask-allow: no-tick-alloc
+        self.scratch = Vec::with_capacity(64);
+    }
+
+    /// Not reachable from a seed: allocating here is fine.
+    pub fn setup(&mut self) {
+        self.scratch = Vec::with_capacity(64);
+    }
+}

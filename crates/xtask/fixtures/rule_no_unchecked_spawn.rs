@@ -1,0 +1,23 @@
+//! Golden fixture for `no-unchecked-spawn` in the execution layer.
+
+/// Positive: raw spawns and two flavours of discarded join handle.
+pub fn positive() {
+    let h = std::thread::spawn(|| ());
+    let _ = h.join();
+    let h2 = std::thread::spawn(|| ());
+    h2.join().ok();
+}
+
+/// Negative: scoped workers; scope exit propagates worker panics.
+pub fn negative() -> i32 {
+    std::thread::scope(|s| {
+        let h = s.spawn(|| 1);
+        h.join().unwrap_or(0)
+    })
+}
+
+/// Waived.
+pub fn waived() {
+    // detached watchdog by design; xtask-allow: no-unchecked-spawn
+    std::thread::spawn(|| ());
+}

@@ -1,0 +1,32 @@
+//! Golden fixture for `no-unwrap`: positive, negative, and waived cases.
+
+/// Positive: both panicking extractors fire.
+pub fn positive() -> i32 {
+    let a = Some(1).unwrap();
+    let b = Some(2).expect("present");
+    a + b
+}
+
+/// Negative: non-panicking variants and lookalike text are fine.
+pub fn negative() -> usize {
+    let a = None.unwrap_or(1);
+    let b = Some(2).unwrap_or_else(|| 3);
+    let c = Some(4).unwrap_or_default();
+    // mentioning .unwrap() in a comment is fine
+    let d = ".unwrap()".len();
+    a + b + c + d
+}
+
+/// Waived: the allow comment suppresses the finding.
+pub fn waived() -> i32 {
+    // invariant: the fixture always holds a value; xtask-allow: no-unwrap
+    Some(5).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Golden fixture for the transitive `panic-free-accounting` rule: a seed
+//! metric (`speedups`), a reachable helper full of panic sources, a
+//! reachable helper whose invariant checks are fine, a waived helper, and
+//! an unreachable function that only the per-file `no-unwrap` rule sees.
+
+/// Seed: accounting entry point.
+pub fn speedups(xs: &[f64]) -> f64 {
+    normalize(xs) + checked(xs) + clamped(xs)
+}
+
+/// Reachable helper: every panic source fires, with the chain reported.
+fn normalize(xs: &[f64]) -> f64 {
+    let first = *xs.first().unwrap();
+    let second = *xs.get(1).expect("two samples");
+    let third = xs[2];
+    if xs.len() > 64 {
+        panic!("too many samples");
+    }
+    first + second + third
+}
+
+/// Reachable helper: invariant checks are the point, not a violation.
+fn checked(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "caller provides samples");
+    debug_assert!(xs.len() < 64);
+    xs.iter().sum()
+}
+
+/// Waived.
+fn clamped(xs: &[f64]) -> f64 {
+    // non-empty by construction; xtask-allow: panic-free-accounting, no-unwrap
+    *xs.first().unwrap()
+}
+
+/// Not reachable from an accounting seed: only the per-file `no-unwrap`
+/// rule fires here, without a chain.
+pub fn debug_dump(xs: &[f64]) -> f64 {
+    *xs.last().unwrap()
+}

@@ -1,0 +1,342 @@
+//! The workspace call graph and seed-based reachability.
+//!
+//! Nodes are the `fn` definitions [`crate::items::parse`] extracted from
+//! every library source in the workspace; edges connect a function to the
+//! definitions its call sites can name. Resolution is deliberately
+//! *conservative* (an over-approximation): where the token stream cannot
+//! prove which of several same-named definitions a call targets, edges go
+//! to all of them, so "not reachable" is trustworthy even though
+//! "reachable" may include extras. The rules that consume reachability
+//! (`no-tick-alloc`, `panic-free-accounting`) treat extras as findings to
+//! fix or waive — the safe direction for a gate.
+//!
+//! Resolution policy per call-site shape:
+//!
+//! * `Type::name(…)` — edges to definitions inside `impl Type` named
+//!   `name` (with `Self` resolved to the caller's impl type). If no such
+//!   impl exists the qualifier is a module path (`waterfill::water_fill`)
+//!   or a foreign type (`Vec::new`): edges go to *free* functions named
+//!   `name` only, never to unrelated methods.
+//! * `.name(…)` — edges to every method (a definition taking `self`)
+//!   named `name`.
+//! * `name(…)` — edges to every free function named `name`.
+//! * Macro invocations create no edges (the allocation rules match them
+//!   textually at the call site instead).
+//!
+//! Definitions inside `#[cfg(test)]` regions are excluded from the index:
+//! a test helper named `tick` must neither become tick-path nor pull the
+//! tick rules into test code.
+//!
+//! [`CallGraph::reachable`] runs a BFS from seed functions and keeps the
+//! parent of each first visit, so every diagnostic can print the concrete
+//! call chain from a seed to the violation ([`Reachability::chain`]).
+
+use std::collections::BTreeMap;
+
+use crate::items::{FileItems, FnDef};
+
+/// A node id: index into [`CallGraph::nodes`].
+pub type NodeId = usize;
+
+/// One graph node: a function definition in a file.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Index into the `files` slice the graph was built from.
+    pub file: usize,
+    /// Index into that file's `fns`.
+    pub fn_idx: usize,
+    /// Cached qualified name (`Sm::tick` or `water_fill`).
+    pub qualified: String,
+    /// 1-based line of the definition (kept for future diagnostics).
+    #[allow(dead_code)]
+    pub line: u32,
+}
+
+/// The workspace call graph.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// All non-test function definitions, in (file, fn) order.
+    pub nodes: Vec<Node>,
+    /// Adjacency: resolved callee node ids per node, sorted + deduped.
+    pub edges: Vec<Vec<NodeId>>,
+}
+
+/// Result of a seeded BFS: for each node, `None` if unreached, or
+/// `Some(parent)` (`parent == usize::MAX` marks a seed root).
+#[derive(Debug)]
+pub struct Reachability {
+    parents: Vec<Option<NodeId>>,
+}
+
+/// Sentinel parent for seed roots.
+const ROOT: NodeId = usize::MAX;
+
+impl CallGraph {
+    /// Builds the graph over `files` (path label, parsed items) pairs.
+    #[must_use]
+    pub fn build(files: &[(String, FileItems)]) -> CallGraph {
+        let mut nodes = Vec::new();
+        for (fi, (_, items)) in files.iter().enumerate() {
+            for (xi, f) in items.fns.iter().enumerate() {
+                if f.in_test {
+                    continue;
+                }
+                nodes.push(Node {
+                    file: fi,
+                    fn_idx: xi,
+                    qualified: f.qualified(),
+                    line: f.line,
+                });
+            }
+        }
+        // Name indices over non-test definitions.
+        let mut methods: BTreeMap<&str, Vec<NodeId>> = BTreeMap::new();
+        let mut free_fns: BTreeMap<&str, Vec<NodeId>> = BTreeMap::new();
+        let mut by_impl: BTreeMap<(&str, &str), Vec<NodeId>> = BTreeMap::new();
+        for (id, n) in nodes.iter().enumerate() {
+            let Some(f) = fn_of(files, n) else { continue };
+            if f.is_method {
+                methods.entry(f.name.as_str()).or_default().push(id);
+            }
+            match &f.impl_type {
+                Some(t) => by_impl
+                    .entry((t.as_str(), f.name.as_str()))
+                    .or_default()
+                    .push(id),
+                None => free_fns.entry(f.name.as_str()).or_default().push(id),
+            }
+        }
+        let mut edges: Vec<Vec<NodeId>> = vec![Vec::new(); nodes.len()];
+        for (id, n) in nodes.iter().enumerate() {
+            let Some(f) = fn_of(files, n) else { continue };
+            for c in &f.calls {
+                if c.is_macro {
+                    continue;
+                }
+                let name = c.name();
+                let targets: Option<&Vec<NodeId>> = if c.is_method {
+                    methods.get(name)
+                } else if c.path.contains("::") {
+                    let qual = c
+                        .path
+                        .rsplit("::")
+                        .nth(1)
+                        .map(|q| {
+                            if q == "Self" {
+                                f.impl_type.as_deref().unwrap_or(q)
+                            } else {
+                                q
+                            }
+                        })
+                        .unwrap_or("");
+                    match by_impl.get(&(qual, name)) {
+                        Some(v) => Some(v),
+                        // Module-qualified free-fn call (`waterfill::water_fill`)
+                        // or a foreign type: free functions only.
+                        None => free_fns.get(name),
+                    }
+                } else {
+                    free_fns.get(name)
+                };
+                if let Some(ts) = targets {
+                    edges[id].extend(ts.iter().copied());
+                }
+            }
+            edges[id].sort_unstable();
+            edges[id].dedup();
+        }
+        CallGraph { nodes, edges }
+    }
+
+    /// Node ids whose definition matches `(impl type, name)`; a `None`
+    /// type matches free functions.
+    #[must_use]
+    pub fn find(&self, files: &[(String, FileItems)], ty: Option<&str>, name: &str) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| {
+                fn_of(files, n).is_some_and(|f| f.name == name && f.impl_type.as_deref() == ty)
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// BFS from `seeds` (node ids), recording first-visit parents.
+    #[must_use]
+    pub fn reachable(&self, seeds: &[NodeId]) -> Reachability {
+        let mut parents: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for &s in seeds {
+            if let Some(p) = parents.get_mut(s) {
+                if p.is_none() {
+                    *p = Some(ROOT);
+                    queue.push_back(s);
+                }
+            }
+        }
+        while let Some(id) = queue.pop_front() {
+            for &next in &self.edges[id] {
+                if parents[next].is_none() {
+                    parents[next] = Some(id);
+                    queue.push_back(next);
+                }
+            }
+        }
+        Reachability { parents }
+    }
+}
+
+/// The `FnDef` behind a node.
+fn fn_of<'a>(files: &'a [(String, FileItems)], n: &Node) -> Option<&'a FnDef> {
+    files
+        .get(n.file)
+        .and_then(|(_, items)| items.fns.get(n.fn_idx))
+}
+
+impl Reachability {
+    /// Whether `id` was reached.
+    #[must_use]
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.parents.get(id).copied().flatten().is_some()
+    }
+
+    /// Every reached node id, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.parents
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_some())
+            .map(|(id, _)| id)
+    }
+
+    /// The shortest recorded call chain from a seed to `id`, rendered as
+    /// qualified names (`["Gpu::tick", "Sm::tick", "helper"]`).
+    #[must_use]
+    pub fn chain(&self, graph: &CallGraph, id: NodeId) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let Some(node) = graph.nodes.get(c) else {
+                break;
+            };
+            out.push(node.qualified.clone());
+            cur = match self.parents.get(c).copied().flatten() {
+                Some(ROOT) | None => None,
+                Some(p) => Some(p),
+            };
+            if out.len() > graph.nodes.len() {
+                break; // cycle guard; parents should be acyclic
+            }
+        }
+        out.reverse();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse;
+
+    fn graph_of(srcs: &[(&str, &str)]) -> (Vec<(String, FileItems)>, CallGraph) {
+        let files: Vec<(String, FileItems)> = srcs
+            .iter()
+            .map(|(p, s)| ((*p).to_string(), parse(s)))
+            .collect();
+        let g = CallGraph::build(&files);
+        (files, g)
+    }
+
+    #[test]
+    fn transitive_reachability_with_chain() {
+        let (files, g) = graph_of(&[(
+            "a.rs",
+            "impl Sm {\n    pub fn tick(&mut self) { self.fetch(); }\n    fn fetch(&mut self) { helper(); }\n}\nfn helper() { leaf(); }\nfn leaf() {}\nfn unrelated() {}\n",
+        )]);
+        let seeds = g.find(&files, Some("Sm"), "tick");
+        assert_eq!(seeds.len(), 1);
+        let r = g.reachable(&seeds);
+        let leaf = g.find(&files, None, "leaf")[0];
+        assert!(r.contains(leaf));
+        assert_eq!(
+            r.chain(&g, leaf),
+            ["Sm::tick", "Sm::fetch", "helper", "leaf"]
+        );
+        let unrelated = g.find(&files, None, "unrelated")[0];
+        assert!(!r.contains(unrelated));
+    }
+
+    #[test]
+    fn method_calls_fan_out_to_all_same_named_methods() {
+        let (files, g) = graph_of(&[(
+            "a.rs",
+            "impl Gpu {\n    pub fn tick(&mut self) { self.sm.tick(); }\n}\nimpl Sm {\n    pub fn tick(&mut self) {}\n}\n",
+        )]);
+        let seeds = g.find(&files, Some("Gpu"), "tick");
+        let r = g.reachable(&seeds);
+        let sm_tick = g.find(&files, Some("Sm"), "tick")[0];
+        assert!(r.contains(sm_tick));
+    }
+
+    #[test]
+    fn qualified_calls_do_not_leak_to_unrelated_methods() {
+        let (files, g) = graph_of(&[(
+            "a.rs",
+            "impl A {\n    pub fn entry(&self) { let v: Vec<u32> = Vec::new(); drop(v); }\n}\nimpl B {\n    pub fn new() -> B { B }\n}\n",
+        )]);
+        let seeds = g.find(&files, Some("A"), "entry");
+        let r = g.reachable(&seeds);
+        let b_new = g.find(&files, Some("B"), "new")[0];
+        assert!(!r.contains(b_new), "Vec::new must not resolve to B::new");
+    }
+
+    #[test]
+    fn self_calls_resolve_to_the_impl_type() {
+        let (files, g) = graph_of(&[(
+            "a.rs",
+            "impl A {\n    pub fn entry(&self) { Self::assoc(); }\n    fn assoc() {}\n}\nimpl B {\n    fn assoc() {}\n}\n",
+        )]);
+        let r = g.reachable(&g.find(&files, Some("A"), "entry"));
+        assert!(r.contains(g.find(&files, Some("A"), "assoc")[0]));
+        assert!(!r.contains(g.find(&files, Some("B"), "assoc")[0]));
+    }
+
+    #[test]
+    fn test_definitions_are_not_nodes() {
+        let (files, g) = graph_of(&[(
+            "a.rs",
+            "fn entry() { helper(); }\nfn helper() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { super::entry(); }\n}\n",
+        )]);
+        assert_eq!(
+            g.find(&files, None, "helper").len(),
+            1,
+            "test helper excluded"
+        );
+        let r = g.reachable(&g.find(&files, None, "entry"));
+        assert_eq!(r.iter().count(), 2);
+    }
+
+    #[test]
+    fn module_qualified_free_fn_calls_resolve() {
+        let (files, g) = graph_of(&[
+            ("a.rs", "fn entry() { waterfill::water_fill(); }\n"),
+            ("b.rs", "pub fn water_fill() {}\n"),
+        ]);
+        let r = g.reachable(&g.find(&files, None, "entry"));
+        assert!(r.contains(g.find(&files, None, "water_fill")[0]));
+    }
+
+    #[test]
+    fn cross_file_edges_connect() {
+        let (files, g) = graph_of(&[
+            ("gpu.rs", "impl Gpu {\n    pub fn tick(&mut self) { self.mem.tick(0); self.sms.iter_mut().for_each(|s| s.tick()); }\n}\n"),
+            ("sm.rs", "impl Sm {\n    pub fn tick(&mut self) { self.classify_stall(); }\n    fn classify_stall(&self) {}\n}\n"),
+            ("mem.rs", "impl MemSubsystem {\n    pub fn tick(&mut self, now: u64) {}\n}\n"),
+        ]);
+        let r = g.reachable(&g.find(&files, Some("Gpu"), "tick"));
+        assert!(r.contains(g.find(&files, Some("Sm"), "classify_stall")[0]));
+        assert!(r.contains(g.find(&files, Some("MemSubsystem"), "tick")[0]));
+    }
+}

@@ -1,0 +1,576 @@
+//! A std-only Rust lexer for the lint engine.
+//!
+//! The old lint pass masked source text line by line with ad-hoc string /
+//! comment heuristics, which mis-handled raw strings spanning lines and
+//! nested block comments (see the regression fixtures under
+//! `crates/xtask/fixtures/`). This module replaces masking with a real
+//! tokenizer whose output satisfies two contracts the rest of the engine
+//! (and a property test over every workspace source file) relies on:
+//!
+//! 1. **Totality** — [`lex`] never panics, on any input. Malformed input
+//!    (unterminated strings or comments, stray bytes) degrades to
+//!    best-effort tokens, never to an error.
+//! 2. **Span round-trip** — the emitted token spans tile the input exactly:
+//!    concatenating `src[t.start..t.end]` over all tokens reproduces the
+//!    source byte-for-byte, with no gaps and no overlaps.
+//!
+//! The lexer understands everything the lint rules need to never fire
+//! inside non-code text: line and (nested) block comments, doc comments,
+//! string / raw-string / byte-string / char / byte literals with escapes,
+//! raw identifiers (`r#match`), lifetimes vs. char literals, and numeric
+//! literals with separators, exponents, and type suffixes. Compound
+//! operators (`==`, `!=`, `::`, `->`, …) are emitted as single
+//! maximal-munch [`TokenKind::Punct`] tokens so rules can match them
+//! without reconstructing adjacency.
+
+/// Classification of one source token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A run of whitespace (kept so spans tile the file).
+    Whitespace,
+    /// `// …` to end of line, including `///` and `//!` doc forms.
+    LineComment,
+    /// `/* … */`, nesting-aware, including `/** … */` and `/*! … */`.
+    BlockComment,
+    /// Identifier or keyword, including raw identifiers (`r#type`).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// Integer literal (`42`, `0xFF_u32`).
+    Int,
+    /// Float literal (`1.0`, `1e-9`, `2f64`).
+    Float,
+    /// `"…"` string literal.
+    Str,
+    /// `r"…"` / `r#"…"#` raw string literal.
+    RawStr,
+    /// `b"…"` byte-string literal.
+    ByteStr,
+    /// `br"…"` / `br#"…"#` raw byte-string literal.
+    RawByteStr,
+    /// `'x'` char literal.
+    Char,
+    /// `b'x'` byte literal.
+    Byte,
+    /// Operator or punctuation, maximal-munch (`==`, `..=`, `(`, …).
+    Punct,
+    /// Any byte the grammar does not recognize (never fails the lexer).
+    Unknown,
+}
+
+/// One token: a classified byte span of the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the span is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the same source passed to [`lex`]).
+    #[must_use]
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch is a prefix
+/// scan. Single-character punctuation falls through to a one-byte token.
+const COMPOUND_OPS: [&str; 25] = [
+    "<<=", ">>=", "...", "..=", "==", "!=", "<=", ">=", "=>", "->", "<-", "::", "..", "&&", "||",
+    "<<", ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Cursor over the source with line tracking. All advancing is by whole
+/// `char`s so slicing at `pos` is always on a boundary.
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n)
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn bump(&mut self) {
+        if let Some(c) = self.peek() {
+            if c == '\n' {
+                self.line += 1;
+            }
+            self.pos += c.len_utf8();
+        }
+    }
+
+    /// Advances past `n` chars (not bytes).
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    /// Consumes chars while `pred` holds.
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while self.peek().is_some_and(&pred) {
+            self.bump();
+        }
+    }
+}
+
+/// Tokenizes `src` completely. Never panics; the returned spans tile the
+/// input exactly (see the module docs for the contracts).
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src,
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let start = cur.pos;
+        let line = cur.line;
+        let kind = scan_token(&mut cur, c);
+        debug_assert!(cur.pos > start, "lexer must always make progress");
+        out.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+            line,
+        });
+    }
+    out
+}
+
+/// Scans one token starting at `c`; advances the cursor past it.
+fn scan_token(cur: &mut Cursor<'_>, c: char) -> TokenKind {
+    if c.is_whitespace() {
+        cur.eat_while(char::is_whitespace);
+        return TokenKind::Whitespace;
+    }
+    let rest = cur.rest();
+    if rest.starts_with("//") {
+        cur.eat_while(|c| c != '\n');
+        return TokenKind::LineComment;
+    }
+    if rest.starts_with("/*") {
+        return scan_block_comment(cur);
+    }
+    // Raw strings / raw identifiers and byte-literal families start with a
+    // prefix letter; try those before the generic identifier path.
+    if c == 'r' {
+        if let Some(kind) = scan_raw_prefixed(cur, TokenKind::RawStr) {
+            return kind;
+        }
+    }
+    if c == 'b' {
+        match cur.peek_at(1) {
+            Some('\'') => {
+                cur.bump(); // `b`
+                cur.bump(); // `'`
+                scan_char_body(cur);
+                return TokenKind::Byte;
+            }
+            Some('"') => {
+                cur.bump(); // `b`
+                cur.bump(); // `"`
+                scan_str_body(cur);
+                return TokenKind::ByteStr;
+            }
+            Some('r') => {
+                let save = (cur.pos, cur.line);
+                cur.bump(); // `b`
+                if scan_raw_prefixed(cur, TokenKind::RawByteStr) == Some(TokenKind::RawByteStr) {
+                    return TokenKind::RawByteStr;
+                }
+                // `br` followed by neither `"` nor `#"…` (e.g. an ident
+                // starting with `br`, or `b` then `r#ident`): rewind and
+                // let the identifier path take it.
+                (cur.pos, cur.line) = save;
+            }
+            _ => {}
+        }
+    }
+    if is_ident_start(c) {
+        cur.eat_while(is_ident_continue);
+        return TokenKind::Ident;
+    }
+    if c.is_ascii_digit() {
+        return scan_number(cur);
+    }
+    if c == '\'' {
+        return scan_quote(cur);
+    }
+    if c == '"' {
+        cur.bump();
+        scan_str_body(cur);
+        return TokenKind::Str;
+    }
+    for op in COMPOUND_OPS {
+        if rest.starts_with(op) {
+            cur.bump_n(op.chars().count());
+            return TokenKind::Punct;
+        }
+    }
+    cur.bump();
+    if c.is_ascii_punctuation() {
+        TokenKind::Punct
+    } else {
+        TokenKind::Unknown
+    }
+}
+
+/// Scans `/* … */` with nesting; an unterminated comment runs to EOF.
+fn scan_block_comment(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump_n(2);
+    let mut depth = 1u32;
+    while depth > 0 {
+        let rest = cur.rest();
+        if rest.is_empty() {
+            break;
+        }
+        if rest.starts_with("/*") {
+            depth += 1;
+            cur.bump_n(2);
+        } else if rest.starts_with("*/") {
+            depth -= 1;
+            cur.bump_n(2);
+        } else {
+            cur.bump();
+        }
+    }
+    TokenKind::BlockComment
+}
+
+/// At a cursor on `r`: scans a raw string (`r"…"`, `r#"…"#`), a raw
+/// identifier (`r#match`), or returns `None` to fall back to the plain
+/// identifier path. `kind` is the token kind for the raw-string case.
+fn scan_raw_prefixed(cur: &mut Cursor<'_>, kind: TokenKind) -> Option<TokenKind> {
+    let after: String = cur.rest().chars().skip(1).take(256).collect();
+    let hashes = after.chars().take_while(|&c| c == '#').count();
+    match after.chars().nth(hashes) {
+        Some('"') => {
+            cur.bump(); // `r`
+            cur.bump_n(hashes + 1); // hashes + opening quote
+            scan_raw_str_body(cur, hashes);
+            Some(kind)
+        }
+        Some(c) if hashes == 1 && is_ident_start(c) => {
+            // Raw identifier `r#ident`.
+            cur.bump(); // `r`
+            cur.bump(); // `#`
+            cur.eat_while(is_ident_continue);
+            Some(TokenKind::Ident)
+        }
+        _ => None,
+    }
+}
+
+/// Scans a raw-string body up to `"` followed by `hashes` `#`s (or EOF).
+fn scan_raw_str_body(cur: &mut Cursor<'_>, hashes: usize) {
+    loop {
+        match cur.peek() {
+            None => return,
+            Some('"') => {
+                let closing = cur.rest()[1..]
+                    .chars()
+                    .take(hashes)
+                    .filter(|&c| c == '#')
+                    .count();
+                if closing == hashes {
+                    cur.bump_n(1 + hashes);
+                    return;
+                }
+                cur.bump();
+            }
+            Some(_) => cur.bump(),
+        }
+    }
+}
+
+/// Scans a (possibly multi-line) string body after the opening quote.
+fn scan_str_body(cur: &mut Cursor<'_>) {
+    loop {
+        match cur.peek() {
+            None => return,
+            Some('\\') => cur.bump_n(2),
+            Some('"') => {
+                cur.bump();
+                return;
+            }
+            Some(_) => cur.bump(),
+        }
+    }
+}
+
+/// Scans a char-literal body after the opening quote (escapes included).
+fn scan_char_body(cur: &mut Cursor<'_>) {
+    loop {
+        match cur.peek() {
+            None | Some('\n') => return, // unterminated; don't swallow lines
+            Some('\\') => cur.bump_n(2),
+            Some('\'') => {
+                cur.bump();
+                return;
+            }
+            Some(_) => cur.bump(),
+        }
+    }
+}
+
+/// At a `'`: disambiguates a char literal from a lifetime / loop label.
+fn scan_quote(cur: &mut Cursor<'_>) -> TokenKind {
+    let first = cur.peek_at(1);
+    let second = cur.peek_at(2);
+    match first {
+        // `'\n'`, `'\u{1F600}'` — escape means char literal.
+        Some('\\') => {
+            cur.bump();
+            scan_char_body(cur);
+            TokenKind::Char
+        }
+        // `'x'` — a closing quote right after one char is a literal. This
+        // also classifies `'_'` (the underscore char) correctly; the
+        // lifetime `'_` is never followed by a quote.
+        Some(_) if second == Some('\'') => {
+            cur.bump();
+            scan_char_body(cur);
+            TokenKind::Char
+        }
+        // `'a`, `'static`, `'outer:` — identifier-ish with no closing
+        // quote is a lifetime or label.
+        Some(c) if is_ident_start(c) => {
+            cur.bump();
+            cur.eat_while(is_ident_continue);
+            TokenKind::Lifetime
+        }
+        // Lone or trailing quote: emit it alone, never fail.
+        _ => {
+            cur.bump();
+            TokenKind::Unknown
+        }
+    }
+}
+
+/// Scans a numeric literal (the cursor is on an ASCII digit).
+fn scan_number(cur: &mut Cursor<'_>) -> TokenKind {
+    let rest = cur.rest();
+    if rest.starts_with("0x") || rest.starts_with("0o") || rest.starts_with("0b") {
+        // Base-prefixed integers; alnum eats both digits and any suffix
+        // (`0xFF_u64`). These are never floats.
+        cur.bump_n(2);
+        cur.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+        return TokenKind::Int;
+    }
+    cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+    let mut float = false;
+    // Fractional part: `.` only joins the number when a digit follows or it
+    // terminates the literal (`1.`); `1..2` is a range and `1.max(2)` an
+    // integer method call.
+    if cur.peek() == Some('.') {
+        match cur.peek_at(1) {
+            Some(c) if c.is_ascii_digit() => {
+                float = true;
+                cur.bump();
+                cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+            }
+            Some(c) if c == '.' || is_ident_start(c) => {}
+            _ => {
+                float = true;
+                cur.bump();
+            }
+        }
+    }
+    // Exponent: `e`/`E` with an optional sign, only when digits follow
+    // (`1e9`, `1E-9`); otherwise the `e…` is a suffix or separate ident.
+    if matches!(cur.peek(), Some('e' | 'E')) {
+        let (sign, digit) = match cur.peek_at(1) {
+            Some('+' | '-') => (1, cur.peek_at(2)),
+            other => (0, other),
+        };
+        if digit.is_some_and(|c| c.is_ascii_digit()) {
+            float = true;
+            cur.bump_n(1 + sign);
+            cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+        }
+    }
+    // Type suffix (`u32`, `f64`, arbitrary ident chars).
+    let suffix_start = cur.pos;
+    cur.eat_while(is_ident_continue);
+    let suffix = &cur.src[suffix_start..cur.pos];
+    if suffix.starts_with("f32") || suffix.starts_with("f64") {
+        float = true;
+    }
+    if float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.kind, &src[t.start..t.end]))
+            .collect()
+    }
+
+    fn round_trips(src: &str) {
+        let toks = lex(src);
+        let mut pos = 0;
+        for t in &toks {
+            assert_eq!(t.start, pos, "gap or overlap at byte {pos} in {src:?}");
+            assert!(t.end > t.start, "empty token in {src:?}");
+            pos = t.end;
+        }
+        assert_eq!(pos, src.len(), "tokens do not cover {src:?}");
+    }
+
+    #[test]
+    fn idents_keywords_and_punct() {
+        let ks = kinds("fn foo(x: u32) -> bool { x == 3 }");
+        assert_eq!(ks[0], (TokenKind::Ident, "fn"));
+        assert_eq!(ks[1], (TokenKind::Ident, "foo"));
+        assert!(ks.contains(&(TokenKind::Punct, "->")));
+        assert!(ks.contains(&(TokenKind::Punct, "==")));
+        round_trips("fn foo(x: u32) -> bool { x == 3 }");
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* a /* b */ c */ fn f() {}";
+        let ks = kinds(src);
+        assert_eq!(ks[0], (TokenKind::BlockComment, "/* a /* b */ c */"));
+        assert_eq!(ks[1], (TokenKind::Ident, "fn"));
+        round_trips(src);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let s = r#\"has \"quotes\" and .unwrap()\"#;";
+        let ks = kinds(src);
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::RawStr && t.contains("unwrap")));
+        // No Ident token named `unwrap` leaks out of the literal.
+        assert!(!ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "unwrap"));
+        round_trips(src);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let ks = kinds("let r#type = 1; r#match();");
+        assert_eq!(ks[1], (TokenKind::Ident, "r#type"));
+        assert!(ks.contains(&(TokenKind::Ident, "r#match")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let u = '_'; let l: &'_ str = x; }");
+        assert!(ks.contains(&(TokenKind::Lifetime, "'a")));
+        assert!(ks.contains(&(TokenKind::Char, "'x'")));
+        assert!(ks.contains(&(TokenKind::Char, "'_'")));
+        assert!(ks.contains(&(TokenKind::Lifetime, "'_")));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let ks = kinds(r"let a = '\''; let b = '\\'; let c = '\u{1F600}';");
+        assert_eq!(
+            ks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            3,
+            "{ks:?}"
+        );
+    }
+
+    #[test]
+    fn byte_literals_and_byte_strings() {
+        let ks = kinds(r##"let a = b'x'; let b = b"bytes"; let c = br#"raw"#;"##);
+        assert!(ks.contains(&(TokenKind::Byte, "b'x'")));
+        assert!(ks.iter().any(|(k, _)| *k == TokenKind::ByteStr));
+        assert!(ks.iter().any(|(k, _)| *k == TokenKind::RawByteStr));
+    }
+
+    #[test]
+    fn numeric_literals() {
+        let ks = kinds("1 1.5 1. 1e9 1E-9 0xFF_u32 0b1010 1_000u64 2f64 1.max(2) 0..10");
+        let floats: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Float)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(floats, ["1.5", "1.", "1e9", "1E-9", "2f64"]);
+        assert!(ks.contains(&(TokenKind::Int, "0xFF_u32")));
+        assert!(ks.contains(&(TokenKind::Int, "1_000u64")));
+        // `1.max(2)` is an integer method call, `0..10` a range.
+        assert!(ks.contains(&(TokenKind::Ident, "max")));
+        assert!(ks.contains(&(TokenKind::Punct, "..")));
+    }
+
+    #[test]
+    fn multiline_strings_track_lines() {
+        let src = "let s = \"one\ntwo\";\nfn f() {}\n";
+        let toks = lex(src);
+        let f = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident && t.text(src) == "fn");
+        assert_eq!(f.map(|t| t.line), Some(3));
+        round_trips(src);
+    }
+
+    #[test]
+    fn doc_comments_are_line_comments() {
+        let ks = kinds("//! inner\n/// outer\nfn f() {}");
+        assert_eq!(ks[0], (TokenKind::LineComment, "//! inner"));
+        assert_eq!(ks[1], (TokenKind::LineComment, "/// outer"));
+    }
+
+    #[test]
+    fn pathological_inputs_never_panic() {
+        for src in [
+            "",
+            "\"unterminated",
+            "r#\"unterminated",
+            "/* never closed /* nested",
+            "'",
+            "b'",
+            "let x = '\\",
+            "\u{1F600} emoji at top level",
+            "r#",
+            "1e",
+            "0x",
+            "ident'a'b",
+        ] {
+            round_trips(src);
+        }
+    }
+}

@@ -1,8 +1,12 @@
 //! The custom static-analysis pass: simulator-specific lint rules that
-//! `cargo clippy` cannot express, implemented as a source-text scanner so
-//! they run without any external dependency.
+//! `cargo clippy` cannot express, implemented over a real token stream
+//! ([`crate::lex`]), a lightweight item parser ([`crate::items`]), and a
+//! workspace call graph ([`crate::callgraph`]) so they run without any
+//! external dependency.
 //!
 //! ## Rules
+//!
+//! Per-file (token-level) rules:
 //!
 //! * `no-unwrap` — `.unwrap()` / `.expect(...)` are forbidden in library
 //!   code under `crates/*/src`. Panics in the simulator's libraries abort
@@ -30,29 +34,61 @@
 //!   `thread::spawn` and discarded join handles (`.join().ok()`, a `let _`
 //!   binding of a `.join()`) are forbidden: every worker must live inside a
 //!   `std::thread::scope`, whose exit propagates worker panics instead of
-//!   silently losing them. The determinism contract (results keyed by job
-//!   index, every slot filled) depends on no thread outliving its batch.
-//! * `no-tick-alloc` — heap allocations (`Vec::new(`, `vec![`, `.to_vec()`)
-//!   are forbidden inside the simulator's per-cycle tick-path functions
-//!   (`crates/gpu-sim/src` plus the ws-trace audit channel
-//!   `crates/core/src/audit.rs`, the function names in [`TICK_PATH_FNS`]).
-//!   These run millions of times per experiment; an allocation there is
-//!   invisible in tests but dominates sweep wall-clock (DESIGN.md §9). The
-//!   trace/audit `record` sinks are included so event capture stays
-//!   allocation-free after construction. Reuse a member or caller-owned
+//!   silently losing them.
+//! * `determinism` — in the simulator core and the accounting layer
+//!   (`crates/gpu-sim/src`, `crates/core/src`), iteration over a
+//!   `HashMap`/`HashSet` (`.iter()`, `.keys()`, `.drain()`, a `for` loop
+//!   over one, …), wall-clock reads (`Instant::now`, `SystemTime`),
+//!   `thread::current`, and pointer-identity hashing (`ptr::hash`) are
+//!   forbidden: each one lets host state leak into simulated results,
+//!   breaking the byte-for-byte determinism contract (DESIGN.md §10). Use
+//!   `BTreeMap`/`BTreeSet` or an index-keyed `Vec`. Waivers for this rule
+//!   **require a justification** (`// <why>; xtask-allow: determinism` or
+//!   `// xtask-allow: determinism -- <why>`).
+//!
+//! Transitive (call-graph) rules — seeded at entry points and applied to
+//! every function reachable from a seed, with the concrete call chain
+//! reported in the diagnostic:
+//!
+//! * `no-tick-alloc` — heap allocation (`Vec::new`, `vec![…]`,
+//!   `…::with_capacity`, `Box::new`, `.collect()`, `.to_vec()`,
+//!   `format!`, `String::from`) is forbidden in any function reachable
+//!   from a per-cycle tick entry point ([`TICK_SEEDS`]) whose body lives
+//!   under `crates/gpu-sim/src` or in the ws-trace audit channel
+//!   `crates/core/src/audit.rs`. These run millions of times per
+//!   experiment; an allocation there is invisible in tests but dominates
+//!   sweep wall-clock (DESIGN.md §9). Reuse a member or caller-owned
 //!   buffer (`std::mem::take` + `clear` is fine).
+//! * `panic-free-accounting` — `unwrap`/`expect`, `panic!`-family macros,
+//!   and direct index expressions are forbidden in any function reachable
+//!   from the water-filling / metrics / allocator entry points
+//!   ([`ACCOUNTING_SEEDS`]): these compute the paper's headline numbers,
+//!   and a panic there takes down a whole sweep. `assert!` /
+//!   `debug_assert!` remain fine — invariant checks are the point.
+//!
+//! Call-graph resolution is conservative (see [`crate::callgraph`]):
+//! "reachable" over-approximates, so a finding may name a chain that a
+//! human can prove dead — waive it with a justification rather than
+//! narrowing the engine.
 //!
 //! Any finding is suppressed by a `// xtask-allow: <rule>` comment on the
 //! same line or the line immediately above (for `module-docs`: on the first
-//! line of the file). Multiple rules may be listed, comma-separated.
+//! line of the file). Multiple rules may be listed, comma-separated; the
+//! `determinism` rule additionally requires the waiver to carry a
+//! justification.
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::callgraph::CallGraph;
+use crate::items::{self, CallSite, FileItems};
+use crate::lex::TokenKind;
+
 /// Names of every rule, for help text.
-pub const RULE_NAMES: [&str; 7] = [
+pub const RULE_NAMES: [&str; 9] = [
     "no-unwrap",
     "no-lossy-cast",
     "no-float-eq",
@@ -60,12 +96,15 @@ pub const RULE_NAMES: [&str; 7] = [
     "no-index-panic",
     "no-unchecked-spawn",
     "no-tick-alloc",
+    "determinism",
+    "panic-free-accounting",
 ];
 
-/// Functions on the simulator's per-cycle hot path. `no-tick-alloc`
-/// applies to the bodies of functions with these names under
-/// `crates/gpu-sim/src`; everything else (constructors, launch/evict,
-/// tests) may allocate freely.
+/// Functions on the simulator's per-cycle hot path. Every name here must be
+/// reachable from [`TICK_SEEDS`] in the workspace call graph (a unit test
+/// asserts it), so the transitive `no-tick-alloc` rule covers at least the
+/// surface the old per-name rule did.
+#[cfg_attr(not(test), allow(dead_code))]
 pub const TICK_PATH_FNS: [&str; 12] = [
     "tick",
     "tick_fast_forward",
@@ -81,8 +120,59 @@ pub const TICK_PATH_FNS: [&str; 12] = [
     "record_stall_window",
 ];
 
-/// Allocation patterns forbidden on the tick path.
-const TICK_ALLOC_PATTERNS: [&str; 3] = ["Vec::new(", "vec![", ".to_vec()"];
+/// Seed functions for the transitive `no-tick-alloc` rule: the per-cycle
+/// entry points of the simulator core and the trace/audit record sinks.
+/// Everything reachable from these inside `crates/gpu-sim/src` (plus
+/// `crates/core/src/audit.rs`) is tick-path.
+pub const TICK_SEEDS: [(&str, &str); 11] = [
+    ("Gpu", "tick"),
+    ("Gpu", "fast_forward"),
+    ("Gpu", "tick_fast_forward"),
+    ("Sm", "tick"),
+    ("Sm", "on_fill"),
+    ("Sm", "take_completions"),
+    ("Sm", "drain_completions_into"),
+    ("MemSubsystem", "tick"),
+    ("TraceSink", "record"),
+    ("TraceSink", "record_stall_window"),
+    ("DecisionAudit", "record"),
+];
+
+/// Seed functions for the transitive `panic-free-accounting` rule: the
+/// water-filling partitioner, the headline metrics, and the resource
+/// allocator — the call trees that compute the paper's numbers.
+pub const ACCOUNTING_SEEDS: [(Option<&str>, &str); 15] = [
+    (Some("LinearAllocator"), "alloc"),
+    (Some("LinearAllocator"), "alloc_in_window"),
+    (Some("LinearAllocator"), "free"),
+    (Some("LinearAllocator"), "free_in_window"),
+    (Some("LinearAllocator"), "largest_free"),
+    (Some("LinearAllocator"), "largest_free_in_window"),
+    (Some("SmResources"), "try_alloc"),
+    (Some("SmResources"), "free"),
+    (None, "water_fill"),
+    (None, "water_fill_traced"),
+    (None, "brute_force"),
+    (None, "speedups"),
+    (None, "fairness"),
+    (None, "antt"),
+    (None, "system_throughput"),
+];
+
+/// Method names whose call on a `HashMap`/`HashSet` binding observes (or
+/// depends on) the container's nondeterministic iteration order.
+const UNORDERED_ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
 
 /// Keywords that may legitimately precede a `[` starting an array literal or
 /// slice pattern; a `[` after one of these is not an index expression.
@@ -119,6 +209,10 @@ pub struct Violation {
     pub line: usize,
     /// Human-oriented explanation.
     pub message: String,
+    /// For transitive rules: the call chain from a seed to the function
+    /// containing the finding (qualified names, seed first). Empty for
+    /// per-file rules.
+    pub chain: Vec<String>,
 }
 
 impl fmt::Display for Violation {
@@ -127,551 +221,549 @@ impl fmt::Display for Violation {
             f,
             "{}:{}: [{}] {}",
             self.file, self.line, self.rule, self.message
-        )
+        )?;
+        if !self.chain.is_empty() {
+            write!(f, " [chain: {}]", self.chain.join(" -> "))?;
+        }
+        Ok(())
     }
 }
 
-/// Per-line facts extracted by the masking pre-pass.
-struct MaskedLine {
-    /// Source text with comments, string/char literals blanked out.
-    code: String,
-    /// Rules named in an `xtask-allow` comment on this line.
-    allows: Vec<String>,
-    /// Whether the line is inside (or is) a `#[cfg(test)]` item.
-    in_test: bool,
-    /// Whether the line is inside the body of a [`TICK_PATH_FNS`] function
-    /// (only computed for files where `no-tick-alloc` applies).
-    in_tick: bool,
-    /// Whether the line carried a `//!` inner doc comment.
-    inner_doc: bool,
+/// Read-only accessor over a file's significant tokens.
+struct Toks<'a> {
+    src: &'a str,
+    items: &'a FileItems,
 }
 
-/// Blanks comments and string/char literals, records `xtask-allow`
-/// directives and `//!` lines. Operating on a masked copy means rule
-/// patterns never fire inside strings, doc examples, or commentary.
-fn mask_lines(src: &str) -> Vec<MaskedLine> {
-    #[derive(PartialEq)]
-    enum State {
-        Code,
-        Block(usize),
-        Str,
-        RawStr(usize),
+impl<'a> Toks<'a> {
+    fn len(&self) -> usize {
+        self.items.sig.len()
     }
-    let mut out: Vec<MaskedLine> = Vec::new();
-    let mut state = State::Code;
-    for raw in src.lines() {
-        let bytes = raw.as_bytes();
-        let mut code = String::with_capacity(raw.len());
-        let mut allows = Vec::new();
-        let mut inner_doc = false;
-        let mut i = 0;
-        while i < bytes.len() {
-            match state {
-                State::Code => {
-                    let rest = &raw[i..];
-                    if rest.starts_with("//") {
-                        if rest.starts_with("//!") {
-                            inner_doc = true;
-                        }
-                        if let Some(list) = rest.find("xtask-allow:").map(|p| &rest[p + 12..]) {
-                            allows.extend(
-                                list.split(',')
-                                    .map(|r| r.trim().to_string())
-                                    .filter(|r| !r.is_empty()),
-                            );
-                        }
-                        break; // rest of line is comment
-                    } else if rest.starts_with("/*") {
-                        state = State::Block(1);
-                        i += 2;
-                    } else if rest.starts_with("r\"") {
-                        state = State::RawStr(0);
-                        i += 2;
-                    } else if rest.starts_with("r#") {
-                        let hashes = rest[1..].bytes().take_while(|&b| b == b'#').count();
-                        if rest[1 + hashes..].starts_with('"') {
-                            state = State::RawStr(hashes);
-                            i += 2 + hashes;
-                        } else {
-                            code.push('r');
-                            i += 1;
-                        }
-                    } else if bytes[i] == b'"' {
-                        state = State::Str;
-                        i += 1;
-                    } else if bytes[i] == b'\'' {
-                        // Char literal vs. lifetime: a literal closes with a
-                        // quote within a few chars; a lifetime never does.
-                        let close = raw[i + 1..]
-                            .char_indices()
-                            .take(4)
-                            .find(|&(_, c)| c == '\'');
-                        match close {
-                            Some((off, _)) => {
-                                i += 1 + off + 1; // skip the literal
-                            }
-                            None => {
-                                // Lifetime or lone quote: emit as-is.
-                                code.push('\'');
-                                i += 1;
-                            }
-                        }
-                    } else {
-                        let ch = raw[i..].chars().next().unwrap_or(' ');
-                        code.push(ch);
-                        i += ch.len_utf8();
-                    }
-                }
-                State::Block(depth) => {
-                    let rest = &raw[i..];
-                    if rest.starts_with("/*") {
-                        state = State::Block(depth + 1);
-                        i += 2;
-                    } else if rest.starts_with("*/") {
-                        state = if depth == 1 {
-                            State::Code
-                        } else {
-                            State::Block(depth - 1)
-                        };
-                        i += 2;
-                    } else {
-                        i += raw[i..].chars().next().map_or(1, char::len_utf8);
-                    }
-                }
-                State::Str => {
-                    if bytes[i] == b'\\' {
-                        i += 2; // skip escape; fine if it runs off the line
-                    } else if bytes[i] == b'"' {
-                        state = State::Code;
-                        i += 1;
-                    } else {
-                        i += raw[i..].chars().next().map_or(1, char::len_utf8);
-                    }
-                }
-                State::RawStr(hashes) => {
-                    let rest = &raw[i..];
-                    let mut terminator = String::from("\"");
-                    terminator.push_str(&"#".repeat(hashes));
-                    if rest.starts_with(terminator.as_str()) {
-                        state = State::Code;
-                        i += terminator.len();
-                    } else {
-                        i += rest.chars().next().map_or(1, char::len_utf8);
-                    }
-                }
+
+    fn text(&self, s: usize) -> &'a str {
+        self.items
+            .sig
+            .get(s)
+            .and_then(|&i| self.items.tokens.get(i))
+            .map_or("", |t| t.text(self.src))
+    }
+
+    fn kind(&self, s: usize) -> Option<TokenKind> {
+        self.items
+            .sig
+            .get(s)
+            .and_then(|&i| self.items.tokens.get(i))
+            .map(|t| t.kind)
+    }
+
+    fn line(&self, s: usize) -> u32 {
+        self.items
+            .sig
+            .get(s)
+            .and_then(|&i| self.items.tokens.get(i))
+            .map_or(0, |t| t.line)
+    }
+}
+
+/// Pushes a finding unless a waiver covers it. `determinism` waivers must
+/// carry a justification; a bare one converts the finding instead of
+/// silencing it.
+fn emit(
+    out: &mut Vec<Violation>,
+    items: &FileItems,
+    rule: &'static str,
+    file: &str,
+    line: u32,
+    message: String,
+    chain: Vec<String>,
+) {
+    if let Some(allow) = items.allow_for(line, rule) {
+        if rule == "determinism" && allow.justification.is_none() {
+            out.push(Violation {
+                rule,
+                file: file.to_string(),
+                line: line as usize,
+                message: format!(
+                    "{message} — the waiver is present but `determinism` waivers require a \
+                     justification (`// <why>; xtask-allow: determinism` or \
+                     `// xtask-allow: determinism -- <why>`)"
+                ),
+                chain,
+            });
+        }
+        return;
+    }
+    out.push(Violation {
+        rule,
+        file: file.to_string(),
+        line: line as usize,
+        message,
+        chain,
+    });
+}
+
+/// Whether the `[` at sig index `i` begins an index expression (something
+/// panickable) rather than an array literal, slice pattern, type, attribute,
+/// or macro delimiter.
+fn is_index_expression(t: &Toks<'_>, i: usize) -> bool {
+    let Some(j) = i.checked_sub(1) else {
+        return false;
+    };
+    let prev = t.text(j);
+    match t.kind(j) {
+        Some(TokenKind::Ident) => !INDEX_EXEMPT_KEYWORDS.contains(&prev),
+        Some(TokenKind::Punct) => prev == ")" || prev == "]",
+        _ => false,
+    }
+}
+
+/// Whether a sig-index neighbourhood of a `==`/`!=` at `i` contains a float
+/// literal operand (looking through a unary minus on the right).
+fn float_operand(t: &Toks<'_>, i: usize) -> bool {
+    let left = i
+        .checked_sub(1)
+        .is_some_and(|j| t.kind(j) == Some(TokenKind::Float));
+    let mut r = i + 1;
+    if t.text(r) == "-" {
+        r += 1;
+    }
+    left || t.kind(r) == Some(TokenKind::Float)
+}
+
+/// The per-file (token-level) rules.
+fn per_file_rules(label: &str, src: &str, items: &FileItems, out: &mut Vec<Violation>) {
+    let t = Toks { src, items };
+    let file_name = Path::new(label)
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("");
+    let is_bin = label.contains("/bin/");
+    let check_unwrap = !is_bin;
+    let check_casts = ACCOUNTING_MODULES.contains(&file_name);
+    let check_index =
+        label.contains("crates/analysis/") || label.ends_with("crates/core/src/waterfill.rs");
+    let check_spawn = label.contains("crates/exec/");
+    let check_det =
+        !is_bin && (label.contains("crates/gpu-sim/src") || label.contains("crates/core/src"));
+
+    // module-docs: a `//!` must appear before the first item.
+    if !items.has_module_docs && !items.sig.is_empty() {
+        emit(
+            out,
+            items,
+            "module-docs",
+            label,
+            1,
+            "missing `//!` module documentation before the first item".to_string(),
+            Vec::new(),
+        );
+    }
+
+    for i in 0..t.len() {
+        let line = t.line(i);
+        if items.in_test(line) {
+            continue;
+        }
+        let txt = t.text(i);
+        if check_unwrap
+            && txt == "."
+            && matches!(t.text(i + 1), "unwrap" | "expect")
+            && t.text(i + 2) == "("
+        {
+            emit(
+                out,
+                items,
+                "no-unwrap",
+                label,
+                t.line(i + 1),
+                format!(
+                    "`.{}(…)` in library code; return Option/Result or justify with \
+                     `// xtask-allow: no-unwrap`",
+                    t.text(i + 1)
+                ),
+                Vec::new(),
+            );
+        }
+        if check_casts && txt == "as" && t.kind(i) == Some(TokenKind::Ident) {
+            let target = t.text(i + 1);
+            if LOSSY_CAST_TARGETS.contains(&target) {
+                emit(
+                    out,
+                    items,
+                    "no-lossy-cast",
+                    label,
+                    line,
+                    format!(
+                        "lossy `as {target}` cast in accounting-critical module; use \
+                         `From`/`try_from` or widen, or justify with \
+                         `// xtask-allow: no-lossy-cast`"
+                    ),
+                    Vec::new(),
+                );
             }
         }
-        // An unterminated escape at line end (`\` before newline) keeps the
-        // string state across lines, which is exactly right.
-        out.push(MaskedLine {
-            code,
-            allows,
-            in_test: false,
-            in_tick: false,
-            inner_doc,
-        });
-    }
-    mark_test_regions(&mut out);
-    out
-}
-
-/// Marks every line belonging to a `#[cfg(test)]` item (attribute line,
-/// header, and the brace-balanced body).
-fn mark_test_regions(lines: &mut [MaskedLine]) {
-    let mut i = 0;
-    while i < lines.len() {
-        let code = lines[i].code.trim().to_string();
-        if code.starts_with("#[cfg(test)]") {
-            lines[i].in_test = true;
-            // Scan forward to the first `{`, then to its matching `}`.
-            let mut depth: i64 = 0;
-            let mut opened = false;
-            let mut j = i;
-            while j < lines.len() {
-                lines[j].in_test = true;
-                for b in lines[j].code.bytes() {
-                    match b {
-                        b'{' => {
-                            depth += 1;
-                            opened = true;
-                        }
-                        b'}' => depth -= 1,
-                        b';' if !opened && depth == 0 => {
-                            // `#[cfg(test)] use ...;` — single-item form.
-                            opened = true;
-                            depth = 0;
+        if matches!(txt, "==" | "!=") && float_operand(&t, i) {
+            emit(
+                out,
+                items,
+                "no-float-eq",
+                label,
+                line,
+                format!(
+                    "direct floating-point `{txt}` comparison; use an epsilon (rounding \
+                     error accumulates in IPC/perf values) or justify with \
+                     `// xtask-allow: no-float-eq`"
+                ),
+                Vec::new(),
+            );
+        }
+        if check_index && txt == "[" && is_index_expression(&t, i) {
+            emit(
+                out,
+                items,
+                "no-index-panic",
+                label,
+                line,
+                "direct index expression can panic on the verification path; use \
+                 `get`/iterators/destructuring or justify with \
+                 `// xtask-allow: no-index-panic`"
+                    .to_string(),
+                Vec::new(),
+            );
+        }
+        if check_spawn {
+            if txt == "thread" && t.text(i + 1) == "::" && t.text(i + 2) == "spawn" {
+                emit(
+                    out,
+                    items,
+                    "no-unchecked-spawn",
+                    label,
+                    line,
+                    "raw `thread::spawn` in the execution layer; use a `std::thread::scope` \
+                     worker (scope exit checks every join) or justify with \
+                     `// xtask-allow: no-unchecked-spawn`"
+                        .to_string(),
+                    Vec::new(),
+                );
+            }
+            if txt == "." && t.text(i + 1) == "join" && t.text(i + 2) == "(" {
+                // `.join().ok()` — `join` takes no arguments.
+                let swallowed =
+                    t.text(i + 3) == ")" && t.text(i + 4) == "." && t.text(i + 5) == "ok";
+                // `let _ = handle.join(…)` — walk back to the statement start.
+                let mut discarded = false;
+                let mut j = i;
+                while j > 0 {
+                    j -= 1;
+                    match t.text(j) {
+                        ";" | "{" | "}" => break,
+                        "let" if t.text(j + 1) == "_" => {
+                            discarded = true;
+                            break;
                         }
                         _ => {}
                     }
                 }
-                if opened && depth <= 0 {
-                    break;
-                }
-                j += 1;
-            }
-            i = j + 1;
-        } else {
-            i += 1;
-        }
-    }
-}
-
-/// Whether masked `code` contains a definition of a [`TICK_PATH_FNS`]
-/// function: `fn <name>(` with a non-identifier byte (or line start)
-/// before the `fn`.
-fn defines_tick_fn(code: &str) -> bool {
-    TICK_PATH_FNS.iter().any(|name| {
-        let pat = format!("fn {name}(");
-        let mut search = 0;
-        while let Some(pos) = code[search..].find(pat.as_str()) {
-            let at = search + pos;
-            search = at + 3;
-            if at == 0 || !is_ident_byte(code.as_bytes()[at - 1]) {
-                return true;
-            }
-        }
-        false
-    })
-}
-
-/// Marks every line belonging to the body of a tick-path function: from
-/// the `fn` line (signatures may span lines before the `{`) to its
-/// matching close brace. A `;` before any `{` is a trait-method
-/// declaration, which has no body to mark.
-fn mark_tick_regions(lines: &mut [MaskedLine]) {
-    let mut i = 0;
-    while i < lines.len() {
-        if !defines_tick_fn(&lines[i].code) {
-            i += 1;
-            continue;
-        }
-        let mut depth: i64 = 0;
-        let mut opened = false;
-        let mut j = i;
-        'body: while j < lines.len() {
-            lines[j].in_tick = true;
-            for b in lines[j].code.bytes() {
-                match b {
-                    b'{' => {
-                        depth += 1;
-                        opened = true;
-                    }
-                    b'}' => depth -= 1,
-                    b';' if !opened && depth == 0 => {
-                        lines[j].in_tick = false; // declaration only
-                        break 'body;
-                    }
-                    _ => {}
-                }
-            }
-            if opened && depth <= 0 {
-                break;
-            }
-            j += 1;
-        }
-        i = j + 1;
-    }
-}
-
-fn allowed(lines: &[MaskedLine], idx: usize, rule: &str) -> bool {
-    lines[idx].allows.iter().any(|a| a == rule)
-        || (idx > 0 && lines[idx - 1].allows.iter().any(|a| a == rule))
-}
-
-fn is_ident_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-/// Tokens adjacent to byte range `[start, end)` of `code`: the word-ish
-/// token ending right before `start` and the one starting right after `end`.
-fn adjacent_tokens(code: &str, start: usize, end: usize) -> (String, String) {
-    let bytes = code.as_bytes();
-    let mut s = start;
-    while s > 0 && bytes[s - 1] == b' ' {
-        s -= 1;
-    }
-    let mut ps = s;
-    // `-` is included so exponent literals like `1e-9` survive intact.
-    while ps > 0 && (is_ident_byte(bytes[ps - 1]) || bytes[ps - 1] == b'.' || bytes[ps - 1] == b'-')
-    {
-        ps -= 1;
-    }
-    let prev = code[ps..s].to_string();
-    let mut e = end;
-    while e < bytes.len() && bytes[e] == b' ' {
-        e += 1;
-    }
-    let mut pe = e;
-    while pe < bytes.len() && (is_ident_byte(bytes[pe]) || bytes[pe] == b'.' || bytes[pe] == b'-') {
-        pe += 1;
-    }
-    let next = code[e..pe].to_string();
-    (prev, next)
-}
-
-/// Whether `tok` looks like a float literal (`0.5`, `1.`, `1e-9`, `1.0f64`).
-fn is_float_literal(tok: &str) -> bool {
-    let mut t = tok.trim_start_matches('-');
-    if !t.starts_with(|c: char| c.is_ascii_digit()) {
-        return false; // method call like `.len`, identifier, empty
-    }
-    let digits = |s: &str| -> usize {
-        s.bytes()
-            .take_while(|b| b.is_ascii_digit() || *b == b'_')
-            .count()
-    };
-    let mut floatish = false;
-    t = &t[digits(t)..];
-    if let Some(rest) = t.strip_prefix('.') {
-        floatish = true;
-        t = &rest[digits(rest)..];
-    }
-    if let Some(rest) = t.strip_prefix(['e', 'E']) {
-        let rest = rest.strip_prefix(['+', '-']).unwrap_or(rest);
-        let n = digits(rest);
-        if n == 0 {
-            return false; // `2eX` is not a number
-        }
-        floatish = true;
-        t = &rest[n..];
-    }
-    if let Some(rest) = t.strip_prefix("f64").or_else(|| t.strip_prefix("f32")) {
-        floatish = true;
-        t = rest;
-    }
-    floatish && t.is_empty()
-}
-
-/// Whether the `[` at byte offset `pos` of masked `code` begins an index
-/// expression (something panickable) rather than an array literal, slice
-/// pattern, type, or attribute.
-fn is_index_expression(code: &str, pos: usize) -> bool {
-    let bytes = code.as_bytes();
-    let mut p = pos;
-    while p > 0 && bytes.get(p - 1) == Some(&b' ') {
-        p -= 1;
-    }
-    if p == 0 {
-        return false;
-    }
-    let prev = bytes.get(p - 1).copied().unwrap_or(b' ');
-    if prev == b')' || prev == b']' {
-        return true;
-    }
-    if !is_ident_byte(prev) {
-        return false;
-    }
-    // Extract the word ending at `p`; a keyword there introduces an array
-    // literal or pattern (`return [..]`, `let [a, b] = ..`), not an index.
-    let mut start = p;
-    while start > 0 && is_ident_byte(bytes.get(start - 1).copied().unwrap_or(b' ')) {
-        start -= 1;
-    }
-    let word = code.get(start..p).unwrap_or("");
-    if INDEX_EXEMPT_KEYWORDS.contains(&word) {
-        return false;
-    }
-    // A bare number before `[` cannot be an indexable expression.
-    !word.bytes().all(|b| b.is_ascii_digit())
-}
-
-/// Applies every line rule to one masked file.
-fn scan_masked(
-    file: &str,
-    lines: &[MaskedLine],
-    check_unwrap: bool,
-    check_casts: bool,
-    check_index: bool,
-    check_spawn: bool,
-) -> Vec<Violation> {
-    let mut out = Vec::new();
-    for (idx, ml) in lines.iter().enumerate() {
-        if ml.in_test {
-            continue;
-        }
-        let lineno = idx + 1;
-        let code = ml.code.as_str();
-        if check_unwrap {
-            for pat in [".unwrap()", ".expect("] {
-                if code.contains(pat) && !allowed(lines, idx, "no-unwrap") {
-                    out.push(Violation {
-                        rule: "no-unwrap",
-                        file: file.to_string(),
-                        line: lineno,
-                        message: format!(
-                            "`{pat}` in library code; return Option/Result or justify with \
-                             `// xtask-allow: no-unwrap`"
-                        ),
-                    });
-                }
-            }
-        }
-        if check_casts {
-            let mut search = 0;
-            // The surrounding spaces in the pattern already guarantee `as`
-            // is a standalone token.
-            while let Some(pos) = code[search..].find(" as ") {
-                let at = search + pos;
-                search = at + 4;
-                let after = &code[at + 4..];
-                let target: String = after
-                    .trim_start()
-                    .chars()
-                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-                    .collect();
-                if LOSSY_CAST_TARGETS.contains(&target.as_str())
-                    && !allowed(lines, idx, "no-lossy-cast")
-                {
-                    out.push(Violation {
-                        rule: "no-lossy-cast",
-                        file: file.to_string(),
-                        line: lineno,
-                        message: format!(
-                            "lossy `as {target}` cast in accounting-critical module; use \
-                             `From`/`try_from` or widen, or justify with \
-                             `// xtask-allow: no-lossy-cast`"
-                        ),
-                    });
-                }
-            }
-        }
-        if check_index {
-            for (pos, b) in code.bytes().enumerate() {
-                if b == b'['
-                    && is_index_expression(code, pos)
-                    && !allowed(lines, idx, "no-index-panic")
-                {
-                    out.push(Violation {
-                        rule: "no-index-panic",
-                        file: file.to_string(),
-                        line: lineno,
-                        message: "direct index expression can panic on the verification \
-                                  path; use `get`/iterators/destructuring or justify with \
-                                  `// xtask-allow: no-index-panic`"
+                if swallowed || discarded {
+                    emit(
+                        out,
+                        items,
+                        "no-unchecked-spawn",
+                        label,
+                        line,
+                        "discarded join handle result in the execution layer; a swallowed \
+                         worker panic breaks the determinism contract — propagate it or \
+                         justify with `// xtask-allow: no-unchecked-spawn`"
                             .to_string(),
-                    });
+                        Vec::new(),
+                    );
                 }
             }
         }
-        if ml.in_tick && !allowed(lines, idx, "no-tick-alloc") {
-            for pat in TICK_ALLOC_PATTERNS {
-                if code.contains(pat) {
-                    out.push(Violation {
-                        rule: "no-tick-alloc",
-                        file: file.to_string(),
-                        line: lineno,
-                        message: format!(
-                            "`{pat}` allocates inside a per-cycle tick-path function; \
-                             reuse a member or caller-owned buffer, or justify with \
-                             `// xtask-allow: no-tick-alloc`"
-                        ),
-                    });
-                }
-            }
-        }
-        if check_spawn && !allowed(lines, idx, "no-unchecked-spawn") {
-            if code.contains("thread::spawn") {
-                out.push(Violation {
-                    rule: "no-unchecked-spawn",
-                    file: file.to_string(),
-                    line: lineno,
-                    message: "raw `thread::spawn` in the execution layer; use a \
-                              `std::thread::scope` worker (scope exit checks every join) \
-                              or justify with `// xtask-allow: no-unchecked-spawn`"
-                        .to_string(),
-                });
-            }
-            let discards_join = code.contains(".join().ok()")
-                || (code.contains(".join(") && code.contains("let _ "))
-                || (code.contains(".join(") && code.contains("let _="));
-            if discards_join {
-                out.push(Violation {
-                    rule: "no-unchecked-spawn",
-                    file: file.to_string(),
-                    line: lineno,
-                    message: "discarded join handle result in the execution layer; a \
-                              swallowed worker panic breaks the determinism contract — \
-                              propagate it or justify with \
-                              `// xtask-allow: no-unchecked-spawn`"
-                        .to_string(),
-                });
-            }
-        }
-        for op in ["==", "!="] {
-            let mut search = 0;
-            while let Some(pos) = code[search..].find(op) {
-                let at = search + pos;
-                search = at + 2;
-                // Skip `<=`, `>=`, `===`-ish neighbourhoods and pattern `=>`.
-                if at > 0 && matches!(code.as_bytes()[at - 1], b'<' | b'>' | b'=' | b'!') {
-                    continue;
-                }
-                if code.as_bytes().get(at + 2) == Some(&b'=') {
-                    continue;
-                }
-                let (prev, next) = adjacent_tokens(code, at, at + 2);
-                if (is_float_literal(&prev) || is_float_literal(&next))
-                    && !allowed(lines, idx, "no-float-eq")
-                {
-                    out.push(Violation {
-                        rule: "no-float-eq",
-                        file: file.to_string(),
-                        line: lineno,
-                        message: format!(
-                            "direct floating-point `{op}` comparison; use an epsilon \
-                             (rounding error accumulates in IPC/perf values) or justify \
-                             with `// xtask-allow: no-float-eq`"
-                        ),
-                    });
-                }
+        if check_det {
+            let wall_clock = (txt == "Instant" && t.text(i + 1) == "::" && t.text(i + 2) == "now")
+                || txt == "SystemTime";
+            let host_thread =
+                txt == "thread" && t.text(i + 1) == "::" && t.text(i + 2) == "current";
+            let ptr_hash = txt == "ptr" && t.text(i + 1) == "::" && t.text(i + 2) == "hash";
+            if wall_clock || host_thread || ptr_hash {
+                let what = if wall_clock {
+                    "wall-clock time"
+                } else if host_thread {
+                    "host thread identity"
+                } else {
+                    "pointer-identity hashing"
+                };
+                emit(
+                    out,
+                    items,
+                    "determinism",
+                    label,
+                    line,
+                    format!(
+                        "`{txt}` leaks {what} into simulator state, breaking byte-for-byte \
+                         determinism; derive the value from simulated state instead"
+                    ),
+                    Vec::new(),
+                );
             }
         }
     }
-    // module-docs: a `//!` must appear before the first line of code.
-    let first_code = lines
-        .iter()
-        .position(|ml| !ml.code.trim().is_empty() && !ml.code.trim().starts_with("#!["));
-    let has_doc_before = lines[..first_code.unwrap_or(lines.len())]
-        .iter()
-        .any(|ml| ml.inner_doc);
-    if !has_doc_before && !lines.is_empty() && !allowed(lines, 0, "module-docs") {
-        out.push(Violation {
-            rule: "module-docs",
-            file: file.to_string(),
-            line: 1,
-            message: "missing `//!` module documentation before the first item".to_string(),
-        });
+
+    if check_det {
+        determinism_iteration_rules(label, items, out);
     }
+}
+
+/// The iteration-order half of the `determinism` rule: method calls and
+/// `for` loops over bindings declared as `HashMap`/`HashSet`.
+fn determinism_iteration_rules(label: &str, items: &FileItems, out: &mut Vec<Violation>) {
+    if items.hash_idents.is_empty() {
+        return;
+    }
+    // One finding per line: a `for (k, v) in m.iter()` header would
+    // otherwise fire twice (once for the call, once for the loop).
+    let mut flagged: BTreeSet<u32> = BTreeSet::new();
+    for f in &items.fns {
+        if f.in_test {
+            continue;
+        }
+        for c in &f.calls {
+            if !c.is_method || !UNORDERED_ITER_METHODS.contains(&c.name()) {
+                continue;
+            }
+            let Some(recv) = &c.recv else { continue };
+            if items.hash_idents.contains(recv) && flagged.insert(c.line) {
+                emit(
+                    out,
+                    items,
+                    "determinism",
+                    label,
+                    c.line,
+                    format!(
+                        "`.{}()` observes the nondeterministic iteration order of \
+                         `HashMap`/`HashSet` binding `{recv}`; use `BTreeMap`/`BTreeSet` \
+                         or an index-keyed `Vec`",
+                        c.name()
+                    ),
+                    Vec::new(),
+                );
+            }
+        }
+    }
+    for fl in &items.for_loops {
+        if fl.in_test || !flagged.insert(fl.line) {
+            continue;
+        }
+        if let Some(ident) = fl
+            .expr_idents
+            .iter()
+            .find(|id| items.hash_idents.contains(*id))
+        {
+            emit(
+                out,
+                items,
+                "determinism",
+                label,
+                fl.line,
+                format!(
+                    "`for` loop iterates `HashMap`/`HashSet` binding `{ident}` in \
+                     nondeterministic order; use `BTreeMap`/`BTreeSet` or an index-keyed \
+                     `Vec`"
+                ),
+                Vec::new(),
+            );
+        }
+    }
+}
+
+/// The allocation pattern a call site matches on the tick path, if any,
+/// rendered for the diagnostic.
+fn tick_alloc_pattern(c: &CallSite) -> Option<String> {
+    if c.is_macro {
+        return matches!(c.name(), "vec!" | "format!").then(|| format!("{}(…)", c.path));
+    }
+    if c.is_method {
+        return matches!(c.name(), "to_vec" | "collect").then(|| format!(".{}()", c.path));
+    }
+    let name = c.name();
+    let qual = c.path.rsplit("::").nth(1).unwrap_or("");
+    let hit = (name == "with_capacity" && c.path.contains("::"))
+        || matches!(
+            (qual, name),
+            ("Vec", "new") | ("Box", "new") | ("String", "from")
+        );
+    hit.then(|| format!("{}(…)", c.path))
+}
+
+/// The panic pattern a call site matches in accounting code, if any.
+fn panic_pattern(c: &CallSite) -> Option<String> {
+    if c.is_macro {
+        return matches!(
+            c.name(),
+            "panic!" | "todo!" | "unimplemented!" | "unreachable!"
+        )
+        .then(|| format!("{}(…)", c.path));
+    }
+    if c.is_method {
+        return matches!(c.name(), "unwrap" | "expect").then(|| format!(".{}()", c.path));
+    }
+    None
+}
+
+/// The transitive rules: builds the workspace call graph, runs reachability
+/// from each seed set, and scans the bodies of reached functions.
+fn graph_rules(
+    files: &[(String, String)],
+    parsed: &[(String, FileItems)],
+    out: &mut Vec<Violation>,
+) {
+    let graph = CallGraph::build(parsed);
+
+    // no-tick-alloc: allocation reachable from a per-cycle entry point.
+    let mut seeds = Vec::new();
+    for (ty, name) in TICK_SEEDS {
+        seeds.extend(graph.find(parsed, Some(ty), name));
+    }
+    let reach = graph.reachable(&seeds);
+    for id in reach.iter() {
+        let node = &graph.nodes[id];
+        let Some((label, items)) = parsed.get(node.file) else {
+            continue;
+        };
+        if !(label.contains("crates/gpu-sim/src") || label.ends_with("crates/core/src/audit.rs")) {
+            continue;
+        }
+        let Some(f) = items.fns.get(node.fn_idx) else {
+            continue;
+        };
+        let chain = reach.chain(&graph, id);
+        for c in &f.calls {
+            if let Some(what) = tick_alloc_pattern(c) {
+                emit(
+                    out,
+                    items,
+                    "no-tick-alloc",
+                    label,
+                    c.line,
+                    format!(
+                        "`{what}` allocates inside a function reachable from a per-cycle \
+                         tick entry point; reuse a member or caller-owned buffer, or \
+                         justify with `// xtask-allow: no-tick-alloc`"
+                    ),
+                    chain.clone(),
+                );
+            }
+        }
+    }
+
+    // panic-free-accounting: panics reachable from the accounting entry
+    // points.
+    let mut seeds = Vec::new();
+    for (ty, name) in ACCOUNTING_SEEDS {
+        seeds.extend(graph.find(parsed, ty, name));
+    }
+    let reach = graph.reachable(&seeds);
+    for id in reach.iter() {
+        let node = &graph.nodes[id];
+        let Some((label, items)) = parsed.get(node.file) else {
+            continue;
+        };
+        if label.contains("/bin/")
+            || !(label.contains("crates/gpu-sim/src") || label.contains("crates/core/src"))
+        {
+            continue;
+        }
+        let Some(f) = items.fns.get(node.fn_idx) else {
+            continue;
+        };
+        let chain = reach.chain(&graph, id);
+        for c in &f.calls {
+            if let Some(what) = panic_pattern(c) {
+                emit(
+                    out,
+                    items,
+                    "panic-free-accounting",
+                    label,
+                    c.line,
+                    format!(
+                        "`{what}` can panic inside the accounting call tree; return \
+                         Option/Result (or justify with \
+                         `// xtask-allow: panic-free-accounting`)"
+                    ),
+                    chain.clone(),
+                );
+            }
+        }
+        // Direct index expressions within the body's line span.
+        let Some((body_start, body_end)) = f.body_lines else {
+            continue;
+        };
+        let Some(src) = files.get(node.file).map(|(_, s)| s.as_str()) else {
+            continue;
+        };
+        let t = Toks { src, items };
+        for i in 0..t.len() {
+            let line = t.line(i);
+            if line < body_start || line > body_end || items.in_test(line) {
+                continue;
+            }
+            if t.text(i) == "[" && is_index_expression(&t, i) {
+                emit(
+                    out,
+                    items,
+                    "panic-free-accounting",
+                    label,
+                    line,
+                    "direct index expression can panic inside the accounting call tree; \
+                     use `get`/iterators/destructuring or justify with \
+                     `// xtask-allow: panic-free-accounting`"
+                        .to_string(),
+                    chain.clone(),
+                );
+            }
+        }
+    }
+}
+
+/// Lints a set of (path label, source text) files as one workspace: all
+/// per-file rules plus the call-graph rules, findings sorted by path, line,
+/// and rule, deduplicated.
+#[must_use]
+pub fn lint_files(files: &[(String, String)]) -> Vec<Violation> {
+    let parsed: Vec<(String, FileItems)> = files
+        .iter()
+        .map(|(p, s)| (p.clone(), items::parse(s)))
+        .collect();
+    let mut out = Vec::new();
+    for ((label, src), (_, items)) in files.iter().zip(&parsed) {
+        per_file_rules(label, src, items, &mut out);
+    }
+    graph_rules(files, &parsed, &mut out);
+    out.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    // Overlapping function bodies (nested fns) can make the transitive
+    // body scan visit a line twice; the chain may differ, the finding does
+    // not. Per-file rules keep one finding per expression, so only the
+    // transitive rule deduplicates.
+    out.dedup_by(|a, b| {
+        a.rule == "panic-free-accounting"
+            && a.rule == b.rule
+            && a.file == b.file
+            && a.line == b.line
+            && a.message == b.message
+    });
     out
 }
 
 /// Lints one source file's text. `file` is the path used in reports; rule
-/// applicability (accounting module, binary) is derived from it.
+/// applicability (accounting module, binary, crate scopes) is derived from
+/// it. Transitive rules see only this one file.
 #[must_use]
+#[cfg_attr(not(test), allow(dead_code))]
 pub fn scan_source(file: &str, src: &str) -> Vec<Violation> {
-    let mut lines = mask_lines(src);
-    // The per-cycle hot path lives in the simulator core; see DESIGN.md §9
-    // for why allocation there is a wall-clock bug, not a style issue. The
-    // ws-trace sinks (`TraceSink::record` in gpu-sim, `DecisionAudit::record`
-    // in core) are held to the same bar: recording must never allocate, so
-    // tracing stays zero-cost when off and O(1)-amortized when on.
-    if file.contains("crates/gpu-sim/src") || file.ends_with("crates/core/src/audit.rs") {
-        mark_tick_regions(&mut lines);
-    }
-    let name = Path::new(file)
-        .file_name()
-        .and_then(|n| n.to_str())
-        .unwrap_or("");
-    let is_bin = file.contains("/bin/");
-    let check_casts = ACCOUNTING_MODULES.contains(&name);
-    // The analyzer crate (including its gate binary) and the water-filling
-    // kernel must not panic on malformed input: they *are* the checkers.
-    let check_index =
-        file.contains("crates/analysis/") || file.ends_with("crates/core/src/waterfill.rs");
-    // The execution layer is the only place threads are created; everything
-    // it spawns must be scope-checked.
-    let check_spawn = file.contains("crates/exec/");
-    scan_masked(file, &lines, !is_bin, check_casts, check_index, check_spawn)
+    lint_files(&[(file.to_string(), src.to_string())])
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -686,34 +778,70 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Lints every library source under `<root>/crates/*/src` and `<root>/src`,
-/// returning findings sorted by path and line.
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
-    let mut files = Vec::new();
+/// Reads every library source under `<root>/crates/*/src` and `<root>/src`
+/// as (workspace-relative label, text) pairs, sorted by path.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut paths = Vec::new();
     let crates_dir = root.join("crates");
     for entry in fs::read_dir(&crates_dir)? {
         let src = entry?.path().join("src");
         if src.is_dir() {
-            collect_rs_files(&src, &mut files)?;
+            collect_rs_files(&src, &mut paths)?;
         }
     }
     let root_src = root.join("src");
     if root_src.is_dir() {
-        collect_rs_files(&root_src, &mut files)?;
+        collect_rs_files(&root_src, &mut paths)?;
     }
-    files.sort();
-    let mut violations = Vec::new();
-    for path in files {
+    paths.sort();
+    let mut files = Vec::new();
+    for path in paths {
         let text = fs::read_to_string(&path)?;
         let label = path
             .strip_prefix(root)
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        violations.extend(scan_source(&label, &text));
+        files.push((label, text));
     }
-    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok(violations)
+    Ok(files)
+}
+
+/// Lints every library source under `<root>/crates/*/src` and `<root>/src`,
+/// returning findings sorted by path and line.
+#[cfg_attr(not(test), allow(dead_code))]
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    Ok(lint_files(&workspace_files(root)?))
+}
+
+/// Renders findings as JSON Lines: one `lint_report` header record followed
+/// by one `violation` record per finding. Shares its string escaping with
+/// the simulator's trace writer (`warped_slicer::tracefmt`).
+#[must_use]
+pub fn report_jsonl(violations: &[Violation], files_scanned: usize) -> String {
+    use std::fmt::Write as _;
+    use warped_slicer::tracefmt::esc;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"lint_report\",\"schema\":1,\"files_scanned\":{files_scanned},\
+         \"violations\":{}}}",
+        violations.len()
+    );
+    for v in violations {
+        let chain: Vec<String> = v.chain.iter().map(|c| format!("\"{}\"", esc(c))).collect();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"violation\",\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\
+             \"message\":\"{}\",\"chain\":[{}]}}",
+            esc(v.rule),
+            esc(&v.file),
+            v.line,
+            esc(&v.message),
+            chain.join(",")
+        );
+    }
+    out
 }
 
 #[cfg(test)]
@@ -741,6 +869,7 @@ mod tests {
         let v = scan_source("crates/x/src/a.rs", &src);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "no-unwrap");
+        assert!(v[0].message.contains("expect"));
     }
 
     #[test]
@@ -820,9 +949,12 @@ mod tests {
     }
 
     #[test]
-    fn float_ne_and_literal_on_left_flagged() {
-        let src = format!("{DOC}fn f(x: f64) -> bool {{ 1e-9 != x }}\n");
-        assert_eq!(rules_found("crates/x/src/a.rs", &src), ["no-float-eq"]);
+    fn float_ne_negative_and_literal_on_left_flagged() {
+        let src = format!("{DOC}fn f(x: f64) -> bool {{ 1e-9 != x || x == -0.5 }}\n");
+        assert_eq!(
+            rules_found("crates/x/src/a.rs", &src),
+            ["no-float-eq", "no-float-eq"]
+        );
     }
 
     #[test]
@@ -837,7 +969,7 @@ mod tests {
         let v = scan_source("crates/exec/src/lib.rs", &src);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "no-unchecked-spawn");
-        assert!(rules_found("crates/core/src/runner.rs", &src).is_empty());
+        assert!(rules_found("crates/workloads/src/runner.rs", &src).is_empty());
     }
 
     #[test]
@@ -872,9 +1004,12 @@ mod tests {
         let v = scan_source("crates/analysis/src/rules.rs", &src);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "no-index-panic");
-        assert!(rules_found("crates/gpu-sim/src/sm.rs", &src).is_empty());
+        assert!(rules_found("crates/gpu-sim/src/lib.rs", &src).is_empty());
         let wf = scan_source("crates/core/src/waterfill.rs", &src);
-        assert_eq!(wf.len(), 1, "waterfill.rs is in scope");
+        assert!(
+            wf.iter().any(|v| v.rule == "no-index-panic"),
+            "waterfill.rs is in scope: {wf:?}"
+        );
     }
 
     #[test]
@@ -911,7 +1046,7 @@ mod tests {
     }
 
     #[test]
-    fn tick_alloc_flagged_only_inside_tick_path_fns() {
+    fn tick_alloc_flagged_in_seed_bodies() {
         let src = format!(
             "{DOC}impl Sm {{\n    pub fn tick(&mut self, now: u64) {{\n        let v = \
              Vec::new();\n        drop(v);\n    }}\n    pub fn launch(&mut self) {{\n        \
@@ -921,20 +1056,41 @@ mod tests {
         assert_eq!(v.len(), 1, "only the tick-body alloc: {v:?}");
         assert_eq!(v[0].rule, "no-tick-alloc");
         assert_eq!(v[0].line, 4);
+        assert_eq!(v[0].chain, ["Sm::tick"]);
         // Same source outside the simulator core is exempt.
-        assert!(rules_found("crates/core/src/runner.rs", &src).is_empty());
+        assert!(rules_found("crates/workloads/src/suite.rs", &src).is_empty());
     }
 
     #[test]
-    fn tick_alloc_covers_multiline_signatures_and_all_patterns() {
+    fn tick_alloc_is_transitive_and_reports_the_chain() {
         let src = format!(
-            "{DOC}impl Sm {{\n    pub fn tick(\n        &mut self,\n        now: u64,\n    ) \
-             {{\n        let a = xs.to_vec();\n        let b = vec![0; 4];\n        drop((a, \
-             b));\n    }}\n}}\n"
+            "{DOC}impl Sm {{\n    pub fn tick(&mut self, now: u64) {{\n        \
+             self.issue_stage(now);\n    }}\n    fn issue_stage(&mut self, now: u64) {{\n        \
+             scratch(now);\n    }}\n}}\nfn scratch(now: u64) {{\n    let _ = \
+             format!(\"{{now}}\");\n}}\nfn cold() {{\n    let _ = format!(\"fine\");\n}}\n"
         );
         let v = scan_source("crates/gpu-sim/src/sm.rs", &src);
-        assert_eq!(v.len(), 2, "{v:?}");
-        assert!(v.iter().all(|x| x.rule == "no-tick-alloc"));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "no-tick-alloc");
+        assert_eq!(v[0].chain, ["Sm::tick", "Sm::issue_stage", "scratch"]);
+    }
+
+    #[test]
+    fn tick_alloc_widened_patterns_fire() {
+        let src = format!(
+            "{DOC}impl Gpu {{\n    pub fn tick(&mut self) {{\n        let a = \
+             Vec::with_capacity(4);\n        let b = Box::new(1u32);\n        let c: Vec<u32> = \
+             a.iter().copied().collect();\n        let d = String::from(\"x\");\n        let e = \
+             c.to_vec();\n        drop((b, d, e));\n    }}\n}}\n"
+        );
+        let v = scan_source("crates/gpu-sim/src/gpu.rs", &src);
+        let hit: Vec<&str> = v.iter().map(|x| x.rule).collect();
+        assert_eq!(
+            v.len(),
+            5,
+            "with_capacity, Box::new, collect, String::from, to_vec: {v:?}"
+        );
+        assert!(hit.iter().all(|r| *r == "no-tick-alloc"));
     }
 
     #[test]
@@ -945,7 +1101,7 @@ mod tests {
              drop(v);\n    }}\n}}\n"
         );
         assert!(rules_found("crates/gpu-sim/src/sm.rs", &ok).is_empty());
-        // `ticker` is not `tick`; `mem::take` of an existing buffer is fine.
+        // `ticker` is not a seed; `mem::take` of an existing buffer is fine.
         let spared = format!(
             "{DOC}impl Sm {{\n    pub fn ticker(&mut self) {{\n        let _ = Vec::new();\n    \
              }}\n    pub fn tick(&mut self, now: u64) {{\n        let w = \
@@ -964,6 +1120,111 @@ mod tests {
     }
 
     #[test]
+    fn determinism_flags_hashmap_iteration() {
+        let src = format!(
+            "{DOC}use std::collections::HashMap;\nstruct S {{\n    m: HashMap<u32, u32>,\n}}\n\
+             impl S {{\n    fn f(&self) -> u32 {{\n        self.m.values().sum()\n    }}\n}}\n"
+        );
+        let v = scan_source("crates/gpu-sim/src/s.rs", &src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "determinism");
+        assert!(v[0].message.contains('m'));
+        // Out of scope: the same source elsewhere is fine.
+        assert!(rules_found("crates/workloads/src/s.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn determinism_flags_for_loops_once_per_line() {
+        let src = format!(
+            "{DOC}use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) -> u64 {{\n    \
+             let mut acc = 0;\n    for (k, v) in m.iter() {{\n        acc += u64::from(k + v);\n    \
+             }}\n    acc\n}}\n"
+        );
+        let v = scan_source("crates/core/src/s.rs", &src);
+        assert_eq!(v.len(), 1, "call + loop collapse to one finding: {v:?}");
+        assert_eq!(v[0].rule, "determinism");
+    }
+
+    #[test]
+    fn determinism_spares_ordered_containers_and_tests() {
+        let src = format!(
+            "{DOC}use std::collections::BTreeMap;\nfn f(m: &BTreeMap<u32, u32>) -> u32 {{\n    \
+             m.values().sum()\n}}\n#[cfg(test)]\nmod tests {{\n    use std::collections::HashMap;\n    \
+             fn t(m: &HashMap<u32, u32>) -> u32 {{ m.values().sum() }}\n}}\n"
+        );
+        assert!(rules_found("crates/gpu-sim/src/s.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn determinism_flags_wall_clock_and_thread_identity() {
+        let src = format!(
+            "{DOC}fn f() -> u128 {{\n    let t = std::time::Instant::now();\n    \
+             t.elapsed().as_nanos()\n}}\n"
+        );
+        let v = scan_source("crates/core/src/s.rs", &src);
+        assert!(v.iter().any(|x| x.rule == "determinism"), "{v:?}");
+        let sys = format!("{DOC}use std::time::SystemTime;\n");
+        assert_eq!(rules_found("crates/core/src/s.rs", &sys), ["determinism"]);
+        let thr = format!("{DOC}fn f() {{ let _ = std::thread::current(); }}\n");
+        assert_eq!(rules_found("crates/core/src/s.rs", &thr), ["determinism"]);
+    }
+
+    #[test]
+    fn determinism_waiver_requires_justification() {
+        let bare = format!(
+            "{DOC}use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) -> u32 {{\n    \
+             // xtask-allow: determinism\n    m.values().sum()\n}}\n"
+        );
+        let v = scan_source("crates/gpu-sim/src/s.rs", &bare);
+        assert_eq!(v.len(), 1, "bare waiver converts, not silences: {v:?}");
+        assert!(v[0].message.contains("justification"));
+        let justified = format!(
+            "{DOC}use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) -> u32 {{\n    \
+             // sum is order-independent; xtask-allow: determinism\n    m.values().sum()\n}}\n"
+        );
+        assert!(rules_found("crates/gpu-sim/src/s.rs", &justified).is_empty());
+    }
+
+    #[test]
+    fn panic_free_accounting_is_transitive_with_chain() {
+        let src = format!(
+            "{DOC}pub fn water_fill(budget: u32) -> u32 {{\n    step(budget)\n}}\nfn step(b: u32) \
+             -> u32 {{\n    lookup(b).unwrap()\n}}\nfn lookup(b: u32) -> Option<u32> {{\n    \
+             Some(b)\n}}\nfn unrelated() -> u32 {{\n    None.unwrap()\n}}\n"
+        );
+        let v = scan_source("crates/core/src/waterfill.rs", &src);
+        let pf: Vec<&Violation> = v
+            .iter()
+            .filter(|x| x.rule == "panic-free-accounting")
+            .collect();
+        assert_eq!(pf.len(), 1, "only the reachable unwrap: {v:?}");
+        assert_eq!(pf[0].chain, ["water_fill", "step"]);
+        // The same unwraps also violate no-unwrap (per-file rule).
+        assert_eq!(v.iter().filter(|x| x.rule == "no-unwrap").count(), 2);
+    }
+
+    #[test]
+    fn panic_free_accounting_flags_macros_and_indexing() {
+        let src = format!(
+            "{DOC}pub fn speedups(xs: &[f64]) -> f64 {{\n    if xs.is_empty() {{\n        \
+             panic!(\"empty\");\n    }}\n    xs[0]\n}}\n"
+        );
+        let v = scan_source("crates/core/src/metrics.rs", &src);
+        let rules: Vec<&str> = v.iter().map(|x| x.rule).collect();
+        assert_eq!(
+            rules,
+            ["panic-free-accounting", "panic-free-accounting"],
+            "{v:?}"
+        );
+        // assert!/debug_assert! are invariant checks, not findings.
+        let ok = format!(
+            "{DOC}pub fn speedups(xs: &[f64]) -> f64 {{\n    assert!(!xs.is_empty());\n    \
+             debug_assert!(xs.len() < 1024);\n    xs.first().copied().unwrap_or(0.0)\n}}\n"
+        );
+        assert!(rules_found("crates/core/src/metrics.rs", &ok).is_empty());
+    }
+
+    #[test]
     fn missing_module_docs_flagged() {
         let src = "fn f() {}\n";
         let v = scan_source("crates/x/src/a.rs", src);
@@ -978,7 +1239,7 @@ mod tests {
     }
 
     #[test]
-    fn raw_strings_and_lifetimes_do_not_confuse_masking() {
+    fn raw_strings_and_lifetimes_do_not_confuse_the_lexer() {
         let src = format!(
             "{DOC}fn f<'a>(x: &'a str) -> bool {{\n    let p = r\"float == 0.5 .unwrap()\";\n    \
              p.len() == 24\n}}\n"
@@ -987,25 +1248,345 @@ mod tests {
     }
 
     #[test]
-    fn multiline_string_is_masked() {
+    fn multiline_string_is_not_code() {
         let src = format!("{DOC}const S: &str = \"line one\n  .unwrap() inside\n\";\n");
         assert!(rules_found("crates/x/src/a.rs", &src).is_empty());
     }
 
     #[test]
+    fn jsonl_report_shape_and_escaping() {
+        let vs = vec![Violation {
+            rule: "no-unwrap",
+            file: "crates/x/src/a.rs".to_string(),
+            line: 3,
+            message: "say \"no\"".to_string(),
+            chain: vec!["Sm::tick".to_string(), "helper".to_string()],
+        }];
+        let report = report_jsonl(&vs, 42);
+        let n = warped_slicer::tracefmt::validate_json_syntax(&report).expect("valid JSONL");
+        assert_eq!(n, 2, "header + one violation");
+        assert!(report.contains("\"files_scanned\":42"));
+        assert!(report.contains("\\\"no\\\""));
+        assert!(report.contains("\"chain\":[\"Sm::tick\",\"helper\"]"));
+    }
+
+    // ---- fixture golden tests ------------------------------------------
+
+    const FIX_RAW_STRINGS: &str = include_str!("../fixtures/masker_raw_strings.rs");
+    const FIX_NESTED_COMMENTS: &str = include_str!("../fixtures/masker_nested_comments.rs");
+    const FIX_NO_UNWRAP: &str = include_str!("../fixtures/rule_no_unwrap.rs");
+    const FIX_NO_LOSSY_CAST: &str = include_str!("../fixtures/rule_no_lossy_cast.rs");
+    const FIX_NO_FLOAT_EQ: &str = include_str!("../fixtures/rule_no_float_eq.rs");
+    const FIX_MODULE_DOCS: &str = include_str!("../fixtures/rule_module_docs.rs");
+    const FIX_NO_INDEX_PANIC: &str = include_str!("../fixtures/rule_no_index_panic.rs");
+    const FIX_NO_UNCHECKED_SPAWN: &str = include_str!("../fixtures/rule_no_unchecked_spawn.rs");
+    const FIX_DETERMINISM: &str = include_str!("../fixtures/rule_determinism.rs");
+    const FIX_NO_TICK_ALLOC: &str = include_str!("../fixtures/rule_no_tick_alloc.rs");
+    const FIX_PANIC_FREE: &str = include_str!("../fixtures/rule_panic_free_accounting.rs");
+
+    const ALL_FIXTURES: [(&str, &str); 11] = [
+        ("masker_raw_strings.rs", FIX_RAW_STRINGS),
+        ("masker_nested_comments.rs", FIX_NESTED_COMMENTS),
+        ("rule_no_unwrap.rs", FIX_NO_UNWRAP),
+        ("rule_no_lossy_cast.rs", FIX_NO_LOSSY_CAST),
+        ("rule_no_float_eq.rs", FIX_NO_FLOAT_EQ),
+        ("rule_module_docs.rs", FIX_MODULE_DOCS),
+        ("rule_no_index_panic.rs", FIX_NO_INDEX_PANIC),
+        ("rule_no_unchecked_spawn.rs", FIX_NO_UNCHECKED_SPAWN),
+        ("rule_determinism.rs", FIX_DETERMINISM),
+        ("rule_no_tick_alloc.rs", FIX_NO_TICK_ALLOC),
+        ("rule_panic_free_accounting.rs", FIX_PANIC_FREE),
+    ];
+
+    /// 1-based line of the first occurrence of `needle` in `src`, so golden
+    /// assertions survive edits that shift the fixture around.
+    fn line_of(src: &str, needle: &str) -> usize {
+        let pos = src
+            .find(needle)
+            .unwrap_or_else(|| panic!("needle {needle:?} not found in fixture"));
+        src[..pos].matches('\n').count() + 1
+    }
+
+    /// (rule, line) pairs, in report order.
+    fn golden(label: &str, src: &str) -> Vec<(&'static str, usize)> {
+        scan_source(label, src)
+            .into_iter()
+            .map(|v| (v.rule, v.line))
+            .collect()
+    }
+
+    #[test]
+    fn fixture_masker_raw_strings_flags_only_the_final_unwrap() {
+        let v = scan_source("crates/x/src/a.rs", FIX_RAW_STRINGS);
+        assert_eq!(v.len(), 1, "findings: {v:?}");
+        assert_eq!(v[0].rule, "no-unwrap");
+        assert_eq!(v[0].line, line_of(FIX_RAW_STRINGS, "std::fs::read"));
+    }
+
+    #[test]
+    fn fixture_masker_nested_comments_flags_only_the_final_unwrap() {
+        let v = scan_source("crates/x/src/a.rs", FIX_NESTED_COMMENTS);
+        assert_eq!(v.len(), 1, "findings: {v:?}");
+        assert_eq!(v[0].rule, "no-unwrap");
+        assert_eq!(
+            v[0].line,
+            line_of(FIX_NESTED_COMMENTS, "v.first().copied().unwrap()")
+        );
+    }
+
+    #[test]
+    fn fixture_no_unwrap_golden() {
+        assert_eq!(
+            golden("crates/x/src/a.rs", FIX_NO_UNWRAP),
+            [
+                ("no-unwrap", line_of(FIX_NO_UNWRAP, "Some(1).unwrap()")),
+                ("no-unwrap", line_of(FIX_NO_UNWRAP, "Some(2).expect")),
+            ]
+        );
+    }
+
+    #[test]
+    fn fixture_no_lossy_cast_golden() {
+        assert_eq!(
+            golden("crates/x/src/stats.rs", FIX_NO_LOSSY_CAST),
+            [
+                ("no-lossy-cast", line_of(FIX_NO_LOSSY_CAST, "cycles as u32")),
+                ("no-lossy-cast", line_of(FIX_NO_LOSSY_CAST, "ipc as f32")),
+            ]
+        );
+    }
+
+    #[test]
+    fn fixture_no_float_eq_golden() {
+        assert_eq!(
+            golden("crates/x/src/a.rs", FIX_NO_FLOAT_EQ),
+            [
+                ("no-float-eq", line_of(FIX_NO_FLOAT_EQ, "x == 0.5")),
+                ("no-float-eq", line_of(FIX_NO_FLOAT_EQ, "1e-9 != x")),
+                ("no-float-eq", line_of(FIX_NO_FLOAT_EQ, "x == -0.25")),
+            ]
+        );
+    }
+
+    #[test]
+    fn fixture_module_docs_golden() {
+        assert_eq!(
+            golden("crates/x/src/a.rs", FIX_MODULE_DOCS),
+            [("module-docs", 1)]
+        );
+        let waived = "// generated table; xtask-allow: module-docs\npub fn item() {}\n";
+        assert!(golden("crates/x/src/a.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn fixture_no_index_panic_golden() {
+        assert_eq!(
+            golden("crates/analysis/src/fixture.rs", FIX_NO_INDEX_PANIC),
+            [
+                ("no-index-panic", line_of(FIX_NO_INDEX_PANIC, "xs[i]")),
+                (
+                    "no-index-panic",
+                    line_of(FIX_NO_INDEX_PANIC, "xs.to_vec()[0]")
+                ),
+            ]
+        );
+    }
+
+    #[test]
+    fn fixture_no_unchecked_spawn_golden() {
+        let f = FIX_NO_UNCHECKED_SPAWN;
+        assert_eq!(
+            golden("crates/exec/src/fixture.rs", f),
+            [
+                (
+                    "no-unchecked-spawn",
+                    line_of(f, "let h = std::thread::spawn")
+                ),
+                ("no-unchecked-spawn", line_of(f, "let _ = h.join()")),
+                (
+                    "no-unchecked-spawn",
+                    line_of(f, "let h2 = std::thread::spawn")
+                ),
+                ("no-unchecked-spawn", line_of(f, "h2.join().ok()")),
+            ]
+        );
+    }
+
+    #[test]
+    fn fixture_determinism_golden() {
+        let f = FIX_DETERMINISM;
+        let v = scan_source("crates/gpu-sim/src/fixture.rs", f);
+        let got: Vec<(&str, usize)> = v.iter().map(|v| (v.rule, v.line)).collect();
+        assert_eq!(
+            got,
+            [
+                ("determinism", line_of(f, "m.values()")),
+                ("determinism", line_of(f, "for k in s.iter()")),
+                ("determinism", line_of(f, "Instant::now()")),
+                ("determinism", line_of(f, "std::thread::current()")),
+                ("determinism", line_of(f, "SystemTime::now()")),
+                ("determinism", line_of(f, "u.values()")),
+            ]
+        );
+        // The bare waiver on `waived_bare` converts the finding rather than
+        // silencing it.
+        let bare = v.last().expect("has findings");
+        assert!(
+            bare.message.contains("require a justification"),
+            "message: {}",
+            bare.message
+        );
+    }
+
+    #[test]
+    fn fixture_no_tick_alloc_golden() {
+        let f = FIX_NO_TICK_ALLOC;
+        let v = scan_source("crates/gpu-sim/src/fixture.rs", f);
+        let got: Vec<(&str, usize)> = v.iter().map(|v| (v.rule, v.line)).collect();
+        assert_eq!(
+            got,
+            [
+                ("no-tick-alloc", line_of(f, "Vec::new()")),
+                ("no-tick-alloc", line_of(f, "vec![0u32; 4]")),
+                ("no-tick-alloc", line_of(f, "Vec::with_capacity(8)")),
+                ("no-tick-alloc", line_of(f, "Box::new(1u32)")),
+                ("no-tick-alloc", line_of(f, ".collect()")),
+                ("no-tick-alloc", line_of(f, ".to_vec()")),
+                ("no-tick-alloc", line_of(f, "format!")),
+                ("no-tick-alloc", line_of(f, "String::from")),
+            ]
+        );
+        for v in &v {
+            assert_eq!(v.chain, ["Sm::tick", "Sm::issue_stage", "Sm::leaf"]);
+        }
+    }
+
+    #[test]
+    fn fixture_panic_free_accounting_golden() {
+        let f = FIX_PANIC_FREE;
+        let v = scan_source("crates/core/src/metrics.rs", f);
+        let got: Vec<(&str, usize)> = v.iter().map(|v| (v.rule, v.line)).collect();
+        let unwrap_line = line_of(f, "xs.first().unwrap()");
+        let expect_line = line_of(f, "xs.get(1).expect");
+        assert_eq!(
+            got,
+            [
+                ("no-unwrap", unwrap_line),
+                ("panic-free-accounting", unwrap_line),
+                ("no-unwrap", expect_line),
+                ("panic-free-accounting", expect_line),
+                ("panic-free-accounting", line_of(f, "xs[2]")),
+                ("panic-free-accounting", line_of(f, "panic!")),
+                ("no-unwrap", line_of(f, "xs.last().unwrap()")),
+            ]
+        );
+        for v in v.iter().filter(|v| v.rule == "panic-free-accounting") {
+            assert_eq!(v.chain, ["speedups", "normalize"]);
+        }
+        for v in v.iter().filter(|v| v.rule == "no-unwrap") {
+            assert!(v.chain.is_empty(), "per-file rules carry no chain");
+        }
+    }
+
+    // ---- lexer round-trip property --------------------------------------
+
+    /// Spans tile `src` exactly: no gaps, no overlaps, full coverage, line
+    /// numbers consistent with the newlines actually seen.
+    fn assert_round_trip(label: &str, src: &str) {
+        let toks = crate::lex::lex(src);
+        let mut pos = 0usize;
+        let mut line = 1u32;
+        for t in &toks {
+            assert_eq!(t.start, pos, "{label}: gap or overlap at byte {pos}");
+            assert!(t.end > t.start, "{label}: empty token at byte {pos}");
+            assert_eq!(t.line, line, "{label}: line drift at byte {pos}");
+            let text = &src[t.start..t.end];
+            line += u32::try_from(text.matches('\n').count()).unwrap_or(0);
+            pos = t.end;
+        }
+        assert_eq!(pos, src.len(), "{label}: spans do not cover the file");
+    }
+
+    #[test]
+    fn lexer_round_trips_every_workspace_source_and_fixture() {
+        let files = workspace_files(&repo_root()).expect("walk succeeds");
+        assert!(files.len() >= 12, "expected a real workspace walk");
+        for (label, src) in &files {
+            assert_round_trip(label, src);
+        }
+        for (label, src) in ALL_FIXTURES {
+            assert_round_trip(label, src);
+        }
+    }
+
+    /// The workspace root, from this crate's manifest dir.
+    fn repo_root() -> PathBuf {
+        let mut d = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        d.pop();
+        d.pop();
+        d
+    }
+
+    #[test]
     fn workspace_walk_reports_relative_paths() {
-        // Smoke-test on the real workspace: findings (if any) must carry
-        // workspace-relative paths and valid rule names.
-        let root = {
-            let mut d = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-            d.pop();
-            d.pop();
-            d
-        };
-        let vs = lint_workspace(&root).expect("walk succeeds");
-        for v in vs {
+        let vs = lint_workspace(&repo_root()).expect("walk succeeds");
+        for v in &vs {
             assert!(!v.file.starts_with('/'), "relative path: {}", v.file);
             assert!(RULE_NAMES.contains(&v.rule));
+        }
+    }
+
+    #[test]
+    fn workspace_lint_is_clean() {
+        let vs = lint_workspace(&repo_root()).expect("walk succeeds");
+        assert!(
+            vs.is_empty(),
+            "the workspace must lint clean; found:\n{}",
+            vs.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn every_tick_seed_resolves_and_tick_path_fns_are_reachable() {
+        let files = workspace_files(&repo_root()).expect("walk succeeds");
+        let parsed: Vec<(String, FileItems)> = files
+            .iter()
+            .map(|(p, s)| (p.clone(), items::parse(s)))
+            .collect();
+        let graph = CallGraph::build(&parsed);
+        let mut seeds = Vec::new();
+        for (ty, name) in TICK_SEEDS {
+            let found = graph.find(&parsed, Some(ty), name);
+            assert!(!found.is_empty(), "tick seed `{ty}::{name}` not found");
+            seeds.extend(found);
+        }
+        for (ty, name) in ACCOUNTING_SEEDS {
+            let found = graph.find(&parsed, ty, name);
+            assert!(
+                !found.is_empty(),
+                "accounting seed `{:?}::{name}` not found",
+                ty
+            );
+        }
+        let reach = graph.reachable(&seeds);
+        let reached: BTreeSet<&str> = reach
+            .iter()
+            .filter_map(|id| {
+                let n = &graph.nodes[id];
+                parsed
+                    .get(n.file)
+                    .and_then(|(_, items)| items.fns.get(n.fn_idx))
+                    .map(|f| f.name.as_str())
+            })
+            .collect();
+        for name in TICK_PATH_FNS {
+            assert!(
+                reached.contains(name),
+                "`{name}` is not reachable from any tick seed; reached: {reached:?}"
+            );
         }
     }
 }

@@ -16,6 +16,9 @@
 //! in offline and hermetic environments where the crate registry is
 //! unreachable.
 
+mod callgraph;
+mod items;
+mod lex;
 mod lint;
 
 use std::path::{Path, PathBuf};
@@ -35,6 +38,8 @@ fn usage() {
          \n\
          commands:\n\
          \x20 lint              run the custom static-analysis pass over library sources\n\
+         \x20                   (always writes target/lint-report.jsonl)\n\
+         \x20 lint --json       same, printing the JSONL report to stdout\n\
          \x20 verify-workloads  run the ws-analyze static verifier over the shipped suites\n\
          \x20 check             full gate: fmt --check, clippy -D warnings, lint,\n\
          \x20                   verify-workloads, tests\n\
@@ -42,7 +47,8 @@ fn usage() {
          \x20 help              this message\n\
          \n\
          Suppress a lint finding with a `// xtask-allow: <rule>` comment on the\n\
-         offending line or the line above it. Rules: {}",
+         offending line or the line above it (`determinism` waivers require a\n\
+         justification). Rules: {}",
         lint::RULE_NAMES.join(", ")
     );
 }
@@ -60,16 +66,29 @@ fn run_cargo(root: &Path, args: &[&str]) -> bool {
     }
 }
 
-fn run_lint(root: &Path) -> bool {
-    let violations = match lint::lint_workspace(root) {
-        Ok(v) => v,
+fn run_lint(root: &Path, json: bool) -> bool {
+    let files = match lint::workspace_files(root) {
+        Ok(f) => f,
         Err(err) => {
             eprintln!("xtask: lint pass failed to read sources: {err}");
             return false;
         }
     };
+    let violations = lint::lint_files(&files);
+    // The machine-readable report is always written (CI uploads it as an
+    // artifact); `--json` additionally prints it to stdout.
+    let report = lint::report_jsonl(&violations, files.len());
+    let report_path = root.join("target").join("lint-report.jsonl");
+    let written = std::fs::create_dir_all(root.join("target"))
+        .and_then(|()| std::fs::write(&report_path, &report));
+    if let Err(err) = written {
+        eprintln!("xtask: failed to write {}: {err}", report_path.display());
+    }
+    if json {
+        print!("{report}");
+    }
     if violations.is_empty() {
-        println!("xtask: lint clean");
+        println!("xtask: lint clean ({} files scanned)", files.len());
         return true;
     }
     for v in &violations {
@@ -122,7 +141,7 @@ fn run_check(root: &Path, fast: bool) -> bool {
                 ],
             )
         }),
-        ("custom lints", &|| run_lint(root)),
+        ("custom lints", &|| run_lint(root, false)),
         ("verify-workloads", &|| run_verify_workloads(root)),
         ("tests", &|| {
             if fast {
@@ -157,7 +176,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let root = workspace_root();
     let ok = match args.first().map(String::as_str) {
-        Some("lint") => run_lint(&root),
+        Some("lint") => run_lint(&root, args.iter().any(|a| a == "--json")),
         Some("verify-workloads") => run_verify_workloads(&root),
         Some("check") => run_check(&root, args.iter().any(|a| a == "--fast")),
         Some("help") | None => {
