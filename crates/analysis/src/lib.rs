@@ -44,10 +44,14 @@
 
 pub mod dataflow;
 pub mod diag;
+pub mod predict;
 pub mod rules;
 
 pub use dataflow::Dataflow;
 pub use diag::{Diagnostic, Report, Severity, StaticMetrics};
+pub use predict::{
+    extract_features, knee_of, predict_curve, predict_kernel, Features, PerfCurve, KNEE_TOL,
+};
 pub use rules::{
     analyze_benchmark, analyze_kernel, rule_catalogue, verify_suite, ANALYSIS_RULES, HARD_RULES,
 };

@@ -612,31 +612,14 @@ fn apply_waivers(report: &mut Report, waivers: &[Waiver]) {
     }
 }
 
-/// Per-resource CTA quota under Eq. 1, with `u32::MAX` for a resource the
-/// kernel does not demand (it never binds).
-fn occupancy_breakdown(desc: &KernelDesc, sm: &SmConfig) -> ([u32; 4], u32) {
-    let regs_per_cta = u64::from(desc.threads_per_cta) * u64::from(desc.regs_per_thread);
-    let quota = |per_cta: u64, available: u64| -> u32 {
-        match available.checked_div(per_cta) {
-            None => u32::MAX,
-            Some(q) => u32::try_from(q).unwrap_or(u32::MAX),
-        }
-    };
-    let by = [
-        quota(u64::from(desc.threads_per_cta), u64::from(sm.max_threads)),
-        quota(regs_per_cta, u64::from(sm.max_registers)),
-        quota(
-            u64::from(desc.shmem_per_cta),
-            u64::from(sm.shared_mem_bytes),
-        ),
-        sm.max_ctas,
-    ];
-    let max_ctas = by.iter().copied().min().unwrap_or(0);
-    (by, max_ctas)
-}
-
-/// Derives the static metrics for one kernel.
-fn compute_metrics(desc: &KernelDesc, sm: &SmConfig, flow: &dataflow::Dataflow) -> StaticMetrics {
+/// Derives the static metrics for one kernel. Shared with the performance
+/// predictor ([`crate::predict`]), whose abstract domain starts from these
+/// mix/dataflow/occupancy facts.
+pub(crate) fn compute_metrics(
+    desc: &KernelDesc,
+    sm: &SmConfig,
+    flow: &dataflow::Dataflow,
+) -> StaticMetrics {
     let p = &desc.program;
     let gload_frac = p.fraction(OpClass::GlobalLoad);
     let gstore_frac = p.fraction(OpClass::GlobalStore);
@@ -649,7 +632,7 @@ fn compute_metrics(desc: &KernelDesc, sm: &SmConfig, flow: &dataflow::Dataflow) 
     } else {
         f64::INFINITY
     };
-    let (max_ctas_by, max_ctas) = occupancy_breakdown(desc, sm);
+    let (max_ctas_by, max_ctas) = gpu_sim::occupancy_breakdown(desc, sm);
     StaticMetrics {
         body_len: p.len(),
         iterations: desc.iterations,
@@ -846,7 +829,7 @@ mod tests {
 
     #[test]
     fn occupancy_breakdown_marks_unbounded_resources() {
-        let (by, max) = occupancy_breakdown(&desc(), &cfg().sm);
+        let (by, max) = gpu_sim::occupancy_breakdown(&desc(), &cfg().sm);
         let [threads, regs, shmem, slots] = by;
         assert_eq!(threads, 12); // 1536 / 128
         assert_eq!(regs, 16); // 32768 / 2048

@@ -5,11 +5,15 @@
 //! * **Single-kernel** (default): describe a synthetic kernel on the
 //!   command line, run it on the Table I GPU, and print a statistics
 //!   report.
-//! * **`--analyze`**: no simulation; the kernel is statically verified
-//!   (the same pre-flight that guards `Gpu::try_add_kernel`) and a report
-//!   of derived static metrics — instruction mix, per-resource Eq. 1
-//!   occupancy quotas — is printed. Exits non-zero when the verifier
-//!   rejects the kernel.
+//! * **`--analyze`**: no simulation; the full ws-analyze rule catalogue
+//!   runs over the kernel and the report — derived static metrics,
+//!   per-resource Eq. 1 occupancy quotas, every diagnostic — is printed.
+//!   Exits non-zero when any error-severity diagnostic is emitted (the
+//!   same findings that fail the `Gpu` launch pre-flight).
+//! * **`--predict`**: no simulation; the ws-predict static performance
+//!   analyzer prints the predicted IPC-vs-CTA curve, the predicted knee,
+//!   and the pruned profiling window the dynamic controller would use.
+//!   Exits non-zero on error-severity diagnostics.
 //! * **`--corun A,B[,C]`**: run the named benchmark workloads (Table II
 //!   abbreviations) concurrently under the paper's equal-work methodology
 //!   and print fairness/ANTT. With `--trace FILE` the run captures the
@@ -27,7 +31,7 @@
 //!         [--pattern streaming|random:LINES|tiled:TILE,REUSE|hotcold:HOT,FRAC]
 //!         [--transactions N] [--icache-miss F] [--conflicts N]
 //!         [--ctas-per-sm N] [--cycles N] [--sched gto|rr] [--large]
-//!         [--analyze]
+//!         [--analyze | --predict]
 //! gpu-sim --corun IMG,NN [--policy leftover|fcfs|even|spatial|dynamic]
 //!         [--cycles N] [--trace FILE] [--chrome FILE] [--large]
 //! gpu-sim --validate-trace FILE
@@ -35,13 +39,12 @@
 
 use std::process::ExitCode;
 
-use gpu_sim::{
-    AccessPattern, Gpu, GpuConfig, KernelDesc, OpClass, ProgramSpec, SchedulerKind, StallReason,
-};
+use gpu_sim::{AccessPattern, Gpu, GpuConfig, KernelDesc, ProgramSpec, SchedulerKind, StallReason};
 use warped_slicer::{
     antt, chrome_trace, execute, fairness, jsonl, run_isolation, validate_jsonl, PolicyKind,
     RunConfig, SimJob, TraceOptions, WarpedSlicerConfig,
 };
+use ws_analyze::Severity;
 use ws_workloads::by_abbrev;
 
 #[derive(Debug)]
@@ -67,6 +70,7 @@ struct Args {
     large: bool,
     seed: u64,
     analyze: bool,
+    predict: bool,
     corun: Option<Vec<String>>,
     policy: String,
     trace: Option<String>,
@@ -98,6 +102,7 @@ impl Default for Args {
             large: false,
             seed: 1,
             analyze: false,
+            predict: false,
             corun: None,
             policy: "dynamic".to_string(),
             trace: None,
@@ -158,6 +163,10 @@ fn parse_args() -> Result<Args, String> {
             out.analyze = true;
             continue;
         }
+        if flag == "--predict" {
+            out.predict = true;
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("{flag} requires a value"))?;
@@ -214,58 +223,76 @@ fn parse_args() -> Result<Args, String> {
     Ok(out)
 }
 
-/// `--analyze`: statically verify the kernel and print derived metrics
-/// instead of simulating. Exit code reflects the verifier's verdict.
+/// `--analyze`: run the full ws-analyze rule catalogue over the kernel and
+/// print the report (derived metrics, Eq. 1 occupancy quotas, and every
+/// diagnostic). Exits non-zero when any *error*-severity diagnostic is
+/// emitted — the same findings that fail the `Gpu` launch pre-flight — so
+/// scripted callers cannot silently pass a rejected kernel.
 fn analyze(desc: &KernelDesc, cfg: &GpuConfig) -> ExitCode {
-    let sm = &cfg.sm;
     println!(
         "kernel `{}`: {} CTAs x {} threads, {} regs/thread, {} B shmem/CTA",
         desc.name, desc.grid_ctas, desc.threads_per_cta, desc.regs_per_thread, desc.shmem_per_cta
     );
-    println!(
-        "  program           : {} insts/iteration x {} iterations ({} insts/warp)",
-        desc.program.len(),
-        desc.iterations,
-        desc.insts_per_warp()
-    );
-    let mix = [
-        ("alu", OpClass::Alu),
-        ("sfu", OpClass::Sfu),
-        ("gload", OpClass::GlobalLoad),
-        ("gstore", OpClass::GlobalStore),
-        ("shmem", OpClass::SharedMem),
-        ("barrier", OpClass::Barrier),
-    ]
-    .iter()
-    .map(|(name, op)| format!("{name} {:.1}%", 100.0 * desc.program.fraction(*op)))
-    .collect::<Vec<_>>()
-    .join("  ");
-    println!("  instruction mix   : {mix}");
-    // Per-resource Eq. 1 quotas; "-" marks a resource the kernel does not
-    // demand (it never binds).
-    let quota = |available: u32, per_cta: u64| -> String {
-        u64::from(available)
-            .checked_div(per_cta)
-            .map_or_else(|| "-".to_string(), |q| q.to_string())
-    };
-    println!(
-        "  occupancy (Eq. 1) : threads {} | regs {} | shmem {} | CTA slots {} -> max {} CTAs/SM",
-        quota(sm.max_threads, u64::from(desc.threads_per_cta)),
-        quota(
-            sm.max_registers,
-            u64::from(desc.threads_per_cta) * u64::from(desc.regs_per_thread)
-        ),
-        quota(sm.shared_mem_bytes, u64::from(desc.shmem_per_cta)),
-        sm.max_ctas,
-        desc.max_ctas_per_sm(sm)
-    );
-    match gpu_sim::verify::preflight(desc, sm) {
-        Ok(()) => {
-            println!("  verdict           : ok");
+    let report = ws_analyze::analyze_kernel(desc, cfg);
+    print!("{report}");
+    let errors = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    if errors > 0 {
+        eprintln!("error: {errors} error-severity diagnostic(s); kernel rejected");
+        ExitCode::FAILURE
+    } else {
+        println!("{}: verdict ok", report.subject);
+        ExitCode::SUCCESS
+    }
+}
+
+/// `--predict`: run the ws-predict static performance analyzer and print
+/// the predicted IPC-vs-CTA curve, the predicted knee, and the profiling
+/// window the controller would use. Exits non-zero on error-severity
+/// diagnostics or when prediction is rejected by the pre-flight.
+fn predict(desc: &KernelDesc, cfg: &GpuConfig) -> ExitCode {
+    let report = ws_analyze::analyze_kernel(desc, cfg);
+    let mut errors = 0usize;
+    for d in report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+    {
+        eprintln!("{}: error: [{}] {}", report.subject, d.rule, d.message);
+        errors += 1;
+    }
+    if errors > 0 {
+        eprintln!("error: {errors} error-severity diagnostic(s); kernel rejected");
+        return ExitCode::FAILURE;
+    }
+    match ws_analyze::predict_kernel(desc, cfg) {
+        Ok(curve) => {
+            println!(
+                "kernel `{}`: ws-predict static performance curve",
+                desc.name
+            );
+            for (j, ipc) in curve.ipc.iter().enumerate() {
+                let n = j as u32 + 1;
+                let mark = if n == curve.knee {
+                    "  <- predicted knee"
+                } else {
+                    ""
+                };
+                println!("  {n:>2} CTAs/SM : IPC {ipc:.3}{mark}");
+            }
+            let max = curve.max_ctas();
+            println!("  predicted knee   : {} of 1..={max} CTAs/SM", curve.knee);
+            println!(
+                "  profiling window : dense 1..={} + guard at {max} (WS_PREDICT=0 for the full sweep)",
+                curve.knee.saturating_add(1).min(max),
+            );
             ExitCode::SUCCESS
         }
         Err(err) => {
-            println!("  verdict           : REJECTED {err}");
+            eprintln!("error: prediction rejected: {err}");
             ExitCode::FAILURE
         }
     }
@@ -426,6 +453,9 @@ fn main() -> ExitCode {
     };
     if args.analyze {
         return analyze(&desc, &cfg);
+    }
+    if args.predict {
+        return predict(&desc, &cfg);
     }
     let max_ctas = desc.max_ctas_per_sm(&cfg.sm);
     println!(

@@ -1,0 +1,69 @@
+//! Exit-code regression tests for the static-analysis CLI modes.
+//!
+//! `--analyze` and `--predict` are meant for scripts and CI gates, so a
+//! kernel with error-severity diagnostics must fail the process — an
+//! exit code of 0 on a rejected kernel silently passes in shell pipelines.
+
+use std::process::{Command, Output};
+
+fn gpu_sim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gpu-sim"))
+        .args(args)
+        .output()
+        .expect("gpu-sim binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn analyze_clean_kernel_exits_zero() {
+    let out = gpu_sim(&["--analyze", "--threads", "128", "--gload", "0.1"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("verdict ok"));
+}
+
+#[test]
+fn analyze_rejected_kernel_exits_nonzero() {
+    // 2000 threads/CTA exceeds the SM's 1536-thread bound: an
+    // error-severity diagnostic, so the process must fail.
+    let out = gpu_sim(&["--analyze", "--threads", "2000"]);
+    assert!(!out.status.success(), "rejected kernel must exit non-zero");
+    assert!(
+        stderr(&out).contains("error-severity"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    assert!(stdout(&out).contains("error"), "report names the error");
+}
+
+#[test]
+fn predict_clean_kernel_prints_a_curve_and_exits_zero() {
+    let out = gpu_sim(&["--predict", "--threads", "128", "--gload", "0.1"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("predicted knee"), "stdout: {text}");
+    assert!(text.contains("CTAs/SM : IPC"), "curve points printed");
+}
+
+#[test]
+fn predict_rejected_kernel_exits_nonzero() {
+    let out = gpu_sim(&["--predict", "--threads", "2000"]);
+    assert!(!out.status.success(), "rejected kernel must exit non-zero");
+    assert!(
+        stderr(&out).contains("error-severity"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn bad_flag_exits_nonzero() {
+    let out = gpu_sim(&["--no-such-flag", "1"]);
+    assert!(!out.status.success());
+}

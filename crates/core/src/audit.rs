@@ -87,6 +87,31 @@ pub enum AuditEvent {
         /// Whether the controller fell back to spatial multitasking.
         spatial: bool,
     },
+    /// One kernel's `ws-predict` static curve, recorded when the
+    /// controller used prediction to plan its profiling sweep. Distinct
+    /// from [`AuditEvent::Curve`] (the *sampled* curve handed to the
+    /// partitioner), so predicted-vs-sampled comparisons are replayable
+    /// from one audit.
+    PredictedCurve {
+        /// Kernel slot.
+        kernel: usize,
+        /// `perf[j]` is the predicted IPC with `j + 1` CTAs.
+        perf: Vec<f64>,
+        /// The predicted performance knee (CTA count).
+        knee: u32,
+    },
+    /// The profiling window the controller chose for one kernel from its
+    /// static prediction (dense sampling `lo..=hi` out of `1..=max`).
+    SweepWindow {
+        /// Kernel slot.
+        kernel: usize,
+        /// First densely sampled CTA count.
+        lo: u32,
+        /// Last densely sampled CTA count.
+        hi: u32,
+        /// The kernel's Eq. 1 feasibility bound.
+        max: u32,
+    },
     /// One phase-monitor window observation for one kernel.
     PhaseSample {
         /// Kernel slot.
@@ -129,6 +154,32 @@ impl DecisionAudit {
     pub fn last_quotas(&self) -> Option<&[u32]> {
         self.events.iter().rev().find_map(|e| match e {
             AuditEvent::WaterFillDecision { quotas, .. } => Some(quotas.as_slice()),
+            _ => None,
+        })
+    }
+
+    /// The most recent `ws-predict` curve recorded for kernel `kernel`
+    /// (the predicted IPC-vs-CTA points and the predicted knee), if the
+    /// controller planned its sweep from a prediction.
+    #[must_use]
+    pub fn predicted_curve(&self, kernel: usize) -> Option<(&[f64], u32)> {
+        self.events.iter().rev().find_map(|e| match e {
+            AuditEvent::PredictedCurve {
+                kernel: k,
+                perf,
+                knee,
+            } if *k == kernel => Some((perf.as_slice(), *knee)),
+            _ => None,
+        })
+    }
+
+    /// The most recent sampled curve recorded for kernel `kernel` (the
+    /// scaled profile curve handed to the partitioner), paired with
+    /// [`DecisionAudit::predicted_curve`] for predicted-vs-sampled audits.
+    #[must_use]
+    pub fn sampled_curve(&self, kernel: usize) -> Option<&[f64]> {
+        self.events.iter().rev().find_map(|e| match e {
+            AuditEvent::Curve { kernel: k, perf } if *k == kernel => Some(perf.as_slice()),
             _ => None,
         })
     }

@@ -10,6 +10,8 @@
 //!   algorithm (Algorithm 1) plus an exhaustive reference implementation;
 //! * [`scaling`] — the bandwidth-interference IPC correction (Eq. 2-4);
 //! * [`profiler`] — the parallel-SM online profiling strategy (Fig. 4);
+//! * [`sweep`] — `ws-predict`-driven pruning of the profiling sweep, with
+//!   the checked fall-back that keeps water-filling exact;
 //! * [`phase`] — sustained-IPC-change detection (Sec. IV-B);
 //! * [`policy`] — CTA-dispatch controllers for Left-Over, FCFS, Even,
 //!   Spatial, fixed-quota, and the dynamic Warped-Slicer;
@@ -52,6 +54,7 @@ pub mod profiler;
 pub mod resources;
 pub mod runner;
 pub mod scaling;
+pub mod sweep;
 pub mod tracefmt;
 pub mod waterfill;
 
@@ -75,6 +78,9 @@ pub use runner::{
     StopCondition, TraceOptions, UtilizationStats,
 };
 pub use scaling::{psi, scale_ipc, scale_ipc_audited, ScaleOutcome};
+pub use sweep::{
+    accept_pruned, predict_default, profile_curves_planned, PlannedSweep, SweepPlan, SweepWindow,
+};
 pub use tracefmt::{chrome_trace, jsonl, validate_jsonl};
 pub use waterfill::{
     brute_force, water_fill, water_fill_traced, KernelCurve, Partition, WaterFillStep,

@@ -19,7 +19,9 @@ use crate::profiler::{
     build_curves, build_curves_audited, BandwidthSample, ProfilePlan, ProfileSample, ProfileTiming,
 };
 use crate::resources::ResourceVec;
+use crate::sweep::{predict_default, SweepWindow};
 use crate::waterfill::{water_fill, water_fill_traced, KernelCurve};
+use ws_analyze::predict_kernel;
 
 /// Tunables for the Warped-Slicer controller.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,6 +50,13 @@ pub struct WarpedSlicerConfig {
     /// identical either way; off by default to keep decisions
     /// allocation-free.
     pub audit: bool,
+    /// Plan the profiling ramp from `ws-predict` static curves: each
+    /// kernel's SM group concentrates its CTA counts in a window around the
+    /// predicted knee (guarding the feasibility bound) instead of the plain
+    /// `1..=N` ramp. `None` defers to the `WS_PREDICT` environment variable
+    /// ([`crate::sweep::predict_default`]); `Some` pins the behavior
+    /// regardless of the environment.
+    pub predict: Option<bool>,
 }
 
 impl Default for WarpedSlicerConfig {
@@ -60,6 +69,7 @@ impl Default for WarpedSlicerConfig {
             phase_window: 5_000,
             phase_settle_windows: 4,
             audit: false,
+            predict: None,
         }
     }
 }
@@ -168,10 +178,50 @@ impl WarpedSlicerController {
             .collect()
     }
 
+    /// Builds the profiling plan, windowed by `ws-predict` static curves
+    /// when prediction is enabled. Kernels whose prediction fails
+    /// pre-flight keep their full `1..=N` ramp — pruning is an
+    /// optimization, never a gate.
+    fn plan_profile(&mut self, gpu: &Gpu, max: &[u32]) -> ProfilePlan {
+        if !self.cfg.predict.unwrap_or_else(predict_default) {
+            return ProfilePlan::build(gpu.num_sms(), max);
+        }
+        let cfg = gpu.config();
+        let windows: Vec<SweepWindow> = gpu
+            .kernel_ids()
+            .iter()
+            .zip(max)
+            .enumerate()
+            .map(
+                |(i, (&k, &m))| match predict_kernel(gpu.kernel_desc(k), cfg) {
+                    Ok(curve) => {
+                        let w = SweepWindow::around_knee(curve.knee, m);
+                        if self.cfg.audit {
+                            self.audit.record(AuditEvent::PredictedCurve {
+                                kernel: i,
+                                perf: curve.ipc,
+                                knee: curve.knee,
+                            });
+                            self.audit.record(AuditEvent::SweepWindow {
+                                kernel: i,
+                                lo: w.lo,
+                                hi: w.hi,
+                                max: w.max,
+                            });
+                        }
+                        w
+                    }
+                    Err(_) => SweepWindow::full(m),
+                },
+            )
+            .collect();
+        ProfilePlan::build_windowed(gpu.num_sms(), &windows)
+    }
+
     fn enter_profile(&mut self, gpu: &mut Gpu) {
         let now = gpu.cycle();
         let max = Self::max_ctas(gpu);
-        let plan = ProfilePlan::build(gpu.num_sms(), &max);
+        let plan = self.plan_profile(gpu, &max);
         let ids = gpu.kernel_ids();
         for a in &plan.assignments {
             for &k in &ids {
@@ -525,6 +575,9 @@ mod tests {
                 sample: 2_000,
                 algorithm_delay: 0,
             },
+            // Pin the plain 1..=N ramp so these tests are independent of
+            // the ambient WS_PREDICT environment.
+            predict: Some(false),
             ..WarpedSlicerConfig::default()
         }
     }
@@ -556,6 +609,49 @@ mod tests {
         assert_eq!(gpu.sm(0).kernel_ctas(1), 0, "exclusive profiling SMs");
         assert_eq!(gpu.sm(8).kernel_ctas(1), 1);
         assert_eq!(gpu.sm(15).kernel_ctas(1), 8);
+    }
+
+    #[test]
+    fn predicted_windows_shape_the_profiling_ramp() {
+        let cfg = WarpedSlicerConfig {
+            predict: Some(true),
+            audit: true,
+            ..fast_cfg()
+        };
+        let (gpu, c) = run_pair("IMG", "NN", 1_500, cfg);
+        assert!(matches!(c.phase, Phase::Warmup { .. }));
+        // The windowed ramp still anchors both ends of each group: 1 CTA on
+        // the group's first SM, the guard at the feasibility bound on its
+        // last (IMG and NN both cap at 8).
+        assert_eq!(gpu.sm(0).kernel_ctas(0), 1);
+        assert_eq!(gpu.sm(7).kernel_ctas(0), 8);
+        assert_eq!(gpu.sm(8).kernel_ctas(1), 1);
+        assert_eq!(gpu.sm(15).kernel_ctas(1), 8);
+        // The audit holds the predicted curve and chosen window per kernel.
+        let audit = c.audit.clone();
+        for k in 0..2 {
+            let (perf, knee) = audit.predicted_curve(k).expect("predicted curve");
+            assert_eq!(perf.len(), 8);
+            assert!((1..=8).contains(&knee));
+        }
+        assert!(audit
+            .events
+            .iter()
+            .any(|e| matches!(e, AuditEvent::SweepWindow { .. })));
+    }
+
+    #[test]
+    fn predicted_windows_still_reach_a_co_location_decision() {
+        let cfg = WarpedSlicerConfig {
+            predict: Some(true),
+            ..fast_cfg()
+        };
+        let (_, c) = run_pair("IMG", "NN", 40_000, cfg);
+        let d = c.decision().expect("decision after sampling");
+        assert!(!d.spatial_fallback, "IMG+NN should still co-locate");
+        let quotas = d.quotas.as_ref().expect("feasible quotas");
+        assert_eq!(quotas.len(), 2);
+        assert!(quotas.iter().all(|&q| (1..=8).contains(&q)), "{quotas:?}");
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::runner::{execute_batch, RunConfig, SimJob, SimOutcome};
 use crate::scaling::{
     bandwidth_scale_factor_audited, psi, psi_measured, scale_ipc_with_psi_audited,
 };
+use crate::sweep::SweepWindow;
 use gpu_sim::KernelDesc;
 
 /// Timing parameters of the profiling phase.
@@ -101,6 +102,50 @@ impl ProfilePlan {
                     let max = f64::from(max.max(1));
                     (1.0 + (max - 1.0) * j as f64 / (group - 1) as f64).round() as u32
                 };
+                assignments.push(SmAssignment {
+                    sm,
+                    kernel: i,
+                    quota: quota.max(1),
+                });
+                sm += 1;
+            }
+        }
+        Self { assignments }
+    }
+
+    /// The prediction-windowed variant of [`ProfilePlan::build`]: kernel
+    /// `i`'s SM group ramps over its [`SweepWindow::planned_caps`] — the
+    /// dense prefix around the predicted knee plus the guard points — so
+    /// online sampling concentrates where the knee is expected while the
+    /// guard at the feasibility bound still checks the skipped tail. A
+    /// full window reproduces [`ProfilePlan::build`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no kernels or more kernels than SMs.
+    #[must_use]
+    pub fn build_windowed(num_sms: usize, windows: &[SweepWindow]) -> Self {
+        let k = windows.len();
+        assert!(k > 0, "at least one kernel required");
+        assert!(k <= num_sms, "more kernels than SMs");
+        let mut assignments = Vec::with_capacity(num_sms);
+        let base = num_sms / k;
+        let extra = num_sms % k;
+        let mut sm = 0;
+        for (i, w) in windows.iter().enumerate() {
+            let group = base + usize::from(i < extra);
+            let caps = w.planned_caps();
+            let last = caps.len().saturating_sub(1);
+            for j in 0..group {
+                let idx = if group == 1 {
+                    last
+                } else {
+                    // Evenly spread the planned caps over the group
+                    // (rounding so the last SM always probes the guard).
+                    let t = j as f64 / (group - 1) as f64;
+                    (t * last as f64).round() as usize
+                };
+                let quota = caps.get(idx).copied().unwrap_or(1);
                 assignments.push(SmAssignment {
                     sm,
                     kernel: i,
@@ -262,43 +307,49 @@ pub fn build_curves_audited(
                 sums[j] += outcome.ipc;
                 counts[j] += 1;
             }
-            interpolate(&sums, &counts)
+            interpolate_counts(&sums, &counts)
         })
         .collect()
 }
 
 /// Linear interpolation over missing points; extrapolation clamps to the
-/// nearest measured value (and to zero at 0 CTAs on the left).
-fn interpolate(sums: &[f64], counts: &[u32]) -> Vec<f64> {
+/// nearest measured value (and to zero at 0 CTAs on the left). Shared with
+/// the prediction-driven sweep pruner ([`crate::sweep`]), which relies on
+/// interpolated values being bounded by their sampled endpoints.
+pub(crate) fn interpolate_counts(sums: &[f64], counts: &[u32]) -> Vec<f64> {
     let n = sums.len();
-    let measured: Vec<(usize, f64)> = (0..n)
-        .filter(|&j| counts[j] > 0)
-        .map(|j| (j, sums[j] / f64::from(counts[j])))
+    let measured: Vec<(usize, f64)> = sums
+        .iter()
+        .zip(counts)
+        .enumerate()
+        .filter(|&(_, (_, &c))| c > 0)
+        .map(|(j, (&s, &c))| (j, s / f64::from(c)))
         .collect();
     if measured.is_empty() {
         return vec![0.0; n];
     }
     (0..n)
-        .map(|j| {
-            match measured.binary_search_by_key(&j, |&(idx, _)| idx) {
-                Ok(pos) => measured[pos].1,
+        .map(
+            |j| match measured.binary_search_by_key(&j, |&(idx, _)| idx) {
+                Ok(pos) => measured.get(pos).map_or(0.0, |&(_, v)| v),
                 Err(pos) => {
-                    if pos == 0 {
+                    let left = pos.checked_sub(1).and_then(|p| measured.get(p));
+                    match (left, measured.get(pos)) {
                         // Left of the first sample: interpolate toward 0 at
                         // "0 CTAs" (IPC vanishes with no CTAs).
-                        let (j1, v1) = measured[0];
-                        v1 * (j + 1) as f64 / (j1 + 1) as f64
-                    } else if pos == measured.len() {
-                        measured[pos - 1].1
-                    } else {
-                        let (j0, v0) = measured[pos - 1];
-                        let (j1, v1) = measured[pos];
-                        let t = (j - j0) as f64 / (j1 - j0) as f64;
-                        v0 + (v1 - v0) * t
+                        (None, Some(&(j1, v1))) => v1 * (j + 1) as f64 / (j1 + 1) as f64,
+                        // Right of the last sample: clamp.
+                        (Some(&(_, v0)), None) => v0,
+                        (Some(&(j0, v0)), Some(&(j1, v1))) => {
+                            let t = (j - j0) as f64 / (j1 - j0) as f64;
+                            v0 + (v1 - v0) * t
+                        }
+                        // `measured` is non-empty, so one neighbour exists.
+                        (None, None) => 0.0,
                     }
                 }
-            }
-        })
+            },
+        )
         .collect()
 }
 
@@ -346,6 +397,36 @@ mod tests {
         let mut sms: Vec<usize> = plan.assignments.iter().map(|a| a.sm).collect();
         sms.sort_unstable();
         assert_eq!(sms, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn windowed_plan_with_full_windows_matches_build() {
+        let windows = [SweepWindow::full(8), SweepWindow::full(8)];
+        assert_eq!(
+            ProfilePlan::build_windowed(16, &windows),
+            ProfilePlan::build(16, &[8, 8])
+        );
+    }
+
+    #[test]
+    fn windowed_plan_concentrates_samples_and_keeps_the_guard() {
+        // Kernel 0: knee predicted at 2 out of 8 -> dense 1..=3, midpoint
+        // 5, guard 8. Kernel 1: full window.
+        let windows = [SweepWindow::around_knee(2, 8), SweepWindow::full(8)];
+        let plan = ProfilePlan::build_windowed(16, &windows);
+        assert_eq!(plan.assignments.len(), 16);
+        let quotas: Vec<u32> = plan.for_kernel(0).map(|a| a.quota).collect();
+        // 8 SMs over caps [1, 2, 3, 5, 8]: starts at 1, ends at the guard,
+        // non-decreasing, and only planned caps appear.
+        assert_eq!(quotas.first(), Some(&1));
+        assert_eq!(quotas.last(), Some(&8));
+        assert!(quotas.windows(2).all(|w| w[0] <= w[1]));
+        assert!(quotas.iter().all(|q| [1, 2, 3, 5, 8].contains(q)));
+        // The dense window is sampled more heavily than under the plain
+        // ramp (which gives each count one SM).
+        assert!(quotas.iter().filter(|&&q| q <= 3).count() > 3, "{quotas:?}");
+        let quotas: Vec<u32> = plan.for_kernel(1).map(|a| a.quota).collect();
+        assert_eq!(quotas, vec![1, 2, 3, 4, 5, 6, 7, 8]);
     }
 
     #[test]

@@ -1,0 +1,489 @@
+//! Prediction-driven pruning of the Fig. 3 profiling sweep.
+//!
+//! The full Fig. 3 sweep samples every CTA count `1..=N` per kernel. The
+//! `ws-predict` static analyzer ([`ws_analyze::predict_kernel`]) predicts
+//! each kernel's performance knee without simulating a cycle, which lets
+//! the profiler concentrate its samples in a ±1 window around the
+//! predicted knee and skip most of the tail.
+//!
+//! ## The sweep-pruning contract
+//!
+//! Water-filling consumes curves through `staircase`, which normalizes by
+//! the curve's peak and keeps only *strictly increasing* prefix steps. A
+//! pruned curve therefore yields **bit-identical quotas** to the full
+//! sweep iff no unsampled point exceeds the maximum of the sampled prefix.
+//! Statically that cannot be guaranteed — predictions err — so pruning is
+//! *checked, never trusted*: every pruned sweep samples a guard point at
+//! the feasibility bound `N` (plus a midpoint when the skipped gap is
+//! wide), and [`accept_pruned`] only accepts when
+//!
+//! 1. every guard sample is at or below the sampled prefix maximum, and
+//! 2. the curve is non-rising at the window's right edge
+//!    (`curve[hi] <= curve[hi-1]`), i.e. the knee is visibly behind us.
+//!
+//! When either check fails the kernel falls back to the full sweep
+//! (a second batch round in [`profile_curves_planned`]); the escape hatch
+//! `WS_PREDICT=0` disables pruning globally. Accepted gaps are filled by
+//! linear interpolation between sampled points — interpolated values are
+//! bounded by their sampled endpoints, so they can never introduce a new
+//! staircase step, which is what makes the accepted-pruned curve
+//! water-fill-equivalent to the full sweep.
+
+use std::sync::OnceLock;
+
+use crate::profiler::interpolate_counts;
+use crate::runner::{execute_batch, RunConfig, SimJob, SimOutcome};
+use gpu_sim::{GpuConfig, KernelDesc};
+use ws_analyze::predict_kernel;
+
+/// Whether prediction-driven sweep pruning is enabled by default, read
+/// once from the `WS_PREDICT` environment variable. On unless the
+/// variable is set to `0`, `false`, or `off` — the escape hatch for
+/// comparing against the unpruned Fig. 3 sweep.
+#[must_use]
+pub fn predict_default() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| match std::env::var("WS_PREDICT") {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "false" | "off"
+        ),
+        Err(_) => true,
+    })
+}
+
+/// One kernel's profiling window over the CTA axis: sample CTA counts
+/// `lo..=hi` densely, guard the skipped tail, interpolate the rest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepWindow {
+    /// First CTA count of the dense window (>= 1).
+    pub lo: u32,
+    /// Last CTA count of the dense window (`lo <= hi <= max`).
+    pub hi: u32,
+    /// The kernel's Eq. 1 feasibility bound `N` (curve length).
+    pub max: u32,
+}
+
+impl SweepWindow {
+    /// The unpruned window: sample every count `1..=max`.
+    #[must_use]
+    pub fn full(max: u32) -> Self {
+        let max = max.max(1);
+        Self {
+            lo: 1,
+            hi: max,
+            max,
+        }
+    }
+
+    /// A ±1 window around a predicted knee, clamped to `[1, max]`. The
+    /// dense prefix always starts at 1 (water-filling needs the ramp up to
+    /// the knee); `hi` is where dense sampling stops.
+    #[must_use]
+    pub fn around_knee(knee: u32, max: u32) -> Self {
+        let max = max.max(1);
+        Self {
+            lo: 1,
+            hi: knee.saturating_add(1).clamp(1, max),
+            max,
+        }
+    }
+
+    /// Whether this window samples the whole curve.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.lo <= 1 && self.hi >= self.max
+    }
+
+    /// The CTA counts a pruned offline sweep actually simulates: the dense
+    /// prefix `lo..=hi`, a guard at `max`, and a midpoint guard when the
+    /// skipped gap spans more than two counts. Sorted, deduplicated.
+    #[must_use]
+    pub fn planned_caps(&self) -> Vec<u32> {
+        let mut caps: Vec<u32> = (self.lo.max(1)..=self.hi.min(self.max)).collect();
+        if self.hi < self.max {
+            let gap = self.max - self.hi;
+            if gap > 2 {
+                caps.push(self.hi + gap / 2);
+            }
+            caps.push(self.max);
+        }
+        caps.dedup();
+        caps
+    }
+}
+
+/// A per-kernel set of [`SweepWindow`]s for one profiling sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepPlan {
+    /// One window per kernel, in kernel order.
+    pub windows: Vec<SweepWindow>,
+}
+
+impl SweepPlan {
+    /// The unpruned plan: full windows for every kernel.
+    #[must_use]
+    pub fn full(max_ctas: &[u32]) -> Self {
+        Self {
+            windows: max_ctas.iter().map(|&m| SweepWindow::full(m)).collect(),
+        }
+    }
+
+    /// Builds a pruned plan from `ws-predict` static predictions: each
+    /// kernel gets a ±1 window around its predicted knee. A kernel whose
+    /// prediction fails (pre-flight rejection) falls back to its full
+    /// window — pruning is an optimization, never a gate.
+    #[must_use]
+    pub fn from_predictions(descs: &[&KernelDesc], max_ctas: &[u32], cfg: &GpuConfig) -> Self {
+        let windows = descs
+            .iter()
+            .zip(max_ctas)
+            .map(|(desc, &max)| match predict_kernel(desc, cfg) {
+                Ok(curve) => SweepWindow::around_knee(curve.knee, max),
+                Err(_) => SweepWindow::full(max),
+            })
+            .collect();
+        Self { windows }
+    }
+
+    /// Total simulation samples this plan schedules (first round).
+    #[must_use]
+    pub fn planned_samples(&self) -> usize {
+        self.windows.iter().map(|w| w.planned_caps().len()).sum()
+    }
+
+    /// Samples the full (unpruned) sweep would schedule.
+    #[must_use]
+    pub fn full_samples(&self) -> usize {
+        self.windows.iter().map(|w| w.max.max(1) as usize).sum()
+    }
+
+    /// Samples the plan avoids relative to the full sweep (before any
+    /// fall-back rounds).
+    #[must_use]
+    pub fn samples_saved(&self) -> usize {
+        self.full_samples().saturating_sub(self.planned_samples())
+    }
+}
+
+/// Applies the sweep-pruning acceptance check to one kernel's sampled
+/// points (`(cta_count, ipc)` pairs covering [`SweepWindow::planned_caps`])
+/// and, on acceptance, synthesizes the full-length curve by linear
+/// interpolation over the unsampled gap.
+///
+/// Returns `None` when the guards reject pruning — the sampled evidence is
+/// consistent with the curve still rising past the window, so the caller
+/// must sample the remaining counts to preserve water-fill equivalence.
+#[must_use]
+pub fn accept_pruned(samples: &[(u32, f64)], window: &SweepWindow) -> Option<Vec<f64>> {
+    let n = window.max.max(1) as usize;
+    let value_at =
+        |cap: u32| -> Option<f64> { samples.iter().find(|(c, _)| *c == cap).map(|(_, v)| *v) };
+    if window.is_full() {
+        // Nothing was skipped: the samples *are* the curve.
+        let curve: Option<Vec<f64>> = (1..=window.max).map(value_at).collect();
+        return curve;
+    }
+    let prefix: Vec<f64> = (window.lo..=window.hi).map_while(value_at).collect();
+    if prefix.len() != (window.hi - window.lo + 1) as usize || prefix.len() < 2 {
+        return None;
+    }
+    let prefix_max = prefix.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    // Guard 1: the curve must be non-rising at the window's right edge.
+    let mut tail = prefix.iter().rev();
+    let (last, before) = (tail.next()?, tail.next()?);
+    if last > before {
+        return None;
+    }
+    // Guard 2: every sampled point beyond the window stays at or below the
+    // sampled prefix maximum (otherwise an unsampled point may form a new
+    // staircase step and change the water-fill).
+    let guards: Vec<(u32, f64)> = samples
+        .iter()
+        .copied()
+        .filter(|(c, _)| *c > window.hi)
+        .collect();
+    if guards.is_empty() || guards.iter().any(|(_, v)| *v > prefix_max) {
+        return None;
+    }
+    // Accepted: interpolate the gap between the window edge and the guards.
+    let mut sums = vec![0.0f64; n];
+    let mut counts = vec![0u32; n];
+    for &(cap, v) in samples {
+        if (1..=window.max).contains(&cap) {
+            let j = (cap - 1) as usize;
+            if let (Some(s), Some(c)) = (sums.get_mut(j), counts.get_mut(j)) {
+                *s += v;
+                *c += 1;
+            }
+        }
+    }
+    Some(interpolate_counts(&sums, &counts))
+}
+
+/// Result of a planned (possibly pruned) offline sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedSweep {
+    /// Full-length per-kernel curves, same shape as
+    /// [`crate::profiler::profile_curves`]: `curves[i][j]` = IPC of kernel
+    /// `i` at `j + 1` CTAs (sampled or interpolated).
+    pub curves: Vec<Vec<f64>>,
+    /// Whether kernel `i`'s pruned window was accepted (`true`) or fell
+    /// back to the full sweep (`false`).
+    pub pruned: Vec<bool>,
+    /// Simulation samples actually run, across both rounds.
+    pub samples_run: usize,
+}
+
+/// The planned analogue of [`crate::profiler::profile_curves`]: samples
+/// each kernel's [`SweepWindow::planned_caps`] as one batch, applies
+/// [`accept_pruned`] per kernel, and runs a second batch for the remaining
+/// CTA counts of every kernel whose pruning was rejected. Accepted kernels
+/// get interpolated full-length curves; rejected kernels get fully sampled
+/// ones — either way `curves[i]` has length `max(1, windows[i].max)`.
+///
+/// # Panics
+///
+/// Panics if `descs` and `plan.windows` lengths differ.
+#[must_use]
+pub fn profile_curves_planned(
+    pool: &ws_exec::Pool,
+    descs: &[&KernelDesc],
+    plan: &SweepPlan,
+    window: u64,
+    cfg: &RunConfig,
+) -> PlannedSweep {
+    assert_eq!(
+        descs.len(),
+        plan.windows.len(),
+        "one sweep window per kernel"
+    );
+    // Round 1: every planned cap across all kernels, one batch.
+    let per_kernel_caps: Vec<Vec<u32>> =
+        plan.windows.iter().map(SweepWindow::planned_caps).collect();
+    let jobs: Vec<SimJob> = descs
+        .iter()
+        .zip(&per_kernel_caps)
+        .flat_map(|(desc, caps)| {
+            caps.iter()
+                .map(|&cap| SimJob::cta_cap(desc, cap, window, cfg))
+        })
+        .collect();
+    let mut samples_run = jobs.len();
+    let mut outcomes = execute_batch(pool, &jobs).into_iter();
+    let sampled: Vec<Vec<(u32, f64)>> = per_kernel_caps
+        .iter()
+        .map(|caps| {
+            caps.iter()
+                .map(|&cap| {
+                    let ipc = outcomes
+                        .next()
+                        .as_ref()
+                        .map_or(0.0, SimOutcome::measured_ipc);
+                    (cap, ipc)
+                })
+                .collect()
+        })
+        .collect();
+
+    // Per-kernel acceptance; collect the caps round 2 still owes.
+    let mut curves: Vec<Option<Vec<f64>>> = Vec::with_capacity(descs.len());
+    let mut pruned = Vec::with_capacity(descs.len());
+    let mut round2: Vec<(usize, u32)> = Vec::new();
+    for (i, (samples, w)) in sampled.iter().zip(&plan.windows).enumerate() {
+        match accept_pruned(samples, w) {
+            Some(curve) => {
+                pruned.push(!w.is_full());
+                curves.push(Some(curve));
+            }
+            None => {
+                pruned.push(false);
+                curves.push(None);
+                let have: Vec<u32> = samples.iter().map(|&(c, _)| c).collect();
+                for cap in 1..=w.max.max(1) {
+                    if !have.contains(&cap) {
+                        round2.push((i, cap));
+                    }
+                }
+            }
+        }
+    }
+
+    // Round 2: the rejected kernels' remaining counts, one batch.
+    if !round2.is_empty() {
+        let jobs: Vec<SimJob> = round2
+            .iter()
+            .filter_map(|&(i, cap)| descs.get(i).map(|d| SimJob::cta_cap(d, cap, window, cfg)))
+            .collect();
+        samples_run += jobs.len();
+        let extra = execute_batch(pool, &jobs);
+        let mut merged: Vec<Vec<(u32, f64)>> = sampled;
+        for (&(i, cap), outcome) in round2.iter().zip(&extra) {
+            if let Some(list) = merged.get_mut(i) {
+                list.push((cap, outcome.measured_ipc()));
+            }
+        }
+        for (i, slot) in curves.iter_mut().enumerate() {
+            if slot.is_none() {
+                let mut full: Vec<(u32, f64)> = merged.get(i).cloned().unwrap_or_default();
+                full.sort_by_key(|&(c, _)| c);
+                let curve = full.iter().map(|&(_, v)| v).collect();
+                *slot = Some(curve);
+            }
+        }
+    }
+
+    PlannedSweep {
+        curves: curves.into_iter().map(Option::unwrap_or_default).collect(),
+        pruned,
+        samples_run,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::ResourceVec;
+    use crate::waterfill::{water_fill, KernelCurve};
+
+    fn window(knee: u32, max: u32) -> SweepWindow {
+        SweepWindow::around_knee(knee, max)
+    }
+
+    fn samples_for(curve: &[f64], w: &SweepWindow) -> Vec<(u32, f64)> {
+        w.planned_caps()
+            .iter()
+            .map(|&cap| (cap, curve.get((cap - 1) as usize).copied().unwrap_or(0.0)))
+            .collect()
+    }
+
+    #[test]
+    fn full_window_covers_everything_and_saves_nothing() {
+        let w = SweepWindow::full(8);
+        assert!(w.is_full());
+        assert_eq!(w.planned_caps(), (1..=8).collect::<Vec<_>>());
+        let plan = SweepPlan::full(&[8, 6]);
+        assert_eq!(plan.samples_saved(), 0);
+    }
+
+    #[test]
+    fn knee_window_samples_prefix_guard_and_midpoint() {
+        let w = window(2, 8);
+        assert_eq!(
+            w,
+            SweepWindow {
+                lo: 1,
+                hi: 3,
+                max: 8
+            }
+        );
+        // Dense prefix 1..=3, midpoint (3 + 5/2 = 5), guard at 8.
+        assert_eq!(w.planned_caps(), vec![1, 2, 3, 5, 8]);
+        let plan = SweepPlan {
+            windows: vec![w, SweepWindow::full(6)],
+        };
+        assert_eq!(plan.planned_samples(), 5 + 6);
+        assert_eq!(plan.full_samples(), 8 + 6);
+        assert_eq!(plan.samples_saved(), 3);
+    }
+
+    #[test]
+    fn knee_near_max_degenerates_to_full() {
+        let w = window(7, 8);
+        assert!(w.is_full());
+        assert_eq!(w.planned_caps().len(), 8);
+    }
+
+    #[test]
+    fn declining_tail_is_accepted_and_interpolated() {
+        // A cache-sensitive shape: peak at 2, declining tail.
+        let full = [0.8, 1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4];
+        let w = window(2, 8);
+        let curve = accept_pruned(&samples_for(&full, &w), &w).expect("accepted");
+        assert_eq!(curve.len(), 8);
+        // Sampled points are exact.
+        for &cap in &[1usize, 2, 3, 5, 8] {
+            assert!((curve[cap - 1] - full[cap - 1]).abs() < 1e-12, "{curve:?}");
+        }
+        // Interpolated points never exceed the sampled prefix max.
+        let prefix_max = 1.0;
+        assert!(curve.iter().all(|&v| v <= prefix_max + 1e-12));
+    }
+
+    #[test]
+    fn rising_tail_is_rejected() {
+        // Compute-scaling shape: still rising at the window edge and the
+        // guard at max exceeds the prefix — both guards must fire.
+        let full = [0.2, 0.4, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0];
+        let w = window(2, 8);
+        assert!(accept_pruned(&samples_for(&full, &w), &w).is_none());
+    }
+
+    #[test]
+    fn hidden_hump_is_caught_by_the_guard() {
+        // Flat through the window, but an unsampled hump at the guard
+        // point: the guard sample exceeds the prefix max, so pruning is
+        // rejected even though the window edge is non-rising.
+        let full = [0.9, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.3];
+        let w = window(2, 8);
+        assert!(accept_pruned(&samples_for(&full, &w), &w).is_none());
+    }
+
+    #[test]
+    fn missing_samples_reject() {
+        let w = window(2, 8);
+        assert!(accept_pruned(&[(1, 0.5)], &w).is_none());
+    }
+
+    #[test]
+    fn accepted_pruned_curve_is_water_fill_equivalent() {
+        // The contract in one test: for a declining-tail curve paired with
+        // a compute kernel, the accepted pruned curve and the full curve
+        // produce identical quotas.
+        let cache = [0.8, 1.0, 0.7, 0.6, 0.5, 0.45, 0.4, 0.35];
+        let compute = [0.25, 0.5, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let w = window(2, 8);
+        let pruned = accept_pruned(&samples_for(&cache, &w), &w).expect("accepted");
+        let cap = ResourceVec {
+            regs: 32768,
+            shmem: 48 * 1024,
+            threads: 1536,
+            ctas: 8,
+        };
+        let cost_a = ResourceVec {
+            regs: 3072,
+            shmem: 0,
+            threads: 192,
+            ctas: 1,
+        };
+        let cost_b = ResourceVec {
+            regs: 4096,
+            shmem: 0,
+            threads: 128,
+            ctas: 1,
+        };
+        let with = |perf: Vec<f64>| {
+            water_fill(
+                &[
+                    KernelCurve {
+                        perf,
+                        cta_cost: cost_a,
+                    },
+                    KernelCurve {
+                        perf: compute.to_vec(),
+                        cta_cost: cost_b,
+                    },
+                ],
+                cap,
+            )
+            .expect("feasible")
+        };
+        assert_eq!(with(pruned).ctas, with(cache.to_vec()).ctas);
+    }
+
+    #[test]
+    fn predict_default_reads_env_once() {
+        // Whatever the ambient value, the gate is stable across calls.
+        assert_eq!(predict_default(), predict_default());
+    }
+}

@@ -29,8 +29,10 @@ use crate::runner::SimOutcome;
 
 /// Required keys per record type. Every JSONL line must carry a `"type"`
 /// matching one of these entries and at least the listed keys.
-pub const SCHEMAS: [(&str, &[&str]); 16] = [
+pub const SCHEMAS: [(&str, &[&str]); 18] = [
     ("meta", &["label", "policy", "kernels", "total_cycles"]),
+    ("predicted_curve", &["kernel", "perf", "knee"]),
+    ("sweep_window", &["kernel", "lo", "hi", "max"]),
     (
         "scaled_point",
         &[
@@ -161,6 +163,13 @@ fn audit_line(e: &AuditEvent) -> String {
         AuditEvent::Curve { kernel, perf } => format!(
             "{{\"type\":\"curve\",\"kernel\":{kernel},\"perf\":{}}}",
             num_array(perf)
+        ),
+        AuditEvent::PredictedCurve { kernel, perf, knee } => format!(
+            "{{\"type\":\"predicted_curve\",\"kernel\":{kernel},\"perf\":{},\"knee\":{knee}}}",
+            num_array(perf)
+        ),
+        AuditEvent::SweepWindow { kernel, lo, hi, max } => format!(
+            "{{\"type\":\"sweep_window\",\"kernel\":{kernel},\"lo\":{lo},\"hi\":{hi},\"max\":{max}}}"
         ),
         AuditEvent::WaterFillStep { kernel, ctas, perf } => format!(
             "{{\"type\":\"water_fill_step\",\"kernel\":{kernel},\"ctas\":{ctas},\"perf\":{}}}",

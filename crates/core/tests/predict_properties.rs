@@ -1,0 +1,179 @@
+//! Randomized property tests for the ws-predict → water-filling contract:
+//!
+//! 1. feeding Algorithm 1 a *predicted* curve (instead of a sampled one)
+//!    always yields an Eq. 1-feasible quota vector whose per-kernel grant
+//!    stays inside the occupancy-feasible range the predictor derived;
+//! 2. whenever the predicted knee matches the sampled knee — i.e. the
+//!    pruned window is centered where the real curve actually flattens —
+//!    an accepted pruned sweep reproduces the sampled-curve water-fill
+//!    decision exactly.
+//!
+//! Cases are generated with the in-tree deterministic `SimRng`
+//! (xoshiro256++) so the suite runs with `--offline` and replays
+//! identically everywhere; each assertion carries its case index, which
+//! together with the fixed seed reproduces the exact inputs.
+
+use gpu_sim::{GpuConfig, KernelDesc, SimRng};
+use warped_slicer::resources::ResourceVec;
+use warped_slicer::sweep::{accept_pruned, SweepWindow};
+use warped_slicer::waterfill::{assert_partition_feasible, water_fill, KernelCurve};
+use ws_analyze::{knee_of, predict_kernel};
+use ws_workloads::suite;
+
+/// A suite kernel with its resource footprint perturbed inside the SM's
+/// feasible envelope, so every generated descriptor admits at least one
+/// CTA (32..=384 threads, 16..=32 regs/thread, 0/4K/8K shared bytes fit
+/// a 1536-thread / 32768-register / 48K SM with room to spare).
+fn perturbed_desc(rng: &mut SimRng) -> KernelDesc {
+    let bench = suite();
+    let pick = rng.range_usize(bench.len());
+    let mut desc = bench
+        .get(pick)
+        .map(|b| b.desc.clone())
+        .unwrap_or_else(|| unreachable!("suite() is non-empty"));
+    desc.threads_per_cta = 32 * (1 + rng.range_u64(12) as u32);
+    desc.regs_per_thread = 16 + rng.range_u64(17) as u32;
+    desc.shmem_per_cta = 4096 * rng.range_u64(3) as u32;
+    desc.seed = rng.next_u64();
+    desc
+}
+
+#[test]
+fn predicted_curves_water_fill_to_feasible_quotas() {
+    let cfg = GpuConfig::isca_baseline();
+    let total = ResourceVec::sm_capacity(&cfg.sm);
+    let mut rng = SimRng::seed_from_u64(0x9E1D_0001);
+    for case in 0..48 {
+        let k = 2 + rng.range_usize(2);
+        let mut kernels = Vec::new();
+        let mut floor = ResourceVec::zero();
+        for _ in 0..k {
+            let desc = perturbed_desc(&mut rng);
+            let curve = predict_kernel(&desc, &cfg)
+                .unwrap_or_else(|e| panic!("case {case}: perturbed kernel infeasible: {e}"));
+            assert!(
+                !curve.ipc.is_empty(),
+                "case {case}: predictor returned an empty curve"
+            );
+            assert!(
+                (1..=curve.max_ctas()).contains(&curve.knee),
+                "case {case}: knee {} outside 1..={}",
+                curve.knee,
+                curve.max_ctas()
+            );
+            let cost = ResourceVec::cta_cost(&desc);
+            floor = floor.plus(&cost);
+            kernels.push(KernelCurve {
+                perf: curve.ipc,
+                cta_cost: cost,
+            });
+        }
+        let part = water_fill(&kernels, total);
+        if !total.covers(&floor) {
+            // Even one CTA per kernel does not fit: Algorithm 1 must
+            // decline (the controller then falls back to spatial).
+            assert!(part.is_none(), "case {case}: infeasible floor accepted");
+            continue;
+        }
+        let part =
+            part.unwrap_or_else(|| panic!("case {case}: feasible instance returned no partition"));
+        // Eq. 1: the granted footprint fits the SM.
+        assert_partition_feasible(&kernels, &total, &part);
+        for (i, (&q, kc)) in part.ctas.iter().zip(&kernels).enumerate() {
+            assert!(
+                q >= 1 && q as usize <= kc.perf.len(),
+                "case {case} kernel {i}: quota {q} outside the occupancy-feasible 1..={}",
+                kc.perf.len()
+            );
+        }
+    }
+}
+
+/// A random Fig. 3-shaped curve: concave rise to a peak at a random CTA
+/// count, then a flat-to-declining tail.
+fn random_curve(rng: &mut SimRng, max: u32) -> Vec<f64> {
+    let peak_at = 1 + rng.range_u64(u64::from(max)) as u32;
+    let peak = 5.0 + rng.unit_f64() * 20.0;
+    let exponent = 0.3 + rng.unit_f64() * 0.3;
+    let decline = rng.unit_f64() * 0.12;
+    (1..=max)
+        .map(|c| {
+            if c <= peak_at {
+                peak * (f64::from(c) / f64::from(peak_at)).powf(exponent)
+            } else {
+                (peak * (1.0 - decline * f64::from(c - peak_at))).max(0.0)
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn knee_matched_pruning_reproduces_the_sampled_decision() {
+    let cfg = GpuConfig::isca_baseline();
+    let total = ResourceVec::sm_capacity(&cfg.sm);
+    let cost = ResourceVec {
+        regs: 4096,
+        shmem: 0,
+        threads: 256,
+        ctas: 1,
+    };
+    let partner = KernelCurve {
+        perf: (1..=8).map(f64::from).collect(),
+        cta_cost: cost,
+    };
+    let mut rng = SimRng::seed_from_u64(0x9E1D_0002);
+    let mut accepted = 0usize;
+    for case in 0..96 {
+        let max = 4 + rng.range_u64(5) as u32;
+        let sampled = random_curve(&mut rng, max);
+        // "Predicted knee matches sampled knee": center the window at the
+        // sampled curve's own knee.
+        let window = SweepWindow::around_knee(knee_of(&sampled), max);
+        let samples: Vec<(u32, f64)> = window
+            .planned_caps()
+            .iter()
+            .filter_map(|&c| sampled.get((c - 1) as usize).map(|&v| (c, v)))
+            .collect();
+        let Some(pruned_curve) = accept_pruned(&samples, &window) else {
+            // Guards rejected: the sampled evidence is consistent with the
+            // curve still rising, so the sweep falls back — no decision to
+            // compare.
+            continue;
+        };
+        accepted += 1;
+        assert_eq!(
+            pruned_curve.len(),
+            sampled.len(),
+            "case {case}: pruned curve has the full sweep's shape"
+        );
+        let full = water_fill(
+            &[
+                KernelCurve {
+                    perf: sampled.clone(),
+                    cta_cost: cost,
+                },
+                partner.clone(),
+            ],
+            total,
+        );
+        let pruned = water_fill(
+            &[
+                KernelCurve {
+                    perf: pruned_curve,
+                    cta_cost: cost,
+                },
+                partner.clone(),
+            ],
+            total,
+        );
+        assert_eq!(
+            full.map(|p| p.ctas),
+            pruned.map(|p| p.ctas),
+            "case {case}: knee-matched pruning changed the water-fill decision"
+        );
+    }
+    assert!(
+        accepted >= 32,
+        "knee-matched windows should be accepted for most Fig. 3 shapes; got {accepted}/96"
+    );
+}

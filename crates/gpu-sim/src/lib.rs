@@ -81,5 +81,5 @@ pub use scheduler::SchedulerKind;
 pub use sm::{CtaCompletion, Sm};
 pub use stats::{SmKernelStats, SmStats, StallBreakdown, StallReason};
 pub use trace::{TraceEvent, TraceSink};
-pub use verify::{KernelVerifyError, ResourceKind};
+pub use verify::{occupancy_breakdown, KernelVerifyError, ResourceKind};
 pub use warp::Warp;

@@ -174,6 +174,37 @@ impl std::fmt::Display for KernelVerifyError {
 
 impl std::error::Error for KernelVerifyError {}
 
+/// Per-resource CTA quota under Eq. 1 of the paper, with `u32::MAX` for a
+/// resource the kernel does not demand (it never binds), in the order
+/// threads / registers / shared memory / CTA slots, plus the binding
+/// minimum.
+///
+/// This is the feasible-CTA-range computation shared by the launch
+/// pre-flight, the `ws-analyze` occupancy diagnostics, and the static
+/// performance predictor: all three must agree on the Fig. 3a "max allowed
+/// CTAs" for a kernel.
+#[must_use]
+pub fn occupancy_breakdown(desc: &KernelDesc, sm: &SmConfig) -> ([u32; 4], u32) {
+    let regs_per_cta = u64::from(desc.threads_per_cta) * u64::from(desc.regs_per_thread);
+    let quota = |per_cta: u64, available: u64| -> u32 {
+        match available.checked_div(per_cta) {
+            None => u32::MAX,
+            Some(q) => u32::try_from(q).unwrap_or(u32::MAX),
+        }
+    };
+    let by = [
+        quota(u64::from(desc.threads_per_cta), u64::from(sm.max_threads)),
+        quota(regs_per_cta, u64::from(sm.max_registers)),
+        quota(
+            u64::from(desc.shmem_per_cta),
+            u64::from(sm.shared_mem_bytes),
+        ),
+        sm.max_ctas,
+    ];
+    let max_ctas = by.iter().copied().min().unwrap_or(0);
+    (by, max_ctas)
+}
+
 /// The set of virtual registers written anywhere in a loop body, as a
 /// 32-bit mask (the IR names at most [`crate::program::NUM_VIRTUAL_REGS`]
 /// registers).

@@ -1,0 +1,48 @@
+//! Golden fixture for the `panic-free-accounting` rule over the ws-predict
+//! analyzer: the `predict_kernel` seed reaches a helper exercising the
+//! widened `todo!` / `unimplemented!` / `unreachable!` macro patterns, a
+//! waived occurrence, an invariant-checking helper that stays clean, and a
+//! function outside the seed's call tree that the rule must not flag.
+
+/// Seed: predictor entry point.
+pub fn predict_kernel(n: u32) -> f64 {
+    curve_point(n) + clamp_point(n) + checked_point(n)
+}
+
+/// Reachable helper: every widened macro pattern fires, chain reported.
+fn curve_point(n: u32) -> f64 {
+    if n == 0 {
+        todo!("sub-CTA occupancy");
+    }
+    if n > 64 {
+        unimplemented!("beyond the occupancy bound");
+    }
+    match n % 2 {
+        0 => 2.0,
+        1 => 3.0,
+        _ => unreachable!("n % 2 is 0 or 1"),
+    }
+}
+
+/// Waived: the residue analysis is exhaustive by construction.
+fn clamp_point(n: u32) -> f64 {
+    match n.min(1) {
+        0 => 0.5,
+        1 => 1.5,
+        // exhaustive by min(); xtask-allow: panic-free-accounting
+        _ => unreachable!(),
+    }
+}
+
+/// Reachable helper: invariant checks are the point, not a violation.
+fn checked_point(n: u32) -> f64 {
+    assert!(n <= 64, "caller clamps to the occupancy bound");
+    debug_assert!(n > 0);
+    f64::from(n)
+}
+
+/// Not reachable from a predictor seed: the transitive rule must not flag
+/// this `todo!`, and no per-file rule matches bare macros.
+pub fn future_mode() -> f64 {
+    todo!("contention model v2")
+}

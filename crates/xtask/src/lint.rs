@@ -59,12 +59,15 @@
 //!   experiment; an allocation there is invisible in tests but dominates
 //!   sweep wall-clock (DESIGN.md §9). Reuse a member or caller-owned
 //!   buffer (`std::mem::take` + `clear` is fine).
-//! * `panic-free-accounting` — `unwrap`/`expect`, `panic!`-family macros,
-//!   and direct index expressions are forbidden in any function reachable
-//!   from the water-filling / metrics / allocator entry points
-//!   ([`ACCOUNTING_SEEDS`]): these compute the paper's headline numbers,
-//!   and a panic there takes down a whole sweep. `assert!` /
-//!   `debug_assert!` remain fine — invariant checks are the point.
+//! * `panic-free-accounting` — `unwrap`/`expect`, the `panic!`-family
+//!   macros (`panic!`, `todo!`, `unimplemented!`, `unreachable!`), and
+//!   direct index expressions are forbidden in any function reachable
+//!   from the water-filling / metrics / allocator / ws-predict entry
+//!   points ([`ACCOUNTING_SEEDS`]), scoped to `crates/gpu-sim/src`,
+//!   `crates/core/src`, and `crates/analysis/src`: these compute the
+//!   paper's headline numbers and pick the pruned sweep window, and a
+//!   panic there takes down a whole sweep. `assert!` / `debug_assert!`
+//!   remain fine — invariant checks are the point.
 //!
 //! Call-graph resolution is conservative (see [`crate::callgraph`]):
 //! "reachable" over-approximates, so a finding may name a chain that a
@@ -139,9 +142,10 @@ pub const TICK_SEEDS: [(&str, &str); 11] = [
 ];
 
 /// Seed functions for the transitive `panic-free-accounting` rule: the
-/// water-filling partitioner, the headline metrics, and the resource
-/// allocator — the call trees that compute the paper's numbers.
-pub const ACCOUNTING_SEEDS: [(Option<&str>, &str); 15] = [
+/// water-filling partitioner, the headline metrics, the resource
+/// allocator, and the ws-predict analyzer — the call trees that compute
+/// the paper's numbers and decide how much of the sweep gets sampled.
+pub const ACCOUNTING_SEEDS: [(Option<&str>, &str); 21] = [
     (Some("LinearAllocator"), "alloc"),
     (Some("LinearAllocator"), "alloc_in_window"),
     (Some("LinearAllocator"), "free"),
@@ -150,6 +154,7 @@ pub const ACCOUNTING_SEEDS: [(Option<&str>, &str); 15] = [
     (Some("LinearAllocator"), "largest_free_in_window"),
     (Some("SmResources"), "try_alloc"),
     (Some("SmResources"), "free"),
+    (Some("SweepPlan"), "from_predictions"),
     (None, "water_fill"),
     (None, "water_fill_traced"),
     (None, "brute_force"),
@@ -157,6 +162,11 @@ pub const ACCOUNTING_SEEDS: [(Option<&str>, &str); 15] = [
     (None, "fairness"),
     (None, "antt"),
     (None, "system_throughput"),
+    (None, "predict_kernel"),
+    (None, "predict_curve"),
+    (None, "extract_features"),
+    (None, "miss_profile"),
+    (None, "accept_pruned"),
 ];
 
 /// Method names whose call on a `HashMap`/`HashSet` binding observes (or
@@ -670,7 +680,9 @@ fn graph_rules(
             continue;
         };
         if label.contains("/bin/")
-            || !(label.contains("crates/gpu-sim/src") || label.contains("crates/core/src"))
+            || !(label.contains("crates/gpu-sim/src")
+                || label.contains("crates/core/src")
+                || label.contains("crates/analysis/src"))
         {
             continue;
         }
@@ -1283,8 +1295,9 @@ mod tests {
     const FIX_DETERMINISM: &str = include_str!("../fixtures/rule_determinism.rs");
     const FIX_NO_TICK_ALLOC: &str = include_str!("../fixtures/rule_no_tick_alloc.rs");
     const FIX_PANIC_FREE: &str = include_str!("../fixtures/rule_panic_free_accounting.rs");
+    const FIX_PANIC_FREE_PREDICTOR: &str = include_str!("../fixtures/rule_panic_free_predictor.rs");
 
-    const ALL_FIXTURES: [(&str, &str); 11] = [
+    const ALL_FIXTURES: [(&str, &str); 12] = [
         ("masker_raw_strings.rs", FIX_RAW_STRINGS),
         ("masker_nested_comments.rs", FIX_NESTED_COMMENTS),
         ("rule_no_unwrap.rs", FIX_NO_UNWRAP),
@@ -1296,6 +1309,7 @@ mod tests {
         ("rule_determinism.rs", FIX_DETERMINISM),
         ("rule_no_tick_alloc.rs", FIX_NO_TICK_ALLOC),
         ("rule_panic_free_accounting.rs", FIX_PANIC_FREE),
+        ("rule_panic_free_predictor.rs", FIX_PANIC_FREE_PREDICTOR),
     ];
 
     /// 1-based line of the first occurrence of `needle` in `src`, so golden
@@ -1485,6 +1499,29 @@ mod tests {
         }
         for v in v.iter().filter(|v| v.rule == "no-unwrap") {
             assert!(v.chain.is_empty(), "per-file rules carry no chain");
+        }
+    }
+
+    #[test]
+    fn fixture_panic_free_predictor_golden() {
+        let f = FIX_PANIC_FREE_PREDICTOR;
+        let v = scan_source("crates/analysis/src/fixture.rs", f);
+        let got: Vec<(&str, usize)> = v.iter().map(|v| (v.rule, v.line)).collect();
+        assert_eq!(
+            got,
+            [
+                ("panic-free-accounting", line_of(f, "sub-CTA occupancy")),
+                (
+                    "panic-free-accounting",
+                    line_of(f, "beyond the occupancy bound")
+                ),
+                ("panic-free-accounting", line_of(f, "n % 2 is 0 or 1")),
+            ],
+            "todo!/unimplemented!/unreachable! fire; the waived arm, the \
+             assert! helper, and the unreachable-from-seed fn stay silent"
+        );
+        for v in &v {
+            assert_eq!(v.chain, ["predict_kernel", "curve_point"]);
         }
     }
 

@@ -7,6 +7,10 @@
 //! * `cargo xtask verify-workloads` — the `ws-analyze` static verifier over
 //!   the shipped workload suites (writes its per-suite report to
 //!   `target/verify-workloads-report.txt`);
+//! * `cargo xtask verify-predictions` — cross-validates the `ws-predict`
+//!   static performance curves against simulated ground truth for every
+//!   Table II workload (writes `target/predict-accuracy.jsonl`; fails when
+//!   the knee-hit rate drops below the floor in `results/BENCH_predict.json`);
 //! * `cargo xtask check` — the full analysis gate: `cargo fmt --check`,
 //!   `cargo clippy -D warnings`, the custom lint pass, the workload
 //!   verifier, and the tier-1 test suite, in that order, failing fast;
@@ -41,6 +45,9 @@ fn usage() {
          \x20                   (always writes target/lint-report.jsonl)\n\
          \x20 lint --json       same, printing the JSONL report to stdout\n\
          \x20 verify-workloads  run the ws-analyze static verifier over the shipped suites\n\
+         \x20 verify-predictions  cross-validate ws-predict static curves against simulated\n\
+         \x20                   ground truth (writes target/predict-accuracy.jsonl; fails\n\
+         \x20                   below the knee-hit floor in results/BENCH_predict.json)\n\
          \x20 check             full gate: fmt --check, clippy -D warnings, lint,\n\
          \x20                   verify-workloads, tests\n\
          \x20 check --fast      gate without the test stage\n\
@@ -122,6 +129,30 @@ fn run_verify_workloads(root: &Path) -> bool {
     )
 }
 
+/// Cross-validates the ws-predict static performance curves against
+/// simulated ground truth for every Table II workload, leaving the
+/// per-kernel accuracy report in `target/predict-accuracy.jsonl` (uploaded
+/// as a CI artifact). Fails when the knee-hit rate drops below the floor
+/// committed in `results/BENCH_predict.json`.
+fn run_verify_predictions(root: &Path) -> bool {
+    run_cargo(
+        root,
+        &[
+            "run",
+            "--release",
+            "--package",
+            "ws-bench",
+            "--bin",
+            "verify-predictions",
+            "--offline",
+            "--quiet",
+            "--",
+            "--report",
+            "target/predict-accuracy.jsonl",
+        ],
+    )
+}
+
 fn run_check(root: &Path, fast: bool) -> bool {
     let stages: &[(&str, &dyn Fn() -> bool)] = &[
         ("rustfmt", &|| {
@@ -178,6 +209,7 @@ fn main() -> ExitCode {
     let ok = match args.first().map(String::as_str) {
         Some("lint") => run_lint(&root, args.iter().any(|a| a == "--json")),
         Some("verify-workloads") => run_verify_workloads(&root),
+        Some("verify-predictions") => run_verify_predictions(&root),
         Some("check") => run_check(&root, args.iter().any(|a| a == "--fast")),
         Some("help") | None => {
             usage();
