@@ -24,6 +24,12 @@
 //!   safety-cap scenario (deterministic, safe on noisy shared runners).
 //! - `WS_SIM_BENCH_MIN_SPEEDUP`: minimum wall-clock speedup there (only
 //!   meaningful on quiet hosts).
+//! - `WS_SIM_BENCH_MIN_STEADY_SPEEDUP`: minimum fast-forward-vs-naive
+//!   speedup in the *saturated* scenario. The dense regime is where the
+//!   SoA scoreboard and micro-horizons earn their keep; this floor keeps
+//!   fast-forward probing from ever regressing it (it sat unenforced at
+//!   0.96x before the data-oriented refactor). Throughput itself is
+//!   reported as `cycles_per_sec` per scenario for baseline comparisons.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -95,6 +101,10 @@ struct ScenarioResult {
     total_cycles: u64,
     skipped_cycles: u64,
     skipped_frac: f64,
+    /// Simulated cycles per wall-clock second, both modes: the dense-regime
+    /// throughput number the SoA refactor is gated on.
+    naive_cycles_per_sec: f64,
+    fast_cycles_per_sec: f64,
 }
 
 fn run_scenario(name: &'static str, make: fn(bool) -> SimJob) -> ScenarioResult {
@@ -121,6 +131,8 @@ fn run_scenario(name: &'static str, make: fn(bool) -> SimJob) -> ScenarioResult 
         total_cycles: fast.total_cycles,
         skipped_cycles: fast.ff_skipped_cycles,
         skipped_frac,
+        naive_cycles_per_sec: fast.total_cycles as f64 / naive_wall.max(1e-9),
+        fast_cycles_per_sec: fast.total_cycles as f64 / fast_wall.max(1e-9),
     }
 }
 
@@ -128,14 +140,17 @@ fn render(s: &ScenarioResult) -> String {
     format!(
         "    {{ \"name\": \"{}\", \"naive_wall_s\": {:.4}, \"fast_forward_wall_s\": {:.4}, \
          \"speedup\": {:.3}, \"total_cycles\": {}, \"skipped_cycles\": {}, \
-         \"skipped_fraction\": {:.4} }}",
+         \"skipped_fraction\": {:.4}, \"naive_cycles_per_sec\": {:.0}, \
+         \"fast_forward_cycles_per_sec\": {:.0} }}",
         s.name,
         s.naive_wall,
         s.fast_wall,
         s.speedup,
         s.total_cycles,
         s.skipped_cycles,
-        s.skipped_frac
+        s.skipped_frac,
+        s.naive_cycles_per_sec,
+        s.fast_cycles_per_sec
     )
 }
 
@@ -166,14 +181,16 @@ fn main() {
     }
     for s in [&steady, &cap] {
         println!(
-            "sim/{}: naive {:.2}s, fast-forward {:.2}s (x{:.2}), skipped {}/{} cycles ({:.1}%)",
+            "sim/{}: naive {:.2}s, fast-forward {:.2}s (x{:.2}), skipped {}/{} cycles \
+             ({:.1}%), {:.0} cycles/s",
             s.name,
             s.naive_wall,
             s.fast_wall,
             s.speedup,
             s.skipped_cycles,
             s.total_cycles,
-            s.skipped_frac * 100.0
+            s.skipped_frac * 100.0,
+            s.fast_cycles_per_sec
         );
     }
     println!("-> {}", path.display());
@@ -192,6 +209,16 @@ fn main() {
             eprintln!(
                 "safety-cap speedup {:.3} below committed floor {min}",
                 cap.speedup
+            );
+            std::process::exit(1);
+        }
+    }
+    if let Some(min) = floor("WS_SIM_BENCH_MIN_STEADY_SPEEDUP") {
+        if steady.speedup < min {
+            eprintln!(
+                "steady-state speedup {:.3} below committed floor {min}: fast-forward \
+                 probing is dragging the saturated regime",
+                steady.speedup
             );
             std::process::exit(1);
         }

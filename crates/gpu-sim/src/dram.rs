@@ -160,6 +160,15 @@ impl DramChannel {
         (!self.queue.is_empty()).then(|| self.busy_until.max(from))
     }
 
+    /// Whether a `tick(now)` would be a pure no-op: nothing queued and the
+    /// data bus free, so neither a dispatch nor a `busy_cycles` increment
+    /// can happen. Lets the memory subsystem skip the channel entirely
+    /// (micro-horizon) without changing any statistics.
+    #[must_use]
+    pub fn idle_at(&self, now: u64) -> bool {
+        self.queue.is_empty() && now >= self.busy_until
+    }
+
     /// Bulk-replays the per-cycle accounting `tick` would have performed
     /// over the dead span `[from, to)`: the bus-occupancy counter advances
     /// while `now < busy_until`, and nothing else can change because the

@@ -8,6 +8,7 @@
 
 use std::sync::OnceLock;
 
+use crate::access::LineAddr;
 use crate::alloc::PartitionWindow;
 use crate::config::GpuConfig;
 use crate::kernel::{KernelDesc, KernelId};
@@ -56,6 +57,11 @@ pub struct Gpu {
     kernel_insts: Vec<u64>,
     cycle: u64,
     resp_buf: Vec<MemResponse>,
+    /// Per-SM staging buffers for this cycle's memory fills: responses are
+    /// grouped by destination SM (preserving per-SM arrival order) and
+    /// applied in one `on_fill_batch` call per SM, so each touched warp's
+    /// scoreboard entry refreshes once per cycle instead of once per fill.
+    fill_bufs: Vec<Vec<LineAddr>>,
     completion_buf: Vec<CtaCompletion>,
     fast_forward: bool,
     skipped_cycles: u64,
@@ -81,9 +87,8 @@ impl Gpu {
     /// Builds a GPU with the given configuration and warp scheduler.
     #[must_use]
     pub fn new(cfg: GpuConfig, scheduler: SchedulerKind) -> Self {
-        let sms = (0..cfg.num_sms as usize)
-            .map(|i| Sm::new(i, &cfg, scheduler))
-            .collect();
+        let num_sms = cfg.num_sms as usize;
+        let sms = (0..num_sms).map(|i| Sm::new(i, &cfg, scheduler)).collect();
         let mem = MemSubsystem::new(&cfg);
         Self {
             cfg,
@@ -94,6 +99,7 @@ impl Gpu {
             kernel_insts: Vec::new(),
             cycle: 0,
             resp_buf: Vec::new(),
+            fill_bufs: vec![Vec::new(); num_sms],
             completion_buf: Vec::new(),
             fast_forward: fast_forward_default(),
             skipped_cycles: 0,
@@ -337,15 +343,27 @@ impl Gpu {
         }
         self.resp_buf.clear();
         self.mem.tick(now, &mut self.resp_buf);
+        // Group this cycle's fills by destination SM. Per-SM arrival order
+        // is preserved and SMs are state-independent, so batching is
+        // byte-identical to applying each response as it was drained; trace
+        // events keep the original (interleaved) response order.
         for i in 0..self.resp_buf.len() {
             let r = self.resp_buf[i];
-            self.sms[r.sm_id].on_fill(r.line, now);
+            self.fill_bufs[r.sm_id].push(r.line);
             if let Some(t) = self.trace.as_mut() {
                 t.record(TraceEvent::MshrFill {
                     cycle: now,
                     sm: r.sm_id,
                     line: r.line,
                 });
+            }
+        }
+        if !self.resp_buf.is_empty() {
+            for sm_id in 0..self.sms.len() {
+                if !self.fill_bufs[sm_id].is_empty() {
+                    self.sms[sm_id].on_fill_batch(&self.fill_bufs[sm_id], now);
+                    self.fill_bufs[sm_id].clear();
+                }
             }
         }
         self.completion_buf.clear();

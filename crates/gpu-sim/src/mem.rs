@@ -116,6 +116,10 @@ pub struct MemSubsystem {
     responses: BinaryHeap<Reverse<Timed<(LineAddr, usize)>>>,
     /// DRAM completions waiting for their data-ready cycle, per channel.
     dram_done: BinaryHeap<Reverse<Timed<(usize, LineAddr)>>>,
+    /// Bit `ch` set while L2 input queue `ch` is non-empty, so the per-tick
+    /// slice loop (and the horizon) test one word instead of scanning every
+    /// queue. Maintained at enqueue and after each slice services its head.
+    l2_pending: u64,
     arrival_clock: u64,
     stats: MemStats,
 }
@@ -125,6 +129,10 @@ impl MemSubsystem {
     #[must_use]
     pub fn new(cfg: &GpuConfig) -> Self {
         let n = cfg.mem.num_channels as usize;
+        assert!(
+            n <= 64,
+            "l2_pending bitmask holds at most 64 channels, got {n}"
+        );
         let ratio = cfg.core_per_dram_clock();
         Self {
             num_channels: n,
@@ -145,6 +153,7 @@ impl MemSubsystem {
             pending_fills: vec![BTreeMap::new(); n],
             responses: BinaryHeap::new(),
             dram_done: BinaryHeap::new(),
+            l2_pending: 0,
             arrival_clock: 0,
             stats: MemStats::default(),
         }
@@ -173,83 +182,30 @@ impl MemSubsystem {
             self.ingress.pop_front();
             let ch = self.channel_of(req.line);
             self.l2_in[ch].push_back(req);
+            self.l2_pending |= 1u64 << ch;
         }
 
-        // L2 slices: one request per channel per cycle.
+        // L2 slices: one request per channel per cycle. Ascending bit
+        // order equals the old ascending channel scan, so servicing order
+        // (and therefore every statistic) is unchanged; channels with an
+        // empty input queue are never visited.
+        let mut pending = self.l2_pending;
+        while pending != 0 {
+            let ch = pending.trailing_zeros() as usize;
+            pending &= pending - 1;
+            self.l2_slice_tick(ch, now);
+            if self.l2_in[ch].is_empty() {
+                self.l2_pending &= !(1u64 << ch);
+            }
+        }
+
+        // DRAM channels. A channel with nothing queued and a free data bus
+        // provably does nothing in tick() (no dispatch, no busy-cycle
+        // accrual), so skipping it is statistics-preserving.
         for ch in 0..self.num_channels {
-            let Some(&req) = self.l2_in[ch].front() else {
+            if self.dram[ch].idle_at(now) {
                 continue;
-            };
-            // A load whose line is already being fetched merges without a
-            // fresh L2 probe (the in-flight fill will satisfy it).
-            if !req.is_store {
-                if let Some(waiters) = self.pending_fills[ch].get_mut(&req.line) {
-                    self.l2_in[ch].pop_front();
-                    waiters.push(req);
-                    continue;
-                }
             }
-            // Stat slots were pre-sized at submit(); index them directly
-            // instead of paying a resize-on-demand lookup per probe.
-            let k = req.kernel.0;
-            let probe = self.l2[ch].access(req.line);
-            self.stats.total.l2_accesses += 1;
-            self.stats.per_kernel[k].l2_accesses += 1;
-            match probe {
-                ProbeResult::Hit => {
-                    self.l2_in[ch].pop_front();
-                    if !req.is_store {
-                        self.responses.push(Reverse(Timed {
-                            ready: now + self.l2_latency + self.icnt_latency,
-                            payload: (req.line, req.sm_id),
-                        }));
-                    }
-                }
-                ProbeResult::Miss => {
-                    self.stats.total.l2_misses += 1;
-                    self.stats.per_kernel[k].l2_misses += 1;
-                    if req.is_store {
-                        // Write-allocate: repeated stores to a hot line
-                        // (e.g. a tile being accumulated) hit the L2
-                        // instead of re-missing on every write-through.
-                        self.l2[ch].fill(req.line);
-                    }
-                    if !self.dram[ch].can_accept() {
-                        // Head-of-line stall: retry next cycle. Undo the
-                        // probe statistics so the retry is not double
-                        // counted.
-                        self.stats.total.l2_accesses -= 1;
-                        self.stats.total.l2_misses -= 1;
-                        self.stats.per_kernel[k].l2_accesses -= 1;
-                        self.stats.per_kernel[k].l2_misses -= 1;
-                        continue;
-                    }
-                    self.l2_in[ch].pop_front();
-                    let stripped = req.line / self.num_channels as u64;
-                    self.arrival_clock += 1;
-                    self.dram[ch].enqueue(DramRequest {
-                        line: stripped,
-                        tag: req.line,
-                        arrival: self.arrival_clock,
-                    });
-                    if req.is_store {
-                        self.stats.per_kernel[k].dram_writes += 1;
-                        self.stats.total.dram_writes += 1;
-                    } else {
-                        self.stats.per_kernel[k].dram_reads += 1;
-                        self.stats.total.dram_reads += 1;
-                        self.pending_fills[ch]
-                            .entry(req.line)
-                            .or_default()
-                            .push(req);
-                    }
-                    self.stats.dram_by_sm[req.sm_id] += 1;
-                }
-            }
-        }
-
-        // DRAM channels.
-        for ch in 0..self.num_channels {
             if let Some(done) = self.dram[ch].tick(now) {
                 self.dram_done.push(Reverse(Timed {
                     ready: done.ready_at,
@@ -290,6 +246,81 @@ impl MemSubsystem {
         }
     }
 
+    /// Services at most one request at the head of L2 slice `ch`'s input
+    /// queue: merge into an in-flight fill, hit, or miss into DRAM (with
+    /// head-of-line back-pressure when the DRAM queue is full).
+    fn l2_slice_tick(&mut self, ch: usize, now: u64) {
+        let Some(&req) = self.l2_in[ch].front() else {
+            return;
+        };
+        // A load whose line is already being fetched merges without a
+        // fresh L2 probe (the in-flight fill will satisfy it).
+        if !req.is_store {
+            if let Some(waiters) = self.pending_fills[ch].get_mut(&req.line) {
+                self.l2_in[ch].pop_front();
+                waiters.push(req);
+                return;
+            }
+        }
+        // Stat slots were pre-sized at submit(); index them directly
+        // instead of paying a resize-on-demand lookup per probe.
+        let k = req.kernel.0;
+        let probe = self.l2[ch].access(req.line);
+        self.stats.total.l2_accesses += 1;
+        self.stats.per_kernel[k].l2_accesses += 1;
+        match probe {
+            ProbeResult::Hit => {
+                self.l2_in[ch].pop_front();
+                if !req.is_store {
+                    self.responses.push(Reverse(Timed {
+                        ready: now + self.l2_latency + self.icnt_latency,
+                        payload: (req.line, req.sm_id),
+                    }));
+                }
+            }
+            ProbeResult::Miss => {
+                self.stats.total.l2_misses += 1;
+                self.stats.per_kernel[k].l2_misses += 1;
+                if req.is_store {
+                    // Write-allocate: repeated stores to a hot line
+                    // (e.g. a tile being accumulated) hit the L2
+                    // instead of re-missing on every write-through.
+                    self.l2[ch].fill(req.line);
+                }
+                if !self.dram[ch].can_accept() {
+                    // Head-of-line stall: retry next cycle. Undo the
+                    // probe statistics so the retry is not double
+                    // counted.
+                    self.stats.total.l2_accesses -= 1;
+                    self.stats.total.l2_misses -= 1;
+                    self.stats.per_kernel[k].l2_accesses -= 1;
+                    self.stats.per_kernel[k].l2_misses -= 1;
+                    return;
+                }
+                self.l2_in[ch].pop_front();
+                let stripped = req.line / self.num_channels as u64;
+                self.arrival_clock += 1;
+                self.dram[ch].enqueue(DramRequest {
+                    line: stripped,
+                    tag: req.line,
+                    arrival: self.arrival_clock,
+                });
+                if req.is_store {
+                    self.stats.per_kernel[k].dram_writes += 1;
+                    self.stats.total.dram_writes += 1;
+                } else {
+                    self.stats.per_kernel[k].dram_reads += 1;
+                    self.stats.total.dram_reads += 1;
+                    self.pending_fills[ch]
+                        .entry(req.line)
+                        .or_default()
+                        .push(req);
+                }
+                self.stats.dram_by_sm[req.sm_id] += 1;
+            }
+        }
+    }
+
     /// The earliest future cycle `>= from` at which [`Self::tick`] can
     /// change state: the ingress head's arrival, any non-empty L2 input
     /// queue (serviced one request per channel per cycle, forcing "next
@@ -306,7 +337,7 @@ impl MemSubsystem {
         if let Some(&(ready, _)) = self.ingress.front() {
             best = ready.max(from);
         }
-        if self.l2_in.iter().any(|q| !q.is_empty()) {
+        if self.l2_pending != 0 {
             return from;
         }
         for ch in &self.dram {

@@ -14,7 +14,7 @@ use crate::mshr::{MshrOutcome, MshrTable, MshrWaiter};
 use crate::program::OpClass;
 use crate::scheduler::{SchedulerKind, SchedulerState};
 use crate::stats::{SmStats, StallReason};
-use crate::warp::{IssueBlock, Warp};
+use crate::warp::{Warp, WarpTable};
 
 /// A CTA resident on an SM.
 #[derive(Debug, Clone)]
@@ -98,10 +98,21 @@ pub struct Sm {
     /// Cycle stamp of the most recent `tick`, for the strict monotonicity
     /// check (`None` before the first tick).
     last_tick: Option<u64>,
-    /// Occupied warp slots, maintained incrementally at launch/release so
-    /// the per-tick stages and the event horizon can skip empty SMs without
-    /// scanning all slots.
-    resident_warp_slots: u32,
+    /// Struct-of-arrays mirror of per-warp scheduler-visible state:
+    /// residency/finished/barrier/i-buffer/mem-pending bitmasks plus the
+    /// head instruction's readiness stamp and op class. Refreshed whenever
+    /// a warp mutates (`refresh_warp`), so the fetch/issue/horizon hot
+    /// paths intersect masks instead of chasing `Option<Warp>` pointers.
+    table: WarpTable,
+    /// Per-scheduler ownership masks (slot `s` belongs to scheduler
+    /// `s % num_schedulers`); precomputed at construction.
+    sched_masks: Vec<u64>,
+    /// Fetch micro-horizon: no warp can fetch before this cycle, so the
+    /// fetch stage skips its slot walk entirely. 0 means unknown/dirty.
+    fetch_idle_until: u64,
+    /// Bit `i` set while scheduler `i`'s LSU pipeline holds an op, so the
+    /// LSU stage (and horizon) can skip the unit walk when idle.
+    lsu_busy_mask: u64,
     /// Cached event horizon; valid while `horizon_valid` and no state
     /// change (fetch/issue/LSU work, fill, launch, eviction) occurred.
     horizon: u64,
@@ -115,6 +126,10 @@ impl Sm {
     pub fn new(id: usize, cfg: &GpuConfig, scheduler: SchedulerKind) -> Self {
         let max_warps = cfg.sm.max_warps() as usize;
         let num_sched = cfg.sm.num_schedulers as usize;
+        let schedulers: Vec<SchedulerState> = (0..num_sched)
+            .map(|s| SchedulerState::new(scheduler, s, num_sched, max_warps))
+            .collect();
+        let sched_masks = schedulers.iter().map(|s| s.owned_mask(max_warps)).collect();
         Self {
             id,
             cfg: cfg.clone(),
@@ -124,9 +139,7 @@ impl Sm {
             warps: (0..max_warps).map(|_| None).collect(),
             warp_gens: vec![0; max_warps],
             ctas: (0..cfg.sm.max_ctas as usize).map(|_| None).collect(),
-            schedulers: (0..num_sched)
-                .map(|s| SchedulerState::new(scheduler, s, num_sched, max_warps))
-                .collect(),
+            schedulers,
             units: (0..num_sched).map(|_| UnitSet::default()).collect(),
             launch_counter: 0,
             windows: BTreeMap::new(),
@@ -139,7 +152,10 @@ impl Sm {
             waiter_buf: Vec::with_capacity(8),
             fetch_ptr: 0,
             last_tick: None,
-            resident_warp_slots: 0,
+            table: WarpTable::new(max_warps),
+            sched_masks,
+            fetch_idle_until: 0,
+            lsu_busy_mask: 0,
             horizon: 0,
             horizon_valid: false,
         }
@@ -149,6 +165,41 @@ impl Sm {
     #[must_use]
     pub fn stats(&self) -> &SmStats {
         &self.stats
+    }
+
+    /// Read-only view of warp slot `slot` (tests and oracles).
+    #[must_use]
+    pub fn warp(&self, slot: usize) -> Option<&Warp> {
+        self.warps.get(slot).and_then(Option::as_ref)
+    }
+
+    /// The derived struct-of-arrays scoreboard (read-only view).
+    #[must_use]
+    pub fn scoreboard(&self) -> &WarpTable {
+        &self.table
+    }
+
+    /// Number of warp slots on this SM.
+    #[must_use]
+    pub fn warp_slot_count(&self) -> usize {
+        self.warps.len()
+    }
+
+    /// Re-derives the scoreboard from the warps and panics on any
+    /// divergence from the incrementally maintained bitmasks.
+    pub fn check_scoreboard(&self) {
+        self.table.assert_matches(&self.warps);
+    }
+
+    /// Re-derives slot `slot`'s scoreboard entry from its warp. Every
+    /// warp mutation must route through here (or `WarpTable::clear`) so
+    /// the bitmask mirrors never go stale.
+    fn refresh_warp(&mut self, slot: usize) {
+        match self.warps[slot].as_ref() {
+            Some(w) => self.table.refresh(slot, w),
+            None => self.table.clear(slot),
+        }
+        self.fetch_idle_until = 0;
     }
 
     /// The L1 data cache (read-only view for statistics).
@@ -267,8 +318,10 @@ impl Sm {
                 self.cfg.sm.ibuffer_entries,
             );
             self.launch_counter += 1;
+            self.table.refresh(slot, &warp);
             self.warps[slot] = Some(warp);
         }
+        self.fetch_idle_until = 0;
         self.ctas[cta_slot] = Some(CtaRecord {
             kernel,
             cta_index,
@@ -279,7 +332,6 @@ impl Sm {
         let r = self.residency_mut(kernel.0);
         r.0 += 1;
         r.1 += desc.threads_per_cta;
-        self.resident_warp_slots += needed as u32;
         self.horizon_valid = false;
         true
     }
@@ -291,11 +343,12 @@ impl Sm {
             // xtask-allow: no-unwrap
             .expect("release of empty CTA slot");
         self.resources.free(rec.resources);
-        self.resident_warp_slots -= rec.warp_slots.len() as u32;
         for slot in rec.warp_slots {
             self.warps[slot] = None;
             self.warp_gens[slot] = self.warp_gens[slot].wrapping_add(1);
+            self.table.clear(slot);
         }
+        self.fetch_idle_until = 0;
         let r = self.residency_mut(rec.kernel.0);
         r.0 -= 1;
         r.1 -= threads_per_cta;
@@ -317,9 +370,10 @@ impl Sm {
             self.release_cta(cs, desc.threads_per_cta);
         }
         // Drop LSU work belonging to the evicted kernel.
-        for unit in &mut self.units {
+        for (i, unit) in self.units.iter_mut().enumerate() {
             if unit.lsu.as_ref().is_some_and(|op| op.kernel.0 == slot) {
                 unit.lsu = None;
+                self.lsu_busy_mask &= !(1u64 << i);
             }
         }
         self.horizon_valid = false;
@@ -340,24 +394,48 @@ impl Sm {
 
     /// Handles a memory fill arriving from the L2/DRAM.
     pub fn on_fill(&mut self, line: LineAddr, now: u64) {
-        self.l1.fill(line);
+        self.on_fill_batch(std::slice::from_ref(&line), now);
+    }
+
+    /// Handles every memory fill destined for this SM this cycle in one
+    /// pass. Lines are applied in arrival order (the caller preserves the
+    /// memory subsystem's response order per SM), so the result is
+    /// byte-identical to calling [`Self::on_fill`] per line; batching lets
+    /// the scoreboard refresh each touched warp once instead of per fill.
+    pub fn on_fill_batch(&mut self, lines: &[LineAddr], now: u64) {
+        if lines.is_empty() {
+            return;
+        }
         self.horizon_valid = false;
+        let mut touched = 0u64;
         let mut waiters = std::mem::take(&mut self.waiter_buf);
-        waiters.clear();
-        self.mshr.complete_into(line, &mut waiters);
-        for MshrWaiter {
-            warp_slot,
-            warp_gen,
-            load_id,
-        } in waiters.drain(..)
-        {
-            if self.warp_gens[warp_slot] == warp_gen {
-                if let Some(w) = self.warps[warp_slot].as_mut() {
-                    let _ = w.complete_load_transaction(load_id, now);
+        for &line in lines {
+            self.l1.fill(line);
+            waiters.clear();
+            self.mshr.complete_into(line, &mut waiters);
+            for MshrWaiter {
+                warp_slot,
+                warp_gen,
+                load_id,
+            } in waiters.drain(..)
+            {
+                if self.warp_gens[warp_slot] == warp_gen {
+                    if let Some(w) = self.warps[warp_slot].as_mut() {
+                        if w.complete_load_transaction(load_id, now) {
+                            // Only a fully completed load changes the
+                            // scoreboard (a register became ready).
+                            touched |= 1u64 << warp_slot;
+                        }
+                    }
                 }
             }
         }
         self.waiter_buf = waiters;
+        while touched != 0 {
+            let slot = touched.trailing_zeros() as usize;
+            touched &= touched - 1;
+            self.refresh_warp(slot);
+        }
     }
 
     /// Advances the SM one cycle. `descs` is the kernel table (indexed by
@@ -389,6 +467,13 @@ impl Sm {
         self.stats.cycles += 1;
         if crate::invariant::enabled() {
             self.mshr.assert_within_bounds();
+            // SoA-vs-oracle: the incrementally maintained scoreboard must
+            // match a fresh recomputation from the warps. Sampled every
+            // 64th cycle to keep the debug suite fast; the property tests
+            // in tests/soa_scoreboard.rs check after every step.
+            if now & 63 == 0 {
+                self.table.assert_matches(&self.warps);
+            }
         }
     }
 
@@ -397,141 +482,122 @@ impl Sm {
         // The round-robin pointer advances whether or not anything fetched,
         // so the fast-forward bulk replay stays bit-exact.
         self.fetch_ptr = (self.fetch_ptr + 1) % n.max(1);
-        if self.resident_warp_slots == 0 {
+        if self.table.resident_mask() == 0 {
+            return false;
+        }
+        // Micro-horizon: a failed pass records the earliest cycle any warp
+        // could fetch; until then the slot walk is provably fruitless.
+        // Invalidated (set to 0) whenever any warp state changes.
+        if self.fetch_idle_until > now {
             return false;
         }
         let fetch_latency = self.cfg.sm.fetch_latency;
         let miss_penalty = self.cfg.sm.icache_miss_penalty;
         let mut budget = self.cfg.sm.fetch_width;
         let mut fetched = false;
+        let mut min_next = u64::MAX;
         // Round-robin over warp slots so no warp starves the shared port.
+        // Finished warps are fully fetched (fetch_at == MAX), so iterating
+        // live() visits exactly the slots the dense scan could fetch from.
         let start = (self.fetch_ptr + n - 1) % n.max(1);
-        for i in 0..n {
+        let mut m = self.table.live().rotate_right(start as u32);
+        while m != 0 {
             if budget == 0 {
                 break;
             }
-            let slot = (start + i) % n;
-            if let Some(warp) = self.warps[slot].as_mut() {
-                if !warp.finished()
-                    && warp.fetch(now, &descs[warp.kernel.0], fetch_latency, miss_penalty)
-                {
-                    budget -= 1;
-                    fetched = true;
-                }
+            let slot = (start + m.trailing_zeros() as usize) & 63;
+            m &= m - 1;
+            let at = self.table.fetch_at(slot);
+            if at > now {
+                min_next = min_next.min(at);
+                continue;
             }
+            // Invariant: live() only covers occupied slots.
+            // xtask-allow: no-unwrap
+            let warp = self.warps[slot].as_mut().expect("live slot occupied");
+            if warp.fetch(now, &descs[warp.kernel.0], fetch_latency, miss_penalty) {
+                budget -= 1;
+                fetched = true;
+                self.refresh_warp(slot);
+            }
+        }
+        if !fetched {
+            self.fetch_idle_until = min_next;
         }
         fetched
     }
 
     fn issue_stage(&mut self, now: u64, descs: &[KernelDesc], kernel_insts: &mut [u64]) -> bool {
         let mut any_issued = false;
-        let num_sched = self.schedulers.len();
-        let n_slots = self.warps.len();
-        for sched_id in 0..num_sched {
-            let mut n_mem = 0u32;
+        for sched_id in 0..self.schedulers.len() {
+            // Candidate universe: occupied, unfinished slots this scheduler
+            // owns. All classification below is mask intersection; only the
+            // decoded, operand-checkable slots need a per-slot walk.
+            let cand = self.table.live() & self.sched_masks[sched_id];
+            if cand == 0 {
+                self.stats.stalls.record(StallReason::Idle);
+                continue;
+            }
+            let barrier_set = cand & self.table.barrier_mask();
+            let rest = cand & !self.table.barrier_mask();
+            let fetch_set = rest & self.table.ib_empty_mask();
+            let decoded = rest & !self.table.ib_empty_mask();
+            let mem_set = decoded & self.table.mem_pending_mask();
+            let (alu_ok, sfu_ok, lsu_ok) = {
+                let unit = &self.units[sched_id];
+                (
+                    unit.alu_busy_until <= now,
+                    unit.sfu_busy_until <= now,
+                    unit.lsu.is_none(),
+                )
+            };
             let mut n_raw = 0u32;
             let mut n_exec = 0u32;
-            let mut n_fetch = 0u32;
-            let mut n_barrier = 0u32;
-            let mut any_candidate = false;
-            let greedy = self.schedulers[sched_id].last_issued();
-            let kind = self.schedulers[sched_id].kind();
-            // Lowest key wins; the greedy warp gets key 0, GTO uses launch
-            // order, RR uses distance past the last issuer.
-            let mut chosen: Option<(u64, usize)> = None;
-
-            let mut slot = sched_id;
-            while slot < n_slots {
-                let Some(warp) = self.warps[slot].as_ref() else {
-                    slot += num_sched;
+            let mut issuable = 0u64;
+            let mut m = decoded & !mem_set;
+            while m != 0 {
+                let slot = m.trailing_zeros() as usize;
+                m &= m - 1;
+                if self.table.head_ready(slot) > now {
+                    n_raw += 1;
                     continue;
+                }
+                let available = match self.table.head_op(slot) {
+                    OpClass::Alu => alu_ok,
+                    OpClass::Sfu => sfu_ok,
+                    OpClass::Barrier => true,
+                    _ => lsu_ok,
                 };
-                if warp.finished() {
-                    slot += num_sched;
-                    continue;
+                if available {
+                    issuable |= 1u64 << slot;
+                } else {
+                    n_exec += 1;
                 }
-                any_candidate = true;
-                if warp.at_barrier {
-                    n_barrier += 1;
-                    slot += num_sched;
-                    continue;
-                }
-                if warp.ibuffer_empty() {
-                    n_fetch += 1;
-                    slot += num_sched;
-                    continue;
-                }
-                match warp.issue_block(now) {
-                    Some(IssueBlock::MemPending) => n_mem += 1,
-                    Some(IssueBlock::RawPending) => n_raw += 1,
-                    None => {
-                        // Invariant: ibuffer_empty() was false above.
-                        // xtask-allow: no-unwrap
-                        let inst = warp.head().expect("non-empty i-buffer");
-                        let unit = &self.units[sched_id];
-                        let available = match inst.op {
-                            OpClass::Alu => unit.alu_busy_until <= now,
-                            OpClass::Sfu => unit.sfu_busy_until <= now,
-                            OpClass::Barrier => true,
-                            _ => unit.lsu.is_none(),
-                        };
-                        if available {
-                            let key = if greedy == Some(slot) {
-                                0
-                            } else {
-                                match kind {
-                                    SchedulerKind::GreedyThenOldest => warp.launch_seq + 1,
-                                    SchedulerKind::RoundRobin => {
-                                        // Distance past the warp after the last
-                                        // issuer; reduce `last + 1` mod n_slots
-                                        // first so the subtraction cannot
-                                        // underflow when nothing has issued yet
-                                        // (`last == n_slots`) and `slot == 0`.
-                                        let last = greedy.unwrap_or(n_slots);
-                                        let origin = (last + 1) % n_slots;
-                                        1 + ((slot + n_slots - origin) % n_slots) as u64
-                                    }
-                                }
-                            };
-                            if chosen.is_none_or(|(k, _)| key < k) {
-                                chosen = Some((key, slot));
-                            }
-                        } else {
-                            n_exec += 1;
-                        }
-                    }
-                }
-                slot += num_sched;
             }
 
-            if let Some((_, slot)) = chosen {
+            if let Some(slot) = self.schedulers[sched_id].select(issuable, self.table.launch_seqs())
+            {
                 self.issue_to_unit(now, sched_id, slot, descs, kernel_insts);
                 self.schedulers[sched_id].note_issue(slot);
                 any_issued = true;
             } else {
                 // Attribute the lost cycle to the reason blocking the most
-                // warps (ties broken in the paper's Fig. 1 priority order).
+                // warps (ties broken in the paper's Fig. 1 priority order);
+                // strict comparison keeps the *first* maximum on ties.
                 let counts = [
-                    (n_mem, StallReason::LongMemoryLatency),
+                    (mem_set.count_ones(), StallReason::LongMemoryLatency),
                     (n_raw, StallReason::ShortRawHazard),
                     (n_exec, StallReason::ExecResource),
-                    (n_fetch, StallReason::IbufferEmpty),
-                    (n_barrier, StallReason::Barrier),
+                    (fetch_set.count_ones(), StallReason::IbufferEmpty),
+                    (barrier_set.count_ones(), StallReason::Barrier),
                 ];
-                let reason = if !any_candidate {
-                    StallReason::Idle
-                } else {
-                    // Strict comparison keeps the *first* maximum, i.e. the
-                    // paper's priority order on ties.
-                    let mut best = counts[0];
-                    for &c in &counts[1..] {
-                        if c.0 > best.0 {
-                            best = c;
-                        }
+                let mut best = counts[0];
+                for &c in &counts[1..] {
+                    if c.0 > best.0 {
+                        best = c;
                     }
-                    best.1
-                };
-                self.stats.stalls.record(reason);
+                }
+                self.stats.stalls.record(best.1);
             }
         }
         any_issued
@@ -624,12 +690,21 @@ impl Sm {
         if kernel.0 < kernel_insts.len() {
             kernel_insts[kernel.0] += 1;
         }
+        if self.units[sched_id].lsu.is_some() {
+            self.lsu_busy_mask |= 1u64 << sched_id;
+        }
+        self.refresh_warp(slot);
         if self.warps[slot].as_ref().is_some_and(Warp::finished) {
             self.finished_buf.push(slot);
         }
     }
 
     fn lsu_stage(&mut self, now: u64, mem: &mut MemSubsystem) -> bool {
+        // Micro-horizon: every in-flight op sets its unit's bit, so an
+        // all-zero mask means the unit walk below would find nothing.
+        if self.lsu_busy_mask == 0 {
+            return false;
+        }
         let mut any_active = false;
         let l1_hit_latency = u64::from(self.cfg.sm.l1_hit_latency);
         for sched_id in 0..self.units.len() {
@@ -642,6 +717,7 @@ impl Sm {
             if self.warp_gens[op.warp_slot] != op.warp_gen {
                 op.lines.clear();
                 self.lsu_line_pool.push(op.lines);
+                self.lsu_busy_mask &= !(1u64 << sched_id);
                 continue;
             }
             if let Some(&line) = op.lines.front() {
@@ -727,8 +803,11 @@ impl Sm {
                     if let Some(w) = self.warps[op.warp_slot].as_mut() {
                         let _ = w.finish_load_issue(load_id, now + l1_hit_latency);
                     }
+                    // An all-hit load just made its destination ready.
+                    self.refresh_warp(op.warp_slot);
                 }
                 self.lsu_line_pool.push(op.lines);
+                self.lsu_busy_mask &= !(1u64 << sched_id);
             } else {
                 self.units[sched_id].lsu = Some(op);
             }
@@ -747,10 +826,20 @@ impl Sm {
                 .is_none_or(|w| w.finished() || w.at_barrier)
         });
         if all_arrived {
-            for &s in &rec.warp_slots.clone() {
+            // Collect the slots into a bitmask so the CTA record's borrow
+            // ends before the warps (and the scoreboard) are mutated — this
+            // also drops the old per-release Vec clone from the tick path.
+            let mut mask = 0u64;
+            for &s in &rec.warp_slots {
+                mask |= 1u64 << s;
+            }
+            while mask != 0 {
+                let s = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
                 if let Some(w) = self.warps[s].as_mut() {
                     w.at_barrier = false;
                 }
+                self.refresh_warp(s);
             }
         }
     }
@@ -796,6 +885,8 @@ impl Sm {
         self.stats.reg_used_acc += u128::from(self.resources.regs.used());
         self.stats.shmem_used_acc += u128::from(self.resources.shmem.used());
         self.stats.threads_used_acc += u128::from(self.resources.threads_used());
+        // One popcount replaces the old per-warp occupancy accumulation.
+        self.stats.warps_active_acc += u128::from(self.table.live().count_ones());
     }
 
     /// The earliest future cycle `>= from` at which this SM can change
@@ -821,44 +912,42 @@ impl Sm {
     fn compute_horizon(&self, from: u64) -> u64 {
         // An in-flight LSU operation processes a line (or burns a
         // serialization cycle) every tick.
-        if self.units.iter().any(|u| u.lsu.is_some()) {
+        if self.lsu_busy_mask != 0 {
             return from;
         }
-        if self.resident_warp_slots == 0 {
+        if self.table.resident_mask() == 0 {
             return u64::MAX;
         }
         let num_sched = self.schedulers.len();
+        // Slots with no issue event of their own: a parked warp un-parks
+        // only when the last sibling issues its barrier (that sibling's
+        // event); an empty i-buffer is covered by the fetch event; a
+        // pending global load by the memory subsystem's horizon.
+        let skip =
+            self.table.barrier_mask() | self.table.ib_empty_mask() | self.table.mem_pending_mask();
         let mut best = u64::MAX;
-        for (slot, warp) in self.warps.iter().enumerate() {
-            let Some(warp) = warp.as_ref() else { continue };
-            if warp.finished() {
+        let mut m = self.table.live();
+        while m != 0 {
+            let slot = m.trailing_zeros() as usize;
+            let bit = m & m.wrapping_neg();
+            m &= m - 1;
+            let f = self.table.fetch_at(slot);
+            if f != u64::MAX {
+                best = best.min(f.max(from));
+            }
+            if skip & bit != 0 {
                 continue;
             }
-            if let Some(e) = warp.fetch_event(from) {
-                best = best.min(e);
-            }
-            // A parked warp un-parks only when the last sibling issues its
-            // barrier, which is that sibling's (already counted) event.
-            if warp.at_barrier {
-                continue;
-            }
-            let Some(ready) = warp.operands_ready_at() else {
-                // Empty i-buffer (fetch event covers it) or a pending
-                // global load (the memory subsystem's event covers it).
-                continue;
-            };
+            let ready = self.table.head_ready(slot);
             let e = if ready > from {
                 // RAW horizon. Even if the unit is still busy at `ready`,
                 // the span must end there: the stall classification flips
                 // from ShortRawHazard to ExecResource.
                 ready
             } else {
-                // Operands ready now: bounded by unit availability. The
-                // head instruction exists because operands_ready_at saw it.
-                // xtask-allow: no-unwrap
-                let inst = warp.head().expect("operand-ready warp has a head");
+                // Operands ready now: bounded by unit availability.
                 let unit = &self.units[slot % num_sched];
-                match inst.op {
+                match self.table.head_op(slot) {
                     OpClass::Alu => unit.alu_busy_until.max(from),
                     OpClass::Sfu => unit.sfu_busy_until.max(from),
                     // Barriers always issue; LSU-class ops issue whenever
@@ -879,64 +968,46 @@ impl Sm {
     /// bulk. The event horizon guarantees the classification is constant
     /// across the span and that no warp can actually issue.
     fn classify_stall(&self, sched_id: usize, now: u64) -> StallReason {
-        let num_sched = self.schedulers.len();
-        let n_slots = self.warps.len();
-        let mut n_mem = 0u32;
-        let mut n_raw = 0u32;
-        let mut n_exec = 0u32;
-        let mut n_fetch = 0u32;
-        let mut n_barrier = 0u32;
-        let mut any_candidate = false;
-        let mut slot = sched_id;
-        while slot < n_slots {
-            let Some(warp) = self.warps[slot].as_ref() else {
-                slot += num_sched;
-                continue;
-            };
-            if warp.finished() {
-                slot += num_sched;
-                continue;
-            }
-            any_candidate = true;
-            if warp.at_barrier {
-                n_barrier += 1;
-            } else if warp.ibuffer_empty() {
-                n_fetch += 1;
-            } else {
-                match warp.issue_block(now) {
-                    Some(IssueBlock::MemPending) => n_mem += 1,
-                    Some(IssueBlock::RawPending) => n_raw += 1,
-                    None => {
-                        crate::strict_assert!(
-                            {
-                                // xtask-allow: no-unwrap
-                                let inst = warp.head().expect("non-empty i-buffer");
-                                let unit = &self.units[sched_id];
-                                match inst.op {
-                                    OpClass::Alu => unit.alu_busy_until > now,
-                                    OpClass::Sfu => unit.sfu_busy_until > now,
-                                    OpClass::Barrier => false,
-                                    _ => unit.lsu.is_some(),
-                                }
-                            },
-                            "SM {}: warp slot {slot} was issuable inside a fast-forwarded span",
-                            self.id
-                        );
-                        n_exec += 1;
-                    }
-                }
-            }
-            slot += num_sched;
-        }
-        if !any_candidate {
+        let cand = self.table.live() & self.sched_masks[sched_id];
+        if cand == 0 {
             return StallReason::Idle;
         }
+        let barrier_set = cand & self.table.barrier_mask();
+        let rest = cand & !self.table.barrier_mask();
+        let fetch_set = rest & self.table.ib_empty_mask();
+        let decoded = rest & !self.table.ib_empty_mask();
+        let mem_set = decoded & self.table.mem_pending_mask();
+        let mut n_raw = 0u32;
+        let mut n_exec = 0u32;
+        let mut m = decoded & !mem_set;
+        while m != 0 {
+            let slot = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if self.table.head_ready(slot) > now {
+                n_raw += 1;
+                continue;
+            }
+            crate::strict_assert!(
+                {
+                    let unit = &self.units[sched_id];
+                    match self.table.head_op(slot) {
+                        OpClass::Alu => unit.alu_busy_until > now,
+                        OpClass::Sfu => unit.sfu_busy_until > now,
+                        OpClass::Barrier => false,
+                        _ => unit.lsu.is_some(),
+                    }
+                },
+                "SM {}: warp slot {slot} was issuable inside a fast-forwarded span",
+                self.id
+            );
+            n_exec += 1;
+        }
         let counts = [
-            (n_mem, StallReason::LongMemoryLatency),
+            (mem_set.count_ones(), StallReason::LongMemoryLatency),
             (n_raw, StallReason::ShortRawHazard),
             (n_exec, StallReason::ExecResource),
-            (n_fetch, StallReason::IbufferEmpty),
-            (n_barrier, StallReason::Barrier),
+            (fetch_set.count_ones(), StallReason::IbufferEmpty),
+            (barrier_set.count_ones(), StallReason::Barrier),
         ];
         let mut best = counts[0];
         for &c in &counts[1..] {
@@ -965,6 +1036,10 @@ impl Sm {
         self.stats.reg_used_acc += u128::from(self.resources.regs.used()) * u128::from(span);
         self.stats.shmem_used_acc += u128::from(self.resources.shmem.used()) * u128::from(span);
         self.stats.threads_used_acc += u128::from(self.resources.threads_used()) * u128::from(span);
+        // live() is constant over a dead span: residency and finished bits
+        // change only at issue/launch/release, all of which end spans.
+        self.stats.warps_active_acc +=
+            u128::from(self.table.live().count_ones()) * u128::from(span);
         self.stats.cycles += span;
         self.last_tick = Some(to - 1);
     }

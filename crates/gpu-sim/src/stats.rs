@@ -152,6 +152,9 @@ pub struct SmStats {
     pub shmem_used_acc: u128,
     /// Sum over cycles of threads resident.
     pub threads_used_acc: u128,
+    /// Sum over cycles of live warps (resident and unfinished), taken as a
+    /// single `count_ones()` popcount of the SM's warp-table bitmasks.
+    pub warps_active_acc: u128,
     /// Per-kernel-slot counters.
     pub per_kernel: Vec<SmKernelStats>,
 }
@@ -222,6 +225,15 @@ impl SmStats {
             return 0.0;
         }
         (self.threads_used_acc / u128::from(self.cycles)) as f64 / f64::from(capacity)
+    }
+
+    /// Time-averaged live-warp occupancy as a fraction of `max_warps`.
+    #[must_use]
+    pub fn avg_warp_occupancy(&self, max_warps: u32) -> f64 {
+        if self.cycles == 0 || max_warps == 0 {
+            return 0.0;
+        }
+        self.warps_active_acc as f64 / (u128::from(self.cycles) * u128::from(max_warps)) as f64
     }
 
     /// Fraction of cycles the named unit class was busy, normalizing by
@@ -300,6 +312,17 @@ mod tests {
         assert!((s.avg_reg_occupancy(32768) - 0.5).abs() < 1e-12);
         assert!((s.avg_shmem_occupancy(49152) - 1024.0 / 49152.0).abs() < 1e-9);
         assert!((s.avg_thread_occupancy(1536) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warp_occupancy_time_averages() {
+        let s = SmStats {
+            cycles: 10,
+            warps_active_acc: 10 * 24,
+            ..SmStats::default()
+        };
+        assert!((s.avg_warp_occupancy(48) - 0.5).abs() < 1e-12);
+        assert_eq!(s.avg_warp_occupancy(0), 0.0);
     }
 
     #[test]

@@ -292,11 +292,41 @@ impl Warp {
     /// itself an SM event).
     #[must_use]
     pub fn fetch_event(&self, from: u64) -> Option<u64> {
+        let at = self.fetch_ready_at();
+        (at != u64::MAX).then(|| at.max(from))
+    }
+
+    /// The raw fetch readiness as a single sentinel-encoded cycle: the
+    /// cycle the fetch port opens for this warp, or `u64::MAX` when fetching
+    /// cannot resume on its own (body fully fetched, or i-buffer full). This
+    /// is the value cached per-slot in [`WarpTable::fetch_at`].
+    #[must_use]
+    pub fn fetch_ready_at(&self) -> u64 {
         if self.fetch_done() || self.ibuffer.len() >= self.ibuffer_cap {
-            None
+            u64::MAX
         } else {
-            Some(self.fetch_ready.max(from))
+            self.fetch_ready
         }
+    }
+
+    /// The scoreboard state of the head instruction as a single
+    /// sentinel-encoded cycle plus its op class, or `None` when the
+    /// i-buffer is empty. The cycle is the max readiness over every source
+    /// operand and the destination; because [`PENDING_LOAD`] is `u64::MAX`
+    /// the encoding is total: `== u64::MAX` means an outstanding global
+    /// load, `> now` a short RAW hazard, `<= now` operands ready.
+    #[must_use]
+    pub fn head_state(&self) -> Option<(u64, OpClass)> {
+        let inst = self.head()?;
+        let mut ready = 0u64;
+        for src in inst.srcs.into_iter().flatten() {
+            ready = ready.max(self.reg_ready[src as usize]);
+        }
+        if let Some(dst) = inst.dst {
+            // Write-after-write on an in-flight load result.
+            ready = ready.max(self.reg_ready[dst as usize]);
+        }
+        Some((ready, inst.op))
     }
 
     /// The cycle at which every operand (and the destination) of the head
@@ -306,14 +336,7 @@ impl Warp {
     /// horizon of its own for it.
     #[must_use]
     pub fn operands_ready_at(&self) -> Option<u64> {
-        let inst = self.head()?;
-        let mut ready = 0u64;
-        for src in inst.srcs.into_iter().flatten() {
-            ready = ready.max(self.reg_ready[src as usize]);
-        }
-        if let Some(dst) = inst.dst {
-            ready = ready.max(self.reg_ready[dst as usize]);
-        }
+        let (ready, _) = self.head_state()?;
         // PENDING_LOAD is u64::MAX, so a pending operand dominates the max.
         (ready != PENDING_LOAD).then_some(ready)
     }
@@ -328,6 +351,226 @@ impl Warp {
     #[must_use]
     pub fn total_insts(&self) -> u64 {
         self.total_insts
+    }
+}
+
+/// Struct-of-arrays mirror of the per-warp state the per-cycle stages
+/// actually read: residency/finished/barrier/i-buffer/mem-pending bitmasks
+/// plus flat arrays of head readiness, head op class, fetch readiness, and
+/// launch order. The [`Warp`] structs stay the source of truth; the table
+/// is derived state maintained event-driven (the owning SM refreshes a slot
+/// after any mutation of its warp), so scheduler selection and stall
+/// classification become mask intersections and `trailing_zeros` walks
+/// instead of per-warp pointer chases. Capacity is one `u64` of slots —
+/// `Sm::new` asserts `max_warps <= 64`.
+#[derive(Debug, Clone)]
+pub struct WarpTable {
+    /// Occupied slots (whether or not the warp has finished issuing).
+    resident: u64,
+    /// Slots whose warp has issued its full instruction budget.
+    finished: u64,
+    /// Slots parked at a CTA-wide barrier.
+    barrier: u64,
+    /// Slots with an empty i-buffer (front-end starved).
+    ib_empty: u64,
+    /// Slots whose head instruction awaits an outstanding global load.
+    mem_pending: u64,
+    /// Sentinel-encoded head readiness per slot (see [`Warp::head_state`]).
+    head_ready: Vec<u64>,
+    /// Head-instruction op class per slot (meaningful only when decoded).
+    head_op: Vec<OpClass>,
+    /// Sentinel-encoded fetch readiness (see [`Warp::fetch_ready_at`]).
+    fetch_at: Vec<u64>,
+    /// Launch-order stamp per slot (greedy-then-oldest key).
+    launch_seq: Vec<u64>,
+}
+
+impl WarpTable {
+    /// An empty table with `n_slots` warp slots (at most 64).
+    #[must_use]
+    pub fn new(n_slots: usize) -> Self {
+        assert!(
+            n_slots <= 64,
+            "WarpTable bitmasks hold at most 64 warp slots, got {n_slots}"
+        );
+        Self {
+            resident: 0,
+            finished: 0,
+            barrier: 0,
+            ib_empty: 0,
+            mem_pending: 0,
+            head_ready: vec![0; n_slots],
+            head_op: vec![OpClass::Alu; n_slots],
+            fetch_at: vec![u64::MAX; n_slots],
+            launch_seq: vec![0; n_slots],
+        }
+    }
+
+    /// Recomputes slot `slot`'s derived state from `warp`. Callers must
+    /// invoke this after *any* mutation of the warp (fetch, issue, load
+    /// lifecycle, barrier park/release) or the table silently diverges —
+    /// the strict-invariant oracle check catches that in debug builds.
+    pub fn refresh(&mut self, slot: usize, warp: &Warp) {
+        let bit = 1u64 << slot;
+        self.resident |= bit;
+        if warp.finished() {
+            self.finished |= bit;
+        } else {
+            self.finished &= !bit;
+        }
+        if warp.at_barrier {
+            self.barrier |= bit;
+        } else {
+            self.barrier &= !bit;
+        }
+        self.fetch_at[slot] = warp.fetch_ready_at();
+        self.launch_seq[slot] = warp.launch_seq;
+        match warp.head_state() {
+            Some((ready, op)) => {
+                self.ib_empty &= !bit;
+                if ready == PENDING_LOAD {
+                    self.mem_pending |= bit;
+                } else {
+                    self.mem_pending &= !bit;
+                }
+                self.head_ready[slot] = ready;
+                self.head_op[slot] = op;
+            }
+            None => {
+                self.ib_empty |= bit;
+                self.mem_pending &= !bit;
+                self.head_ready[slot] = 0;
+                self.head_op[slot] = OpClass::Alu;
+            }
+        }
+    }
+
+    /// Clears slot `slot` back to its vacant canonical state (warp
+    /// released or CTA retired).
+    pub fn clear(&mut self, slot: usize) {
+        let keep = !(1u64 << slot);
+        self.resident &= keep;
+        self.finished &= keep;
+        self.barrier &= keep;
+        self.ib_empty &= keep;
+        self.mem_pending &= keep;
+        self.head_ready[slot] = 0;
+        self.head_op[slot] = OpClass::Alu;
+        self.fetch_at[slot] = u64::MAX;
+        self.launch_seq[slot] = 0;
+    }
+
+    /// Occupied slots.
+    #[must_use]
+    pub fn resident_mask(&self) -> u64 {
+        self.resident
+    }
+
+    /// Occupied slots that still have instructions to issue — the
+    /// scheduler-candidate universe.
+    #[must_use]
+    pub fn live(&self) -> u64 {
+        self.resident & !self.finished
+    }
+
+    /// Slots parked at a barrier.
+    #[must_use]
+    pub fn barrier_mask(&self) -> u64 {
+        self.barrier
+    }
+
+    /// Slots with an empty i-buffer.
+    #[must_use]
+    pub fn ib_empty_mask(&self) -> u64 {
+        self.ib_empty
+    }
+
+    /// Slots whose head instruction awaits an outstanding global load.
+    #[must_use]
+    pub fn mem_pending_mask(&self) -> u64 {
+        self.mem_pending
+    }
+
+    /// Sentinel-encoded head readiness for slot `slot`.
+    #[must_use]
+    pub fn head_ready(&self, slot: usize) -> u64 {
+        self.head_ready[slot]
+    }
+
+    /// Head-instruction op class for slot `slot`.
+    #[must_use]
+    pub fn head_op(&self, slot: usize) -> OpClass {
+        self.head_op[slot]
+    }
+
+    /// Sentinel-encoded fetch readiness for slot `slot`.
+    #[must_use]
+    pub fn fetch_at(&self, slot: usize) -> u64 {
+        self.fetch_at[slot]
+    }
+
+    /// Launch-order stamps, one per slot (scheduler selection key).
+    #[must_use]
+    pub fn launch_seqs(&self) -> &[u64] {
+        &self.launch_seq
+    }
+
+    /// Oracle check: asserts every derived entry matches a fresh
+    /// recomputation from `warps`. This is the SoA-vs-oracle contract the
+    /// strict-invariant layer runs inside the tick loop in debug builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any divergence between the table and the warp array.
+    pub fn assert_matches(&self, warps: &[Option<Warp>]) {
+        assert_eq!(self.head_ready.len(), warps.len(), "slot count mismatch");
+        for (slot, warp) in warps.iter().enumerate() {
+            let bit = 1u64 << slot;
+            match warp.as_ref() {
+                None => {
+                    assert_eq!(self.resident & bit, 0, "slot {slot}: vacant but resident");
+                    assert_eq!(self.fetch_at[slot], u64::MAX, "slot {slot}: stale fetch_at");
+                }
+                Some(w) => {
+                    assert_ne!(self.resident & bit, 0, "slot {slot}: resident bit missing");
+                    assert_eq!(
+                        self.finished & bit != 0,
+                        w.finished(),
+                        "slot {slot}: finished bit"
+                    );
+                    assert_eq!(
+                        self.barrier & bit != 0,
+                        w.at_barrier,
+                        "slot {slot}: barrier bit"
+                    );
+                    assert_eq!(
+                        self.fetch_at[slot],
+                        w.fetch_ready_at(),
+                        "slot {slot}: fetch_at"
+                    );
+                    assert_eq!(
+                        self.launch_seq[slot], w.launch_seq,
+                        "slot {slot}: launch_seq"
+                    );
+                    match w.head_state() {
+                        None => {
+                            assert_ne!(self.ib_empty & bit, 0, "slot {slot}: ib_empty bit");
+                            assert_eq!(self.mem_pending & bit, 0, "slot {slot}: mem_pending bit");
+                        }
+                        Some((ready, op)) => {
+                            assert_eq!(self.ib_empty & bit, 0, "slot {slot}: ib_empty bit set");
+                            assert_eq!(
+                                self.mem_pending & bit != 0,
+                                ready == PENDING_LOAD,
+                                "slot {slot}: mem_pending bit"
+                            );
+                            assert_eq!(self.head_ready[slot], ready, "slot {slot}: head_ready");
+                            assert_eq!(self.head_op[slot], op, "slot {slot}: head_op");
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -483,6 +726,89 @@ mod tests {
         assert_eq!(w.ibuffer.len(), 1);
         w.fetch(42, &desc, 2, 40);
         assert_eq!(w.ibuffer.len(), 2);
+    }
+
+    #[test]
+    fn warp_table_tracks_fetch_issue_and_load_lifecycle() {
+        let desc = kernel_with(vec![load(0, 1), alu(2, 0)], 1);
+        let mut w = warp_for(&desc);
+        let mut t = WarpTable::new(4);
+        t.refresh(0, &w);
+        assert_eq!(t.resident_mask(), 1);
+        assert_eq!(t.live(), 1);
+        assert_ne!(t.ib_empty_mask() & 1, 0, "nothing fetched yet");
+        assert_eq!(t.fetch_at(0), 0, "fetch port open immediately");
+        t.assert_matches(&[Some(w.clone()), None, None, None]);
+
+        w.fetch(0, &desc, 1, 0);
+        t.refresh(0, &w);
+        assert_eq!(t.ib_empty_mask() & 1, 0);
+        assert_eq!(t.head_op(0), OpClass::GlobalLoad);
+        t.assert_matches(&[Some(w.clone()), None, None, None]);
+
+        let inst = w.issue(0, 0);
+        let id = w.begin_load(inst.dst.unwrap());
+        w.add_load_transaction(id);
+        let _ = w.finish_load_issue(id, 0);
+        w.fetch(1, &desc, 1, 0);
+        t.refresh(0, &w);
+        assert_ne!(t.mem_pending_mask() & 1, 0, "consumer blocked on load");
+        assert_eq!(t.head_ready(0), PENDING_LOAD);
+        t.assert_matches(&[Some(w.clone()), None, None, None]);
+
+        assert!(w.complete_load_transaction(id, 50));
+        t.refresh(0, &w);
+        assert_eq!(t.mem_pending_mask() & 1, 0);
+        assert_eq!(t.head_ready(0), 50);
+        t.assert_matches(&[Some(w.clone()), None, None, None]);
+
+        t.clear(0);
+        assert_eq!(t.resident_mask(), 0);
+        assert_eq!(t.fetch_at(0), u64::MAX);
+        t.assert_matches(&[None, None, None, None]);
+    }
+
+    #[test]
+    fn warp_table_tracks_barrier_and_finished_bits() {
+        let desc = kernel_with(
+            vec![Inst {
+                op: OpClass::Barrier,
+                dst: None,
+                srcs: [None, None],
+            }],
+            1,
+        );
+        let mut w = warp_for(&desc);
+        let mut t = WarpTable::new(2);
+        w.fetch(0, &desc, 1, 0);
+        let _ = w.issue(0, 0);
+        w.at_barrier = true;
+        t.refresh(0, &w);
+        assert_ne!(t.barrier_mask() & 1, 0);
+        assert_eq!(t.live(), 0, "finished warp leaves the candidate set");
+        t.assert_matches(&[Some(w.clone()), None]);
+        w.at_barrier = false;
+        t.refresh(0, &w);
+        assert_eq!(t.barrier_mask(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 warp slots")]
+    fn warp_table_rejects_more_than_64_slots() {
+        let _ = WarpTable::new(65);
+    }
+
+    #[test]
+    #[should_panic(expected = "finished bit")]
+    fn warp_table_oracle_catches_divergence() {
+        let desc = kernel_with(vec![alu(0, 1)], 1);
+        let mut w = warp_for(&desc);
+        let mut t = WarpTable::new(1);
+        t.refresh(0, &w);
+        // Mutate the warp without refreshing: the oracle must object.
+        w.fetch(0, &desc, 1, 0);
+        let _ = w.issue(0, 1);
+        t.assert_matches(&[Some(w)]);
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! Golden fixture for the transitive `no-tick-alloc` rule over the SoA
+//! scoreboard surface: the batched fill entry point (`Sm::on_fill_batch`)
+//! seeds the walk, a clean mask-refresh hop stays on the path, an
+//! allocating leaf below it is caught, and a helper only reachable from
+//! launch-time code may allocate freely.
+
+pub struct Sm {
+    touched: u64,
+    staged: Vec<u64>,
+}
+
+impl Sm {
+    /// Seed: the batched per-cycle fill entry point.
+    pub fn on_fill_batch(&mut self, lines: &[u64]) {
+        for &line in lines {
+            self.touched |= 1 << (line & 63);
+        }
+        let mut m = self.touched;
+        while m != 0 {
+            let slot = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.refresh_warp(slot);
+        }
+    }
+
+    /// Clean intermediate hop: mask updates and buffer reuse are allowed.
+    fn refresh_warp(&mut self, slot: usize) {
+        self.staged.clear();
+        self.touched &= !(1 << slot);
+        self.rebuild_entry(slot);
+    }
+
+    /// Allocating leaf under the batched-fill path: caught transitively.
+    fn rebuild_entry(&mut self, slot: usize) {
+        let fresh: Vec<u64> = Vec::new();
+        let row = vec![slot as u64; 4];
+        self.staged = row.iter().copied().collect();
+        self.staged.extend(fresh);
+    }
+
+    /// Not reachable from a seed: launch-time allocation is fine.
+    pub fn build_table(&mut self, n_slots: usize) {
+        self.staged = Vec::with_capacity(n_slots);
+    }
+}

@@ -108,11 +108,12 @@ pub const RULE_NAMES: [&str; 9] = [
 /// asserts it), so the transitive `no-tick-alloc` rule covers at least the
 /// surface the old per-name rule did.
 #[cfg_attr(not(test), allow(dead_code))]
-pub const TICK_PATH_FNS: [&str; 12] = [
+pub const TICK_PATH_FNS: [&str; 16] = [
     "tick",
     "tick_fast_forward",
     "fast_forward",
     "on_fill",
+    "on_fill_batch",
     "next_event",
     "account_skip",
     "classify_stall",
@@ -121,18 +122,22 @@ pub const TICK_PATH_FNS: [&str; 12] = [
     "take_completions",
     "record",
     "record_stall_window",
+    "refresh_warp",
+    "select",
+    "l2_slice_tick",
 ];
 
 /// Seed functions for the transitive `no-tick-alloc` rule: the per-cycle
 /// entry points of the simulator core and the trace/audit record sinks.
 /// Everything reachable from these inside `crates/gpu-sim/src` (plus
 /// `crates/core/src/audit.rs`) is tick-path.
-pub const TICK_SEEDS: [(&str, &str); 11] = [
+pub const TICK_SEEDS: [(&str, &str); 12] = [
     ("Gpu", "tick"),
     ("Gpu", "fast_forward"),
     ("Gpu", "tick_fast_forward"),
     ("Sm", "tick"),
     ("Sm", "on_fill"),
+    ("Sm", "on_fill_batch"),
     ("Sm", "take_completions"),
     ("Sm", "drain_completions_into"),
     ("MemSubsystem", "tick"),
@@ -1294,10 +1299,11 @@ mod tests {
     const FIX_NO_UNCHECKED_SPAWN: &str = include_str!("../fixtures/rule_no_unchecked_spawn.rs");
     const FIX_DETERMINISM: &str = include_str!("../fixtures/rule_determinism.rs");
     const FIX_NO_TICK_ALLOC: &str = include_str!("../fixtures/rule_no_tick_alloc.rs");
+    const FIX_NO_TICK_ALLOC_SOA: &str = include_str!("../fixtures/rule_no_tick_alloc_soa.rs");
     const FIX_PANIC_FREE: &str = include_str!("../fixtures/rule_panic_free_accounting.rs");
     const FIX_PANIC_FREE_PREDICTOR: &str = include_str!("../fixtures/rule_panic_free_predictor.rs");
 
-    const ALL_FIXTURES: [(&str, &str); 12] = [
+    const ALL_FIXTURES: [(&str, &str); 13] = [
         ("masker_raw_strings.rs", FIX_RAW_STRINGS),
         ("masker_nested_comments.rs", FIX_NESTED_COMMENTS),
         ("rule_no_unwrap.rs", FIX_NO_UNWRAP),
@@ -1308,6 +1314,7 @@ mod tests {
         ("rule_no_unchecked_spawn.rs", FIX_NO_UNCHECKED_SPAWN),
         ("rule_determinism.rs", FIX_DETERMINISM),
         ("rule_no_tick_alloc.rs", FIX_NO_TICK_ALLOC),
+        ("rule_no_tick_alloc_soa.rs", FIX_NO_TICK_ALLOC_SOA),
         ("rule_panic_free_accounting.rs", FIX_PANIC_FREE),
         ("rule_panic_free_predictor.rs", FIX_PANIC_FREE_PREDICTOR),
     ];
@@ -1472,6 +1479,27 @@ mod tests {
         );
         for v in &v {
             assert_eq!(v.chain, ["Sm::tick", "Sm::issue_stage", "Sm::leaf"]);
+        }
+    }
+
+    #[test]
+    fn fixture_no_tick_alloc_soa_golden() {
+        let f = FIX_NO_TICK_ALLOC_SOA;
+        let v = scan_source("crates/gpu-sim/src/rule_no_tick_alloc_soa.rs", f);
+        let got: Vec<(&str, usize)> = v.iter().map(|v| (v.rule, v.line)).collect();
+        assert_eq!(
+            got,
+            [
+                ("no-tick-alloc", line_of(f, "Vec::new()")),
+                ("no-tick-alloc", line_of(f, "vec![slot as u64; 4]")),
+                ("no-tick-alloc", line_of(f, ".collect()")),
+            ]
+        );
+        for v in &v {
+            assert_eq!(
+                v.chain,
+                ["Sm::on_fill_batch", "Sm::refresh_warp", "Sm::rebuild_entry"]
+            );
         }
     }
 
