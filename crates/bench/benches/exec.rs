@@ -1,11 +1,18 @@
-//! Execution-layer baseline: wall-clock of the Fig. 3a suite sweep with a
-//! serial pool vs. a multi-worker pool, written machine-readably to
-//! `results/BENCH_exec.json`.
+//! Execution-layer scaling bench: wall-clock of the Fig. 3a suite sweep at
+//! 1/2/4/8 workers plus the barriered-vs-pipelined profile→decide
+//! comparison, written machine-readably to `results/BENCH_exec.json`.
 //!
 //! The sweep fans out one CTA-capped simulation per (benchmark, CTA count)
-//! point — the workload the [`ws_exec::Pool`] exists for. Besides timing,
-//! the bench asserts the rendered Fig. 3a table is byte-identical between
-//! the two pools, so the perf baseline doubles as a determinism check.
+//! point — the workload the persistent [`ws_exec::Pool`] exists for. Every
+//! arm asserts the rendered Fig. 3a table is byte-identical to the serial
+//! run, so the perf numbers double as a determinism check; likewise the
+//! pipelined decide harness is asserted equal to the barriered one.
+//!
+//! CI floor: when `WS_EXEC_BENCH_MIN_SPEEDUP` is set **and** the host has
+//! at least 4 cores, the 4-worker arm must reach that speedup over serial
+//! or the bench exits non-zero. On narrower hosts the floor is recorded as
+//! skipped — a 1-core container cannot physically demonstrate scaling, and
+//! pretending otherwise would gate CI on noise.
 
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
@@ -14,18 +21,38 @@ use std::time::Instant;
 use warped_slicer::RunConfig;
 use ws_bench::experiments::fig3;
 use ws_bench::ExperimentContext;
+use ws_workloads::all_pairs;
 
 const BUDGET: u64 = 4_000;
 const WINDOW: u64 = 2_000;
+const ARM_THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Worker count the CI floor gates on (and the decide comparison uses).
+const FLOOR_THREADS: usize = 4;
+/// Pairs for the profile→decide comparison (kept small: the point is the
+/// barrier-vs-overlap delta, not suite coverage).
+const DECIDE_PAIRS: usize = 6;
+const DECIDE_WINDOW: u64 = 1_500;
 
-/// Times one full-suite sweep on a pool with `threads` workers; returns
-/// (wall seconds, jobs completed, rendered table).
-fn time_sweep(threads: usize) -> (f64, u64, String) {
+/// One measured sweep arm.
+struct Arm {
+    threads: usize,
+    wall_s: f64,
+    speedup: f64,
+    efficiency: f64,
+}
+
+fn ctx_with(threads: usize) -> ExperimentContext {
     let cfg = RunConfig {
         isolation_cycles: BUDGET,
         ..RunConfig::default()
     };
-    let ctx = ExperimentContext::with_pool(cfg, ws_exec::Pool::new(threads));
+    ExperimentContext::with_pool(cfg, ws_exec::Pool::new(threads))
+}
+
+/// Times one full-suite sweep on a pool with `threads` workers; returns
+/// (wall seconds, jobs completed, rendered table).
+fn time_sweep(threads: usize) -> (f64, u64, String) {
+    let ctx = ctx_with(threads);
     let t = Instant::now();
     let curves = fig3::compute(&ctx, WINDOW);
     let wall = t.elapsed().as_secs_f64();
@@ -34,34 +61,113 @@ fn time_sweep(threads: usize) -> (f64, u64, String) {
 
 fn main() {
     let host = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
-    // On a single-core host the threaded path still runs (measuring its
-    // overhead honestly); speedup is only physically possible when host > 1.
-    let parallel_threads = host.max(2);
 
+    // Fig. 3 sweep at every arm; serial is the baseline and the golden
+    // render every other arm must reproduce byte for byte.
     let (serial_wall, jobs, serial_render) = time_sweep(1);
-    let (parallel_wall, _, parallel_render) = time_sweep(parallel_threads);
-    assert_eq!(
-        serial_render, parallel_render,
-        "fig3 render must be byte-identical at any worker count"
-    );
+    let mut arms = vec![Arm {
+        threads: 1,
+        wall_s: serial_wall,
+        speedup: 1.0,
+        efficiency: 1.0,
+    }];
+    for &threads in ARM_THREADS.iter().skip(1) {
+        let (wall, _, render) = time_sweep(threads);
+        assert_eq!(
+            serial_render, render,
+            "fig3 render must be byte-identical at {threads} workers"
+        );
+        let speedup = serial_wall / wall.max(1e-9);
+        arms.push(Arm {
+            threads,
+            wall_s: wall,
+            speedup,
+            efficiency: speedup / threads as f64,
+        });
+    }
 
-    let speedup = serial_wall / parallel_wall.max(1e-9);
+    // Profile→decide: the staged/barriered harness vs. the pipelined one
+    // on the same pool, same pairs, asserted byte-identical.
+    let pairs: Vec<_> = all_pairs().into_iter().take(DECIDE_PAIRS).collect();
+    let decide_ctx = ctx_with(FLOOR_THREADS.min(host.max(2)));
+    let t = Instant::now();
+    let barriered = decide_ctx.decide_pairs(&pairs, DECIDE_WINDOW);
+    let barriered_wall = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let pipelined = decide_ctx.decide_pairs_pipelined(&pairs, DECIDE_WINDOW);
+    let pipelined_wall = t.elapsed().as_secs_f64();
+    assert_eq!(
+        barriered, pipelined,
+        "pipelined decide harness must match the barriered baseline"
+    );
+    let decide_speedup = barriered_wall / pipelined_wall.max(1e-9);
+
+    // CI floor: only meaningful on a multi-core host.
+    let floor_env = std::env::var("WS_EXEC_BENCH_MIN_SPEEDUP").ok();
+    let floor: Option<f64> = floor_env.as_deref().and_then(|v| v.trim().parse().ok());
+    let enforced = floor.is_some() && host >= FLOOR_THREADS;
+    let gated_speedup = arms
+        .iter()
+        .find(|a| a.threads == FLOOR_THREADS)
+        .map_or(0.0, |a| a.speedup);
+    let passed = match (enforced, floor) {
+        (true, Some(f)) => gated_speedup >= f,
+        _ => true,
+    };
+
+    let arm_json: Vec<String> = arms
+        .iter()
+        .map(|a| {
+            format!(
+                "    {{ \"threads\": {}, \"wall_s\": {:.4}, \"speedup\": {:.3}, \
+                 \"efficiency\": {:.3}, \"identical_output\": true }}",
+                a.threads, a.wall_s, a.speedup, a.efficiency
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"bench\": \"exec_fig3_sweep\",\n  \"isolation_cycles\": {BUDGET},\n  \
          \"window_cycles\": {WINDOW},\n  \"jobs_per_sweep\": {jobs},\n  \
-         \"host_parallelism\": {host},\n  \
-         \"serial\": {{ \"threads\": 1, \"wall_s\": {serial_wall:.4} }},\n  \
-         \"parallel\": {{ \"threads\": {parallel_threads}, \"wall_s\": {parallel_wall:.4} }},\n  \
-         \"speedup\": {speedup:.3},\n  \"identical_output\": true\n}}\n"
+         \"host_parallelism\": {host},\n  \"arms\": [\n{}\n  ],\n  \
+         \"pipeline\": {{ \"pairs\": {}, \"threads\": {}, \
+         \"barriered_wall_s\": {barriered_wall:.4}, \"pipelined_wall_s\": {pipelined_wall:.4}, \
+         \"speedup\": {decide_speedup:.3}, \"identical_decisions\": true }},\n  \
+         \"floor\": {{ \"env\": \"WS_EXEC_BENCH_MIN_SPEEDUP\", \"value\": {}, \
+         \"gated_threads\": {FLOOR_THREADS}, \"enforced\": {enforced}, \"passed\": {passed} }}\n}}\n",
+        arm_json.join(",\n"),
+        pairs.len(),
+        decide_ctx.pool().threads(),
+        floor.map_or("null".to_string(), |f| format!("{f}")),
     );
 
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
     let path = dir.join("BENCH_exec.json");
-    match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, &json)) {
-        Ok(()) => println!("exec/fig3_sweep: serial {serial_wall:.2}s, {parallel_threads} threads {parallel_wall:.2}s (x{speedup:.2}) -> {}", path.display()),
-        Err(e) => {
-            eprintln!("failed to write {}: {e}", path.display());
+    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, &json)) {
+        eprintln!("failed to write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    for a in &arms {
+        println!(
+            "exec/fig3_sweep: {} threads {:.2}s (x{:.2}, eff {:.2})",
+            a.threads, a.wall_s, a.speedup, a.efficiency
+        );
+    }
+    println!(
+        "exec/decide: barriered {barriered_wall:.2}s, pipelined {pipelined_wall:.2}s (x{decide_speedup:.2}) -> {}",
+        path.display()
+    );
+    match (enforced, floor) {
+        (true, Some(f)) if !passed => {
+            eprintln!(
+                "FAIL: {FLOOR_THREADS}-worker speedup {gated_speedup:.2} below floor {f:.2}"
+            );
             std::process::exit(1);
         }
+        (true, Some(f)) => {
+            println!("floor: {FLOOR_THREADS}-worker speedup {gated_speedup:.2} >= {f:.2} ok")
+        }
+        _ => println!(
+            "floor: skipped (host_parallelism {host} < {FLOOR_THREADS} or WS_EXEC_BENCH_MIN_SPEEDUP unset)"
+        ),
     }
 }

@@ -5,7 +5,7 @@
 //! benchmark in isolation and reporting windowed IPC / `φ_mem` series plus
 //! the deviation of the first window from the long-run mean.
 
-use gpu_sim::{Gpu, SchedulerKind};
+use gpu_sim::{Gpu, GpuConfig, SchedulerKind};
 use warped_slicer::PolicyKind;
 use ws_workloads::{suite, Benchmark};
 
@@ -45,7 +45,13 @@ pub fn series(
     window: u64,
     windows: usize,
 ) -> WindowSeries {
-    let mut gpu = Gpu::new(ctx.cfg.gpu.clone(), SchedulerKind::GreedyThenOldest);
+    series_on(&ctx.cfg.gpu, bench, window, windows)
+}
+
+/// [`series`] against an explicit hardware config — the owned-input form
+/// the pool's `'static` job closures capture.
+fn series_on(gpu_cfg: &GpuConfig, bench: &Benchmark, window: u64, windows: usize) -> WindowSeries {
+    let mut gpu = Gpu::new(gpu_cfg.clone(), SchedulerKind::GreedyThenOldest);
     let k = gpu.add_kernel(bench.desc.clone());
     let mut controller = warped_slicer::make_controller(&PolicyKind::LeftOver);
     let mut ipc = Vec::with_capacity(windows);
@@ -74,8 +80,10 @@ pub fn series(
 
 /// Computes the series for the whole suite, one pool job per benchmark.
 pub fn compute(ctx: &ExperimentContext, window: u64, windows: usize) -> Vec<WindowSeries> {
-    ctx.pool()
-        .run(&suite(), |_, b| series(ctx, b, window, windows))
+    let gpu_cfg = ctx.cfg.gpu.clone();
+    ctx.pool().run(&suite(), move |_, b| {
+        series_on(&gpu_cfg, b, window, windows)
+    })
 }
 
 /// Renders the windowed characterization.

@@ -2,7 +2,10 @@
 //! Spatial, Even, and Warped-Slicer (Dynamic), normalized to the Left-Over
 //! baseline — optionally with the exhaustive Oracle.
 
-use warped_slicer::{run_oracle, CorunResult, PolicyKind};
+use std::sync::Arc;
+
+use gpu_sim::KernelDesc;
+use warped_slicer::{run_oracle, CorunResult, PolicyKind, RunConfig};
 use ws_workloads::{all_pairs, Benchmark, Pair, PairCategory};
 
 use crate::context::ExperimentContext;
@@ -111,11 +114,24 @@ pub fn run_pairs(ctx: &ExperimentContext, pairs: &[Pair], with_oracle: bool) -> 
     let mut results = ctx.corun_batch(&runs).into_iter();
     let oracle: Vec<Option<f64>> = if with_oracle {
         // Targets are already memoized by the corun batch, so each job is
-        // pure search over one pair's quota grid.
-        ctx.pool().run(pairs, |_, p| {
-            let targets = ctx.targets(&[&p.a, &p.b]);
-            let descs = [&p.a.desc, &p.b.desc];
-            Some(run_oracle(&descs, &targets, &ctx.cfg).best.combined_ipc)
+        // pure search over one pair's quota grid. The pool's job closures
+        // are `'static`, so each job owns its inputs: the kernel descs,
+        // the (caller-resolved) instruction targets, and a shared config.
+        let cfg = Arc::new(ctx.cfg.clone());
+        let searches: Vec<(KernelDesc, KernelDesc, Vec<u64>, Arc<RunConfig>)> = pairs
+            .iter()
+            .map(|p| {
+                let targets = ctx.targets(&[&p.a, &p.b]);
+                (
+                    p.a.desc.clone(),
+                    p.b.desc.clone(),
+                    targets,
+                    Arc::clone(&cfg),
+                )
+            })
+            .collect();
+        ctx.pool().run(&searches, |_, (a, b, targets, cfg)| {
+            Some(run_oracle(&[a, b], targets, cfg).best.combined_ipc)
         })
     } else {
         vec![None; pairs.len()]

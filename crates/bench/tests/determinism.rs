@@ -1,11 +1,15 @@
 //! The execution layer's determinism contract, pinned end to end: rendered
 //! experiment tables must be byte-identical whether the pool runs with one
-//! worker (the historical serial harness) or many.
+//! worker (the historical serial harness) or many — including under
+//! work-stealing with heavily skewed job sizes, and for the pipelined
+//! profile→decide harness against its barriered baseline.
 
-use warped_slicer::{PolicyKind, RunConfig};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use warped_slicer::{execute_batch, PolicyKind, RunConfig, SimJob};
 use ws_bench::experiments::{fig3, fig6};
 use ws_bench::ExperimentContext;
-use ws_workloads::{by_abbrev, Pair, PairCategory};
+use ws_workloads::{all_pairs, by_abbrev, Pair, PairCategory};
 
 fn ctx_with(threads: usize, isolation_cycles: u64) -> ExperimentContext {
     let cfg = RunConfig {
@@ -37,6 +41,89 @@ fn corun_experiment_is_byte_identical_across_worker_counts() {
         fig6::render(&data)
     };
     assert_eq!(render(1), render(8));
+}
+
+#[test]
+fn skewed_sim_batch_is_byte_identical_under_stealing() {
+    // One 40k-cycle isolation job among 2k-cycle ones: the long job pins
+    // its worker while the stolen short ones finish around it. Outcomes
+    // must match the serial run field for field.
+    let img = by_abbrev("IMG").expect("suite");
+    let lbm = by_abbrev("LBM").expect("suite");
+    let jobs: Vec<SimJob> = (0..12)
+        .map(|i| {
+            let (desc, cycles) = if i == 3 {
+                (&lbm.desc, 40_000)
+            } else {
+                (&img.desc, 2_000)
+            };
+            SimJob::cta_cap(desc, (i % 4) + 1, cycles, &RunConfig::default())
+        })
+        .collect();
+    let serial = execute_batch(&ws_exec::Pool::new(1), &jobs);
+    let stolen = execute_batch(&ws_exec::Pool::new(8), &jobs);
+    for (i, (a, b)) in serial.iter().zip(&stolen).enumerate() {
+        assert_eq!(a.end_insts, b.end_insts, "job {i} insts");
+        assert_eq!(a.total_cycles, b.total_cycles, "job {i} cycles");
+        assert!((a.measured_ipc() - b.measured_ipc()).abs() < f64::EPSILON);
+    }
+}
+
+#[test]
+fn decide_pairs_pipelined_matches_barriered_at_any_worker_count() {
+    // The pipelined profile→decide harness must produce byte-identical
+    // decisions to the barriered baseline, serial and under stealing.
+    let pairs: Vec<Pair> = all_pairs().into_iter().take(4).collect();
+    let serial = ctx_with(1, 3_000).decide_pairs(&pairs, 1_500);
+    for threads in [1usize, 8] {
+        let ctx = ctx_with(threads, 3_000);
+        let barriered = ctx.decide_pairs(&pairs, 1_500);
+        let pipelined = ctx.decide_pairs_pipelined(&pairs, 1_500);
+        assert_eq!(barriered, pipelined, "threads={threads}");
+        assert_eq!(serial, pipelined, "threads={threads} vs serial");
+    }
+    for d in &serial {
+        assert_eq!(d.quotas.len(), 2, "{} infeasible", d.label);
+        assert!(d.samples_run >= 4, "{} sampled too little", d.label);
+    }
+}
+
+#[test]
+fn job_progress_shape_is_deterministic_across_worker_counts() {
+    // The per-job progress sink reports completion-count order: seq must
+    // be 1..=total at 1 and at 8 workers; only the finishing JobId may
+    // differ with scheduling.
+    let img = by_abbrev("IMG").expect("suite");
+    let mm = by_abbrev("MM").expect("suite");
+    let run = |threads: usize| -> Vec<(String, usize, usize)> {
+        let mut ctx = ctx_with(threads, 3_000);
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        ctx.set_job_progress(Box::new(move |p| {
+            sink.lock().unwrap_or_else(PoisonError::into_inner).push((
+                p.label.clone(),
+                p.seq,
+                p.total,
+            ));
+        }));
+        let _ = ctx.corun_batch(&[
+            (vec![&img, &mm], PolicyKind::Even),
+            (vec![&img, &mm], PolicyKind::Spatial),
+            (vec![&img, &mm], PolicyKind::LeftOver),
+        ]);
+        let out = events.lock().unwrap_or_else(PoisonError::into_inner);
+        out.clone()
+    };
+    let serial = run(1);
+    let parallel = run(8);
+    // Identical shape: same labels, same seq sequences, same totals.
+    assert_eq!(serial, parallel);
+    let coruns: Vec<usize> = serial
+        .iter()
+        .filter(|(l, _, _)| l == "corun")
+        .map(|&(_, seq, _)| seq)
+        .collect();
+    assert_eq!(coruns, vec![1, 2, 3]);
 }
 
 #[test]

@@ -605,6 +605,81 @@ pub fn execute_batch(pool: &ws_exec::Pool, jobs: &[SimJob]) -> Vec<SimOutcome> {
     pool.run(jobs, |_, job| execute(job))
 }
 
+/// [`execute_batch`] with a per-completion observer: `observe` runs on the
+/// caller's thread once per finished simulation, in completion-count order
+/// (`seq` goes `1..=total` strictly increasing) with the finishing job's
+/// id attached — deterministic progress shape at any worker count.
+///
+/// # Panics
+///
+/// Re-raises the first job panic deterministically (lowest job index).
+#[must_use]
+pub fn execute_batch_observed(
+    pool: &ws_exec::Pool,
+    jobs: &[SimJob],
+    observe: impl FnMut(ws_exec::BatchProgress),
+) -> Vec<SimOutcome> {
+    let results = pool.try_run_observed(jobs, |_, job| execute(job), observe);
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        match r {
+            Ok(v) => out.push(v),
+            Err(p) => panic!("{p}"),
+        }
+    }
+    out
+}
+
+/// A streaming simulation session: submit [`SimJob`]s one at a time, drain
+/// [`SimOutcome`]s in finish order. This is the overlap primitive behind
+/// the pipelined profiling sweep — curve acceptance and water-filling for
+/// one kernel run on the drain thread while other kernels' sampling
+/// windows still simulate.
+pub struct SimStream<'p> {
+    inner: ws_exec::Stream<'p, SimOutcome>,
+}
+
+impl<'p> SimStream<'p> {
+    /// Opens a stream on `pool`. Jobs are numbered from 0 per stream.
+    #[must_use]
+    pub fn new(pool: &'p ws_exec::Pool) -> Self {
+        Self {
+            inner: pool.stream(),
+        }
+    }
+
+    /// Submits one simulation; returns its stream-local id. (Named
+    /// `submit_job` rather than `submit` so the xtask call graph — which
+    /// resolves method calls by name — never links the memory subsystem's
+    /// tick-path `submit` to this entry point into whole-GPU construction.)
+    pub fn submit_job(&mut self, job: &SimJob) -> ws_exec::JobId {
+        let job = job.clone();
+        self.inner.submit(move || execute(&job))
+    }
+
+    /// Jobs submitted so far.
+    #[must_use]
+    pub fn submitted(&self) -> usize {
+        self.inner.submitted()
+    }
+
+    /// Jobs submitted but not yet drained.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.inner.in_flight()
+    }
+}
+
+impl Iterator for SimStream<'_> {
+    type Item = (ws_exec::JobId, ws_exec::JobResult<SimOutcome>);
+
+    /// Blocks for the next finished simulation; `None` once every
+    /// submitted job has been delivered (more may be submitted after).
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next()
+    }
+}
+
 /// Runs `desc` alone (Left-Over single-kernel dispatch) for
 /// `cfg.isolation_cycles` and records its instruction target and solo
 /// statistics.

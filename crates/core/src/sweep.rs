@@ -32,7 +32,7 @@
 use std::sync::OnceLock;
 
 use crate::profiler::interpolate_counts;
-use crate::runner::{execute_batch, RunConfig, SimJob, SimOutcome};
+use crate::runner::{RunConfig, SimJob, SimStream};
 use gpu_sim::{GpuConfig, KernelDesc};
 use ws_analyze::predict_kernel;
 
@@ -235,16 +235,51 @@ pub struct PlannedSweep {
     pub samples_run: usize,
 }
 
+/// Per-kernel bookkeeping for the pipelined sweep drain loop.
+#[derive(Debug, Default, Clone)]
+struct KernelProgress {
+    /// Samples collected so far, `(cta_count, ipc)`.
+    samples: Vec<(u32, f64)>,
+    /// Outstanding jobs of the kernel's current round.
+    pending: usize,
+    /// Whether the full-sweep fallback round has been submitted.
+    fallback: bool,
+    /// The finished full-length curve, once decided.
+    curve: Option<Vec<f64>>,
+    /// Whether the pruned window was accepted.
+    pruned: bool,
+}
+
+impl KernelProgress {
+    /// Finalizes a fully sampled kernel: sort by CTA count, strip counts.
+    fn finalize_full(&mut self) {
+        let mut full = self.samples.clone();
+        full.sort_by_key(|&(c, _)| c);
+        self.curve = Some(full.iter().map(|&(_, v)| v).collect());
+    }
+}
+
 /// The planned analogue of [`crate::profiler::profile_curves`]: samples
-/// each kernel's [`SweepWindow::planned_caps`] as one batch, applies
-/// [`accept_pruned`] per kernel, and runs a second batch for the remaining
-/// CTA counts of every kernel whose pruning was rejected. Accepted kernels
-/// get interpolated full-length curves; rejected kernels get fully sampled
-/// ones — either way `curves[i]` has length `max(1, windows[i].max)`.
+/// each kernel's [`SweepWindow::planned_caps`], applies [`accept_pruned`]
+/// per kernel, and samples the remaining CTA counts of every kernel whose
+/// pruning was rejected. Accepted kernels get interpolated full-length
+/// curves; rejected kernels get fully sampled ones — either way
+/// `curves[i]` has length `max(1, windows[i].max)`.
+///
+/// The sweep is **pipelined**, not staged: all planned samples go into one
+/// [`SimStream`], acceptance for a kernel runs on the drain thread the
+/// moment its last window sample finishes, and a rejected kernel's
+/// full-sweep fallback jobs are re-submitted into the same stream
+/// immediately — no global barrier between the rounds, so kernel A's
+/// fallback simulates while kernel B's first-round windows are still in
+/// flight. The result is byte-identical to draining each round as a
+/// barriered batch: samples are keyed by `(kernel, cta_count)` and the
+/// acceptance check is order-insensitive.
 ///
 /// # Panics
 ///
-/// Panics if `descs` and `plan.windows` lengths differ.
+/// Panics if `descs` and `plan.windows` lengths differ, and re-raises the
+/// lowest-submission-index job panic after the stream drains.
 #[must_use]
 pub fn profile_curves_planned(
     pool: &ws_exec::Pool,
@@ -258,84 +293,100 @@ pub fn profile_curves_planned(
         plan.windows.len(),
         "one sweep window per kernel"
     );
-    // Round 1: every planned cap across all kernels, one batch.
-    let per_kernel_caps: Vec<Vec<u32>> =
-        plan.windows.iter().map(SweepWindow::planned_caps).collect();
-    let jobs: Vec<SimJob> = descs
-        .iter()
-        .zip(&per_kernel_caps)
-        .flat_map(|(desc, caps)| {
-            caps.iter()
-                .map(|&cap| SimJob::cta_cap(desc, cap, window, cfg))
-        })
-        .collect();
-    let mut samples_run = jobs.len();
-    let mut outcomes = execute_batch(pool, &jobs).into_iter();
-    let sampled: Vec<Vec<(u32, f64)>> = per_kernel_caps
-        .iter()
-        .map(|caps| {
-            caps.iter()
-                .map(|&cap| {
-                    let ipc = outcomes
-                        .next()
-                        .as_ref()
-                        .map_or(0.0, SimOutcome::measured_ipc);
-                    (cap, ipc)
-                })
-                .collect()
-        })
-        .collect();
+    let mut stream = SimStream::new(pool);
+    // tags[job id] = (kernel index, cta cap) — stream ids are sequential.
+    let mut tags: Vec<(usize, u32)> = Vec::new();
+    let mut kernels: Vec<KernelProgress> = vec![KernelProgress::default(); descs.len()];
+    for ((i, desc), w) in descs.iter().enumerate().zip(&plan.windows) {
+        let caps = w.planned_caps();
+        if let Some(k) = kernels.get_mut(i) {
+            k.pending = caps.len();
+        }
+        for &cap in &caps {
+            tags.push((i, cap));
+            stream.submit_job(&SimJob::cta_cap(desc, cap, window, cfg));
+        }
+    }
+    let mut samples_run = tags.len();
+    let mut first_panic: Option<ws_exec::JobPanic> = None;
 
-    // Per-kernel acceptance; collect the caps round 2 still owes.
-    let mut curves: Vec<Option<Vec<f64>>> = Vec::with_capacity(descs.len());
-    let mut pruned = Vec::with_capacity(descs.len());
-    let mut round2: Vec<(usize, u32)> = Vec::new();
-    for (i, (samples, w)) in sampled.iter().zip(&plan.windows).enumerate() {
-        match accept_pruned(samples, w) {
+    while let Some((id, result)) = stream.next() {
+        let Some(&(i, cap)) = tags.get(id.0) else {
+            continue;
+        };
+        match result {
+            Ok(out) => {
+                if let Some(k) = kernels.get_mut(i) {
+                    k.samples.push((cap, out.measured_ipc()));
+                }
+            }
+            Err(p) => {
+                if first_panic.as_ref().is_none_or(|q| p.id < q.id) {
+                    first_panic = Some(p);
+                }
+            }
+        }
+        let round_done = kernels.get_mut(i).is_some_and(|k| {
+            k.pending = k.pending.saturating_sub(1);
+            k.pending == 0
+        });
+        if !round_done {
+            continue;
+        }
+        let (Some(k), Some(w), Some(desc)) =
+            (kernels.get_mut(i), plan.windows.get(i), descs.get(i))
+        else {
+            continue;
+        };
+        if k.fallback {
+            // The fallback round just finished: the kernel is fully
+            // sampled.
+            k.finalize_full();
+            continue;
+        }
+        let mut sorted = k.samples.clone();
+        sorted.sort_by_key(|&(c, _)| c);
+        match accept_pruned(&sorted, w) {
             Some(curve) => {
-                pruned.push(!w.is_full());
-                curves.push(Some(curve));
+                k.pruned = !w.is_full();
+                k.curve = Some(curve);
             }
             None => {
-                pruned.push(false);
-                curves.push(None);
-                let have: Vec<u32> = samples.iter().map(|&(c, _)| c).collect();
+                // Rejected: re-submit the missing counts into the same
+                // stream, right now — other kernels' windows keep
+                // simulating underneath this drain loop.
+                k.fallback = true;
+                let have: Vec<u32> = sorted.iter().map(|&(c, _)| c).collect();
+                let mut missing = 0usize;
                 for cap in 1..=w.max.max(1) {
                     if !have.contains(&cap) {
-                        round2.push((i, cap));
+                        tags.push((i, cap));
+                        stream.submit_job(&SimJob::cta_cap(desc, cap, window, cfg));
+                        missing += 1;
+                    }
+                }
+                samples_run += missing;
+                if let Some(k) = kernels.get_mut(i) {
+                    k.pending = missing;
+                    if missing == 0 {
+                        // Every count was already sampled (a window whose
+                        // guards rejected but whose caps covered 1..=max).
+                        k.finalize_full();
                     }
                 }
             }
         }
     }
-
-    // Round 2: the rejected kernels' remaining counts, one batch.
-    if !round2.is_empty() {
-        let jobs: Vec<SimJob> = round2
-            .iter()
-            .filter_map(|&(i, cap)| descs.get(i).map(|d| SimJob::cta_cap(d, cap, window, cfg)))
-            .collect();
-        samples_run += jobs.len();
-        let extra = execute_batch(pool, &jobs);
-        let mut merged: Vec<Vec<(u32, f64)>> = sampled;
-        for (&(i, cap), outcome) in round2.iter().zip(&extra) {
-            if let Some(list) = merged.get_mut(i) {
-                list.push((cap, outcome.measured_ipc()));
-            }
-        }
-        for (i, slot) in curves.iter_mut().enumerate() {
-            if slot.is_none() {
-                let mut full: Vec<(u32, f64)> = merged.get(i).cloned().unwrap_or_default();
-                full.sort_by_key(|&(c, _)| c);
-                let curve = full.iter().map(|&(_, v)| v).collect();
-                *slot = Some(curve);
-            }
-        }
+    if let Some(p) = first_panic {
+        panic!("{p}");
     }
 
     PlannedSweep {
-        curves: curves.into_iter().map(Option::unwrap_or_default).collect(),
-        pruned,
+        curves: kernels
+            .iter()
+            .map(|k| k.curve.clone().unwrap_or_default())
+            .collect(),
+        pruned: kernels.iter().map(|k| k.pruned).collect(),
         samples_run,
     }
 }

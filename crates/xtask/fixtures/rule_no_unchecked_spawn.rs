@@ -8,12 +8,33 @@ pub fn positive() {
     h2.join().ok();
 }
 
+/// Positive: discarded builder spawns and swallowed completion receives.
+pub fn positive_discards(rx: &std::sync::mpsc::Receiver<u32>) {
+    let _ = std::thread::Builder::new().spawn(|| ());
+    std::thread::Builder::new().spawn(|| ()).ok();
+    rx.recv().ok();
+    let _ = rx.try_recv();
+}
+
 /// Negative: scoped workers; scope exit propagates worker panics.
 pub fn negative() -> i32 {
     std::thread::scope(|s| {
         let h = s.spawn(|| 1);
         h.join().unwrap_or(0)
     })
+}
+
+/// Negative: matched spawn/receive results, and the send side — a dropped
+/// receiver is routine shutdown, so discarding a send is allowed.
+pub fn negative_discards(
+    tx: &std::sync::mpsc::Sender<u32>,
+    rx: &std::sync::mpsc::Receiver<u32>,
+) -> u32 {
+    let _ = tx.send(1);
+    match rx.recv() {
+        Ok(v) => v,
+        Err(_) => 0,
+    }
 }
 
 /// Waived.

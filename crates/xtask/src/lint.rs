@@ -31,10 +31,13 @@
 //!   to catch malformed inputs. Use `get`/`get_mut`, iterators, or
 //!   destructuring (or carry an `xtask-allow` justification).
 //! * `no-unchecked-spawn` — in the execution layer (`crates/exec`), raw
-//!   `thread::spawn` and discarded join handles (`.join().ok()`, a `let _`
-//!   binding of a `.join()`) are forbidden: every worker must live inside a
-//!   `std::thread::scope`, whose exit propagates worker panics instead of
-//!   silently losing them.
+//!   `thread::spawn` is forbidden (persistent workers use a named
+//!   `Builder` whose handle is kept and joined on `Drop`), and discarding
+//!   the result of `.join(…)`, `.spawn(…)`, `.recv(…)`, or `.try_recv(…)`
+//!   (via `.ok()` or a `let _` binding) is flagged: a swallowed worker
+//!   panic or channel disconnect breaks the determinism contract. The send
+//!   side (`let _ = tx.send(…)`) stays allowed — a dropped receiver is
+//!   routine shutdown, and completion accounting happens before the send.
 //! * `determinism` — in the simulator core and the accounting layer
 //!   (`crates/gpu-sim/src`, `crates/core/src`), iteration over a
 //!   `HashMap`/`HashSet` (`.iter()`, `.keys()`, `.drain()`, a `for` loop
@@ -454,17 +457,39 @@ fn per_file_rules(label: &str, src: &str, items: &FileItems, out: &mut Vec<Viola
                     "no-unchecked-spawn",
                     label,
                     line,
-                    "raw `thread::spawn` in the execution layer; use a `std::thread::scope` \
-                     worker (scope exit checks every join) or justify with \
+                    "raw `thread::spawn` in the execution layer; use a named \
+                     `thread::Builder` whose handle is kept and joined on shutdown \
+                     (or a `std::thread::scope`), or justify with \
                      `// xtask-allow: no-unchecked-spawn`"
                         .to_string(),
                     Vec::new(),
                 );
             }
-            if txt == "." && t.text(i + 1) == "join" && t.text(i + 2) == "(" {
-                // `.join().ok()` — `join` takes no arguments.
+            let method = t.text(i + 1);
+            if txt == "."
+                && matches!(method, "join" | "spawn" | "recv" | "try_recv")
+                && t.text(i + 2) == "("
+            {
+                // `.join().ok()`, `.spawn(f).ok()`, `.recv().ok()` — scan to
+                // the matching close paren, then look for a swallowing `.ok`.
+                let mut depth = 0usize;
+                let mut j = i + 2;
+                let close = loop {
+                    match t.text(j) {
+                        "(" => depth += 1,
+                        ")" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break Some(j);
+                            }
+                        }
+                        "" => break None,
+                        _ => {}
+                    }
+                    j += 1;
+                };
                 let swallowed =
-                    t.text(i + 3) == ")" && t.text(i + 4) == "." && t.text(i + 5) == "ok";
+                    close.is_some_and(|c| t.text(c + 1) == "." && t.text(c + 2) == "ok");
                 // `let _ = handle.join(…)` — walk back to the statement start.
                 let mut discarded = false;
                 let mut j = i;
@@ -480,16 +505,22 @@ fn per_file_rules(label: &str, src: &str, items: &FileItems, out: &mut Vec<Viola
                     }
                 }
                 if swallowed || discarded {
+                    let what = match method {
+                        "join" => "join handle result",
+                        "spawn" => "spawn handle",
+                        _ => "completion-channel receive",
+                    };
                     emit(
                         out,
                         items,
                         "no-unchecked-spawn",
                         label,
                         line,
-                        "discarded join handle result in the execution layer; a swallowed \
-                         worker panic breaks the determinism contract — propagate it or \
-                         justify with `// xtask-allow: no-unchecked-spawn`"
-                            .to_string(),
+                        format!(
+                            "discarded {what} in the execution layer; a swallowed worker \
+                             panic or channel disconnect breaks the determinism contract — \
+                             handle it or justify with `// xtask-allow: no-unchecked-spawn`"
+                        ),
                         Vec::new(),
                     );
                 }
@@ -1016,6 +1047,30 @@ mod tests {
     }
 
     #[test]
+    fn discarded_spawn_and_swallowed_recv_flagged_in_exec_crate() {
+        let spawn =
+            format!("{DOC}fn f() {{ let _ = std::thread::Builder::new().spawn(|| ()); }}\n");
+        assert_eq!(
+            rules_found("crates/exec/src/lib.rs", &spawn),
+            ["no-unchecked-spawn"]
+        );
+        let recv = format!("{DOC}fn f(rx: std::sync::mpsc::Receiver<u32>) {{ rx.recv().ok(); }}\n");
+        assert_eq!(
+            rules_found("crates/exec/src/lib.rs", &recv),
+            ["no-unchecked-spawn"]
+        );
+        // The send side is allowed to discard: a dropped receiver is
+        // routine shutdown. Matched receives are fine too.
+        let send =
+            format!("{DOC}fn f(tx: std::sync::mpsc::Sender<u32>) {{ let _ = tx.send(1); }}\n");
+        assert!(rules_found("crates/exec/src/lib.rs", &send).is_empty());
+        let matched = format!(
+            "{DOC}fn f(rx: std::sync::mpsc::Receiver<u32>) -> u32 {{ rx.recv().unwrap_or(0) }}\n"
+        );
+        assert!(rules_found("crates/exec/src/lib.rs", &matched).is_empty());
+    }
+
+    #[test]
     fn index_expression_flagged_only_in_scoped_files() {
         let src = format!("{DOC}fn f(xs: &[u32], i: usize) -> u32 {{ xs[i] }}\n");
         let v = scan_source("crates/analysis/src/rules.rs", &src);
@@ -1429,6 +1484,13 @@ mod tests {
                     line_of(f, "let h2 = std::thread::spawn")
                 ),
                 ("no-unchecked-spawn", line_of(f, "h2.join().ok()")),
+                (
+                    "no-unchecked-spawn",
+                    line_of(f, "let _ = std::thread::Builder"),
+                ),
+                ("no-unchecked-spawn", line_of(f, ".spawn(|| ()).ok()")),
+                ("no-unchecked-spawn", line_of(f, "rx.recv().ok()")),
+                ("no-unchecked-spawn", line_of(f, "let _ = rx.try_recv()")),
             ]
         );
     }
