@@ -1,0 +1,175 @@
+//! ws-store bench: cold-vs-warm decision latency and hit rate under a
+//! repeated-arrival trace, written machine-readably to
+//! `results/BENCH_store.json`.
+//!
+//! A *cold* arrival pays the controller's full profile-to-decide path:
+//! signature lookup (miss), prediction-pruned sweep plan, the planned
+//! profiling simulations on the [`ws_exec::Pool`], and Algorithm 1
+//! water-filling over the measured curves, which are then memoized. A
+//! *warm* arrival is the store path: signature derivation, curve lookup,
+//! water-fill — no simulation at all. The bench replays a trace where each
+//! distinct pair arrives once cold and then [`WARM_ROUNDS`] times warm,
+//! asserting every warm quota vector byte-identical to its cold original.
+//!
+//! CI floor: `WS_STORE_BENCH_MIN_SPEEDUP` — minimum cold/warm per-decision
+//! latency ratio (the issue's acceptance gate is 10). The ratio is
+//! structural (profiling simulates thousands of cycles; lookup is a map
+//! probe), so the floor is safe on noisy shared runners.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use gpu_sim::GpuConfig;
+use warped_slicer::store::DEFAULT_STORE_CAPACITY;
+use warped_slicer::{
+    profile_curves_planned, water_fill, CurveStore, KernelCurve, KernelSignature, ResourceVec,
+    RunConfig, StoreEntry, SweepPlan,
+};
+use ws_workloads::by_abbrev;
+
+/// Distinct co-run pairs in the arrival trace.
+const PAIRS: [(&str, &str); 3] = [("IMG", "NN"), ("MM", "BFS"), ("HOT", "DXT")];
+/// Warm repetitions of the whole trace after the cold pass.
+const WARM_ROUNDS: usize = 16;
+/// Profiling window per sweep sample (cycles), as in the exec bench.
+const WINDOW: u64 = 2_000;
+const BUDGET: u64 = 4_000;
+
+fn main() {
+    let gpu = GpuConfig::isca_baseline();
+    let cfg = RunConfig {
+        isolation_cycles: BUDGET,
+        ..RunConfig::default()
+    };
+    let pool = ws_exec::Pool::new(2);
+    let capacity = ResourceVec::sm_capacity(&gpu.sm);
+    let mut store = CurveStore::new(DEFAULT_STORE_CAPACITY);
+
+    let pairs: Vec<_> = PAIRS
+        .iter()
+        .map(|&(a, b)| {
+            (
+                by_abbrev(a).expect("suite abbreviation"),
+                by_abbrev(b).expect("suite abbreviation"),
+            )
+        })
+        .collect();
+
+    // Cold pass: every distinct pair arrives once; the lookup misses, the
+    // pruned sweep runs, and the measured curves are memoized.
+    let mut cold_wall = 0.0f64;
+    let mut samples_run = 0usize;
+    let mut cold_quotas: Vec<Vec<u32>> = Vec::new();
+    for (ba, bb) in &pairs {
+        let descs = [&ba.desc, &bb.desc];
+        let maxes = [ba.max_ctas_baseline(), bb.max_ctas_baseline()];
+        let t = Instant::now();
+        let sigs: Vec<KernelSignature> = descs
+            .iter()
+            .map(|d| KernelSignature::derive(d, &gpu).expect("suite kernels pass pre-flight"))
+            .collect();
+        for sig in &sigs {
+            assert!(store.lookup(&sig.key).is_none(), "cold arrival must miss");
+        }
+        let plan = SweepPlan::from_predictions(&descs, &maxes, &gpu);
+        let swept = profile_curves_planned(&pool, &descs, &plan, WINDOW, &cfg);
+        let kernels: Vec<KernelCurve> = descs
+            .iter()
+            .zip(&swept.curves)
+            .map(|(d, perf)| KernelCurve {
+                perf: perf.clone(),
+                cta_cost: ResourceVec::cta_cost(d),
+            })
+            .collect();
+        let part = water_fill(&kernels, capacity).expect("suite pairs are feasible");
+        cold_wall += t.elapsed().as_secs_f64();
+        samples_run += swept.samples_run;
+        for (sig, perf) in sigs.iter().zip(&swept.curves) {
+            assert!(store.insert(sig.key, StoreEntry::measured(sig, perf.clone())));
+        }
+        cold_quotas.push(part.ctas);
+    }
+
+    // Warm passes: the same trace repeated; every arrival hits and the
+    // quota vector must reproduce the cold decision byte for byte.
+    let mut warm_wall = 0.0f64;
+    let mut warm_decisions = 0usize;
+    for _ in 0..WARM_ROUNDS {
+        for ((ba, bb), cold) in pairs.iter().zip(&cold_quotas) {
+            let descs = [&ba.desc, &bb.desc];
+            let t = Instant::now();
+            let kernels: Vec<KernelCurve> = descs
+                .iter()
+                .map(|d| {
+                    let sig =
+                        KernelSignature::derive(d, &gpu).expect("suite kernels pass pre-flight");
+                    let entry = store.lookup(&sig.key).expect("warm arrival must hit");
+                    KernelCurve {
+                        perf: entry.perf.clone(),
+                        cta_cost: ResourceVec::cta_cost(d),
+                    }
+                })
+                .collect();
+            let part = water_fill(&kernels, capacity).expect("suite pairs are feasible");
+            warm_wall += t.elapsed().as_secs_f64();
+            warm_decisions += 1;
+            assert_eq!(&part.ctas, cold, "warm quotas byte-identical to cold");
+        }
+    }
+
+    let cold_per = cold_wall / pairs.len() as f64;
+    let warm_per = warm_wall / warm_decisions.max(1) as f64;
+    let speedup = cold_per / warm_per.max(1e-12);
+    let stats = store.stats();
+    let probes = stats.hits + stats.misses;
+    let hit_rate = stats.hits as f64 / probes.max(1) as f64;
+
+    let floor_env = std::env::var("WS_STORE_BENCH_MIN_SPEEDUP").ok();
+    let floor: Option<f64> = floor_env.as_deref().and_then(|v| v.trim().parse().ok());
+    let passed = floor.is_none_or(|f| speedup >= f);
+
+    let json = format!(
+        "{{\n  \"bench\": \"store\",\n  \
+         \"workload\": \"{} distinct pairs, 1 cold + {WARM_ROUNDS} warm arrivals each\",\n  \
+         \"window_cycles\": {WINDOW},\n  \"profile_samples_cold\": {samples_run},\n  \
+         \"cold_decisions\": {},\n  \"warm_decisions\": {warm_decisions},\n  \
+         \"cold_decision_s\": {cold_per:.6},\n  \"warm_decision_s\": {warm_per:.9},\n  \
+         \"cold_over_warm_speedup\": {speedup:.1},\n  \
+         \"store\": {{ \"hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {hit_rate:.4} }},\n  \
+         \"identical_quotas\": true,\n  \
+         \"floor\": {{ \"env\": \"WS_STORE_BENCH_MIN_SPEEDUP\", \"value\": {}, \"passed\": {passed} }}\n}}\n",
+        pairs.len(),
+        pairs.len(),
+        stats.hits,
+        stats.misses,
+        store.len(),
+        floor.map_or("null".to_string(), |f| format!("{f}")),
+    );
+
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let path = dir.join("BENCH_store.json");
+    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, &json)) {
+        eprintln!("failed to write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!(
+        "store: cold {:.1} ms/decision ({samples_run} profile samples), warm {:.1} us/decision (x{speedup:.0})",
+        cold_per * 1e3,
+        warm_per * 1e6
+    );
+    println!(
+        "store: {} hits / {} misses (hit rate {:.1}%) -> {}",
+        stats.hits,
+        stats.misses,
+        hit_rate * 100.0,
+        path.display()
+    );
+    match floor {
+        Some(f) if !passed => {
+            eprintln!("FAIL: cold/warm speedup {speedup:.1} below floor {f:.1}");
+            std::process::exit(1);
+        }
+        Some(f) => println!("floor: speedup {speedup:.1} >= {f:.1} ok"),
+        None => println!("floor: skipped (WS_STORE_BENCH_MIN_SPEEDUP unset)"),
+    }
+}

@@ -24,6 +24,17 @@
 //! `--validate-trace FILE` checks a previously written JSONL trace against
 //! the ws-trace schema and exits.
 //!
+//! **`store`** manages a persistent ws-store performance-curve file
+//! (versioned JSONL, validated against the ws-trace schema on every read
+//! and write):
+//!
+//! * `store warm FILE --corun A,B` loads the store (or creates it), runs
+//!   the co-run with the store attached to the dynamic controller —
+//!   first arrival profiles cold and memoizes, repeat arrivals decide
+//!   warm — then writes the updated store back to `FILE`.
+//! * `store inspect FILE` prints every memoized curve in insertion order.
+//! * `store clear FILE` resets the file to an empty store.
+//!
 //! ```text
 //! gpu-sim [--threads N] [--regs N] [--shmem BYTES] [--grid N]
 //!         [--body N] [--iters N] [--alu F] [--sfu F] [--gload F]
@@ -35,14 +46,18 @@
 //! gpu-sim --corun IMG,NN [--policy leftover|fcfs|even|spatial|dynamic]
 //!         [--cycles N] [--trace FILE] [--chrome FILE] [--large]
 //! gpu-sim --validate-trace FILE
+//! gpu-sim store warm FILE --corun IMG,NN [--cycles N] [--capacity N] [--large]
+//! gpu-sim store inspect FILE
+//! gpu-sim store clear FILE [--capacity N]
 //! ```
 
 use std::process::ExitCode;
 
 use gpu_sim::{AccessPattern, Gpu, GpuConfig, KernelDesc, ProgramSpec, SchedulerKind, StallReason};
+use warped_slicer::store::DEFAULT_STORE_CAPACITY;
 use warped_slicer::{
-    antt, chrome_trace, execute, fairness, jsonl, run_isolation, validate_jsonl, PolicyKind,
-    RunConfig, SimJob, TraceOptions, WarpedSlicerConfig,
+    antt, chrome_trace, execute, fairness, jsonl, run_isolation, validate_jsonl, CurveStore,
+    PolicyKind, RunConfig, SharedCurveStore, SimJob, TraceOptions, WarpedSlicerConfig,
 };
 use ws_analyze::Severity;
 use ws_workloads::by_abbrev;
@@ -403,7 +418,178 @@ fn corun(args: &Args, abbrevs: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Load a ws-store file, or start an empty store when the file does not
+/// exist yet. A present-but-malformed file is an error, never silently
+/// replaced.
+fn load_or_new_store(path: &str, capacity: usize) -> Result<CurveStore, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => CurveStore::from_jsonl(&text).map_err(|e| format!("{path}: {e}")),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(CurveStore::new(capacity)),
+        Err(e) => Err(format!("cannot read {path}: {e}")),
+    }
+}
+
+/// Validate and write a store back to its JSONL file.
+fn write_store(path: &str, store: &CurveStore) -> Result<usize, String> {
+    let text = store.to_jsonl();
+    let records =
+        validate_jsonl(&text).map_err(|e| format!("internal: store file invalid: {e}"))?;
+    std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+    Ok(records)
+}
+
+/// `store inspect FILE`: print every memoized curve in insertion order.
+fn store_inspect(path: &str) -> Result<ExitCode, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let store = CurveStore::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!("store file    : {path}");
+    println!("store capacity: {}", store.capacity());
+    println!("store entries : {}", store.len());
+    for (key, entry) in store.entries_in_insertion_order() {
+        let pts: Vec<String> = entry.perf.iter().map(|v| format!("{v:.3}")).collect();
+        println!(
+            "  {:016x}/{:016x}  {:<8} {:<24} knee {:>2}  [{}]",
+            key.kernel_sig,
+            key.gpu_sig,
+            entry.class,
+            entry.archetype,
+            entry.knee,
+            pts.join(", ")
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `store clear FILE`: reset the file to an empty store, preserving the
+/// capacity of an existing file unless `--capacity` overrides it.
+fn store_clear(path: &str, rest: &[String]) -> Result<ExitCode, String> {
+    let mut capacity: Option<usize> = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--capacity" => {
+                let v = it.next().ok_or("--capacity requires a value")?;
+                capacity = Some(v.parse().map_err(|e| format!("--capacity: {e}"))?);
+            }
+            other => return Err(format!("unknown store clear flag: {other}")),
+        }
+    }
+    let kept = capacity.unwrap_or_else(|| {
+        load_or_new_store(path, DEFAULT_STORE_CAPACITY)
+            .map_or(DEFAULT_STORE_CAPACITY, |s| s.capacity())
+    });
+    let store = CurveStore::new(kept);
+    write_store(path, &store)?;
+    println!("store file    : {path}");
+    println!("store entries : 0 (cleared, capacity {kept})");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `store warm FILE --corun A,B`: run the co-run with the store attached
+/// to the dynamic Warped-Slicer controller and persist the updated store.
+fn store_warm(path: &str, rest: &[String]) -> Result<ExitCode, String> {
+    let mut corun_arg: Option<String> = None;
+    let mut cycles = 12_000u64;
+    let mut capacity = DEFAULT_STORE_CAPACITY;
+    let mut large = false;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--large" => large = true,
+            "--corun" => {
+                corun_arg = Some(it.next().ok_or("--corun requires a value")?.clone());
+            }
+            "--cycles" => {
+                let v = it.next().ok_or("--cycles requires a value")?;
+                cycles = v.parse().map_err(|e| format!("--cycles: {e}"))?;
+            }
+            "--capacity" => {
+                let v = it.next().ok_or("--capacity requires a value")?;
+                capacity = v.parse().map_err(|e| format!("--capacity: {e}"))?;
+            }
+            other => return Err(format!("unknown store warm flag: {other}")),
+        }
+    }
+    let abbrevs = corun_arg.ok_or("store warm requires --corun A,B")?;
+    let benches: Vec<_> = abbrevs
+        .split(',')
+        .map(|a| by_abbrev(a).ok_or_else(|| format!("unknown benchmark abbreviation: {a}")))
+        .collect::<Result<_, _>>()?;
+    if benches.len() < 2 {
+        return Err("store warm needs at least two comma-separated benchmarks".to_string());
+    }
+    let shared = SharedCurveStore::new(load_or_new_store(path, capacity)?);
+    let cfg = RunConfig {
+        gpu: if large {
+            GpuConfig::large()
+        } else {
+            GpuConfig::isca_baseline()
+        },
+        isolation_cycles: cycles,
+        ..RunConfig::default()
+    };
+    let policy = PolicyKind::WarpedSlicer(WarpedSlicerConfig {
+        store: Some(shared.clone()),
+        ..WarpedSlicerConfig::scaled_for(cycles)
+    });
+    let names: Vec<&str> = benches.iter().map(|b| b.abbrev).collect();
+    let targets: Vec<u64> = benches
+        .iter()
+        .map(|b| run_isolation(&b.desc, &cfg).target_insts)
+        .collect();
+    let descs: Vec<&KernelDesc> = benches.iter().map(|b| &b.desc).collect();
+    let job = SimJob::corun(&descs, &targets, &policy, &cfg);
+    let outcome = execute(&job);
+    // Stats reset on load, so a run that never missed decided entirely
+    // from memoized curves.
+    let (stats, entries) = shared.with(|s| (s.stats(), s.len()));
+    let warm = outcome.decision.is_some() && stats.misses == 0 && stats.hits > 0;
+    let records = shared.with(|s| write_store(path, s))?;
+    println!(
+        "store warm {} ({} cycles): {} decision",
+        names.join("+"),
+        cycles,
+        if warm { "warm" } else { "cold" }
+    );
+    println!("store hits    : {}", stats.hits);
+    println!("store misses  : {}", stats.misses);
+    println!("store entries : {entries}");
+    println!("store file    : {path} ({records} records)");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `store …` subcommand dispatch.
+fn store_cmd(argv: &[String]) -> Result<ExitCode, String> {
+    let usage = "usage: gpu-sim store inspect|warm|clear FILE [flags]";
+    let sub = argv.first().map(String::as_str).ok_or(usage)?;
+    let path = argv.get(1).map(String::as_str).ok_or(usage)?;
+    let rest = argv.get(2..).unwrap_or(&[]);
+    match sub {
+        "inspect" => {
+            if let Some(extra) = rest.first() {
+                return Err(format!("unknown store inspect flag: {extra}"));
+            }
+            store_inspect(path)
+        }
+        "warm" => store_warm(path, rest),
+        "clear" => store_clear(path, rest),
+        other => Err(format!(
+            "unknown store subcommand: {other} (expected inspect|warm|clear)"
+        )),
+    }
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("store") {
+        return match store_cmd(argv.get(1..).unwrap_or(&[])) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {

@@ -112,6 +112,34 @@ pub enum AuditEvent {
         /// The kernel's Eq. 1 feasibility bound.
         max: u32,
     },
+    /// A ws-store warm hit: the controller found a memoized performance
+    /// curve for this kernel and skipped its profiling sweep. The recorded
+    /// curve is the one handed to the partitioner, so warm decisions stay
+    /// replayable from the audit alone.
+    StoreHit {
+        /// Kernel slot.
+        kernel: usize,
+        /// The kernel-signature half of the [`CurveKey`](crate::store::CurveKey).
+        sig: u64,
+        /// The memoized curve (`perf[j]` = performance with `j + 1` CTAs).
+        perf: Vec<f64>,
+    },
+    /// A ws-store miss: no memoized curve for this kernel signature, so
+    /// the cold profiling path ran (and inserted its accepted curve).
+    StoreMiss {
+        /// Kernel slot.
+        kernel: usize,
+        /// The kernel-signature half of the [`CurveKey`](crate::store::CurveKey).
+        sig: u64,
+    },
+    /// A ws-store invalidation: a phase-monitor trigger removed exactly
+    /// this kernel's memoized curve before the re-profile.
+    StoreInvalidate {
+        /// Kernel slot.
+        kernel: usize,
+        /// The kernel-signature half of the [`CurveKey`](crate::store::CurveKey).
+        sig: u64,
+    },
     /// One phase-monitor window observation for one kernel.
     PhaseSample {
         /// Kernel slot.

@@ -19,6 +19,9 @@
 //! * [`metrics`] — combined IPC, fairness (minimum speedup), ANTT;
 //! * [`audit`] / [`tracefmt`] — the ws-trace decision-audit channel and
 //!   its JSONL / Chrome `trace_event` export formats;
+//! * [`store`] — the persistent memoized performance-curve cache
+//!   (lookup-before-profile, phase-trigger invalidation, deterministic
+//!   insertion-order eviction);
 //! * [`energy`] — an event-based power/energy model (Sec. V-G);
 //! * [`oracle`] — exhaustive best-partition search (the figures' Oracle).
 //!
@@ -54,6 +57,7 @@ pub mod profiler;
 pub mod resources;
 pub mod runner;
 pub mod scaling;
+pub mod store;
 pub mod sweep;
 pub mod tracefmt;
 pub mod waterfill;
@@ -68,8 +72,8 @@ pub use policy::{
     PolicyKind, QuotaController, SpatialController, WarpedSlicerConfig, WarpedSlicerController,
 };
 pub use profiler::{
-    build_curves, build_curves_audited, profile_curves, ProfilePlan, ProfileSample, ProfileTiming,
-    SmAssignment,
+    build_curves, build_curves_audited, profile_curves, ProfilePlan, ProfilePlanError,
+    ProfileSample, ProfileTiming, SmAssignment,
 };
 pub use resources::ResourceVec;
 pub use runner::{
@@ -78,6 +82,7 @@ pub use runner::{
     SimOutcome, SimStream, StopCondition, TraceOptions, UtilizationStats,
 };
 pub use scaling::{psi, scale_ipc, scale_ipc_audited, ScaleOutcome};
+pub use store::{CurveKey, CurveStore, KernelSignature, SharedCurveStore, StoreEntry, StoreStats};
 pub use sweep::{
     accept_pruned, predict_default, profile_curves_planned, PlannedSweep, SweepPlan, SweepWindow,
 };

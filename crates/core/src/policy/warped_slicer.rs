@@ -19,6 +19,7 @@ use crate::profiler::{
     build_curves, build_curves_audited, BandwidthSample, ProfilePlan, ProfileSample, ProfileTiming,
 };
 use crate::resources::ResourceVec;
+use crate::store::{KernelSignature, SharedCurveStore, StoreEntry};
 use crate::sweep::{predict_default, SweepWindow};
 use crate::waterfill::{water_fill, water_fill_traced, KernelCurve};
 use ws_analyze::predict_kernel;
@@ -57,6 +58,15 @@ pub struct WarpedSlicerConfig {
     /// ([`crate::sweep::predict_default`]); `Some` pins the behavior
     /// regardless of the environment.
     pub predict: Option<bool>,
+    /// Attach a shared ws-store performance-curve cache. Before installing
+    /// profiling windows the controller looks every kernel's signature up
+    /// in the store; when all of them hit, the memoized curves go straight
+    /// to Algorithm 1 water-filling and the profiling sweep is skipped
+    /// entirely. Cold decisions insert their accepted curves; a
+    /// phase-monitor trigger invalidates exactly the triggered kernel's
+    /// key before the re-profile replaces it. `None` (the default) keeps
+    /// the controller store-free.
+    pub store: Option<SharedCurveStore>,
 }
 
 impl Default for WarpedSlicerConfig {
@@ -70,6 +80,7 @@ impl Default for WarpedSlicerConfig {
             phase_settle_windows: 4,
             audit: false,
             predict: None,
+            store: None,
         }
     }
 }
@@ -131,6 +142,8 @@ pub struct WarpedSlicerController {
     last_samples: Vec<ProfileSample>,
     known_kernels: usize,
     audit: DecisionAudit,
+    store_keys: Vec<Option<KernelSignature>>,
+    warm_decisions: u32,
 }
 
 impl WarpedSlicerController {
@@ -155,6 +168,8 @@ impl WarpedSlicerController {
             last_samples: Vec::new(),
             known_kernels: 0,
             audit: DecisionAudit::default(),
+            store_keys: Vec::new(),
+            warm_decisions: 0,
         }
     }
 
@@ -169,6 +184,13 @@ impl WarpedSlicerController {
     #[must_use]
     pub fn reprofile_count(&self) -> u32 {
         self.reprofiles
+    }
+
+    /// How many decisions were made from memoized ws-store curves (the
+    /// profiling sweep skipped entirely).
+    #[must_use]
+    pub fn warm_decision_count(&self) -> u32 {
+        self.warm_decisions
     }
 
     fn max_ctas(gpu: &Gpu) -> Vec<u32> {
@@ -218,7 +240,102 @@ impl WarpedSlicerController {
         ProfilePlan::build_windowed(gpu.num_sms(), &windows)
     }
 
+    /// Re-derives the per-kernel store signatures for the current kernel
+    /// set (static analysis only; runs at decision points, never per tick).
+    fn derive_store_keys(&mut self, gpu: &Gpu) {
+        let cfg = gpu.config();
+        self.store_keys = gpu
+            .kernel_ids()
+            .iter()
+            .map(|&k| KernelSignature::derive(gpu.kernel_desc(k), cfg))
+            .collect();
+    }
+
+    /// The ws-store lookup-before-profile path: when a store is attached
+    /// and *every* kernel's signature hits, the memoized curves go straight
+    /// to water-filling and no profiling windows are ever installed.
+    /// Returns whether a warm decision was made.
+    fn try_store_decision(&mut self, gpu: &mut Gpu) -> bool {
+        let Some(store) = self.cfg.store.clone() else {
+            return false;
+        };
+        if gpu.kernel_ids().is_empty() {
+            return false;
+        }
+        self.derive_store_keys(gpu);
+        let keys = self.store_keys.clone();
+        let curves: Vec<Option<Vec<f64>>> = store.with(|s| {
+            keys.iter()
+                .map(|sig| {
+                    let sig = sig.as_ref()?;
+                    s.lookup(&sig.key).map(|e| e.perf.clone())
+                })
+                .collect()
+        });
+        if self.cfg.audit {
+            for (i, (sig, curve)) in keys.iter().zip(&curves).enumerate() {
+                let Some(sig) = sig else { continue };
+                match curve {
+                    Some(perf) => self.audit.record(AuditEvent::StoreHit {
+                        kernel: i,
+                        sig: sig.key.kernel_sig,
+                        perf: perf.clone(),
+                    }),
+                    None => self.audit.record(AuditEvent::StoreMiss {
+                        kernel: i,
+                        sig: sig.key.kernel_sig,
+                    }),
+                }
+            }
+        }
+        let Some(curves) = curves.into_iter().collect::<Option<Vec<Vec<f64>>>>() else {
+            return false;
+        };
+        // Warm hit: no samples back this decision.
+        self.last_samples.clear();
+        self.warm_decisions += 1;
+        self.decide_from_curves(gpu, curves);
+        true
+    }
+
+    /// Inserts (or replaces) the accepted measured curves into the
+    /// attached store after a cold decision.
+    fn store_insert(&mut self, gpu: &Gpu, curves: &[Vec<f64>]) {
+        let Some(store) = self.cfg.store.clone() else {
+            return;
+        };
+        self.derive_store_keys(gpu);
+        store.with(|s| {
+            for (sig, perf) in self.store_keys.iter().zip(curves) {
+                if let Some(sig) = sig {
+                    let _ = s.insert(sig.key, StoreEntry::measured(sig, perf.clone()));
+                }
+            }
+        });
+    }
+
+    /// Invalidates exactly one kernel's store entry (a phase-monitor
+    /// trigger: the memoized curve no longer describes the kernel).
+    fn store_invalidate(&mut self, kernel: usize) {
+        let Some(store) = self.cfg.store.clone() else {
+            return;
+        };
+        let Some(Some(sig)) = self.store_keys.get(kernel).copied() else {
+            return;
+        };
+        let removed = store.with(|s| s.invalidate(&sig.key));
+        if removed && self.cfg.audit {
+            self.audit.record(AuditEvent::StoreInvalidate {
+                kernel,
+                sig: sig.key.kernel_sig,
+            });
+        }
+    }
+
     fn enter_profile(&mut self, gpu: &mut Gpu) {
+        if self.try_store_decision(gpu) {
+            return;
+        }
         let now = gpu.cycle();
         let max = Self::max_ctas(gpu);
         let plan = self.plan_profile(gpu, &max);
@@ -267,7 +384,6 @@ impl WarpedSlicerController {
     }
 
     fn decide(&mut self, gpu: &mut Gpu) {
-        let now = gpu.cycle();
         // Phase-machine invariant: Deciding follows Profiling, which
         // installed the plan. xtask-allow: no-unwrap
         let plan = self.plan.as_ref().expect("decision requires a plan");
@@ -316,6 +432,18 @@ impl WarpedSlicerController {
         } else {
             build_curves(&samples, &max)
         };
+        self.store_insert(gpu, &curves);
+        self.decide_from_curves(gpu, curves);
+    }
+
+    /// The shared decision tail: runs Algorithm 1 water-filling over
+    /// per-kernel performance curves, applies the fallback-threshold test,
+    /// and installs (or schedules) the decision. Both the cold path
+    /// (freshly measured curves) and the ws-store warm path (memoized
+    /// curves) end here, which is what makes a warm-hit decision
+    /// byte-identical to the cold-path decision for the same curves.
+    fn decide_from_curves(&mut self, gpu: &mut Gpu, curves: Vec<Vec<f64>>) {
+        let now = gpu.cycle();
         let measured_curves = curves.clone();
         let ids = gpu.kernel_ids();
         let kernels: Vec<KernelCurve> = ids
@@ -469,6 +597,10 @@ impl WarpedSlicerController {
             }
             if triggered {
                 trigger = true;
+                // The memoized curve no longer describes this kernel:
+                // invalidate exactly its key, so the re-profile below
+                // misses, measures fresh, and replaces the entry.
+                self.store_invalidate(i);
             }
         }
         if trigger {
@@ -788,5 +920,76 @@ mod tests {
         let (gpu, _) = run_pair("MM", "BLK", 15_000, fast_cfg());
         assert!(gpu.kernel_insts(gpu_sim::KernelId(0)) > 1_000);
         assert!(gpu.kernel_insts(gpu_sim::KernelId(1)) > 1_000);
+    }
+
+    #[test]
+    fn store_warm_hit_skips_profiling_and_matches_cold_decision() {
+        let store = SharedCurveStore::with_capacity(8);
+        let cfg = WarpedSlicerConfig {
+            store: Some(store.clone()),
+            ..fast_cfg()
+        };
+        // First arrival: cold — pays the profiling sweep, inserts curves.
+        let (_, cold) = run_pair("IMG", "NN", 12_000, cfg.clone());
+        let cold_d = cold.decision().expect("cold decision").clone();
+        assert_eq!(cold.warm_decision_count(), 0);
+        assert!(
+            cold_d.decided_at >= 4_000,
+            "cold path pays warmup + sample ({})",
+            cold_d.decided_at
+        );
+        assert_eq!(store.with(|s| s.len()), 2, "both curves memoized");
+
+        // Repeat arrival: warm — decides immediately from the store, and
+        // the decision is byte-identical to the cold one.
+        let (_, warm) = run_pair("IMG", "NN", 200, cfg);
+        assert_eq!(warm.warm_decision_count(), 1);
+        let warm_d = warm.decision().expect("warm decision");
+        assert!(
+            warm_d.decided_at < 10,
+            "no profiling phases on the warm path ({})",
+            warm_d.decided_at
+        );
+        assert_eq!(warm_d.quotas, cold_d.quotas);
+        assert_eq!(warm_d.spatial_fallback, cold_d.spatial_fallback);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        assert_eq!(bits(&warm_d.predicted_perf), bits(&cold_d.predicted_perf));
+        assert_eq!(warm_d.measured_curves.len(), cold_d.measured_curves.len());
+        for (w, c) in warm_d.measured_curves.iter().zip(&cold_d.measured_curves) {
+            assert_eq!(bits(w), bits(c), "warm curves bit-equal to cold");
+        }
+        assert!(warm.last_samples().is_empty(), "warm path has no samples");
+    }
+
+    #[test]
+    fn store_audit_records_misses_then_hits() {
+        let store = SharedCurveStore::with_capacity(8);
+        let cfg = WarpedSlicerConfig {
+            store: Some(store.clone()),
+            audit: true,
+            ..fast_cfg()
+        };
+        let (_, cold) = run_pair("IMG", "NN", 12_000, cfg.clone());
+        let misses = cold
+            .audit()
+            .expect("audit enabled")
+            .events
+            .iter()
+            .filter(|e| matches!(e, AuditEvent::StoreMiss { .. }))
+            .count();
+        assert_eq!(misses, 2, "first arrival misses both kernels");
+        let (_, warm) = run_pair("IMG", "NN", 200, cfg);
+        let audit = warm.audit().expect("audit enabled");
+        let hits = audit
+            .events
+            .iter()
+            .filter(|e| matches!(e, AuditEvent::StoreHit { .. }))
+            .count();
+        assert_eq!(hits, 2, "repeat arrival hits both kernels");
+        // Warm decisions stay replayable from the audit alone.
+        let d = warm.decision().expect("warm decision");
+        let quotas = d.quotas.as_ref().expect("co-located");
+        let replayed = audit.replay_water_fill().expect("complete decision");
+        assert_eq!(&replayed.ctas, quotas);
     }
 }

@@ -54,6 +54,31 @@ pub struct SmAssignment {
     pub quota: u32,
 }
 
+/// A structural defect in a prediction-windowed profiling plan: one
+/// kernel's [`SweepWindow`] plans no CTA caps at all, so its SM group
+/// would have nothing to probe. Historically this was papered over by
+/// silently assigning the group 1 CTA — a degenerate plan that profiles
+/// the wrong point; now it is a first-class planning error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfilePlanError {
+    /// Kernel slot whose window was empty.
+    pub kernel: usize,
+    /// The offending window.
+    pub window: SweepWindow,
+}
+
+impl std::fmt::Display for ProfilePlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "kernel {} window {}..={} (max {}) plans no CTA caps",
+            self.kernel, self.window.lo, self.window.hi, self.window.max
+        )
+    }
+}
+
+impl std::error::Error for ProfilePlanError {}
+
 /// The profiling plan: one assignment per SM.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProfilePlan {
@@ -118,13 +143,25 @@ impl ProfilePlan {
     /// dense prefix around the predicted knee plus the guard points — so
     /// online sampling concentrates where the knee is expected while the
     /// guard at the feasibility bound still checks the skipped tail. A
-    /// full window reproduces [`ProfilePlan::build`] exactly.
+    /// full window reproduces [`ProfilePlan::build`] exactly. A one-SM
+    /// group spends its single sample on [`SweepWindow::knee_cap`] — the
+    /// predicted knee — because a knee sample anchors the curve's ramp
+    /// where a guard-bound sample alone would flatline it (the K ==
+    /// `num_sms` co-run case).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfilePlanError`] when a window plans no CTA caps at
+    /// all (e.g. an inverted `lo > hi` range with no guard) — there would
+    /// be nothing for that kernel's SM group to probe.
     ///
     /// # Panics
     ///
     /// Panics if there are no kernels or more kernels than SMs.
-    #[must_use]
-    pub fn build_windowed(num_sms: usize, windows: &[SweepWindow]) -> Self {
+    pub fn try_build_windowed(
+        num_sms: usize,
+        windows: &[SweepWindow],
+    ) -> Result<Self, ProfilePlanError> {
         let k = windows.len();
         assert!(k > 0, "at least one kernel required");
         assert!(k <= num_sms, "more kernels than SMs");
@@ -135,10 +172,18 @@ impl ProfilePlan {
         for (i, w) in windows.iter().enumerate() {
             let group = base + usize::from(i < extra);
             let caps = w.planned_caps();
-            let last = caps.len().saturating_sub(1);
+            if caps.is_empty() {
+                return Err(ProfilePlanError {
+                    kernel: i,
+                    window: *w,
+                });
+            }
+            let last = caps.len() - 1;
             for j in 0..group {
                 let idx = if group == 1 {
-                    last
+                    // One sample for the whole kernel: probe the predicted
+                    // knee, not the guard.
+                    caps.iter().position(|&c| c == w.knee_cap()).unwrap_or(last)
                 } else {
                     // Evenly spread the planned caps over the group
                     // (rounding so the last SM always probes the guard).
@@ -154,7 +199,43 @@ impl ProfilePlan {
                 sm += 1;
             }
         }
-        Self { assignments }
+        Ok(Self { assignments })
+    }
+
+    /// The panic-on-defect wrapper around [`ProfilePlan::try_build_windowed`]
+    /// for callers on the hot decision path. An empty window is an
+    /// invariant violation under strict-invariants; release builds widen
+    /// every empty window to its full `1..=max` ramp and retry, so the
+    /// profile degrades to the unpruned plan instead of probing a
+    /// fabricated 1-CTA point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no kernels or more kernels than SMs, and —
+    /// under `debug_assertions` or the `strict-invariants` feature — if
+    /// any window plans no CTA caps.
+    #[must_use]
+    pub fn build_windowed(num_sms: usize, windows: &[SweepWindow]) -> Self {
+        match Self::try_build_windowed(num_sms, windows) {
+            Ok(plan) => plan,
+            Err(e) => {
+                gpu_sim::strict_assert!(false, "windowed profile plan invalid: {e}");
+                let widened: Vec<SweepWindow> = windows
+                    .iter()
+                    .map(|w| {
+                        if w.planned_caps().is_empty() {
+                            SweepWindow::full(w.max)
+                        } else {
+                            *w
+                        }
+                    })
+                    .collect();
+                // Full windows always plan caps, so the retry cannot fail.
+                Self::try_build_windowed(num_sms, &widened).unwrap_or(Self {
+                    assignments: Vec::new(),
+                })
+            }
+        }
     }
 
     /// Assignments belonging to kernel `kernel`.
@@ -593,5 +674,73 @@ mod tests {
     #[should_panic(expected = "more kernels than SMs")]
     fn too_many_kernels_rejected() {
         let _ = ProfilePlan::build(2, &[1, 1, 1]);
+    }
+
+    #[test]
+    fn single_sm_groups_probe_the_predicted_knee() {
+        // K == num_sms: every group has exactly one SM, so each kernel
+        // gets exactly one sample. It must be the predicted knee — the
+        // guard at the feasibility bound would make build_curves see a
+        // flat single-point curve at the wrong end.
+        let windows = [
+            SweepWindow::around_knee(2, 8),
+            SweepWindow::around_knee(4, 8),
+        ];
+        let plan = ProfilePlan::build_windowed(2, &windows);
+        let quotas: Vec<u32> = plan.assignments.iter().map(|a| a.quota).collect();
+        assert_eq!(quotas, vec![2, 4]);
+        // Full windows keep probing the bound, matching ProfilePlan::build.
+        let full = [SweepWindow::full(8), SweepWindow::full(6)];
+        let plan = ProfilePlan::build_windowed(2, &full);
+        let quotas: Vec<u32> = plan.assignments.iter().map(|a| a.quota).collect();
+        assert_eq!(quotas, vec![8, 6]);
+        let built = ProfilePlan::build(2, &[8, 6]);
+        let quotas: Vec<u32> = built.assignments.iter().map(|a| a.quota).collect();
+        assert_eq!(quotas, vec![8, 6]);
+    }
+
+    #[test]
+    fn single_knee_sample_yields_a_non_degenerate_curve() {
+        // The K == num_sms case downstream: one sample at the knee still
+        // gives build_curves a ramp (toward 0 at 0 CTAs) plus a clamped
+        // tail, not a curve that is flat everywhere.
+        let samples = [ProfileSample {
+            kernel: 0,
+            ctas: 4,
+            ipc_sampled: 2.0,
+            phi_mem: 0.0,
+            bandwidth: None,
+        }];
+        let c = &build_curves(&samples, &[8])[0];
+        assert!(c[0] < c[3], "curve ramps up to the knee: {c:?}");
+        assert!((c[3] - 2.0).abs() < 1e-12, "knee point is exact");
+        assert!((c[7] - 2.0).abs() < 1e-12, "right of the sample clamps");
+    }
+
+    #[test]
+    fn empty_window_is_a_structured_planning_error() {
+        // An inverted window with no guard plans nothing to probe.
+        let empty = SweepWindow {
+            lo: 9,
+            hi: 8,
+            max: 8,
+        };
+        assert!(empty.planned_caps().is_empty());
+        let err = ProfilePlan::try_build_windowed(16, &[SweepWindow::full(8), empty])
+            .expect_err("empty window is rejected");
+        assert_eq!(err.kernel, 1, "the offending kernel is named");
+        assert_eq!(err.window, empty);
+        assert!(err.to_string().contains("kernel 1"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "plans no CTA caps")]
+    fn build_windowed_panics_on_empty_window_under_strict_invariants() {
+        let empty = SweepWindow {
+            lo: 9,
+            hi: 8,
+            max: 8,
+        };
+        let _ = ProfilePlan::build_windowed(16, &[SweepWindow::full(8), empty]);
     }
 }

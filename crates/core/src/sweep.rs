@@ -95,6 +95,21 @@ impl SweepWindow {
         self.lo <= 1 && self.hi >= self.max
     }
 
+    /// The single most informative CTA count when only one sample can be
+    /// taken: the predicted knee for a pruned window (the dense edge `hi`
+    /// backs off the `+1` guard [`SweepWindow::around_knee`] added), the
+    /// feasibility bound for a full window. One-SM profiling groups probe
+    /// this count — a knee sample anchors the curve's ramp, where the
+    /// guard-bound sample alone would flatline it.
+    #[must_use]
+    pub fn knee_cap(&self) -> u32 {
+        if self.is_full() {
+            self.max.max(1)
+        } else {
+            self.hi.saturating_sub(1).max(self.lo).max(1)
+        }
+    }
+
     /// The CTA counts a pruned offline sweep actually simulates: the dense
     /// prefix `lo..=hi`, a guard at `max`, and a midpoint guard when the
     /// skipped gap spans more than two counts. Sorted, deduplicated.
@@ -257,6 +272,25 @@ impl KernelProgress {
         full.sort_by_key(|&(c, _)| c);
         self.curve = Some(full.iter().map(|&(_, v)| v).collect());
     }
+
+    /// Accounts one delivered (kernel, cap) result against the current
+    /// round; returns whether that delivery completed the round. A
+    /// delivery with nothing outstanding is a double-delivery of some
+    /// (kernel, cap) result — a checked invariant, because a saturating
+    /// decrement would report it as a *spurious round completion* and
+    /// re-run acceptance (or re-submit a fallback) on a half-sampled
+    /// round. In release builds the duplicate is dropped instead.
+    fn deliver(&mut self) -> bool {
+        if self.pending == 0 {
+            gpu_sim::strict_assert!(
+                false,
+                "duplicate delivery: sweep result arrived with no round outstanding"
+            );
+            return false;
+        }
+        self.pending -= 1;
+        self.pending == 0
+    }
 }
 
 /// The planned analogue of [`crate::profiler::profile_curves`]: samples
@@ -326,10 +360,7 @@ pub fn profile_curves_planned(
                 }
             }
         }
-        let round_done = kernels.get_mut(i).is_some_and(|k| {
-            k.pending = k.pending.saturating_sub(1);
-            k.pending == 0
-        });
+        let round_done = kernels.get_mut(i).is_some_and(KernelProgress::deliver);
         if !round_done {
             continue;
         }
@@ -536,5 +567,39 @@ mod tests {
     fn predict_default_reads_env_once() {
         // Whatever the ambient value, the gate is stable across calls.
         assert_eq!(predict_default(), predict_default());
+    }
+
+    #[test]
+    fn knee_cap_is_the_predicted_knee_for_pruned_windows() {
+        assert_eq!(window(2, 8).knee_cap(), 2);
+        assert_eq!(window(4, 8).knee_cap(), 4);
+        // Full windows probe the feasibility bound, like the plain ramp.
+        assert_eq!(SweepWindow::full(8).knee_cap(), 8);
+        assert_eq!(SweepWindow::full(1).knee_cap(), 1);
+        // A knee at 1 keeps the cap at least 1.
+        assert_eq!(window(1, 8).knee_cap(), 1);
+    }
+
+    #[test]
+    fn deliver_counts_down_and_completes_the_round_once() {
+        let mut k = KernelProgress {
+            pending: 2,
+            ..KernelProgress::default()
+        };
+        assert!(!k.deliver(), "first of two results: round still open");
+        assert!(k.deliver(), "second result completes the round");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate delivery")]
+    fn duplicate_delivery_is_a_checked_invariant() {
+        let mut k = KernelProgress {
+            pending: 1,
+            ..KernelProgress::default()
+        };
+        assert!(k.deliver());
+        // A second delivery of the same (kernel, cap) result must not be
+        // reported as another round completion.
+        let _ = k.deliver();
     }
 }

@@ -29,7 +29,7 @@ use crate::runner::SimOutcome;
 
 /// Required keys per record type. Every JSONL line must carry a `"type"`
 /// matching one of these entries and at least the listed keys.
-pub const SCHEMAS: [(&str, &[&str]); 18] = [
+pub const SCHEMAS: [(&str, &[&str]); 23] = [
     ("meta", &["label", "policy", "kernels", "total_cycles"]),
     ("predicted_curve", &["kernel", "perf", "knee"]),
     ("sweep_window", &["kernel", "lo", "hi", "max"]),
@@ -70,6 +70,21 @@ pub const SCHEMAS: [(&str, &[&str]); 18] = [
         &["cycle", "mem", "raw", "exec", "ibuffer", "barrier", "idle"],
     ),
     ("finish", &["kernel", "name", "finish_cycle", "insts"]),
+    ("store_hit", &["kernel", "sig", "perf"]),
+    ("store_miss", &["kernel", "sig"]),
+    ("store_invalidate", &["kernel", "sig"]),
+    ("store_meta", &["version", "capacity", "entries"]),
+    (
+        "store_entry",
+        &[
+            "kernel_sig",
+            "gpu_sig",
+            "class",
+            "archetype",
+            "perf",
+            "knee",
+        ],
+    ),
 ];
 
 /// Escapes `s` for inclusion inside a JSON string literal.
@@ -210,6 +225,16 @@ fn audit_line(e: &AuditEvent) -> String {
             num(*ipc),
             opt_num(*baseline),
         ),
+        AuditEvent::StoreHit { kernel, sig, perf } => format!(
+            "{{\"type\":\"store_hit\",\"kernel\":{kernel},\"sig\":\"{sig:016x}\",\"perf\":{}}}",
+            num_array(perf)
+        ),
+        AuditEvent::StoreMiss { kernel, sig } => {
+            format!("{{\"type\":\"store_miss\",\"kernel\":{kernel},\"sig\":\"{sig:016x}\"}}")
+        }
+        AuditEvent::StoreInvalidate { kernel, sig } => {
+            format!("{{\"type\":\"store_invalidate\",\"kernel\":{kernel},\"sig\":\"{sig:016x}\"}}")
+        }
     }
 }
 
@@ -362,9 +387,10 @@ pub fn chrome_trace(outcome: &SimOutcome, kernel_names: &[&str]) -> String {
     format!("{{\"traceEvents\":[{}]}}\n", ev.join(","))
 }
 
-/// A parsed JSON value (just enough structure for schema validation).
+/// A parsed JSON value (just enough structure for schema validation and
+/// the store loader).
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub(crate) enum Json {
     /// `null`.
     Null,
     /// `true` / `false`.
@@ -381,12 +407,58 @@ enum Json {
 
 impl Json {
     /// Looks up a key in an object.
-    fn get(&self, key: &str) -> Option<&Json> {
+    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
+
+    /// The value as a string, if it is one.
+    pub(crate) fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    pub(crate) fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a whole number in
+    /// `u64` range (bit-compared against its truncation, so no float
+    /// equality is involved).
+    pub(crate) fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n)
+                if *n >= 0.0
+                    && *n <= 9_007_199_254_740_992.0
+                    && n.trunc().to_bits() == n.to_bits() =>
+            {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub(crate) fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSONL line into a [`Json`] value (the store loader shares
+/// the validator's parser).
+pub(crate) fn parse_line(line: &str) -> Result<Json, String> {
+    Parser::new(line).parse()
 }
 
 /// A minimal recursive-descent JSON parser over one input line.

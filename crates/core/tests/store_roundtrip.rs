@@ -1,0 +1,222 @@
+//! ws-store contract tests: the persisted curve cache must be *invisible*
+//! in decision space — a warm-hit water-fill decision is byte-identical to
+//! the uncached one for the same curves, across the full
+//! insert → serialize → load → lookup round-trip — and a phase-monitor
+//! trigger invalidates exactly the affected key, nothing else.
+
+use gpu_sim::GpuConfig;
+use warped_slicer::phase::PhaseMonitor;
+use warped_slicer::policy::{PolicyKind, WarpedSlicerConfig};
+use warped_slicer::resources::ResourceVec;
+use warped_slicer::runner::{execute, run_isolation, RunConfig, SimJob, TraceOptions};
+use warped_slicer::store::{CurveStore, KernelSignature, SharedCurveStore, StoreEntry};
+use warped_slicer::waterfill::{water_fill, KernelCurve};
+use ws_workloads::by_abbrev;
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn random_curve(rng: &mut gpu_sim::SimRng, len: usize) -> Vec<f64> {
+    // Arbitrary positive values with full-precision mantissas: the divisor
+    // is deliberately not a power of two, so curve points exercise the
+    // shortest-roundtrip serialization on non-trivial bit patterns.
+    (0..len)
+        .map(|_| (1 + rng.next_u64() % 100_000) as f64 / 7_001.0)
+        .collect()
+}
+
+#[test]
+fn store_round_trip_reproduces_water_fill_quotas_byte_identically() {
+    let cfg = GpuConfig::isca_baseline();
+    let suite = ws_workloads::suite();
+    let capacity = ResourceVec::sm_capacity(&cfg.sm);
+    let mut rng = gpu_sim::SimRng::seed_from_u64(0x570e_0001);
+    let mut feasible = 0usize;
+    for round in 0..40 {
+        // A random co-run: 2-3 distinct suite kernels with random curves.
+        let k = 2 + (rng.next_u64() % 2) as usize;
+        let mut picks: Vec<usize> = Vec::new();
+        while picks.len() < k {
+            let i = (rng.next_u64() as usize) % suite.len();
+            if !picks.contains(&i) {
+                picks.push(i);
+            }
+        }
+        let descs: Vec<_> = picks.iter().map(|&i| &suite[i].desc).collect();
+        let sigs: Vec<KernelSignature> = descs
+            .iter()
+            .map(|d| KernelSignature::derive(d, &cfg).expect("suite kernels pass pre-flight"))
+            .collect();
+        let curves: Vec<Vec<f64>> = descs
+            .iter()
+            .map(|_| {
+                let len = 3 + (rng.next_u64() % 6) as usize;
+                random_curve(&mut rng, len)
+            })
+            .collect();
+
+        // The uncached path: water-fill straight from the in-memory curves.
+        let kernels: Vec<KernelCurve> = descs
+            .iter()
+            .zip(&curves)
+            .map(|(d, perf)| KernelCurve {
+                perf: perf.clone(),
+                cta_cost: ResourceVec::cta_cost(d),
+            })
+            .collect();
+        let uncached = water_fill(&kernels, capacity);
+
+        // The store path: insert, serialize, load, look up, water-fill.
+        let mut store = CurveStore::new(8);
+        for (sig, perf) in sigs.iter().zip(&curves) {
+            assert!(
+                store.insert(sig.key, StoreEntry::measured(sig, perf.clone())),
+                "round {round}: finite curves insert"
+            );
+        }
+        let text = store.to_jsonl();
+        warped_slicer::validate_jsonl(&text).expect("store file is schema-valid");
+        let mut loaded = CurveStore::from_jsonl(&text).expect("store file loads");
+        let looked: Vec<Vec<f64>> = sigs
+            .iter()
+            .map(|s| loaded.lookup(&s.key).expect("warm hit").perf.clone())
+            .collect();
+        for (orig, got) in curves.iter().zip(&looked) {
+            assert_eq!(bits(orig), bits(got), "round {round}: curve bits survive");
+        }
+        let cached_kernels: Vec<KernelCurve> = descs
+            .iter()
+            .zip(&looked)
+            .map(|(d, perf)| KernelCurve {
+                perf: perf.clone(),
+                cta_cost: ResourceVec::cta_cost(d),
+            })
+            .collect();
+        match (uncached, water_fill(&cached_kernels, capacity)) {
+            (Some(u), Some(c)) => {
+                assert_eq!(u.ctas, c.ctas, "round {round}: quotas byte-identical");
+                assert_eq!(bits(&u.perf), bits(&c.perf), "round {round}: perf bits");
+                feasible += 1;
+            }
+            (None, None) => {}
+            (u, c) => panic!("round {round}: feasibility diverged: {u:?} vs {c:?}"),
+        }
+    }
+    assert!(feasible > 10, "only {feasible}/40 rounds were feasible");
+}
+
+#[test]
+fn phase_monitor_trigger_invalidates_exactly_the_affected_key() {
+    // The controller's invalidation contract, driven by the real monitor:
+    // whatever kernel's IPC collapses, exactly that kernel's key leaves the
+    // store; every other entry keeps hitting, and the re-profile's insert
+    // restores the key.
+    let cfg = GpuConfig::isca_baseline();
+    let suite = ws_workloads::suite();
+    let sigs: Vec<KernelSignature> = suite
+        .iter()
+        .map(|b| KernelSignature::derive(&b.desc, &cfg).expect("suite kernels pass pre-flight"))
+        .collect();
+    for (i, a) in sigs.iter().enumerate() {
+        for b in sigs.iter().skip(i + 1) {
+            assert_ne!(a.key, b.key, "suite signatures are pairwise distinct");
+        }
+    }
+    let mut rng = gpu_sim::SimRng::seed_from_u64(0x570e_0002);
+    for round in 0..20 {
+        let mut store = CurveStore::new(sigs.len());
+        for sig in &sigs {
+            store.insert(
+                sig.key,
+                StoreEntry::measured(sig, random_curve(&mut rng, 8)),
+            );
+        }
+        let victim = (rng.next_u64() as usize) % sigs.len();
+        let mut monitors: Vec<PhaseMonitor> =
+            sigs.iter().map(|_| PhaseMonitor::paper_default()).collect();
+        let mut invalidations = 0usize;
+        for window in 0..12 {
+            for (i, m) in monitors.iter_mut().enumerate() {
+                // Steady 2.0 IPC everywhere; the victim collapses to 0.4
+                // (an 80 % sustained drop) from window 5 on.
+                let ipc = if i == victim && window >= 5 { 0.4 } else { 2.0 };
+                if m.observe(ipc) {
+                    assert_eq!(i, victim, "round {round}: only the collapse triggers");
+                    assert!(store.invalidate(&sigs[i].key));
+                    invalidations += 1;
+                }
+            }
+        }
+        assert_eq!(invalidations, 1, "round {round}: one sustained collapse");
+        for (i, sig) in sigs.iter().enumerate() {
+            assert_eq!(
+                store.peek(&sig.key).is_some(),
+                i != victim,
+                "round {round}: exactly the victim's entry is gone"
+            );
+        }
+        // The re-profile replaces the entry; lookups hit again.
+        store.insert(
+            sigs[victim].key,
+            StoreEntry::measured(&sigs[victim], random_curve(&mut rng, 8)),
+        );
+        assert!(store.lookup(&sigs[victim].key).is_some());
+        assert_eq!(store.len(), sigs.len());
+    }
+}
+
+#[test]
+fn traced_corun_decides_warm_from_the_store_with_identical_quotas() {
+    // End-to-end through the runner: the same traced co-run job executed
+    // twice against one shared store. The first run profiles cold and
+    // inserts; the second decides warm — earlier, from memoized curves, and
+    // with a byte-identical quota vector. The exported JSONL carries the
+    // store_miss/store_hit audit records and stays schema-valid.
+    let cfg = RunConfig {
+        isolation_cycles: 12_000,
+        trace: Some(TraceOptions::default()),
+        ..RunConfig::default()
+    };
+    let a = by_abbrev("IMG").unwrap().desc;
+    let b = by_abbrev("NN").unwrap().desc;
+    let ta = run_isolation(&a, &cfg).target_insts;
+    let tb = run_isolation(&b, &cfg).target_insts;
+    let store = SharedCurveStore::with_capacity(8);
+    let policy = PolicyKind::WarpedSlicer(WarpedSlicerConfig {
+        store: Some(store.clone()),
+        ..WarpedSlicerConfig::scaled_for(12_000)
+    });
+    let job = SimJob::corun(&[&a, &b], &[ta, tb], &policy, &cfg);
+
+    let cold = execute(&job);
+    assert_eq!(store.with(|s| s.len()), 2, "cold run memoized both curves");
+    let warm = execute(&job);
+
+    let cold_d = cold.decision.as_ref().expect("cold decision");
+    let warm_d = warm.decision.as_ref().expect("warm decision");
+    assert!(
+        warm_d.decided_at < cold_d.decided_at,
+        "warm decision ({}) must beat the cold profile ({})",
+        warm_d.decided_at,
+        cold_d.decided_at
+    );
+    assert_eq!(warm_d.quotas, cold_d.quotas, "quota vectors byte-identical");
+    assert_eq!(warm_d.spatial_fallback, cold_d.spatial_fallback);
+    for (w, c) in warm_d.measured_curves.iter().zip(&cold_d.measured_curves) {
+        assert_eq!(bits(w), bits(c), "warm curves bit-equal to cold");
+    }
+
+    let cold_text =
+        warped_slicer::tracefmt::jsonl(&cold, "IMG_NN", "warped-slicer", &["IMG", "NN"]);
+    let warm_text =
+        warped_slicer::tracefmt::jsonl(&warm, "IMG_NN", "warped-slicer", &["IMG", "NN"]);
+    warped_slicer::validate_jsonl(&cold_text).expect("cold trace schema-valid");
+    warped_slicer::validate_jsonl(&warm_text).expect("warm trace schema-valid");
+    assert!(cold_text.contains("\"type\":\"store_miss\""));
+    assert!(warm_text.contains("\"type\":\"store_hit\""));
+    assert!(
+        !warm_text.contains("\"type\":\"scaled_point\""),
+        "no profiling samples on the warm path"
+    );
+}

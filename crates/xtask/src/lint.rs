@@ -151,9 +151,10 @@ pub const TICK_SEEDS: [(&str, &str); 12] = [
 
 /// Seed functions for the transitive `panic-free-accounting` rule: the
 /// water-filling partitioner, the headline metrics, the resource
-/// allocator, and the ws-predict analyzer — the call trees that compute
-/// the paper's numbers and decide how much of the sweep gets sampled.
-pub const ACCOUNTING_SEEDS: [(Option<&str>, &str); 21] = [
+/// allocator, the ws-predict analyzer, and the ws-store curve cache — the
+/// call trees that compute the paper's numbers, decide how much of the
+/// sweep gets sampled, and serve memoized curves on the decision path.
+pub const ACCOUNTING_SEEDS: [(Option<&str>, &str); 24] = [
     (Some("LinearAllocator"), "alloc"),
     (Some("LinearAllocator"), "alloc_in_window"),
     (Some("LinearAllocator"), "free"),
@@ -175,6 +176,9 @@ pub const ACCOUNTING_SEEDS: [(Option<&str>, &str); 21] = [
     (None, "extract_features"),
     (None, "miss_profile"),
     (None, "accept_pruned"),
+    (Some("CurveStore"), "lookup"),
+    (Some("CurveStore"), "insert"),
+    (Some("CurveStore"), "evict_oldest"),
 ];
 
 /// Method names whose call on a `HashMap`/`HashSet` binding observes (or
